@@ -1,0 +1,109 @@
+// Command tspbench regenerates the paper's Table 1: throughput of the
+// four map variants (mutex-based with no Atlas, Atlas log-only = TSP
+// mode, Atlas log+flush = non-TSP mode, and the lock-free skip list) on
+// the desktop and server platform profiles, followed by the derived
+// overhead and speedup percentages the paper quotes.
+//
+// Usage:
+//
+//	tspbench [-duration 2s] [-seed 1] [-profiles desktop,server] [-runs 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tsp/internal/harness"
+	"tsp/internal/platform"
+	"tsp/internal/stats"
+)
+
+func main() {
+	duration := flag.Duration("duration", 2*time.Second, "measurement window per cell")
+	seed := flag.Int64("seed", 1, "workload seed")
+	profiles := flag.String("profiles", "desktop,server", "comma-separated platform profiles")
+	runs := flag.Int("runs", 1, "repetitions per cell (best run reported, all summarized)")
+	latency := flag.Bool("latency", false, "measure per-iteration latency distributions instead of throughput")
+	flag.Parse()
+
+	var profs []platform.Profile
+	for _, name := range strings.Split(*profiles, ",") {
+		p, err := platform.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		profs = append(profs, p)
+	}
+
+	if *latency {
+		fmt.Println("Per-iteration latency distributions (extension experiment: the tail cost")
+		fmt.Println("of prevention — synchronous flushing — versus TSP procrastination)")
+		fmt.Println()
+		for _, prof := range profs {
+			fmt.Printf("== %s ==\n", prof)
+			for _, v := range harness.AllVariants() {
+				cfg := harness.Config{Variant: v, Duration: *duration, Seed: *seed}.FromProfile(prof)
+				res, err := harness.RunLatency(cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("  %s\n", res)
+			}
+			fmt.Println()
+		}
+		return
+	}
+
+	fmt.Println("Reproducing Table 1 (throughput in millions of worker iterations per second;")
+	fmt.Println("each iteration = 3 atomic map operations, as in Section 5.1)")
+	fmt.Println()
+
+	if *runs <= 1 {
+		rows, err := harness.Table1(profs, *duration, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.FormatTable1(rows))
+		return
+	}
+
+	// Multi-run mode: report best-of plus dispersion per cell.
+	for _, prof := range profs {
+		fmt.Printf("== %s ==\n", prof)
+		tbl := stats.Table{Header: []string{"variant", "best M/s", "mean M/s", "std M/s", "runs"}}
+		best := map[harness.Variant]float64{}
+		for _, v := range harness.AllVariants() {
+			var sample stats.Sample
+			for r := 0; r < *runs; r++ {
+				cfg := harness.Config{Variant: v, Duration: *duration, Seed: *seed + int64(r)}.FromProfile(prof)
+				res, err := harness.RunThroughput(cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				m := res.IterPerSec() / 1e6
+				sample.Add(m)
+				if m > best[v] {
+					best[v] = m
+				}
+			}
+			tbl.AddRow(v.String(),
+				fmt.Sprintf("%.3f", best[v]),
+				fmt.Sprintf("%.3f", sample.Mean()),
+				fmt.Sprintf("%.3f", sample.Stddev()),
+				fmt.Sprintf("%d", sample.N()))
+		}
+		fmt.Print(tbl.String())
+		base, logOnly, logFlush := best[harness.MutexNoAtlas], best[harness.MutexAtlasTSP], best[harness.MutexAtlasNonTSP]
+		if base > 0 && logFlush > 0 {
+			fmt.Printf("log-only overhead %.0f%%, log+flush overhead %.0f%%, TSP speedup over non-TSP %.0f%%\n\n",
+				(1-logOnly/base)*100, (1-logFlush/base)*100, (logOnly/logFlush-1)*100)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command tspplan runs the Section 3 decision procedure: given a set of
+// tolerated failures, the application's isolation style, and a hardware
+// profile, it derives the minimal fault-tolerance mechanism — whether a
+// Timely Sufficient Persistence design exists (procrastination), what
+// the crash-time rescue does, what residual runtime overhead remains,
+// and what recovery must do.
+//
+// Usage:
+//
+//	tspplan [-failures process-crash,kernel-panic] [-isolation mutex-based]
+//	        [-hardware nvram] [-corrupting]
+//
+// Hardware profiles: desktop, server-ups, nvdimm, nvram, legacy, geo.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tsp/internal/core"
+)
+
+var hardwareProfiles = map[string]func() core.Hardware{
+	"desktop":    core.ConventionalDesktop,
+	"server-ups": core.ConventionalServerUPS,
+	"nvdimm":     core.NVDIMMServer,
+	"nvram":      core.NVRAMMachine,
+	"legacy":     core.DiskOnlyLegacy,
+	"geo":        core.GeoReplicated,
+}
+
+var failureNames = map[string]core.Failure{
+	"process-crash": core.ProcessCrash,
+	"kernel-panic":  core.KernelPanic,
+	"power-outage":  core.PowerOutage,
+	"site-disaster": core.SiteDisaster,
+}
+
+// matrix prints a one-line plan summary for every hardware profile and
+// failure class — the Section 3 decision table, mechanically derived.
+func matrix(isolation core.Isolation) {
+	hwNames := []string{"desktop", "server-ups", "nvdimm", "nvram", "legacy", "geo"}
+	fmt.Printf("%-12s", "")
+	for _, f := range core.AllFailures() {
+		fmt.Printf(" %-22s", f)
+	}
+	fmt.Println()
+	for _, name := range hwNames {
+		hw := hardwareProfiles[name]()
+		fmt.Printf("%-12s", name)
+		for _, f := range core.AllFailures() {
+			req := core.Requirements{Tolerate: []core.Failure{f}, Isolation: isolation}
+			plan, err := core.DerivePlan(req, hw)
+			switch {
+			case err != nil:
+				fmt.Printf(" %-22s", "UNSATISFIABLE")
+			case plan.TSP:
+				fmt.Printf(" %-22s", "TSP/"+plan.Overhead.String())
+			default:
+				fmt.Printf(" %-22s", "prevent/"+plan.Overhead.String())
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func main() {
+	failures := flag.String("failures", "process-crash", "comma-separated tolerated failures: process-crash, kernel-panic, power-outage, site-disaster")
+	isolation := flag.String("isolation", "mutex-based", "isolation style: mutex-based or non-blocking")
+	hardware := flag.String("hardware", "nvram", "hardware profile: desktop, server-ups, nvdimm, nvram, legacy, geo")
+	corrupting := flag.Bool("corrupting", false, "tolerated failures may corrupt data inside critical sections")
+	showMatrix := flag.Bool("matrix", false, "print the full hardware x failure decision table and exit")
+	flag.Parse()
+
+	if *showMatrix {
+		iso := core.MutexBased
+		if *isolation == "non-blocking" {
+			iso = core.NonBlocking
+		}
+		fmt.Printf("decision matrix (%s isolation): mechanism/overhead per hardware x failure\n\n", iso)
+		matrix(iso)
+		return
+	}
+
+	hwf, ok := hardwareProfiles[*hardware]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown hardware profile %q\n", *hardware)
+		os.Exit(2)
+	}
+	var req core.Requirements
+	for _, name := range strings.Split(*failures, ",") {
+		f, ok := failureNames[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown failure class %q\n", name)
+			os.Exit(2)
+		}
+		req.Tolerate = append(req.Tolerate, f)
+	}
+	switch *isolation {
+	case "mutex-based":
+		req.Isolation = core.MutexBased
+	case "non-blocking":
+		req.Isolation = core.NonBlocking
+	default:
+		fmt.Fprintf(os.Stderr, "unknown isolation style %q\n", *isolation)
+		os.Exit(2)
+	}
+	if *corrupting {
+		req.Mode = core.Corrupting
+	}
+
+	hw := hwf()
+	fmt.Printf("requirements: tolerate %s; %s failures; %s isolation\n",
+		*failures, req.Mode, req.Isolation)
+	fmt.Printf("hardware:     %s (memory=%s, energy=%s)\n\n", *hardware, hw.Memory, hw.Energy)
+
+	plan, err := core.DerivePlan(req, hw)
+	if err != nil {
+		fmt.Printf("UNSATISFIABLE: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(plan)
+}

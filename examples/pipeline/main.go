@@ -1,0 +1,166 @@
+// pipeline: a crash-resilient producer/consumer pipeline on the
+// lock-free queue — Section 4.1 applied to a second non-blocking
+// structure. Producers enqueue work items; consumers dequeue them and
+// record results in a lock-free skip list. The machine crashes mid-flow
+// under a TSP rescue; the new incarnation finds a valid queue (the
+// unprocessed backlog) and a valid result map, and simply resumes where
+// the crash left off. No logging, no flushing, no transactions —
+// procrastination did all the work.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"tsp/internal/lfqueue"
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+	"tsp/internal/skiplist"
+)
+
+// Root block layout: [queuePtr, resultsPtr].
+const (
+	rootQueue   = 0
+	rootResults = 1
+)
+
+func main() {
+	dev := nvm.NewDevice(nvm.Config{Words: 1 << 20})
+	heap, err := pheap.Format(dev)
+	if err != nil {
+		log.Fatalf("format: %v", err)
+	}
+	q, err := lfqueue.New(heap)
+	if err != nil {
+		log.Fatalf("queue: %v", err)
+	}
+	results, err := skiplist.New(heap, 12)
+	if err != nil {
+		log.Fatalf("skiplist: %v", err)
+	}
+	root, err := heap.Alloc(2)
+	if err != nil {
+		log.Fatalf("alloc: %v", err)
+	}
+	heap.Store(root, rootQueue, uint64(q.Ptr()))
+	heap.Store(root, rootResults, uint64(results.Ptr()))
+	heap.SetRoot(root)
+	dev.FlushAll()
+
+	// jobBase keys the work items well above any heap word address, so the
+	// conservative collector never mistakes a recorded result for a block
+	// pointer (false retention is safe but would blur the GC report below).
+	const jobBase = 1 << 40
+	const jobs = 20000
+	var wg sync.WaitGroup
+	// Four producers feed the queue...
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < jobs; i += 4 {
+				if err := q.Enqueue(jobBase + uint64(i)); err != nil {
+					return // crashed
+				}
+			}
+		}(p)
+	}
+	// ...one consumer processes items into the results map, slower than
+	// the producers, so a backlog builds up for the crash to strand.
+	for c := 0; c < 1; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				item, err := q.Dequeue()
+				if errors.Is(err, lfqueue.ErrEmpty) {
+					time.Sleep(50 * time.Microsecond)
+					continue
+				}
+				if err != nil {
+					return // crashed
+				}
+				// "Process": result = item squared, plus some simulated
+				// compute so the consumer lags the producers and a
+				// backlog accumulates in the queue.
+				nvm.Spin(4000)
+				if _, err := results.Put(item, item*item); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	// Pull the plug while the pipeline is churning.
+	time.Sleep(4 * time.Millisecond)
+	dev.CrashRescue()
+	wg.Wait()
+
+	// ---- new incarnation ----
+	dev.Restart()
+	heap2, err := pheap.Open(dev)
+	if err != nil {
+		log.Fatalf("reopen: %v", err)
+	}
+	root2 := heap2.Root()
+	q2, err := lfqueue.Open(heap2, pheap.Ptr(heap2.Load(root2, rootQueue)))
+	if err != nil {
+		log.Fatalf("queue reopen: %v", err)
+	}
+	res2, err := skiplist.Open(heap2, pheap.Ptr(heap2.Load(root2, rootResults)))
+	if err != nil {
+		log.Fatalf("results reopen: %v", err)
+	}
+	qrep, err := q2.Verify()
+	if err != nil {
+		log.Fatalf("queue verify: %v", err)
+	}
+	if _, err := res2.Verify(); err != nil {
+		log.Fatalf("results verify: %v", err)
+	}
+	q2.RepairTail()
+	done := res2.Len()
+	fmt.Printf("after crash: %d results durable, %d jobs still queued (%s)\n",
+		done, qrep.Elements, qrep)
+	fmt.Printf("jobs the producers never got to enqueue: %d (their threads died too)\n",
+		jobs-done-qrep.Elements)
+
+	// Resume: drain the backlog single-threadedly.
+	backlog, err := q2.Drain()
+	if err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	for _, item := range backlog {
+		if _, err := res2.Put(item, item*item); err != nil {
+			log.Fatalf("resume put: %v", err)
+		}
+	}
+	fmt.Printf("resumed and processed the %d-job backlog\n", len(backlog))
+
+	// Validate every result that exists. (An item dequeued but not yet
+	// recorded at the crash instant is lost in flight — the queue gives
+	// at-most-once handoff; applications needing exactly-once layer
+	// acknowledgment state on top, exactly as they would on real NVM.)
+	bad := 0
+	res2.Range(func(k, v uint64) bool {
+		if v != k*k {
+			bad++
+		}
+		return true
+	})
+	fmt.Printf("results recorded: %d, incorrect: %d\n", res2.Len(), bad)
+	if bad != 0 {
+		log.Fatal("corrupted results found — should be impossible under TSP")
+	}
+
+	gcRep, err := heap2.GC()
+	if err != nil {
+		log.Fatalf("gc: %v", err)
+	}
+	fmt.Printf("recovery GC reclaimed %d dequeued/stranded nodes\n", gcRep.BlocksFreed)
+}

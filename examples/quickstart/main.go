@@ -1,0 +1,88 @@
+// Quickstart: the persistent-heap programming model on simulated NVM.
+//
+// The program builds a small linked list in a persistent heap, anchors
+// it at the heap root, crashes the machine mid-update under a Timely
+// Sufficient Persistence rescue, and then plays the recovery observer:
+// a fresh incarnation reopens the heap from its root and finds every
+// store issued before the crash.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+)
+
+// Node layout in the persistent heap: [next, value].
+const (
+	nodeNext  = 0
+	nodeValue = 1
+)
+
+func main() {
+	// A 64 K-word (512 KB) simulated NVM device. Stores land in the
+	// volatile image (CPU cache/DRAM); only flushed or rescued lines
+	// reach the persisted image a crash leaves behind.
+	dev := nvm.NewDevice(nvm.Config{Words: 1 << 16})
+	heap, err := pheap.Format(dev)
+	if err != nil {
+		log.Fatalf("format heap: %v", err)
+	}
+
+	// Build a 5-node list. Persistent pointers are stable word offsets,
+	// so no pointer swizzling is ever needed across incarnations.
+	var head pheap.Ptr
+	for i := uint64(1); i <= 5; i++ {
+		n, err := heap.Alloc(2)
+		if err != nil {
+			log.Fatalf("alloc: %v", err)
+		}
+		heap.Store(n, nodeNext, uint64(head))
+		heap.Store(n, nodeValue, i*100)
+		head = n
+	}
+	// Publishing the root is the single-word commit point.
+	heap.SetRoot(head)
+
+	// A stranded allocation: the crash will land before this node is
+	// linked anywhere. Recovery's conservative GC must reclaim it.
+	if _, err := heap.Alloc(2); err != nil {
+		log.Fatalf("alloc: %v", err)
+	}
+
+	fmt.Println("before crash: list built, root published, one block leaked")
+	fmt.Printf("  dirty lines not yet durable: %d\n", dev.DirtyLines())
+
+	// Crash with a TSP rescue: every issued store becomes durable, with
+	// zero flushing during the run above.
+	dev.CrashRescue()
+	dev.Restart()
+
+	// ---- new incarnation: the recovery observer ----
+	heap2, err := pheap.Open(dev)
+	if err != nil {
+		log.Fatalf("reopen heap: %v", err)
+	}
+	fmt.Println("\nafter crash + TSP rescue:")
+	for p := heap2.Root(); !p.IsNil(); p = pheap.Ptr(heap2.Load(p, nodeNext)) {
+		fmt.Printf("  node %4d: value %d\n", p, heap2.Load(p, nodeValue))
+	}
+
+	// Recovery-time GC reclaims the stranded block.
+	rep, err := heap2.GC()
+	if err != nil {
+		log.Fatalf("gc: %v", err)
+	}
+	fmt.Printf("\nrecovery GC: %d block(s) reclaimed (the stranded allocation), %d kept\n",
+		rep.BlocksFreed, rep.BlocksMarked)
+
+	if chk, err := heap2.Check(); err != nil {
+		log.Fatalf("heap check: %v", err)
+	} else {
+		fmt.Printf("heap check: %s\n", chk)
+	}
+}

@@ -1,0 +1,3 @@
+module tsp
+
+go 1.22

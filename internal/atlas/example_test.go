@@ -1,0 +1,43 @@
+package atlas_test
+
+import (
+	"fmt"
+
+	"tsp/internal/atlas"
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+)
+
+// The Section 4.2 flow end to end: a critical section interrupted by a
+// crash is rolled back at recovery, so the recovery observer only ever
+// sees committed states.
+func Example() {
+	dev := nvm.NewDevice(nvm.Config{Words: 1 << 16})
+	heap, _ := pheap.Format(dev)
+	rt, _ := atlas.New(heap, atlas.ModeTSP, atlas.Options{MaxThreads: 1})
+	account, _ := heap.Alloc(1)
+	heap.SetRoot(account)
+
+	th, _ := rt.NewThread()
+	m := rt.NewMutex()
+
+	// A committed update.
+	th.Lock(m)
+	th.Store(account.Addr(), 100)
+	th.Unlock(m)
+
+	// An update the crash interrupts mid-critical-section.
+	th.Lock(m)
+	th.Store(account.Addr(), 999)
+	dev.CrashRescue() // TSP rescue: stores AND undo log survive
+
+	// New incarnation.
+	dev.Restart()
+	heap2, _ := pheap.Open(dev)
+	rep, _ := atlas.Recover(heap2)
+	fmt.Println("rolled back:", rep.Incomplete)
+	fmt.Println("balance:", heap2.Load(heap2.Root(), 0))
+	// Output:
+	// rolled back: 1
+	// balance: 100
+}

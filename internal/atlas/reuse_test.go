@@ -1,0 +1,82 @@
+package atlas
+
+import "testing"
+
+// TestThreadSlotReuseScrubsRing is the regression test for a subtle
+// soundness hazard: releasing a thread and registering a new one reuses
+// the log ring, but the newcomer's sequence numbers restart, so stale
+// current-epoch records from the previous occupant must not survive
+// where recovery could mistake them for fresh history.
+func TestThreadSlotReuseScrubsRing(t *testing.T) {
+	e := newEnv(t, ModeTSP, Options{MaxThreads: 1, LogEntries: 64})
+	p := e.alloc(t, 2)
+	e.heap.SetRoot(p)
+	m := e.rt.NewMutex()
+
+	// First occupant writes some history and leaves.
+	t1 := e.thread(t)
+	for i := uint64(1); i <= 5; i++ {
+		t1.Lock(m)
+		t1.Store(p.Addr(), i)
+		t1.Unlock(m)
+	}
+	if err := e.rt.ReleaseThread(t1); err != nil {
+		t.Fatalf("ReleaseThread: %v", err)
+	}
+
+	// Second occupant reuses the slot, commits one OCS, then crashes
+	// mid-OCS on its second.
+	t2 := e.thread(t)
+	t2.Lock(m)
+	t2.Store(p.Addr(), 100)
+	t2.Unlock(m)
+	t2.Lock(m)
+	t2.Store(p.Addr(), 999) // in-flight at crash
+
+	heap, rep := e.reopen(t, 1)
+	// Recovery must see ONLY the second occupant's records: stale
+	// entries would inflate the counts or, worse, roll back with stale
+	// undo values.
+	if rep.OCSes != 2 {
+		t.Fatalf("OCSes = %d, want 2 (stale records leaked into recovery: %s)", rep.OCSes, rep)
+	}
+	if got := heap.Load(heap.Root(), 0); got != 100 {
+		t.Fatalf("value = %d, want 100", got)
+	}
+}
+
+// TestThreadSlotReuseNoRescue covers the same hazard under a no-rescue
+// crash in non-TSP mode: the scrub itself must be durable, otherwise the
+// persisted image still holds the old occupant's records.
+func TestThreadSlotReuseNoRescue(t *testing.T) {
+	e := newEnv(t, ModeNonTSP, Options{MaxThreads: 1, LogEntries: 64})
+	p := e.alloc(t, 2)
+	e.heap.SetRoot(p)
+	e.dev.FlushAll()
+	m := e.rt.NewMutex()
+
+	t1 := e.thread(t)
+	for i := uint64(1); i <= 5; i++ {
+		t1.Lock(m)
+		t1.Store(p.Addr(), i)
+		t1.Unlock(m)
+	}
+	if err := e.rt.ReleaseThread(t1); err != nil {
+		t.Fatalf("ReleaseThread: %v", err)
+	}
+
+	t2 := e.thread(t)
+	t2.Lock(m)
+	t2.Store(p.Addr(), 100)
+	t2.Unlock(m)
+	t2.Lock(m)
+	t2.Store(p.Addr(), 999) // in-flight
+
+	heap, rep := e.reopen(t, 0) // NO rescue: only flushed state survives
+	if rep.OCSes != 2 {
+		t.Fatalf("OCSes = %d, want 2 (%s)", rep.OCSes, rep)
+	}
+	if got := heap.Load(heap.Root(), 0); got != 100 {
+		t.Fatalf("value = %d, want 100", got)
+	}
+}

@@ -1,0 +1,375 @@
+// Package cacheserver is a miniature memcached-style TCP server backed
+// by the crash-resilient persistent-heap stack — the shape of
+// application the paper's Atlas work was originally evaluated on
+// (memcached, OpenLDAP). Every mutation runs through the Atlas runtime,
+// so the cache's contents survive simulated crashes with the usual TSP
+// contract, and an administrative command can inject exactly such a
+// crash to demonstrate it over a live connection.
+//
+// The protocol is a line-oriented subset of memcached's text protocol
+// over integer keys and values:
+//
+//	set <key> <value>      -> STORED
+//	get <key>              -> VALUE <key> <value> | NOT_FOUND
+//	incr <key> <delta>     -> <new value> | error
+//	delete <key>           -> DELETED | NOT_FOUND
+//	stats                  -> STAT lines + END
+//	crash                  -> simulates a power failure with TSP rescue,
+//	                          recovers, and reports OK RECOVERED
+//	quit                   -> closes the connection
+package cacheserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"tsp/internal/atlas"
+	"tsp/internal/hashmap"
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+)
+
+// Config parameterizes a server.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:0".
+	Addr string
+
+	// Mode is the Atlas fortification level. Default ModeTSP.
+	Mode atlas.Mode
+
+	// DeviceWords sizes the simulated NVM. Default 1<<21.
+	DeviceWords int
+
+	// MaxConns bounds concurrent connections (each holds an Atlas
+	// thread slot). Default 16.
+	MaxConns int
+}
+
+func (c *Config) fillDefaults() {
+	if c.DeviceWords == 0 {
+		c.DeviceWords = 1 << 21
+	}
+	if c.MaxConns == 0 {
+		c.MaxConns = 16
+	}
+	if c.Mode == 0 {
+		c.Mode = atlas.ModeTSP
+	}
+}
+
+// Server is a running cache server.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	// state guards the storage stack: the crash command tears it down
+	// and rebuilds it, so request handling takes it as a read lock.
+	state struct {
+		sync.RWMutex
+		dev  *nvm.Device
+		heap *pheap.Heap
+		rt   *atlas.Runtime
+		m    *hashmap.Map
+	}
+
+	wg      sync.WaitGroup
+	closing atomic.Bool
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	// Counters for the stats command.
+	gets, sets, hits, crashes atomic.Uint64
+}
+
+// New builds the storage stack and starts listening. Call Serve to
+// accept connections.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	s := &Server{cfg: cfg, conns: map[net.Conn]struct{}{}}
+	if err := s.buildStack(nil); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cacheserver: %w", err)
+	}
+	s.ln = ln
+	return s, nil
+}
+
+// buildStack constructs (or, given a recovered device, reattaches) the
+// storage stack. Caller must hold the state write lock unless this is
+// construction time.
+func (s *Server) buildStack(dev *nvm.Device) error {
+	fresh := dev == nil
+	if fresh {
+		dev = nvm.NewDevice(nvm.Config{Words: s.cfg.DeviceWords})
+	}
+	var heap *pheap.Heap
+	var err error
+	if fresh {
+		heap, err = pheap.Format(dev)
+	} else {
+		heap, err = pheap.Open(dev)
+	}
+	if err != nil {
+		return err
+	}
+	if !fresh {
+		if _, err := atlas.Recover(heap); err != nil {
+			return err
+		}
+	}
+	rt, err := atlas.New(heap, s.cfg.Mode, atlas.Options{MaxThreads: s.cfg.MaxConns})
+	if err != nil {
+		return err
+	}
+	var m *hashmap.Map
+	if fresh {
+		m, err = hashmap.New(rt, 4096, 256)
+		if err != nil {
+			return err
+		}
+		heap.SetRoot(m.Ptr())
+		dev.FlushAll()
+	} else {
+		m, err = hashmap.Open(rt, heap.Root())
+		if err != nil {
+			return err
+		}
+	}
+	s.state.dev = dev
+	s.state.heap = heap
+	s.state.rt = rt
+	s.state.m = m
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until Close. It returns nil on clean
+// shutdown.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.closing.Load() {
+				return nil
+			}
+			return err
+		}
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.connMu.Lock()
+				delete(s.conns, conn)
+				s.connMu.Unlock()
+			}()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes the listener and every active
+// connection, and waits for the handlers to finish.
+func (s *Server) Close() error {
+	s.closing.Store(true)
+	err := s.ln.Close()
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// connState is one connection's registration with the (current) storage
+// stack. A crash replaces the runtime; ensureFresh re-registers lazily.
+type connState struct {
+	rt *atlas.Runtime
+	th *atlas.Thread
+}
+
+// ensureFresh re-registers the connection's Atlas thread if the storage
+// stack was rebuilt by a crash since the last request. Caller holds the
+// state read lock.
+func (s *Server) ensureFresh(cs *connState) error {
+	if cs.rt == s.state.rt && cs.th != nil {
+		return nil
+	}
+	cs.rt = s.state.rt
+	th, err := cs.rt.NewThread()
+	if err != nil {
+		return err
+	}
+	cs.th = th
+	return nil
+}
+
+// handle runs one connection's request loop.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+
+	cs := &connState{}
+	// Release the thread slot at connection end, unless the runtime it
+	// belongs to has already been replaced by a crash (then it is
+	// garbage along with its runtime).
+	defer func() {
+		s.state.RLock()
+		if cs.th != nil && cs.rt == s.state.rt {
+			_ = cs.rt.ReleaseThread(cs.th)
+		}
+		s.state.RUnlock()
+	}()
+
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "quit") {
+			return
+		}
+		fmt.Fprintf(w, "%s\r\n", s.dispatch(cs, line))
+		w.Flush()
+	}
+}
+
+// dispatch executes one command line.
+func (s *Server) dispatch(cs *connState, line string) string {
+	fields := strings.Fields(line)
+	cmd := strings.ToLower(fields[0])
+	args := fields[1:]
+
+	parse := func(a string) (uint64, error) { return strconv.ParseUint(a, 10, 64) }
+
+	// The crash command takes the state write lock itself and must not
+	// run under the read lock below.
+	if cmd == "crash" {
+		if err := s.crashAndRecover(); err != nil {
+			return fmt.Sprintf("SERVER_ERROR recovery failed: %v", err)
+		}
+		s.crashes.Add(1)
+		return "OK RECOVERED"
+	}
+
+	s.state.RLock()
+	defer s.state.RUnlock()
+	if err := s.ensureFresh(cs); err != nil {
+		return fmt.Sprintf("SERVER_ERROR %v", err)
+	}
+	th := cs.th
+
+	switch cmd {
+	case "set":
+		if len(args) != 2 {
+			return "CLIENT_ERROR usage: set <key> <value>"
+		}
+		k, err1 := parse(args[0])
+		v, err2 := parse(args[1])
+		if err1 != nil || err2 != nil {
+			return "CLIENT_ERROR keys and values are unsigned integers"
+		}
+		if err := s.state.m.Put(th, k, v); err != nil {
+			return fmt.Sprintf("SERVER_ERROR %v", err)
+		}
+		s.sets.Add(1)
+		return "STORED"
+
+	case "get":
+		if len(args) != 1 {
+			return "CLIENT_ERROR usage: get <key>"
+		}
+		k, err := parse(args[0])
+		if err != nil {
+			return "CLIENT_ERROR bad key"
+		}
+		v, ok, gerr := s.state.m.Get(th, k)
+		s.gets.Add(1)
+		if gerr != nil {
+			return fmt.Sprintf("SERVER_ERROR %v", gerr)
+		}
+		if !ok {
+			return "NOT_FOUND"
+		}
+		s.hits.Add(1)
+		return fmt.Sprintf("VALUE %d %d", k, v)
+
+	case "incr":
+		if len(args) != 2 {
+			return "CLIENT_ERROR usage: incr <key> <delta>"
+		}
+		k, err1 := parse(args[0])
+		d, err2 := parse(args[1])
+		if err1 != nil || err2 != nil {
+			return "CLIENT_ERROR bad arguments"
+		}
+		nv, err := s.state.m.Inc(th, k, d)
+		if err != nil {
+			return fmt.Sprintf("SERVER_ERROR %v", err)
+		}
+		s.sets.Add(1)
+		return strconv.FormatUint(nv, 10)
+
+	case "delete":
+		if len(args) != 1 {
+			return "CLIENT_ERROR usage: delete <key>"
+		}
+		k, err := parse(args[0])
+		if err != nil {
+			return "CLIENT_ERROR bad key"
+		}
+		ok, derr := s.state.m.Delete(th, k)
+		if derr != nil {
+			return fmt.Sprintf("SERVER_ERROR %v", derr)
+		}
+		if !ok {
+			return "NOT_FOUND"
+		}
+		return "DELETED"
+
+	case "stats":
+		items := s.state.m.Len()
+		devStats := s.state.dev.Stats()
+		return fmt.Sprintf("STAT items %d\r\nSTAT gets %d\r\nSTAT hits %d\r\nSTAT sets %d\r\nSTAT crashes_survived %d\r\nSTAT nvm_stores %d\r\nEND",
+			items, s.gets.Load(), s.hits.Load(), s.sets.Load(), s.crashes.Load(), devStats.Stores)
+
+	default:
+		return "ERROR unknown command"
+	}
+}
+
+// crashAndRecover simulates a power failure with a TSP rescue and brings
+// the storage stack back through the standard recovery path, exactly as
+// a restarted process would.
+func (s *Server) crashAndRecover() error {
+	s.state.Lock()
+	defer s.state.Unlock()
+	dev := s.state.dev
+	dev.StopEvictor()
+	dev.CrashRescue()
+	dev.Restart()
+	if err := s.buildStack(dev); err != nil {
+		return errors.Join(errors.New("cacheserver: stack rebuild failed"), err)
+	}
+	if _, err := s.state.m.Verify(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package cacheserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// client is a minimal test client for the text protocol.
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &client{conn: conn, r: bufio.NewReader(conn)}
+}
+
+// cmd sends one command and returns the first response line.
+func (c *client) cmd(t *testing.T, format string, args ...interface{}) string {
+	t.Helper()
+	if _, err := fmt.Fprintf(c.conn, format+"\r\n", args...); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return strings.TrimSpace(line)
+}
+
+// lines reads until an END line (for stats).
+func (c *client) lines(t *testing.T, format string, args ...interface{}) []string {
+	t.Helper()
+	if _, err := fmt.Fprintf(c.conn, format+"\r\n", args...); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var out []string
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		line = strings.TrimSpace(line)
+		out = append(out, line)
+		if line == "END" {
+			return out
+		}
+	}
+}
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := New(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	go s.Serve()
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestSetGetDeleteOverTCP(t *testing.T) {
+	s := startServer(t)
+	c := dial(t, s.Addr().String())
+
+	if got := c.cmd(t, "set 1 100"); got != "STORED" {
+		t.Fatalf("set: %q", got)
+	}
+	if got := c.cmd(t, "get 1"); got != "VALUE 1 100" {
+		t.Fatalf("get: %q", got)
+	}
+	if got := c.cmd(t, "get 2"); got != "NOT_FOUND" {
+		t.Fatalf("get missing: %q", got)
+	}
+	if got := c.cmd(t, "incr 1 5"); got != "105" {
+		t.Fatalf("incr: %q", got)
+	}
+	if got := c.cmd(t, "incr 7 3"); got != "3" {
+		t.Fatalf("incr absent: %q", got)
+	}
+	if got := c.cmd(t, "delete 1"); got != "DELETED" {
+		t.Fatalf("delete: %q", got)
+	}
+	if got := c.cmd(t, "delete 1"); got != "NOT_FOUND" {
+		t.Fatalf("double delete: %q", got)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	s := startServer(t)
+	c := dial(t, s.Addr().String())
+	for _, bad := range []string{
+		"set 1", "set a b", "get", "get x", "incr 1", "delete",
+		"frobnicate 1 2",
+	} {
+		got := c.cmd(t, "%s", bad)
+		if !strings.HasPrefix(got, "CLIENT_ERROR") && !strings.HasPrefix(got, "ERROR") {
+			t.Errorf("%q -> %q, want an error", bad, got)
+		}
+	}
+}
+
+func TestCrashCommandPreservesData(t *testing.T) {
+	s := startServer(t)
+	c := dial(t, s.Addr().String())
+
+	for k := 0; k < 50; k++ {
+		if got := c.cmd(t, "set %d %d", k, k*11); got != "STORED" {
+			t.Fatalf("set %d: %q", k, got)
+		}
+	}
+	if got := c.cmd(t, "crash"); got != "OK RECOVERED" {
+		t.Fatalf("crash: %q", got)
+	}
+	// Same connection keeps working against the recovered stack.
+	for k := 0; k < 50; k++ {
+		want := fmt.Sprintf("VALUE %d %d", k, k*11)
+		if got := c.cmd(t, "get %d", k); got != want {
+			t.Fatalf("get %d after crash: %q, want %q", k, got, want)
+		}
+	}
+	// And mutations still work.
+	if got := c.cmd(t, "set 1000 1"); got != "STORED" {
+		t.Fatalf("set after crash: %q", got)
+	}
+}
+
+func TestCrashVisibleAcrossConnections(t *testing.T) {
+	s := startServer(t)
+	c1 := dial(t, s.Addr().String())
+	c2 := dial(t, s.Addr().String())
+
+	c1.cmd(t, "set 5 55")
+	if got := c2.cmd(t, "crash"); got != "OK RECOVERED" {
+		t.Fatalf("crash from c2: %q", got)
+	}
+	// c1's thread registration is stale; its next request must be
+	// transparently re-registered.
+	if got := c1.cmd(t, "get 5"); got != "VALUE 5 55" {
+		t.Fatalf("c1 get after c2 crash: %q", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := startServer(t)
+	c := dial(t, s.Addr().String())
+	c.cmd(t, "set 1 1")
+	c.cmd(t, "get 1")
+	c.cmd(t, "crash")
+	out := c.lines(t, "stats")
+	joined := strings.Join(out, "\n")
+	for _, want := range []string{"STAT items 1", "STAT sets 1", "STAT hits 1", "STAT crashes_survived 1", "END"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("stats missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := startServer(t)
+	const clients, opsPer = 8, 100
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", s.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReader(conn)
+			for i := 0; i < opsPer; i++ {
+				fmt.Fprintf(conn, "incr %d 1\r\n", g)
+				if _, err := r.ReadString('\n'); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatalf("client error: %v", err)
+	}
+	c := dial(t, s.Addr().String())
+	for g := 0; g < clients; g++ {
+		want := fmt.Sprintf("VALUE %d %d", g, opsPer)
+		if got := c.cmd(t, "get %d", g); got != want {
+			t.Fatalf("counter %d: %q, want %q", g, got, want)
+		}
+	}
+}
+
+func TestQuitClosesConnection(t *testing.T) {
+	s := startServer(t)
+	c := dial(t, s.Addr().String())
+	fmt.Fprintf(c.conn, "quit\r\n")
+	if _, err := c.r.ReadString('\n'); err == nil {
+		t.Fatal("connection still open after quit")
+	}
+}
+
+func TestConnectionLimitByThreadSlots(t *testing.T) {
+	srv, err := New(Config{Addr: "127.0.0.1:0", MaxConns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	c1 := dial(t, srv.Addr().String())
+	c2 := dial(t, srv.Addr().String())
+	c1.cmd(t, "set 1 1")
+	c2.cmd(t, "set 2 2")
+	// A third active connection exceeds the thread slots and must get a
+	// server error rather than hanging or crashing.
+	c3 := dial(t, srv.Addr().String())
+	if got := c3.cmd(t, "set 3 3"); !strings.HasPrefix(got, "SERVER_ERROR") {
+		t.Fatalf("third connection: %q, want SERVER_ERROR", got)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Section 3: "Requirements might even designate different fault
+// tolerance requirements for different subsets of application data" —
+// e.g. the process heap is critical but thread execution stacks may be
+// lost; a commit log must survive power loss while a cache of derived
+// results need only survive process crashes. This file derives a plan
+// per data class and summarizes what the composite application pays.
+
+// DataClass names one subset of application data with its own
+// fault-tolerance contract.
+type DataClass struct {
+	// Name identifies the class in reports ("heap", "stacks", "cache").
+	Name string
+
+	// Critical reports whether the class must survive at all. Expendable
+	// classes (thread stacks in the paper's example) get a trivial plan.
+	Critical bool
+
+	// Req is the class's contract; ignored when Critical is false.
+	Req Requirements
+}
+
+// ClassPlan pairs a data class with its derived mechanism.
+type ClassPlan struct {
+	Class DataClass
+	// Plan is the derived mechanism; zero-valued when the class is
+	// expendable or unsatisfiable.
+	Plan Plan
+	// Err is non-nil when no mechanism can satisfy the class.
+	Err error
+}
+
+// ProfileResult is the composite outcome for a multi-class application.
+type ProfileResult struct {
+	Classes []ClassPlan
+
+	// MaxOverhead is the highest runtime-overhead class any critical,
+	// satisfiable data class pays — the figure that bounds update-path
+	// slowdown for code touching all classes.
+	MaxOverhead Overhead
+
+	// AllTSP reports whether every critical, satisfiable class got a
+	// procrastinating plan.
+	AllTSP bool
+
+	// Unsatisfiable lists class names whose contracts no mechanism on
+	// this hardware can meet.
+	Unsatisfiable []string
+}
+
+// String renders the composite report.
+func (r ProfileResult) String() string {
+	var b strings.Builder
+	for _, cp := range r.Classes {
+		switch {
+		case !cp.Class.Critical:
+			fmt.Fprintf(&b, "%-12s expendable: no mechanism\n", cp.Class.Name)
+		case cp.Err != nil:
+			fmt.Fprintf(&b, "%-12s UNSATISFIABLE: %v\n", cp.Class.Name, cp.Err)
+		default:
+			tsp := "prevention"
+			if cp.Plan.TSP {
+				tsp = "TSP"
+			}
+			fmt.Fprintf(&b, "%-12s %s, overhead %s\n", cp.Class.Name, tsp, cp.Plan.Overhead)
+		}
+	}
+	fmt.Fprintf(&b, "composite: max overhead %s, all-TSP %v\n", r.MaxOverhead, r.AllTSP)
+	return b.String()
+}
+
+// DeriveProfile derives a plan for every data class on the given
+// hardware. Expendable classes are never an error; unsatisfiable
+// critical classes are collected rather than failing the whole profile,
+// so callers can see the full picture.
+func DeriveProfile(classes []DataClass, hw Hardware) (ProfileResult, error) {
+	if len(classes) == 0 {
+		return ProfileResult{}, fmt.Errorf("core: no data classes given")
+	}
+	seen := map[string]bool{}
+	res := ProfileResult{AllTSP: true}
+	for _, c := range classes {
+		if c.Name == "" {
+			return ProfileResult{}, fmt.Errorf("core: data class with empty name")
+		}
+		if seen[c.Name] {
+			return ProfileResult{}, fmt.Errorf("core: duplicate data class %q", c.Name)
+		}
+		seen[c.Name] = true
+		cp := ClassPlan{Class: c}
+		if c.Critical {
+			plan, err := DerivePlan(c.Req, hw)
+			if err != nil {
+				cp.Err = err
+				res.Unsatisfiable = append(res.Unsatisfiable, c.Name)
+			} else {
+				cp.Plan = plan
+				if plan.Overhead > res.MaxOverhead {
+					res.MaxOverhead = plan.Overhead
+				}
+				if !plan.TSP {
+					res.AllTSP = false
+				}
+			}
+		}
+		res.Classes = append(res.Classes, cp)
+	}
+	return res, nil
+}
+
+// HeapAndStacks is the paper's own example: the process heap is critical
+// (survives the given failures with the given isolation style), while
+// thread execution stacks are expendable.
+func HeapAndStacks(req Requirements) []DataClass {
+	return []DataClass{
+		{Name: "heap", Critical: true, Req: req},
+		{Name: "stacks", Critical: false},
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHeapAndStacksProfile(t *testing.T) {
+	req := Requirements{Tolerate: []Failure{ProcessCrash}, Isolation: NonBlocking}
+	res, err := DeriveProfile(HeapAndStacks(req), ConventionalDesktop())
+	if err != nil {
+		t.Fatalf("DeriveProfile: %v", err)
+	}
+	if len(res.Classes) != 2 {
+		t.Fatalf("classes = %d, want 2", len(res.Classes))
+	}
+	if !res.AllTSP {
+		t.Fatal("heap-only process-crash tolerance should be all-TSP")
+	}
+	if res.MaxOverhead != OverheadZero {
+		t.Fatalf("max overhead = %v, want zero", res.MaxOverhead)
+	}
+	if !strings.Contains(res.String(), "expendable") {
+		t.Fatalf("report missing the expendable class:\n%s", res)
+	}
+}
+
+func TestMixedClassesCompositeOverhead(t *testing.T) {
+	// A commit log that must survive power outages on rescue-less
+	// hardware (forced prevention) alongside a cache that only needs
+	// process-crash tolerance (free): the composite pays the maximum.
+	classes := []DataClass{
+		{Name: "commit-log", Critical: true, Req: Requirements{
+			Tolerate: []Failure{PowerOutage}, Isolation: MutexBased}},
+		{Name: "derived-cache", Critical: true, Req: Requirements{
+			Tolerate: []Failure{ProcessCrash}, Isolation: NonBlocking}},
+	}
+	res, err := DeriveProfile(classes, ConventionalDesktop())
+	if err != nil {
+		t.Fatalf("DeriveProfile: %v", err)
+	}
+	if res.AllTSP {
+		t.Fatal("power outages without energy cannot be TSP")
+	}
+	if res.MaxOverhead != OverheadSyncIO {
+		t.Fatalf("max overhead = %v, want sync-io (dominated by the commit log)", res.MaxOverhead)
+	}
+	// The cache's own plan must still be the cheap one.
+	for _, cp := range res.Classes {
+		if cp.Class.Name == "derived-cache" {
+			if !cp.Plan.TSP || cp.Plan.Overhead != OverheadZero {
+				t.Fatalf("derived-cache plan = TSP %v overhead %v, want TSP/zero",
+					cp.Plan.TSP, cp.Plan.Overhead)
+			}
+		}
+	}
+}
+
+func TestUnsatisfiableClassCollected(t *testing.T) {
+	classes := []DataClass{
+		{Name: "replica-set", Critical: true, Req: Requirements{
+			Tolerate: []Failure{SiteDisaster}, Isolation: NonBlocking}},
+		{Name: "scratch", Critical: true, Req: Requirements{
+			Tolerate: []Failure{ProcessCrash}, Isolation: NonBlocking}},
+	}
+	res, err := DeriveProfile(classes, ConventionalDesktop()) // no replication
+	if err != nil {
+		t.Fatalf("DeriveProfile: %v", err)
+	}
+	if len(res.Unsatisfiable) != 1 || res.Unsatisfiable[0] != "replica-set" {
+		t.Fatalf("unsatisfiable = %v, want [replica-set]", res.Unsatisfiable)
+	}
+	if !strings.Contains(res.String(), "UNSATISFIABLE") {
+		t.Fatalf("report missing unsatisfiable marker:\n%s", res)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	if _, err := DeriveProfile(nil, ConventionalDesktop()); err == nil {
+		t.Fatal("empty class list accepted")
+	}
+	if _, err := DeriveProfile([]DataClass{{Name: ""}}, ConventionalDesktop()); err == nil {
+		t.Fatal("unnamed class accepted")
+	}
+	dup := []DataClass{{Name: "x"}, {Name: "x"}}
+	if _, err := DeriveProfile(dup, ConventionalDesktop()); err == nil {
+		t.Fatal("duplicate class names accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package core_test
+
+import (
+	"fmt"
+
+	"tsp/internal/core"
+)
+
+// The headline Section 3 result: on a machine with shared file-backed
+// mappings, tolerating process crashes with a non-blocking design costs
+// literally nothing.
+func ExampleDerivePlan() {
+	plan, _ := core.DerivePlan(core.Requirements{
+		Tolerate:  []core.Failure{core.ProcessCrash},
+		Isolation: core.NonBlocking,
+	}, core.ConventionalDesktop())
+	fmt.Println("TSP:", plan.TSP)
+	fmt.Println("overhead:", plan.Overhead)
+	fmt.Println("recovery:", plan.Recovery)
+	// Output:
+	// TSP: true
+	// overhead: zero
+	// recovery: none (traverse from root)
+}
+
+// Different data subsets may carry different contracts (Section 3); the
+// composite pays only for what each class actually needs.
+func ExampleDeriveProfile() {
+	res, _ := core.DeriveProfile(core.HeapAndStacks(core.Requirements{
+		Tolerate:  []core.Failure{core.ProcessCrash, core.KernelPanic},
+		Isolation: core.MutexBased,
+	}), core.NVRAMMachine())
+	fmt.Println("all TSP:", res.AllTSP)
+	fmt.Println("max overhead:", res.MaxOverhead)
+	// Output:
+	// all TSP: true
+	// max overhead: logging
+}

@@ -1,0 +1,84 @@
+// Package core implements the conceptual contribution of the paper:
+// Timely Sufficient Persistence as a decision procedure. Given (a) the
+// failures an application must tolerate, (b) how its threads isolate
+// access to shared persistent data, and (c) what the hardware and OS can
+// do at failure time, core.Plan derives the *minimal* fault-tolerance
+// mechanism: which data moves where, whether it moves eagerly during
+// failure-free operation ("prevention") or just-in-time when the failure
+// hits ("procrastination"), and what the residual runtime overhead class
+// is.
+//
+// The package encodes the paper's Section 3 analysis — vulnerable versus
+// safe locations as a function of the failure class and the available
+// "hidden" support (POSIX kernel persistence of shared file-backed
+// mappings, panic-handler cache flushes, energy-backed rescues à la
+// Whole System Persistence) — and the Section 4 consequences for the two
+// software classes (non-blocking and mutex-based).
+package core
+
+import "fmt"
+
+// Failure is a class of failure an application may be required to
+// tolerate. The paper restricts itself to single-machine failures but the
+// lattice extends naturally to site disasters, which we include so that
+// "even hard disks may be deemed vulnerable" (Section 3) is expressible.
+type Failure int
+
+const (
+	// ProcessCrash abruptly terminates all threads of one process (e.g.
+	// SIGKILL, segmentation violation, illegal instruction).
+	ProcessCrash Failure = iota
+	// KernelPanic halts the operating system; the machine reboots.
+	KernelPanic
+	// PowerOutage removes utility power from the machine.
+	PowerOutage
+	// SiteDisaster destroys the entire machine and its storage.
+	SiteDisaster
+	numFailures
+)
+
+// String implements fmt.Stringer.
+func (f Failure) String() string {
+	switch f {
+	case ProcessCrash:
+		return "process-crash"
+	case KernelPanic:
+		return "kernel-panic"
+	case PowerOutage:
+		return "power-outage"
+	case SiteDisaster:
+		return "site-disaster"
+	default:
+		return fmt.Sprintf("Failure(%d)", int(f))
+	}
+}
+
+// AllFailures lists every failure class, mildest first.
+func AllFailures() []Failure {
+	return []Failure{ProcessCrash, KernelPanic, PowerOutage, SiteDisaster}
+}
+
+// Mode distinguishes fail-stop failures from those that may first corrupt
+// application data (Section 3: "Requirements must also distinguish
+// between fail-stop failures ... and failures that first corrupt
+// application data").
+type Mode int
+
+const (
+	// FailStop failures halt execution without scribbling on data
+	// (SIGKILL, power loss).
+	FailStop Mode = iota
+	// Corrupting failures may damage data inside the currently-running
+	// critical sections before execution stops (wild stores from memory
+	// bugs). Only mechanisms that can roll back in-flight critical
+	// sections (Atlas-style logging) tolerate these.
+	Corrupting
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Corrupting {
+		return "corrupting"
+	}
+	return "fail-stop"
+}

@@ -1,0 +1,214 @@
+package core
+
+import "fmt"
+
+// Location is a place data can live. Safety is *not* a property of the
+// location alone: it is a relation between a location, a failure class,
+// and the hardware/OS support available (Section 3: "Safety can be
+// defined only with respect to fault-tolerance requirements and is
+// orthogonal to hardware characteristics such as volatility").
+type Location int
+
+const (
+	// CPURegisters hold thread execution state.
+	CPURegisters Location = iota
+	// CPUCache holds recently stored cache lines not yet written back.
+	CPUCache
+	// DRAM is volatile main memory. With a shared file-backed mapping,
+	// its page frames have POSIX "kernel persistence".
+	DRAM
+	// NVDIMM is DRAM persisted to flash by supercapacitor on power loss.
+	NVDIMM
+	// NVRAM is inherently non-volatile byte-addressable memory
+	// (PCM, STT-MRAM, memristor).
+	NVRAM
+	// BlockStorage is a local disk or SSD behind a block interface.
+	BlockStorage
+	// RemoteReplica is a copy on a different site.
+	RemoteReplica
+	numLocations
+)
+
+// String implements fmt.Stringer.
+func (l Location) String() string {
+	switch l {
+	case CPURegisters:
+		return "cpu-registers"
+	case CPUCache:
+		return "cpu-cache"
+	case DRAM:
+		return "dram"
+	case NVDIMM:
+		return "nvdimm"
+	case NVRAM:
+		return "nvram"
+	case BlockStorage:
+		return "block-storage"
+	case RemoteReplica:
+		return "remote-replica"
+	default:
+		return fmt.Sprintf("Location(%d)", int(l))
+	}
+}
+
+// AllLocations lists every location, most volatile first.
+func AllLocations() []Location {
+	return []Location{CPURegisters, CPUCache, DRAM, NVDIMM, NVRAM, BlockStorage, RemoteReplica}
+}
+
+// MemoryTech is the main-memory technology of a machine.
+type MemoryTech int
+
+const (
+	// MemDRAM is conventional volatile DRAM.
+	MemDRAM MemoryTech = iota
+	// MemNVDIMM is battery/supercapacitor-backed DRAM+flash.
+	MemNVDIMM
+	// MemNVRAM is inherently non-volatile memory.
+	MemNVRAM
+)
+
+// String implements fmt.Stringer.
+func (m MemoryTech) String() string {
+	switch m {
+	case MemDRAM:
+		return "dram"
+	case MemNVDIMM:
+		return "nvdimm"
+	case MemNVRAM:
+		return "nvram"
+	default:
+		return fmt.Sprintf("MemoryTech(%d)", int(m))
+	}
+}
+
+// EnergyReserve describes standby energy available for a crash-time
+// rescue when utility power fails.
+type EnergyReserve int
+
+const (
+	// EnergyNone: no standby energy at all.
+	EnergyNone EnergyReserve = iota
+	// EnergyPSUResidual: the few milliseconds stored in the power
+	// supply's capacitors — enough to flush CPU registers and caches to
+	// memory (the first stage of Whole System Persistence).
+	EnergyPSUResidual
+	// EnergySupercap: seconds of energy — enough to also evacuate DRAM
+	// contents to flash (the second WSP stage, or an NVDIMM save).
+	EnergySupercap
+	// EnergyUPS: minutes of energy — enough to write memory to block
+	// storage and shut down in an orderly fashion.
+	EnergyUPS
+)
+
+// String implements fmt.Stringer.
+func (e EnergyReserve) String() string {
+	switch e {
+	case EnergyNone:
+		return "none"
+	case EnergyPSUResidual:
+		return "psu-residual"
+	case EnergySupercap:
+		return "supercapacitor"
+	case EnergyUPS:
+		return "ups"
+	default:
+		return fmt.Sprintf("EnergyReserve(%d)", int(e))
+	}
+}
+
+// Hardware describes the machine and OS support available for building a
+// TSP mechanism. The zero value is the most pessimistic machine:
+// volatile DRAM, no panic-time flush, no standby energy, no replication.
+type Hardware struct {
+	// Memory is the main-memory technology.
+	Memory MemoryTech
+
+	// SharedMappings reports whether the persistent heap is backed by a
+	// MAP_SHARED file mapping (or the moral equivalent), giving stores
+	// POSIX kernel persistence: they survive process crashes with zero
+	// runtime overhead (Section 3 and Appendix A).
+	SharedMappings bool
+
+	// PanicFlush reports whether the OS kernel's panic handler flushes
+	// CPU caches to memory before halting (the paper mentions an HP
+	// Linux patch providing exactly this).
+	PanicFlush bool
+
+	// PanicWriteToStorage reports whether the panic handler can further
+	// write persistent-heap memory ranges to block storage before the
+	// machine stops — required to survive kernel panics on volatile
+	// DRAM without warm-reboot preservation.
+	PanicWriteToStorage bool
+
+	// WarmRebootPreservesDRAM reports whether DRAM contents survive an
+	// OS restart (Rio-style warm reboot).
+	WarmRebootPreservesDRAM bool
+
+	// Energy is the standby energy reserve for power-outage rescues.
+	Energy EnergyReserve
+
+	// BlockStorage reports whether a local durable block device exists.
+	BlockStorage bool
+
+	// RemoteReplication reports whether updates can be replicated to a
+	// remote site.
+	RemoteReplication bool
+}
+
+// MemoryLocation returns the Location corresponding to the machine's main
+// memory technology.
+func (hw Hardware) MemoryLocation() Location {
+	switch hw.Memory {
+	case MemNVDIMM:
+		return NVDIMM
+	case MemNVRAM:
+		return NVRAM
+	default:
+		return DRAM
+	}
+}
+
+// Safe reports whether data residing at loc survives failure f on this
+// machine *without any additional mechanism*. It encodes the paper's
+// vulnerable/safe analysis.
+func (hw Hardware) Safe(loc Location, f Failure) bool {
+	switch f {
+	case ProcessCrash:
+		switch loc {
+		case CPURegisters:
+			return false // thread state dies with the process
+		case CPUCache:
+			// Dirty lines belonging to a shared file-backed mapping stay
+			// coherent and will be evicted to pages that outlive the
+			// process (Appendix A). Private anonymous memory dies.
+			return hw.SharedMappings
+		case DRAM:
+			// Page-cache frames of a shared mapping have kernel
+			// persistence; private pages are reclaimed.
+			return hw.SharedMappings
+		default:
+			return true
+		}
+	case KernelPanic:
+		switch loc {
+		case CPURegisters, CPUCache:
+			return false // gone unless the panic handler rescues them
+		case DRAM:
+			return hw.WarmRebootPreservesDRAM
+		default:
+			return true
+		}
+	case PowerOutage:
+		switch loc {
+		case CPURegisters, CPUCache, DRAM:
+			return false // volatile, gone when power is cut
+		default:
+			return true
+		}
+	case SiteDisaster:
+		return loc == RemoteReplica
+	default:
+		return false
+	}
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Action is a single measure a fault-tolerance mechanism takes, either
+// eagerly during failure-free operation (prevention) or just-in-time at
+// failure (TSP procrastination).
+type Action int
+
+const (
+	// ActionUndoLog: append an undo-log entry before the first store to
+	// each location in an outermost critical section (Atlas runtime).
+	ActionUndoLog Action = iota
+	// ActionFlushLogEntry: synchronously flush each undo-log entry to
+	// memory before the guarded store executes (Atlas without TSP).
+	ActionFlushLogEntry
+	// ActionFlushDataAtCommit: synchronously flush an OCS's stored cache
+	// lines before declaring it durable (Atlas without TSP).
+	ActionFlushDataAtCommit
+	// ActionSyncWriteStorage: synchronously write updates through to
+	// block storage (the traditional pre-NVM discipline).
+	ActionSyncWriteStorage
+	// ActionSyncReplicate: synchronously replicate updates to a remote
+	// site.
+	ActionSyncReplicate
+	// ActionRescueFlushCaches: at failure time, flush CPU caches to main
+	// memory (panic-handler patch; WSP stage one on PSU residual energy).
+	ActionRescueFlushCaches
+	// ActionRescueSaveDRAM: at failure time, evacuate DRAM to flash or
+	// storage (WSP stage two on supercapacitor; NVDIMM save; UPS-backed
+	// shutdown path).
+	ActionRescueSaveDRAM
+	// ActionRescueWriteHeapToStorage: at kernel-panic time, write the
+	// persistent heap's memory ranges to block storage before halting.
+	ActionRescueWriteHeapToStorage
+	// ActionKernelPersistence: rely on POSIX semantics of MAP_SHARED —
+	// pages of a crashed process's shared mapping remain in the page
+	// cache. A free action: listed so plans are self-describing.
+	ActionKernelPersistence
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActionUndoLog:
+		return "undo-log"
+	case ActionFlushLogEntry:
+		return "flush-log-entry"
+	case ActionFlushDataAtCommit:
+		return "flush-data-at-commit"
+	case ActionSyncWriteStorage:
+		return "sync-write-storage"
+	case ActionSyncReplicate:
+		return "sync-replicate"
+	case ActionRescueFlushCaches:
+		return "rescue:flush-caches"
+	case ActionRescueSaveDRAM:
+		return "rescue:save-dram"
+	case ActionRescueWriteHeapToStorage:
+		return "rescue:write-heap-to-storage"
+	case ActionKernelPersistence:
+		return "kernel-persistence"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// Overhead classifies the failure-free runtime cost of a plan, ordered
+// from cheapest to most expensive. The ordering is the paper's central
+// performance claim: TSP plans sit strictly left of their non-TSP
+// counterparts.
+type Overhead int
+
+const (
+	// OverheadZero: no failure-free cost at all (non-blocking + TSP).
+	OverheadZero Overhead = iota
+	// OverheadLogging: undo logging only (mutex-based + TSP).
+	OverheadLogging
+	// OverheadLoggingFlush: logging plus synchronous cache flushing
+	// (mutex-based without TSP).
+	OverheadLoggingFlush
+	// OverheadSyncIO: synchronous block-storage or network I/O on the
+	// update path (traditional prevention).
+	OverheadSyncIO
+)
+
+// String implements fmt.Stringer.
+func (o Overhead) String() string {
+	switch o {
+	case OverheadZero:
+		return "zero"
+	case OverheadLogging:
+		return "logging"
+	case OverheadLoggingFlush:
+		return "logging+flush"
+	case OverheadSyncIO:
+		return "sync-io"
+	default:
+		return fmt.Sprintf("Overhead(%d)", int(o))
+	}
+}
+
+// Recovery is the consistency-restoration strategy a plan prescribes.
+type Recovery int
+
+const (
+	// RecoveryNone: traverse from the heap root; the structure is
+	// consistent by construction (non-blocking case, Section 4.1).
+	RecoveryNone Recovery = iota
+	// RecoveryRollback: replay undo logs to roll back critical sections
+	// cut short (or cascaded into) by the crash, then collect leaked
+	// blocks (Atlas, Section 4.2).
+	RecoveryRollback
+)
+
+// String implements fmt.Stringer.
+func (r Recovery) String() string {
+	if r == RecoveryRollback {
+		return "rollback+gc"
+	}
+	return "none (traverse from root)"
+}
+
+// Plan is the derived fault-tolerance mechanism.
+type Plan struct {
+	// TSP reports whether the plan procrastinates: all data movement for
+	// at least the cache/memory layers happens at failure time rather
+	// than on the update path.
+	TSP bool
+
+	// Overhead is the failure-free runtime cost class.
+	Overhead Overhead
+
+	// Runtime lists eager actions taken during failure-free operation.
+	Runtime []Action
+
+	// Rescue maps each tolerated failure to the just-in-time actions its
+	// occurrence triggers.
+	Rescue map[Failure][]Action
+
+	// Recovery is the consistency restoration run at restart.
+	Recovery Recovery
+
+	// Notes carries human-readable derivation remarks.
+	Notes []string
+}
+
+// String renders the plan as a small report.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "TSP: %v\n", p.TSP)
+	fmt.Fprintf(&b, "runtime overhead: %s\n", p.Overhead)
+	fmt.Fprintf(&b, "runtime actions: %s\n", actionList(p.Runtime))
+	fails := make([]Failure, 0, len(p.Rescue))
+	for f := range p.Rescue {
+		fails = append(fails, f)
+	}
+	sort.Slice(fails, func(i, j int) bool { return fails[i] < fails[j] })
+	for _, f := range fails {
+		fmt.Fprintf(&b, "on %s: %s\n", f, actionList(p.Rescue[f]))
+	}
+	fmt.Fprintf(&b, "recovery: %s\n", p.Recovery)
+	for _, n := range p.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func actionList(as []Action) string {
+	if len(as) == 0 {
+		return "(none)"
+	}
+	parts := make([]string, len(as))
+	for i, a := range as {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// UnsatisfiableError reports that no mechanism — TSP or preventive — can
+// meet the requirements on the given hardware.
+type UnsatisfiableError struct {
+	Failure Failure
+	Reason  string
+}
+
+// Error implements error.
+func (e *UnsatisfiableError) Error() string {
+	return fmt.Sprintf("core: cannot tolerate %s: %s", e.Failure, e.Reason)
+}
+
+// DerivePlan computes the minimal mechanism satisfying req on hw,
+// preferring TSP (procrastination) and falling back to preventive
+// measures only where no timely rescue exists. It returns an
+// UnsatisfiableError if even prevention cannot meet the requirements.
+func DerivePlan(req Requirements, hw Hardware) (Plan, error) {
+	if err := req.Validate(); err != nil {
+		return Plan{}, err
+	}
+	p := Plan{Rescue: map[Failure][]Action{}}
+	home := hw.MemoryLocation()
+
+	// tspHolds tracks whether every tolerated failure admits a timely
+	// rescue that preserves all issued stores (the TSP guarantee the
+	// Section 4 case studies assume).
+	tspHolds := true
+
+	for _, f := range req.Tolerate {
+		rescue, runtime, err := rescueFor(f, hw, home)
+		if err != nil {
+			return Plan{}, err
+		}
+		p.Rescue[f] = rescue
+		if len(runtime) > 0 {
+			tspHolds = false
+			p.Runtime = appendUnique(p.Runtime, runtime...)
+		}
+	}
+
+	p.TSP = tspHolds
+
+	// Consistency mechanism: depends on isolation style and on whether
+	// TSP holds.
+	switch req.Isolation {
+	case NonBlocking:
+		if req.Mode == Corrupting {
+			return Plan{}, &UnsatisfiableError{
+				Failure: req.Tolerate[0],
+				Reason: "corrupting failures require rollback of damaged critical sections; " +
+					"the non-blocking approach has no log to roll back — use mutex-based isolation with Atlas",
+			}
+		}
+		if tspHolds {
+			// The Section 4.1 result: zero overhead, no recovery work.
+			p.Overhead = OverheadZero
+			p.Recovery = RecoveryNone
+			p.Notes = append(p.Notes,
+				"non-blocking + TSP: recovery observer sees a consistent heap; no mechanism needed")
+		} else {
+			// Without TSP the recovery observer may see a non-prefix
+			// subset of stores; every CAS must be made durable eagerly.
+			p.Overhead = OverheadLoggingFlush
+			p.Runtime = append(p.Runtime, ActionFlushDataAtCommit)
+			p.Recovery = RecoveryNone
+			p.Notes = append(p.Notes,
+				"non-blocking without TSP: each linearization point must be flushed before it is observable")
+		}
+	case MutexBased:
+		p.Recovery = RecoveryRollback
+		p.Runtime = append(p.Runtime, ActionUndoLog)
+		if tspHolds {
+			p.Overhead = OverheadLogging
+			p.Notes = append(p.Notes,
+				"mutex-based + TSP: undo logging alone suffices; no synchronous flushing (Atlas TSP mode)")
+		} else {
+			p.Overhead = OverheadLoggingFlush
+			p.Runtime = append(p.Runtime, ActionFlushLogEntry, ActionFlushDataAtCommit)
+			p.Notes = append(p.Notes,
+				"mutex-based without TSP: log entries flushed before stores, data flushed at OCS commit")
+		}
+	default:
+		return Plan{}, fmt.Errorf("core: unknown isolation style %d", int(req.Isolation))
+	}
+
+	// Preventive I/O overrides dominate the overhead classification.
+	for _, a := range p.Runtime {
+		if a == ActionSyncWriteStorage || a == ActionSyncReplicate {
+			p.Overhead = OverheadSyncIO
+		}
+	}
+	return p, nil
+}
+
+// appendUnique appends each action not already present.
+func appendUnique(dst []Action, as ...Action) []Action {
+	for _, a := range as {
+		found := false
+		for _, d := range dst {
+			if d == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, a)
+		}
+	}
+	return dst
+}
+
+// rescueFor derives the failure-time actions for f. When no timely
+// rescue exists it returns preventive runtime actions instead (non-empty
+// runtime slice means TSP does not hold for this failure). It returns an
+// error when neither procrastination nor prevention can work.
+func rescueFor(f Failure, hw Hardware, home Location) (rescue, runtime []Action, err error) {
+	switch f {
+	case ProcessCrash:
+		if hw.Safe(CPUCache, f) && hw.Safe(home, f) {
+			// The Section 3 observation: with a shared file-backed
+			// mapping, a process crash needs no rescue at all — the OS
+			// already guarantees survival of every store.
+			return []Action{ActionKernelPersistence}, nil, nil
+		}
+		if !hw.BlockStorage {
+			return nil, nil, &UnsatisfiableError{f,
+				"heap is in process-private memory and no durable storage exists"}
+		}
+		// Without kernel persistence the heap dies with the process;
+		// only eager write-through saves it.
+		return nil, []Action{ActionSyncWriteStorage}, nil
+
+	case KernelPanic:
+		if !hw.Safe(CPUCache, f) && !hw.PanicFlush {
+			// Cache contents die with the kernel; stores since the last
+			// eviction are lost. Prevention: flush on the update path —
+			// the isolation-specific flush actions added by DerivePlan.
+			if !hw.Safe(home, f) && !hw.BlockStorage {
+				return nil, nil, &UnsatisfiableError{f,
+					"no panic-time cache flush, DRAM does not survive reboot, and no durable storage"}
+			}
+			if hw.Safe(home, f) {
+				return nil, []Action{ActionFlushDataAtCommit}, nil
+			}
+			return nil, []Action{ActionSyncWriteStorage}, nil
+		}
+		rescue = append(rescue, ActionRescueFlushCaches)
+		if hw.Safe(home, f) {
+			return rescue, nil, nil
+		}
+		// Volatile DRAM without warm-reboot preservation: the panic
+		// handler must also push the heap down to storage.
+		if hw.PanicWriteToStorage && hw.BlockStorage {
+			return append(rescue, ActionRescueWriteHeapToStorage), nil, nil
+		}
+		if !hw.BlockStorage {
+			return nil, nil, &UnsatisfiableError{f,
+				"DRAM does not survive reboot and no durable storage exists"}
+		}
+		return nil, []Action{ActionSyncWriteStorage}, nil
+
+	case PowerOutage:
+		// Stage one: caches need at least PSU residual energy.
+		if hw.Energy == EnergyNone {
+			if !hw.BlockStorage {
+				return nil, nil, &UnsatisfiableError{f,
+					"no standby energy and no durable storage"}
+			}
+			return nil, []Action{ActionSyncWriteStorage}, nil
+		}
+		rescue = append(rescue, ActionRescueFlushCaches)
+		if hw.Safe(home, f) {
+			// NVDIMM/NVRAM home: caches flushed, memory keeps itself.
+			return rescue, nil, nil
+		}
+		// Stage two: DRAM evacuation needs supercap/UPS-scale energy.
+		if hw.Energy >= EnergySupercap && hw.BlockStorage {
+			return append(rescue, ActionRescueSaveDRAM), nil, nil
+		}
+		if !hw.BlockStorage {
+			return nil, nil, &UnsatisfiableError{f,
+				"volatile DRAM, insufficient energy to evacuate it, and no durable storage"}
+		}
+		return nil, []Action{ActionSyncWriteStorage}, nil
+
+	case SiteDisaster:
+		// No notice, no rescue: disasters are never timely. Replication
+		// is inherently preventive.
+		if !hw.RemoteReplication {
+			return nil, nil, &UnsatisfiableError{f, "no remote replication available"}
+		}
+		return nil, []Action{ActionSyncReplicate}, nil
+
+	default:
+		return nil, nil, fmt.Errorf("core: unknown failure class %d", int(f))
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// randomHardware decodes a bitmask into a hardware description.
+func randomHardware(bits uint16) Hardware {
+	return Hardware{
+		Memory:                  MemoryTech(bits % 3),
+		SharedMappings:          bits&(1<<2) != 0,
+		PanicFlush:              bits&(1<<3) != 0,
+		PanicWriteToStorage:     bits&(1<<4) != 0,
+		WarmRebootPreservesDRAM: bits&(1<<5) != 0,
+		Energy:                  EnergyReserve(bits >> 6 % 4),
+		BlockStorage:            bits&(1<<8) != 0,
+		RemoteReplication:       bits&(1<<9) != 0,
+	}
+}
+
+// upgrade returns hw with one additional capability set, per sel.
+func upgrade(hw Hardware, sel uint8) Hardware {
+	switch sel % 8 {
+	case 0:
+		hw.SharedMappings = true
+	case 1:
+		hw.PanicFlush = true
+	case 2:
+		hw.PanicWriteToStorage = true
+	case 3:
+		hw.WarmRebootPreservesDRAM = true
+	case 4:
+		if hw.Energy < EnergyUPS {
+			hw.Energy++
+		}
+	case 5:
+		hw.BlockStorage = true
+	case 6:
+		hw.RemoteReplication = true
+	case 7:
+		if hw.Memory == MemDRAM {
+			hw.Memory = MemNVRAM
+		}
+	}
+	return hw
+}
+
+func randomRequirements(bits uint8) Requirements {
+	var req Requirements
+	for i, f := range AllFailures() {
+		if bits&(1<<i) != 0 {
+			req.Tolerate = append(req.Tolerate, f)
+		}
+	}
+	if len(req.Tolerate) == 0 {
+		req.Tolerate = []Failure{ProcessCrash}
+	}
+	if bits&(1<<5) != 0 {
+		req.Isolation = MutexBased
+	}
+	if bits&(1<<6) != 0 && req.Isolation == MutexBased {
+		req.Mode = Corrupting
+	}
+	return req
+}
+
+// Property: adding hardware capabilities never turns a satisfiable
+// requirement set unsatisfiable — the decision procedure is monotone in
+// hardware support.
+func TestQuickPlanMonotoneInHardware(t *testing.T) {
+	f := func(hwBits uint16, reqBits uint8, sel uint8) bool {
+		hw := randomHardware(hwBits)
+		req := randomRequirements(reqBits)
+		_, err1 := DerivePlan(req, hw)
+		_, err2 := DerivePlan(req, upgrade(hw, sel))
+		if err1 == nil && err2 != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every plan the procedure emits is internally coherent — TSP
+// plans never carry flush/sync runtime actions; preventive plans always
+// carry at least one; mutex-based plans always log and use rollback
+// recovery; non-blocking plans never do.
+func TestQuickPlanInternallyCoherent(t *testing.T) {
+	f := func(hwBits uint16, reqBits uint8) bool {
+		hw := randomHardware(hwBits)
+		req := randomRequirements(reqBits)
+		plan, err := DerivePlan(req, hw)
+		if err != nil {
+			return true // unsatisfiable is a legal outcome
+		}
+		hasEager := false
+		for _, a := range plan.Runtime {
+			switch a {
+			case ActionFlushLogEntry, ActionFlushDataAtCommit, ActionSyncWriteStorage, ActionSyncReplicate:
+				hasEager = true
+			}
+		}
+		if plan.TSP && hasEager {
+			return false
+		}
+		if !plan.TSP && !hasEager {
+			return false
+		}
+		if req.Isolation == MutexBased {
+			if plan.Recovery != RecoveryRollback {
+				return false
+			}
+			found := false
+			for _, a := range plan.Runtime {
+				if a == ActionUndoLog {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		} else {
+			if plan.Recovery != RecoveryNone {
+				return false
+			}
+			for _, a := range plan.Runtime {
+				if a == ActionUndoLog {
+					return false
+				}
+			}
+		}
+		// Every tolerated failure has a rescue entry (possibly empty for
+		// purely preventive handling).
+		for _, fl := range req.Tolerate {
+			if _, ok := plan.Rescue[fl]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: overhead classification is monotone in the TSP flag — for
+// identical requirements, a hardware upgrade can only keep or lower the
+// overhead class, never raise it.
+func TestQuickOverheadMonotone(t *testing.T) {
+	f := func(hwBits uint16, reqBits uint8, sel uint8) bool {
+		hw := randomHardware(hwBits)
+		req := randomRequirements(reqBits)
+		p1, err1 := DerivePlan(req, hw)
+		p2, err2 := DerivePlan(req, upgrade(hw, sel))
+		if err1 != nil || err2 != nil {
+			return true // monotone satisfiability is checked elsewhere
+		}
+		return p2.Overhead <= p1.Overhead
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

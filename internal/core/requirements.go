@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Isolation is how the application's threads coordinate access to shared
+// data in the persistent heap — the axis separating the paper's two case
+// studies.
+type Isolation int
+
+const (
+	// NonBlocking: threads use non-blocking algorithms (CAS-based); the
+	// suspension or termination of any subset of threads cannot prevent
+	// the rest from computing correctly (Fraser & Harris). Under TSP
+	// this class needs no further mechanism at all (Section 4.1).
+	NonBlocking Isolation = iota
+	// MutexBased: threads use conventional mutual exclusion; consistent
+	// recovery requires Atlas-style undo logging keyed to outermost
+	// critical sections (Section 4.2).
+	MutexBased
+)
+
+// String implements fmt.Stringer.
+func (i Isolation) String() string {
+	if i == MutexBased {
+		return "mutex-based"
+	}
+	return "non-blocking"
+}
+
+// Requirements captures an application's fault-tolerance contract.
+type Requirements struct {
+	// Tolerate lists the failure classes that must not damage the
+	// persistent heap's integrity. Failures outside the list may.
+	Tolerate []Failure
+
+	// Mode says whether tolerated failures are fail-stop or may corrupt
+	// data inside running critical sections before halting.
+	Mode Mode
+
+	// Isolation is the application's concurrency-control style.
+	Isolation Isolation
+}
+
+// Validate rejects malformed requirement sets.
+func (r Requirements) Validate() error {
+	if len(r.Tolerate) == 0 {
+		return errors.New("core: requirements tolerate no failures; no mechanism needed")
+	}
+	seen := map[Failure]bool{}
+	for _, f := range r.Tolerate {
+		if f < 0 || f >= numFailures {
+			return fmt.Errorf("core: unknown failure class %d", int(f))
+		}
+		if seen[f] {
+			return fmt.Errorf("core: failure class %v listed twice", f)
+		}
+		seen[f] = true
+	}
+	return nil
+}
+
+// Tolerates reports whether f is in the tolerated set.
+func (r Requirements) Tolerates(f Failure) bool {
+	for _, g := range r.Tolerate {
+		if g == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Preset hardware profiles used across tests, benchmarks and the tspplan
+// command. They correspond to the machine classes the paper discusses.
+
+// ConventionalDesktop is volatile DRAM with the persistent heap in a
+// shared file-backed mapping on an ordinary filesystem; no panic-time or
+// energy support.
+func ConventionalDesktop() Hardware {
+	return Hardware{
+		Memory:         MemDRAM,
+		SharedMappings: true,
+		BlockStorage:   true,
+	}
+}
+
+// ConventionalServerUPS is ConventionalDesktop plus an uninterruptible
+// power supply and a panic handler able to both flush caches and write
+// the heap to storage.
+func ConventionalServerUPS() Hardware {
+	return Hardware{
+		Memory:              MemDRAM,
+		SharedMappings:      true,
+		PanicFlush:          true,
+		PanicWriteToStorage: true,
+		Energy:              EnergyUPS,
+		BlockStorage:        true,
+	}
+}
+
+// NVDIMMServer has supercapacitor-backed NVDIMMs and a panic-flush
+// kernel: the Whole System Persistence configuration.
+func NVDIMMServer() Hardware {
+	return Hardware{
+		Memory:         MemNVDIMM,
+		SharedMappings: true,
+		PanicFlush:     true,
+		Energy:         EnergySupercap,
+		BlockStorage:   true,
+	}
+}
+
+// NVRAMMachine has inherently non-volatile main memory; PSU residual
+// energy suffices to flush CPU caches on power loss.
+func NVRAMMachine() Hardware {
+	return Hardware{
+		Memory:         MemNVRAM,
+		SharedMappings: true,
+		PanicFlush:     true,
+		Energy:         EnergyPSUResidual,
+		BlockStorage:   true,
+	}
+}
+
+// DiskOnlyLegacy is the traditional database deployment: volatile DRAM,
+// no shared-mapping trickery (data manipulated through explicit I/O), no
+// rescue support of any kind.
+func DiskOnlyLegacy() Hardware {
+	return Hardware{
+		Memory:       MemDRAM,
+		BlockStorage: true,
+	}
+}
+
+// GeoReplicated extends NVRAMMachine with remote replication, the only
+// defence against site disasters.
+func GeoReplicated() Hardware {
+	hw := NVRAMMachine()
+	hw.RemoteReplication = true
+	return hw
+}

@@ -1,0 +1,39 @@
+package famsync_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tsp/internal/famsync"
+	"tsp/internal/nvm"
+)
+
+// The conventional-hardware discipline: commit changed pages through to
+// a file failure-atomically; a new incarnation reloads the last sealed
+// commit, never a torn one.
+func Example() {
+	dir, _ := os.MkdirTemp("", "famsync-example")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "heap.fam")
+
+	dev := nvm.NewDevice(nvm.Config{Words: 1 << 10})
+	sync, _ := famsync.Create(dev, path)
+
+	dev.Store(0, 42)
+	dev.FlushAll() // device image first...
+	pages, _ := sync.Commit()
+	fmt.Println("pages committed:", pages)
+
+	dev.Store(0, 99) // ...this one never gets committed
+	dev.FlushAll()
+	sync.Close()
+
+	dev2 := nvm.NewDevice(nvm.Config{Words: 1 << 10})
+	sync2, _ := famsync.OpenFile(dev2, path)
+	defer sync2.Close()
+	fmt.Println("reloaded:", dev2.Load(0))
+	// Output:
+	// pages committed: 1
+	// reloaded: 42
+}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"fmt"
+)
+
+// InvariantReport is the recovery observer's verdict on a quiescent
+// store, per Section 5.1's two correctness invariants:
+//
+//	Equation 1:  0 <= Σ c1,t − Σ c2,t <= T
+//	Equation 2:  Σ c1,t >= Σ_{k∈H} map[k] >= Σ c2,t
+//
+// plus the per-thread strengthening c2,t <= c1,t <= c2,t + 1 (each
+// thread's iteration is at most one step ahead of its own commit), and a
+// structural verification of the map implementation itself.
+type InvariantReport struct {
+	SumC1       uint64
+	SumC2       uint64
+	SumHigh     uint64
+	PerThreadOK bool
+	Eq1OK       bool
+	Eq2OK       bool
+	StructureOK bool
+	StructErr   error
+}
+
+// OK reports whether every invariant held.
+func (r InvariantReport) OK() bool {
+	return r.PerThreadOK && r.Eq1OK && r.Eq2OK && r.StructureOK
+}
+
+// String renders the report for logs.
+func (r InvariantReport) String() string {
+	return fmt.Sprintf("invariants{Σc1=%d Σc2=%d ΣH=%d perThread=%v eq1=%v eq2=%v structure=%v}",
+		r.SumC1, r.SumC2, r.SumHigh, r.PerThreadOK, r.Eq1OK, r.Eq2OK, r.StructureOK)
+}
+
+// Err returns a descriptive error when any invariant failed, nil
+// otherwise.
+func (r InvariantReport) Err() error {
+	if r.OK() {
+		return nil
+	}
+	if !r.StructureOK {
+		return fmt.Errorf("harness: structural verification failed: %w", r.StructErr)
+	}
+	return fmt.Errorf("harness: invariants violated: %s", r)
+}
+
+// checkInvariants runs the recovery observer over a quiescent store.
+func checkInvariants(d *deployment) InvariantReport {
+	var rep InvariantReport
+	rep.PerThreadOK = true
+	for t := 0; t < d.cfg.Threads; t++ {
+		c1, _ := d.store.GetQuiescent(KeyC1(t))
+		c2, _ := d.store.GetQuiescent(KeyC2(t))
+		rep.SumC1 += c1
+		rep.SumC2 += c2
+		if !(c2 <= c1 && c1 <= c2+1) {
+			rep.PerThreadOK = false
+		}
+	}
+	lo := HighBase(d.cfg.Threads)
+	rep.SumHigh = d.store.SumRange(lo, lo+uint64(d.cfg.HighKeys))
+	diff := int64(rep.SumC1) - int64(rep.SumC2)
+	rep.Eq1OK = diff >= 0 && diff <= int64(d.cfg.Threads)
+	rep.Eq2OK = rep.SumC1 >= rep.SumHigh && rep.SumHigh >= rep.SumC2
+	if err := d.store.VerifyStructure(); err != nil {
+		rep.StructureOK = false
+		rep.StructErr = err
+	} else {
+		rep.StructureOK = true
+	}
+	return rep
+}

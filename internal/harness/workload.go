@@ -1,0 +1,260 @@
+package harness
+
+import (
+	"errors"
+
+	"tsp/internal/atlas"
+	"tsp/internal/hashmap"
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+	"tsp/internal/skiplist"
+)
+
+// kvStore abstracts the two map implementations behind the operations
+// the workload needs. Implementations return ErrTerminated when the
+// simulated machine has crashed, so workers wind down like killed
+// threads.
+type kvStore interface {
+	// Set stores v under k as one atomic, isolated operation.
+	Set(w *worker, k, v uint64) error
+	// Inc adds delta to the value under k, inserting if absent.
+	Inc(w *worker, k, delta uint64) error
+	// SumRange sums the values of all keys in [lo, hi) on a quiescent
+	// store (the recovery observer's aggregate read).
+	SumRange(lo, hi uint64) uint64
+	// GetQuiescent reads one key without isolation (quiescent store).
+	GetQuiescent(k uint64) (uint64, bool)
+	// VerifyStructure checks implementation-specific invariants on a
+	// quiescent store.
+	VerifyStructure() error
+}
+
+// ErrTerminated reports that a worker observed the crash and stopped,
+// mirroring a thread terminated by SIGKILL.
+var ErrTerminated = errors.New("harness: worker terminated by crash")
+
+// worker is one simulated application thread.
+type worker struct {
+	idx      int
+	thread   *atlas.Thread // nil for the non-blocking variant
+	rngState uint64
+	iters    uint64 // completed iterations (volatile, for throughput)
+}
+
+// nextRand is a thread-local splitmix64 step.
+func (w *worker) nextRand() uint64 {
+	w.rngState += 0x9e3779b97f4a7c15
+	x := w.rngState
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// --- mutex-based adapter ---
+
+type mutexStore struct {
+	m *hashmap.Map
+}
+
+func (s *mutexStore) Set(w *worker, k, v uint64) error {
+	return s.m.Put(w.thread, k, v)
+}
+
+func (s *mutexStore) Inc(w *worker, k, delta uint64) error {
+	_, err := s.m.Inc(w.thread, k, delta)
+	return err
+}
+
+func (s *mutexStore) SumRange(lo, hi uint64) uint64 {
+	var sum uint64
+	s.m.Range(func(k, v uint64) bool {
+		if k >= lo && k < hi {
+			sum += v
+		}
+		return true
+	})
+	return sum
+}
+
+func (s *mutexStore) GetQuiescent(k uint64) (uint64, bool) {
+	var val uint64
+	found := false
+	s.m.Range(func(key, v uint64) bool {
+		if key == k {
+			val, found = v, true
+			return false
+		}
+		return true
+	})
+	return val, found
+}
+
+func (s *mutexStore) VerifyStructure() error {
+	_, err := s.m.Verify()
+	return err
+}
+
+// --- non-blocking adapter ---
+
+type nonBlockingStore struct {
+	l *skiplist.List
+}
+
+func (s *nonBlockingStore) Set(w *worker, k, v uint64) error {
+	_, err := s.l.Put(k, v)
+	if errors.Is(err, skiplist.ErrCrashed) {
+		return ErrTerminated
+	}
+	return err
+}
+
+func (s *nonBlockingStore) Inc(w *worker, k, delta uint64) error {
+	_, err := s.l.Inc(k, delta)
+	if errors.Is(err, skiplist.ErrCrashed) {
+		return ErrTerminated
+	}
+	return err
+}
+
+func (s *nonBlockingStore) SumRange(lo, hi uint64) uint64 {
+	var sum uint64
+	s.l.Range(func(k, v uint64) bool {
+		if k >= lo && k < hi {
+			sum += v
+		}
+		return true
+	})
+	return sum
+}
+
+func (s *nonBlockingStore) GetQuiescent(k uint64) (uint64, bool) {
+	return s.l.Get(k)
+}
+
+func (s *nonBlockingStore) VerifyStructure() error {
+	_, err := s.l.Verify()
+	return err
+}
+
+// deployment bundles everything a run needs.
+type deployment struct {
+	cfg   Config
+	dev   *nvm.Device
+	heap  *pheap.Heap
+	rt    *atlas.Runtime // nil for NonBlocking
+	store kvStore
+}
+
+// build constructs a fresh device, heap and store per the configuration
+// and makes the initialized (pre-workload) state durable.
+func build(cfg Config) (*deployment, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dev := nvm.NewDevice(nvm.Config{
+		Words:     cfg.DeviceWords,
+		FlushCost: cfg.FlushCost,
+		MissCost:  cfg.MissCost,
+		MissLines: cfg.MissLines,
+		Evictor:   cfg.Evictor,
+	})
+	heap, err := pheap.Format(dev)
+	if err != nil {
+		return nil, err
+	}
+	d := &deployment{cfg: cfg, dev: dev, heap: heap}
+	switch cfg.Variant {
+	case NonBlocking:
+		l, err := skiplist.New(heap, cfg.SkipLevels)
+		if err != nil {
+			return nil, err
+		}
+		heap.SetRoot(l.Ptr())
+		d.store = &nonBlockingStore{l: l}
+	default:
+		rt, err := atlas.New(heap, cfg.Variant.AtlasMode(), atlas.Options{
+			MaxThreads:    cfg.Threads,
+			LogEntries:    1 << 10,
+			LogEveryStore: cfg.LogEveryStore,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m, err := hashmap.New(rt, cfg.Buckets, cfg.BucketsPerMutex)
+		if err != nil {
+			return nil, err
+		}
+		heap.SetRoot(m.Ptr())
+		d.rt = rt
+		d.store = &mutexStore{m: m}
+	}
+	// Setup is not part of the crash window: make it durable.
+	dev.FlushAll()
+	return d, nil
+}
+
+// reopen attaches to the store of an already-recovered heap.
+func reopen(cfg Config, heap *pheap.Heap) (*deployment, error) {
+	cfg.fillDefaults()
+	d := &deployment{cfg: cfg, dev: heap.Device(), heap: heap}
+	switch cfg.Variant {
+	case NonBlocking:
+		l, err := skiplist.Open(heap, heap.Root())
+		if err != nil {
+			return nil, err
+		}
+		d.store = &nonBlockingStore{l: l}
+	default:
+		rt, err := atlas.New(heap, cfg.Variant.AtlasMode(), atlas.Options{
+			MaxThreads:    cfg.Threads,
+			LogEntries:    1 << 10,
+			LogEveryStore: cfg.LogEveryStore,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m, err := hashmap.Open(rt, heap.Root())
+		if err != nil {
+			return nil, err
+		}
+		d.rt = rt
+		d.store = &mutexStore{m: m}
+	}
+	return d, nil
+}
+
+// newWorker registers worker idx with the deployment.
+func (d *deployment) newWorker(idx int) (*worker, error) {
+	w := &worker{idx: idx, rngState: uint64(d.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(idx)<<32}
+	if d.rt != nil {
+		th, err := d.rt.NewThread()
+		if err != nil {
+			return nil, err
+		}
+		w.thread = th
+	}
+	return w, nil
+}
+
+// iterate performs one workload iteration for worker w (Section 5.1):
+// set c1 to i, increment a uniformly random high key, set c2 to i. Each
+// step is an atomic, isolated operation on the store.
+func (d *deployment) iterate(w *worker, i uint64) error {
+	t := w.idx
+	if err := d.store.Set(w, KeyC1(t), i); err != nil {
+		return err
+	}
+	hk := HighBase(d.cfg.Threads) + w.nextRand()%uint64(d.cfg.HighKeys)
+	if err := d.store.Inc(w, hk, 1); err != nil {
+		return err
+	}
+	if err := d.store.Set(w, KeyC2(t), i); err != nil {
+		return err
+	}
+	w.iters++
+	return nil
+}

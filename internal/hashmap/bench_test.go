@@ -1,0 +1,101 @@
+package hashmap
+
+import (
+	"testing"
+
+	"tsp/internal/atlas"
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+)
+
+func benchMap(b *testing.B, mode atlas.Mode, prefill int) (*Map, *atlas.Thread) {
+	b.Helper()
+	dev := nvm.NewDevice(nvm.Config{Words: 1 << 22})
+	heap, err := pheap.Format(dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := atlas.New(heap, mode, atlas.Options{MaxThreads: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(rt, 1<<14, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	heap.SetRoot(m.Ptr())
+	th, err := rt.NewThread()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < prefill; i++ {
+		if err := m.Put(th, uint64(i), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m, th
+}
+
+// BenchmarkPut compares the three fortification modes at the map level —
+// the per-operation view of Table 1's mutex columns.
+func BenchmarkPut(b *testing.B) {
+	for _, mode := range []atlas.Mode{atlas.ModeOff, atlas.ModeTSP, atlas.ModeNonTSP} {
+		b.Run(mode.String(), func(b *testing.B) {
+			m, th := benchMap(b, mode, 1<<12)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Put(th, uint64(i)%(1<<12), uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	m, th := benchMap(b, atlas.ModeTSP, 1<<12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Get(th, uint64(i)%(1<<13)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInc(b *testing.B) {
+	for _, mode := range []atlas.Mode{atlas.ModeOff, atlas.ModeTSP, atlas.ModeNonTSP} {
+		b.Run(mode.String(), func(b *testing.B) {
+			m, th := benchMap(b, mode, 1<<12)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Inc(th, uint64(i)%(1<<12), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDelete(b *testing.B) {
+	m, th := benchMap(b, atlas.ModeTSP, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i)
+		if err := m.Put(th, k, 1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Delete(th, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	m, _ := benchMap(b, atlas.ModeOff, 1<<13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

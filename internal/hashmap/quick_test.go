@@ -1,0 +1,164 @@
+package hashmap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tsp/internal/atlas"
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+)
+
+// Model-based testing mirroring the skip-list's: a random single-threaded
+// op sequence against the map and a plain Go map must agree, across a
+// crash-with-rescue and Atlas recovery.
+
+func TestQuickMatchesModelAcrossCrash(t *testing.T) {
+	f := func(raw []uint32, mode8 uint8) bool {
+		mode := atlas.ModeTSP
+		if mode8%2 == 1 {
+			mode = atlas.ModeNonTSP
+		}
+		dev := nvm.NewDevice(nvm.Config{Words: 1 << 18})
+		heap, err := pheap.Format(dev)
+		if err != nil {
+			return false
+		}
+		rt, err := atlas.New(heap, mode, atlas.Options{MaxThreads: 1, LogEntries: 512})
+		if err != nil {
+			return false
+		}
+		m, err := New(rt, 32, 8) // tiny table -> long chains
+		if err != nil {
+			return false
+		}
+		heap.SetRoot(m.Ptr())
+		dev.FlushAll()
+		th, err := rt.NewThread()
+		if err != nil {
+			return false
+		}
+
+		model := map[uint64]uint64{}
+		for _, r := range raw {
+			key := uint64(r>>2) % 48
+			val := uint64(r)
+			switch r % 4 {
+			case 0:
+				if err := m.Put(th, key, val); err != nil {
+					return false
+				}
+				model[key] = val
+			case 1:
+				if _, err := m.Inc(th, key, 1); err != nil {
+					return false
+				}
+				model[key]++
+			case 2:
+				ok, err := m.Delete(th, key)
+				if err != nil {
+					return false
+				}
+				if _, in := model[key]; in != ok {
+					return false
+				}
+				delete(model, key)
+			case 3:
+				v, ok, err := m.Get(th, key)
+				if err != nil {
+					return false
+				}
+				mv, in := model[key]
+				if ok != in || (ok && v != mv) {
+					return false
+				}
+			}
+		}
+
+		// Crash between operations (every OCS complete), full rescue.
+		dev.CrashRescue()
+		dev.Restart()
+		heap2, err := pheap.Open(dev)
+		if err != nil {
+			return false
+		}
+		if _, err := atlas.Recover(heap2); err != nil {
+			return false
+		}
+		rt2, err := atlas.New(heap2, mode, atlas.Options{MaxThreads: 1, LogEntries: 512})
+		if err != nil {
+			return false
+		}
+		m2, err := Open(rt2, heap2.Root())
+		if err != nil {
+			return false
+		}
+		if _, err := m2.Verify(); err != nil {
+			return false
+		}
+		if m2.Len() != len(model) {
+			return false
+		}
+		agree := true
+		m2.Range(func(k, v uint64) bool {
+			if mv, ok := model[k]; !ok || mv != v {
+				agree = false
+				return false
+			}
+			return true
+		})
+		return agree
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a torn update crashed mid-OCS always rolls back to the model
+// state under TSP rescue, wherever the key hashes.
+func TestQuickTornUpdateAlwaysRollsBack(t *testing.T) {
+	f := func(key uint64, before, torn uint64) bool {
+		dev := nvm.NewDevice(nvm.Config{Words: 1 << 18})
+		heap, _ := pheap.Format(dev)
+		rt, err := atlas.New(heap, atlas.ModeTSP, atlas.Options{MaxThreads: 1})
+		if err != nil {
+			return false
+		}
+		m, err := New(rt, 16, 4)
+		if err != nil {
+			return false
+		}
+		heap.SetRoot(m.Ptr())
+		dev.FlushAll()
+		th, _ := rt.NewThread()
+		if err := m.Put(th, key, before); err != nil {
+			return false
+		}
+		if err := m.TornUpdate(th, key, torn); err != nil {
+			return false
+		}
+		dev.CrashRescue()
+		dev.Restart()
+		heap2, err := pheap.Open(dev)
+		if err != nil {
+			return false
+		}
+		if _, err := atlas.Recover(heap2); err != nil {
+			return false
+		}
+		rt2, _ := atlas.New(heap2, atlas.ModeTSP, atlas.Options{MaxThreads: 1})
+		m2, err := Open(rt2, heap2.Root())
+		if err != nil {
+			return false
+		}
+		if _, err := m2.Verify(); err != nil {
+			return false
+		}
+		th2, _ := rt2.NewThread()
+		v, ok, err := m2.Get(th2, key)
+		return err == nil && ok && v == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

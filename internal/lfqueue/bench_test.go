@@ -1,0 +1,93 @@
+package lfqueue
+
+import (
+	"testing"
+
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+)
+
+func benchQueue(b *testing.B) (*pheap.Heap, *Queue) {
+	b.Helper()
+	dev := nvm.NewDevice(nvm.Config{Words: 1 << 22})
+	heap, err := pheap.Format(dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := New(heap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	heap.SetRoot(q.Ptr())
+	return heap, q
+}
+
+// reclaim runs the recovery-time collector outside the timed region.
+// Queue nodes are deliberately never freed inline (a concurrent reader
+// may still traverse them; see Dequeue), so long benchmark runs must
+// reclaim periodically exactly as a long-lived deployment would at its
+// recovery or quiescence points.
+func reclaim(b *testing.B, heap *pheap.Heap) {
+	b.StopTimer()
+	if _, err := heap.GC(); err != nil {
+		b.Fatal(err)
+	}
+	b.StartTimer()
+}
+
+// reclaimEvery is how many operations run between untimed collections.
+const reclaimEvery = 1 << 18
+
+func BenchmarkEnqueue(b *testing.B) {
+	heap, q := benchQueue(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.Enqueue(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%reclaimEvery == 0 {
+			// Drain (so the nodes become garbage) and collect.
+			b.StopTimer()
+			if _, err := q.Drain(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			reclaim(b, heap)
+		}
+	}
+}
+
+func BenchmarkEnqueueDequeuePair(b *testing.B) {
+	heap, q := benchQueue(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.Enqueue(uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := q.Dequeue(); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%reclaimEvery == 0 {
+			reclaim(b, heap)
+		}
+	}
+}
+
+// BenchmarkPingPong is single-threaded by design: reclamation of
+// bypassed nodes requires quiescence, and the concurrent behaviour is
+// covered by the package's tests rather than its benchmarks.
+func BenchmarkPingPong(b *testing.B) {
+	heap, q := benchQueue(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.Enqueue(1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := q.Dequeue(); err != nil && err != ErrEmpty {
+			b.Fatal(err)
+		}
+		if (i+1)%reclaimEvery == 0 {
+			reclaim(b, heap)
+		}
+	}
+}

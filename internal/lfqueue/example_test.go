@@ -1,0 +1,33 @@
+package lfqueue_test
+
+import (
+	"fmt"
+
+	"tsp/internal/lfqueue"
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+)
+
+// A lock-free queue survives a crash with no crash-consistency code:
+// under a TSP rescue, the durable backlog is exactly what a recovery
+// observer expects.
+func Example() {
+	dev := nvm.NewDevice(nvm.Config{Words: 1 << 14})
+	heap, _ := pheap.Format(dev)
+	q, _ := lfqueue.New(heap)
+	heap.SetRoot(q.Ptr())
+
+	for v := uint64(1); v <= 3; v++ {
+		q.Enqueue(v * 10)
+	}
+	q.Dequeue() // 10 handed off before the crash
+
+	dev.CrashRescue()
+	dev.Restart()
+
+	heap2, _ := pheap.Open(dev)
+	q2, _ := lfqueue.Open(heap2, heap2.Root())
+	backlog, _ := q2.Drain()
+	fmt.Println(backlog)
+	// Output: [20 30]
+}

@@ -1,0 +1,368 @@
+package lfqueue
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+)
+
+func newQueue(t *testing.T, words int) (*nvm.Device, *pheap.Heap, *Queue) {
+	t.Helper()
+	dev := nvm.NewDevice(nvm.Config{Words: words})
+	heap, err := pheap.Format(dev)
+	if err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	q, err := New(heap)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	heap.SetRoot(q.Ptr())
+	return dev, heap, q
+}
+
+func TestFIFOOrder(t *testing.T) {
+	_, _, q := newQueue(t, 1<<14)
+	for v := uint64(1); v <= 10; v++ {
+		if err := q.Enqueue(v); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+	}
+	for want := uint64(1); want <= 10; want++ {
+		got, err := q.Dequeue()
+		if err != nil || got != want {
+			t.Fatalf("Dequeue = %d,%v want %d", got, err, want)
+		}
+	}
+	if _, err := q.Dequeue(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Dequeue on empty = %v, want ErrEmpty", err)
+	}
+}
+
+func TestLenAndDrain(t *testing.T) {
+	_, _, q := newQueue(t, 1<<14)
+	for v := uint64(0); v < 5; v++ {
+		q.Enqueue(v * 10)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	vals, err := q.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for i, v := range vals {
+		if v != uint64(i*10) {
+			t.Fatalf("Drain[%d] = %d, want %d", i, v, i*10)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not empty after Drain")
+	}
+}
+
+func TestInterleavedEnqueueDequeue(t *testing.T) {
+	_, _, q := newQueue(t, 1<<16)
+	next := uint64(0)
+	expect := uint64(0)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < round%5+1; i++ {
+			if err := q.Enqueue(next); err != nil {
+				t.Fatalf("Enqueue: %v", err)
+			}
+			next++
+		}
+		for i := 0; i < round%3; i++ {
+			v, err := q.Dequeue()
+			if errors.Is(err, ErrEmpty) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("Dequeue: %v", err)
+			}
+			if v != expect {
+				t.Fatalf("Dequeue = %d, want %d (FIFO violated)", v, expect)
+			}
+			expect++
+		}
+	}
+}
+
+func TestOpenAttaches(t *testing.T) {
+	_, heap, q := newQueue(t, 1<<14)
+	q.Enqueue(42)
+	q2, err := Open(heap, q.Ptr())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	v, err := q2.Dequeue()
+	if err != nil || v != 42 {
+		t.Fatalf("Dequeue via reattached handle = %d,%v", v, err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	_, heap, _ := newQueue(t, 1<<14)
+	if _, err := Open(heap, pheap.Nil); !errors.Is(err, ErrNotQueue) {
+		t.Fatalf("Open(Nil) = %v", err)
+	}
+	p, _ := heap.Alloc(descWords)
+	if _, err := Open(heap, p); !errors.Is(err, ErrNotQueue) {
+		t.Fatalf("Open(garbage) = %v", err)
+	}
+}
+
+func TestSurvivesCrashWithRescue(t *testing.T) {
+	dev, _, q := newQueue(t, 1<<16)
+	for v := uint64(100); v < 150; v++ {
+		q.Enqueue(v)
+	}
+	q.Dequeue() // consume a few: head has moved
+	q.Dequeue()
+	dev.CrashRescue()
+	dev.Restart()
+	heap2, err := pheap.Open(dev)
+	if err != nil {
+		t.Fatalf("Open heap: %v", err)
+	}
+	q2, err := Open(heap2, heap2.Root())
+	if err != nil {
+		t.Fatalf("Open queue: %v", err)
+	}
+	rep, err := q2.Verify()
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if rep.Elements != 48 {
+		t.Fatalf("elements = %d, want 48", rep.Elements)
+	}
+	vals, err := q2.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for i, v := range vals {
+		if v != uint64(102+i) {
+			t.Fatalf("recovered order broken at %d: %d", i, v)
+		}
+	}
+}
+
+func TestCrashWithLaggingTailRecovers(t *testing.T) {
+	// Hand-craft the in-flight state: a node linked after the tail but
+	// the tail pointer not yet swung — exactly what a crash between an
+	// enqueue's two CASes leaves. Verify must accept it, operations and
+	// RepairTail must fix it.
+	dev, heap, q := newQueue(t, 1<<14)
+	q.Enqueue(1)
+	// Manually link a node without swinging the tail.
+	node, _ := heap.Alloc(nodeWords)
+	heap.Store(node, nodeValue, 2)
+	tail := pheap.Ptr(dev.Load(q.tailAddr()))
+	if !dev.CAS(nextAddr(tail), 0, uint64(node)) {
+		t.Fatal("manual link failed")
+	}
+	dev.CrashRescue()
+	dev.Restart()
+	heap2, _ := pheap.Open(dev)
+	q2, err := Open(heap2, heap2.Root())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	rep, err := q2.Verify()
+	if err != nil {
+		t.Fatalf("Verify with lagging tail: %v", err)
+	}
+	if rep.TailLag != 1 {
+		t.Fatalf("tailLag = %d, want 1", rep.TailLag)
+	}
+	q2.RepairTail()
+	rep, _ = q2.Verify()
+	if rep.TailLag != 0 {
+		t.Fatalf("tailLag after repair = %d, want 0", rep.TailLag)
+	}
+	vals, err := q2.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("Drain = %v, want [1 2]", vals)
+	}
+}
+
+func TestStrandedNodeCollectedByGC(t *testing.T) {
+	// A crash before the linking CAS strands the freshly allocated
+	// node; the recovery-time GC must reclaim it while keeping the
+	// queue intact.
+	dev, heap, q := newQueue(t, 1<<14)
+	q.Enqueue(7)
+	stranded, _ := heap.Alloc(nodeWords)
+	heap.Store(stranded, nodeValue, 999) // never linked
+	dev.CrashRescue()
+	dev.Restart()
+	heap2, _ := pheap.Open(dev)
+	rep, err := heap2.GC()
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if rep.BlocksFreed != 1 {
+		t.Fatalf("GC freed %d, want 1 (the stranded node)", rep.BlocksFreed)
+	}
+	q2, _ := Open(heap2, heap2.Root())
+	if q2.Len() != 1 {
+		t.Fatalf("queue damaged by GC: len = %d", q2.Len())
+	}
+}
+
+func TestDequeuedNodesBecomeGarbage(t *testing.T) {
+	dev, _, q := newQueue(t, 1<<14)
+	for v := uint64(0); v < 10; v++ {
+		q.Enqueue(v)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := q.Dequeue(); err != nil {
+			t.Fatalf("Dequeue: %v", err)
+		}
+	}
+	dev.CrashRescue()
+	dev.Restart()
+	heap2, _ := pheap.Open(dev)
+	rep, err := heap2.GC()
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if rep.BlocksFreed != 10 {
+		t.Fatalf("GC freed %d bypassed nodes, want 10", rep.BlocksFreed)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	_, _, q := newQueue(t, 1<<20)
+	const producers, perProducer = 4, 500
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := q.Enqueue(uint64(g*perProducer + i)); err != nil {
+					t.Errorf("Enqueue: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	var mu sync.Mutex
+	got := map[uint64]bool{}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, err := q.Dequeue()
+				if errors.Is(err, ErrEmpty) {
+					mu.Lock()
+					done := len(got) == producers*perProducer
+					mu.Unlock()
+					if done {
+						return
+					}
+					continue
+				}
+				if err != nil {
+					t.Errorf("Dequeue: %v", err)
+					return
+				}
+				mu.Lock()
+				if got[v] {
+					t.Errorf("value %d dequeued twice", v)
+				}
+				got[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if len(got) != producers*perProducer {
+		t.Fatalf("dequeued %d values, want %d", len(got), producers*perProducer)
+	}
+}
+
+func TestOperationsAfterCrashReturnErrCrashed(t *testing.T) {
+	dev, _, q := newQueue(t, 1<<14)
+	q.Enqueue(1)
+	dev.CrashRescue()
+	if err := q.Enqueue(2); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Enqueue after crash = %v, want ErrCrashed", err)
+	}
+	if _, err := q.Dequeue(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Dequeue after crash = %v, want ErrCrashed", err)
+	}
+}
+
+// Property: any sequence of enqueues/dequeues agrees with a model slice,
+// and the queue survives crash+reopen holding exactly the model.
+func TestQuickMatchesModel(t *testing.T) {
+	f := func(raw []uint16) bool {
+		dev := nvm.NewDevice(nvm.Config{Words: 1 << 16})
+		heap, _ := pheap.Format(dev)
+		q, err := New(heap)
+		if err != nil {
+			return false
+		}
+		heap.SetRoot(q.Ptr())
+		var model []uint64
+		for _, r := range raw {
+			if r%3 != 0 {
+				if err := q.Enqueue(uint64(r)); err != nil {
+					return false
+				}
+				model = append(model, uint64(r))
+			} else {
+				v, err := q.Dequeue()
+				if len(model) == 0 {
+					if !errors.Is(err, ErrEmpty) {
+						return false
+					}
+				} else {
+					if err != nil || v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		dev.CrashRescue()
+		dev.Restart()
+		heap2, err := pheap.Open(dev)
+		if err != nil {
+			return false
+		}
+		q2, err := Open(heap2, heap2.Root())
+		if err != nil {
+			return false
+		}
+		if _, err := q2.Verify(); err != nil {
+			return false
+		}
+		vals, err := q2.Drain()
+		if err != nil || len(vals) != len(model) {
+			return false
+		}
+		for i := range vals {
+			if vals[i] != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package nvm
+
+import "testing"
+
+func BenchmarkLoad(b *testing.B) {
+	d := NewDevice(Config{Words: 1 << 16})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Load(Addr(i & 0xffff))
+	}
+}
+
+func BenchmarkStore(b *testing.B) {
+	d := NewDevice(Config{Words: 1 << 16})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Store(Addr(i&0xffff), uint64(i))
+	}
+}
+
+func BenchmarkStoreBlock(b *testing.B) {
+	d := NewDevice(Config{Words: 1 << 16})
+	vals := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.StoreBlock(Addr((i&0x1fff)*8), vals)
+	}
+}
+
+func BenchmarkCAS(b *testing.B) {
+	d := NewDevice(Config{Words: 1 << 16})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := Addr(i & 0xffff)
+		d.CAS(a, d.Load(a), uint64(i))
+	}
+}
+
+func BenchmarkFlushWord(b *testing.B) {
+	d := NewDevice(Config{Words: 1 << 16})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := Addr(i & 0xffff)
+		d.Store(a, uint64(i))
+		d.FlushWord(a)
+	}
+}
+
+func BenchmarkFlushWordWithCost(b *testing.B) {
+	d := NewDevice(Config{Words: 1 << 16, FlushCost: 24})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := Addr(i & 0xffff)
+		d.Store(a, uint64(i))
+		d.FlushWord(a)
+	}
+}
+
+func BenchmarkLoadWithMissModelHit(b *testing.B) {
+	d := NewDevice(Config{Words: 1 << 16, MissCost: 560})
+	d.Load(0) // install the line
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Load(0) // always a hit
+	}
+}
+
+func BenchmarkLoadWithMissModelMiss(b *testing.B) {
+	// Strided loads defeating an 8192-line tag table: every access
+	// misses, paying the configured latency.
+	d := NewDevice(Config{Words: 1 << 22, MissCost: 560})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Load(Addr((i * 8 * 8192) & (1<<22 - 1)))
+	}
+}
+
+func BenchmarkCrashRescue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		d := NewDevice(Config{Words: 1 << 18})
+		for a := Addr(0); a < 1<<18; a += 8 {
+			d.Store(a, uint64(a))
+		}
+		b.StartTimer()
+		d.CrashRescue()
+	}
+}

@@ -1,0 +1,136 @@
+package nvm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEvictorWritesBackDirtyLines(t *testing.T) {
+	d := NewDevice(Config{
+		Words:   256,
+		Evictor: EvictorConfig{Interval: time.Millisecond, LinesPerSweep: 64},
+	})
+	d.StartEvictor()
+	defer d.StopEvictor()
+	for a := Addr(0); a < 256; a++ {
+		d.Store(a, uint64(a)+1)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for d.DirtyLines() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("evictor left %d dirty lines after 2s", d.DirtyLines())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for a := Addr(0); a < 256; a++ {
+		if d.Persisted(a) != uint64(a)+1 {
+			t.Fatalf("word %d not written back by evictor", a)
+		}
+	}
+}
+
+func TestEvictorRespectsSweepBudget(t *testing.T) {
+	d := NewDevice(Config{
+		Words:   1 << 12,
+		Evictor: EvictorConfig{Interval: time.Hour, LinesPerSweep: 3},
+	})
+	// Drive the sweep directly rather than waiting an hour.
+	for a := Addr(0); a < 1<<12; a += 8 {
+		d.Store(a, 1)
+	}
+	dirtyBefore := d.DirtyLines()
+	d.evictor.sweep()
+	if got := dirtyBefore - d.DirtyLines(); got != 3 {
+		t.Fatalf("sweep wrote back %d lines, budget is 3", got)
+	}
+}
+
+func TestEvictorRoundRobinCoversAllLines(t *testing.T) {
+	d := NewDevice(Config{
+		Words:   512,
+		Evictor: EvictorConfig{Interval: time.Hour, LinesPerSweep: 8},
+	})
+	for a := Addr(0); a < 512; a++ {
+		d.Store(a, 9)
+	}
+	for i := 0; i < int(d.Lines()/8)+1; i++ {
+		d.evictor.sweep()
+	}
+	if d.DirtyLines() != 0 {
+		t.Fatalf("round-robin sweeps left %d dirty lines", d.DirtyLines())
+	}
+}
+
+func TestStartStopWithoutEvictorConfigured(t *testing.T) {
+	d := NewDevice(Config{Words: 16})
+	d.StartEvictor() // no-op
+	d.StopEvictor()  // no-op
+}
+
+func TestStopEvictorIdempotent(t *testing.T) {
+	d := NewDevice(Config{
+		Words:   16,
+		Evictor: EvictorConfig{Interval: time.Millisecond, LinesPerSweep: 1},
+	})
+	d.StartEvictor()
+	d.StopEvictor()
+	d.StopEvictor()
+}
+
+func TestStopEvictorNeverStarted(t *testing.T) {
+	d := NewDevice(Config{
+		Words:   16,
+		Evictor: EvictorConfig{Interval: time.Millisecond, LinesPerSweep: 1},
+	})
+	d.StopEvictor()
+	// After a stop, a late start must not launch the goroutine.
+	d.StartEvictor()
+	d.StopEvictor()
+}
+
+func TestRestartReinstallsEvictor(t *testing.T) {
+	d := NewDevice(Config{
+		Words:   64,
+		Evictor: EvictorConfig{Interval: time.Millisecond, LinesPerSweep: 16},
+	})
+	d.StartEvictor()
+	d.Store(0, 5)
+	d.StopEvictor()
+	d.CrashDrop()
+	d.Restart()
+	d.StartEvictor()
+	defer d.StopEvictor()
+	d.Store(1, 6)
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Persisted(1) != 6 {
+		if time.Now().After(deadline) {
+			t.Fatal("evictor not functional after restart")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestEvictorConcurrentWithWritersNoCorruption(t *testing.T) {
+	d := NewDevice(Config{
+		Words:   1 << 10,
+		Evictor: EvictorConfig{Interval: 100 * time.Microsecond, LinesPerSweep: 32},
+	})
+	d.StartEvictor()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50000; i++ {
+			a := Addr(i % (1 << 10))
+			d.Store(a, uint64(i))
+		}
+	}()
+	<-done
+	d.StopEvictor()
+	d.CrashRescue()
+	// After rescue everything must match the final volatile state.
+	for a := Addr(0); a < 1<<10; a++ {
+		if d.Persisted(a) != d.Load(a) {
+			t.Fatalf("word %d: persisted %d != volatile %d after rescue", a, d.Persisted(a), d.Load(a))
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package nvm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats holds the device's always-on operation counters. The hot-path
+// counters (loads, stores, CAS) are sharded across padded cache lines
+// and indexed by address bits: with many worker threads hammering the
+// device, a single shared counter word would serialize the simulation on
+// counter-line ping-pong and distort every measurement the counters are
+// supposed to support.
+type Stats struct {
+	loads  shardedCounter
+	stores shardedCounter
+	cases  shardedCounter // CAS attempts
+
+	flushes    atomic.Uint64 // synchronous, latency-charged flushes
+	writebacks atomic.Uint64 // background/rescue write-backs (free)
+	rescues    atomic.Uint64 // crash-time rescues performed
+	drops      atomic.Uint64 // crashes that discarded the volatile image
+}
+
+const statShards = 16
+
+// paddedU64 occupies a full cache line so shards never false-share.
+type paddedU64 struct {
+	v uint64
+	_ [7]uint64
+}
+
+type shardedCounter struct {
+	shards [statShards]paddedU64
+}
+
+func (c *shardedCounter) inc(a Addr) {
+	atomic.AddUint64(&c.shards[uint64(a)&(statShards-1)].v, 1)
+}
+
+func (c *shardedCounter) sum() uint64 {
+	var total uint64
+	for i := range c.shards {
+		total += atomic.LoadUint64(&c.shards[i].v)
+	}
+	return total
+}
+
+func (c *shardedCounter) reset() {
+	for i := range c.shards {
+		atomic.StoreUint64(&c.shards[i].v, 0)
+	}
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Loads:      s.loads.sum(),
+		Stores:     s.stores.sum(),
+		CAS:        s.cases.sum(),
+		Flushes:    s.flushes.Load(),
+		Writebacks: s.writebacks.Load(),
+		Rescues:    s.rescues.Load(),
+		Drops:      s.drops.Load(),
+	}
+}
+
+func (s *Stats) reset() {
+	s.loads.reset()
+	s.stores.reset()
+	s.cases.reset()
+	s.flushes.Store(0)
+	s.writebacks.Store(0)
+	s.rescues.Store(0)
+	s.drops.Store(0)
+}
+
+// StatsSnapshot is a point-in-time copy of the device counters.
+type StatsSnapshot struct {
+	Loads      uint64
+	Stores     uint64
+	CAS        uint64
+	Flushes    uint64
+	Writebacks uint64
+	Rescues    uint64
+	Drops      uint64
+}
+
+// Sub returns the delta s minus earlier, counter by counter.
+func (s StatsSnapshot) Sub(earlier StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Loads:      s.Loads - earlier.Loads,
+		Stores:     s.Stores - earlier.Stores,
+		CAS:        s.CAS - earlier.CAS,
+		Flushes:    s.Flushes - earlier.Flushes,
+		Writebacks: s.Writebacks - earlier.Writebacks,
+		Rescues:    s.Rescues - earlier.Rescues,
+		Drops:      s.Drops - earlier.Drops,
+	}
+}
+
+// String formats the snapshot for logs.
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("loads=%d stores=%d cas=%d flushes=%d writebacks=%d rescues=%d drops=%d",
+		s.Loads, s.Stores, s.CAS, s.Flushes, s.Writebacks, s.Rescues, s.Drops)
+}

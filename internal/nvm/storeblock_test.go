@@ -1,0 +1,117 @@
+package nvm
+
+import "testing"
+
+func TestStoreBlockWritesAllWords(t *testing.T) {
+	d := NewDevice(Config{Words: 64})
+	d.StoreBlock(8, []uint64{1, 2, 3, 4})
+	for i, want := range []uint64{1, 2, 3, 4} {
+		if got := d.Load(Addr(8 + i)); got != want {
+			t.Fatalf("word %d = %d, want %d", 8+i, got, want)
+		}
+	}
+}
+
+func TestStoreBlockEmptyIsNoop(t *testing.T) {
+	d := NewDevice(Config{Words: 64})
+	d.StoreBlock(0, nil)
+	if d.Stats().Stores != 0 {
+		t.Fatal("empty StoreBlock counted a store")
+	}
+}
+
+func TestStoreBlockMarksDirtyOnce(t *testing.T) {
+	d := NewDevice(Config{Words: 64})
+	d.StoreBlock(0, []uint64{1, 2, 3, 4, 5, 6, 7, 8})
+	if got := d.DirtyLines(); got != 1 {
+		t.Fatalf("dirty lines = %d, want 1", got)
+	}
+	s := d.Stats()
+	if s.Stores != 1 {
+		t.Fatalf("stores counted = %d, want 1 (one burst)", s.Stores)
+	}
+}
+
+func TestStoreBlockCrossLinePanics(t *testing.T) {
+	d := NewDevice(Config{Words: 64})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-line StoreBlock did not panic")
+		}
+	}()
+	d.StoreBlock(6, []uint64{1, 2, 3, 4}) // words 6..9 span lines 0 and 1
+}
+
+func TestStoreBlockDroppedAfterCrash(t *testing.T) {
+	d := NewDevice(Config{Words: 64})
+	d.CrashRescue()
+	d.StoreBlock(0, []uint64{9, 9})
+	if d.Load(0) != 0 {
+		t.Fatal("StoreBlock after crash reached the volatile image")
+	}
+}
+
+func TestStoreBlockSurvivesRescue(t *testing.T) {
+	d := NewDevice(Config{Words: 64})
+	d.StoreBlock(16, []uint64{7, 8, 9})
+	d.CrashRescue()
+	for i, want := range []uint64{7, 8, 9} {
+		if got := d.Persisted(Addr(16 + i)); got != want {
+			t.Fatalf("persisted word %d = %d, want %d", 16+i, got, want)
+		}
+	}
+}
+
+// --- cache-latency model ---
+
+func TestMissModelDisabledByDefault(t *testing.T) {
+	d := NewDevice(Config{Words: 64})
+	if d.cacheTags != nil {
+		t.Fatal("latency model active without MissCost")
+	}
+}
+
+func TestMissModelInstallsOnLoad(t *testing.T) {
+	d := NewDevice(Config{Words: 1 << 12, MissCost: 10, MissLines: 16})
+	d.Load(0)
+	line := d.LineOf(0)
+	if d.cacheTags[line&d.tagMask] != line+1 {
+		t.Fatal("load did not install its line in the tag table")
+	}
+}
+
+func TestMissModelInstallsOnStore(t *testing.T) {
+	d := NewDevice(Config{Words: 1 << 12, MissCost: 10, MissLines: 16})
+	d.Store(64, 5)
+	line := d.LineOf(64)
+	if d.cacheTags[line&d.tagMask] != line+1 {
+		t.Fatal("store did not install its line in the tag table")
+	}
+}
+
+func TestMissModelDirectMappedEviction(t *testing.T) {
+	// Two lines mapping to the same tag slot evict each other.
+	d := NewDevice(Config{Words: 1 << 12, MissCost: 10, MissLines: 16})
+	d.Load(0)            // line 0 -> slot 0
+	d.Load(Addr(16 * 8)) // line 16 -> slot 0 (16 % 16 == 0)
+	line0 := d.LineOf(0)
+	if d.cacheTags[0] == line0+1 {
+		t.Fatal("conflicting line did not evict the previous tag")
+	}
+}
+
+func TestMissLinesRoundedToPowerOfTwo(t *testing.T) {
+	d := NewDevice(Config{Words: 64, MissCost: 1, MissLines: 100})
+	if len(d.cacheTags) != 128 {
+		t.Fatalf("tag table size = %d, want 128", len(d.cacheTags))
+	}
+}
+
+func TestConfigValidateNegativeMissCost(t *testing.T) {
+	if err := (Config{Words: 10, LineWords: 8, MissCost: -1}).Validate(); err == nil {
+		t.Fatal("negative MissCost accepted")
+	}
+	if err := (Config{Words: 10, LineWords: 8, MissLines: -1}).Validate(); err == nil {
+		t.Fatal("negative MissLines accepted")
+	}
+}

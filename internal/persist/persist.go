@@ -1,0 +1,170 @@
+// Package persist writes a device's persisted image to a real file and
+// reads it back, giving the simulated NVM actual durability across
+// process runs. It stands in for the paper's backing file of the shared
+// memory mapping: what our simulated "durable medium" holds is exactly
+// what a file-backed mapping's file would hold after a crash, so the
+// examples can demonstrate recovery across genuine process restarts.
+//
+// The format is deliberately simple and self-validating:
+//
+//	word 0: magic
+//	word 1: format version
+//	word 2: image size in words
+//	word 3: FNV-1a checksum of the image words
+//	word 4...: image words, little-endian
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"tsp/internal/nvm"
+)
+
+// Magic and Version identify the snapshot format.
+const (
+	Magic   = 0x5453_5053_4e41_5031 // "TSPSNAP1"
+	Version = 1
+)
+
+const headerWords = 4
+
+// Errors returned by the package.
+var (
+	ErrBadSnapshot = errors.New("persist: not a valid snapshot file")
+	ErrChecksum    = errors.New("persist: snapshot checksum mismatch")
+	ErrSizeChanged = errors.New("persist: snapshot size does not match device")
+)
+
+// checksum is FNV-1a over the words' little-endian bytes.
+func checksum(img []uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	var buf [8]byte
+	for _, w := range img {
+		binary.LittleEndian.PutUint64(buf[:], w)
+		for _, b := range buf {
+			h ^= uint64(b)
+			h *= prime
+		}
+	}
+	return h
+}
+
+// Save writes the device's persisted image to path atomically (write to
+// a temp file, fsync, rename). The device should be quiescent or
+// crashed.
+func Save(dev *nvm.Device, path string) error {
+	img := dev.SnapshotPersisted()
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after successful rename
+
+	header := []uint64{Magic, Version, uint64(len(img)), checksum(img)}
+	if err := writeWords(f, header); err != nil {
+		f.Close()
+		return err
+	}
+	if err := writeWords(f, img); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("persist: rename: %w", err)
+	}
+	return nil
+}
+
+func writeWords(w io.Writer, words []uint64) error {
+	buf := make([]byte, 8*4096)
+	for off := 0; off < len(words); off += 4096 {
+		n := len(words) - off
+		if n > 4096 {
+			n = 4096
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], words[off+i])
+		}
+		if _, err := w.Write(buf[:n*8]); err != nil {
+			return fmt.Errorf("persist: write: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load reads a snapshot from path into the device's persisted image and
+// restarts the device so the new incarnation sees it. The device must
+// have exactly the snapshot's word count.
+func Load(dev *nvm.Device, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+
+	header := make([]uint64, headerWords)
+	if err := readWords(f, header); err != nil {
+		return ErrBadSnapshot
+	}
+	if header[0] != Magic {
+		return ErrBadSnapshot
+	}
+	if header[1] != Version {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, header[1])
+	}
+	words := header[2]
+	if words != dev.Words() {
+		return fmt.Errorf("%w: snapshot %d words, device %d", ErrSizeChanged, words, dev.Words())
+	}
+	img := make([]uint64, words)
+	if err := readWords(f, img); err != nil {
+		return fmt.Errorf("%w: truncated image", ErrBadSnapshot)
+	}
+	if checksum(img) != header[3] {
+		return ErrChecksum
+	}
+	if err := dev.RestorePersisted(img); err != nil {
+		return err
+	}
+	dev.Restart()
+	return nil
+}
+
+func readWords(r io.Reader, words []uint64) error {
+	buf := make([]byte, 8*4096)
+	for off := 0; off < len(words); off += 4096 {
+		n := len(words) - off
+		if n > 4096 {
+			n = 4096
+		}
+		if _, err := io.ReadFull(r, buf[:n*8]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			words[off+i] = binary.LittleEndian.Uint64(buf[i*8:])
+		}
+	}
+	return nil
+}
+
+// Exists reports whether a snapshot file is present at path.
+func Exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

@@ -1,0 +1,110 @@
+package pheap
+
+import "tsp/internal/nvm"
+
+// This file implements the recovery-time garbage collector. The paper
+// notes that crashes can cause Atlas-fortified software to leak memory
+// (a block is allocated but the crash lands before it is linked into a
+// reachable structure, or after it is unlinked but before it is freed)
+// and that Atlas added a recovery-time collector to reclaim such leaks.
+// The same situation arises for the non-blocking case study: a crash
+// between pheap.Alloc and the linking CAS strands the node.
+//
+// The collector is conservative, in the tradition of Boehm-style
+// collectors that Atlas's own collector descends from: any payload word
+// whose value equals the payload address of an allocated block is treated
+// as a pointer to it. False retention is possible (an integer that
+// happens to collide with a block address) but harmless; false
+// reclamation is impossible.
+
+// GCReport summarizes a collection.
+type GCReport struct {
+	BlocksScanned  int // allocated blocks examined
+	BlocksMarked   int // blocks reachable from the roots
+	BlocksFreed    int // leaked blocks reclaimed
+	WordsReclaimed int // total words (headers included) reclaimed
+}
+
+// GC runs a conservative stop-the-world mark-sweep from the heap root,
+// the auxiliary roots, and any volatile pins. The caller must ensure no
+// mutator is running — the collector is designed for recovery time, where
+// that holds by construction.
+func (h *Heap) GC() (GCReport, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	blocks, err := h.collectBlocks()
+	if err != nil {
+		return GCReport{}, err
+	}
+	var rep GCReport
+	rep.BlocksScanned = len(blocks)
+
+	// Mark phase: breadth-first from all roots.
+	marked := make(map[Ptr]bool, len(blocks))
+	var queue []Ptr
+	push := func(p Ptr) {
+		if _, ok := blocks[p]; ok && !marked[p] {
+			marked[p] = true
+			queue = append(queue, p)
+		}
+	}
+	push(h.Root())
+	for i := 0; i < NumAux; i++ {
+		push(h.Aux(i))
+	}
+	for p := range h.pins {
+		push(p)
+	}
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		payloadWords := blocks[p] - 1
+		for off := 0; off < payloadWords; off++ {
+			v := h.dev.Load(p.Addr() + nvm.Addr(off))
+			push(Ptr(v &^ markTagMask)) // strip pointer-tag bits (see below)
+		}
+	}
+	rep.BlocksMarked = len(marked)
+
+	// Sweep phase: free every allocated block the mark phase missed.
+	for p, total := range blocks {
+		if marked[p] {
+			continue
+		}
+		hdrAddr := p.Addr() - 1
+		h.dev.Store(hdrAddr, uint64(total)<<1) // clear alloc bit
+		h.pushFree(p, total)
+		rep.BlocksFreed++
+		rep.WordsReclaimed += total
+	}
+	return rep, nil
+}
+
+// markTagMask strips low/high tag bits before the conservative pointer
+// test. Non-blocking structures store "marked" pointers whose
+// most-significant bit flags logical deletion (see internal/skiplist);
+// the collector must still see through the tag, otherwise nodes reachable
+// only via marked references would be swept while a traversal could still
+// reach them.
+const markTagMask uint64 = 1 << 63
+
+// collectBlocks walks the block chain and returns allocated payload
+// pointers mapped to their total block sizes.
+func (h *Heap) collectBlocks() (map[Ptr]int, error) {
+	blocks := make(map[Ptr]int)
+	bump := h.dev.Load(hdrBump)
+	addr := uint64(heapStart)
+	for addr < bump {
+		hdr := h.dev.Load(nvm.Addr(addr))
+		size := hdr >> 1
+		if size < minBlock || addr+size > bump {
+			return nil, ErrCorrupt
+		}
+		if hdr&allocBit != 0 {
+			blocks[Ptr(addr)+1] = int(size)
+		}
+		addr += size
+	}
+	return blocks, nil
+}

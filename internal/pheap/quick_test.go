@@ -1,0 +1,159 @@
+package pheap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tsp/internal/nvm"
+)
+
+// Property: any interleaving of Alloc and Free keeps the heap Check-clean
+// and never hands out overlapping blocks.
+func TestQuickAllocFreeIntegrity(t *testing.T) {
+	f := func(ops []uint8) bool {
+		h, err := Format(nvm.NewDevice(nvm.Config{Words: 1 << 12}))
+		if err != nil {
+			return false
+		}
+		type span struct{ lo, hi uint64 }
+		live := map[Ptr]span{}
+		var order []Ptr
+		for _, op := range ops {
+			if op%3 != 0 || len(order) == 0 {
+				size := int(op%13) + 1
+				p, err := h.Alloc(size)
+				if err != nil {
+					continue // heap full is fine
+				}
+				total, _ := h.SizeOf(p)
+				s := span{uint64(p) - 1, uint64(p) + uint64(total)}
+				for _, other := range live {
+					if s.lo < other.hi && other.lo < s.hi {
+						return false // overlap!
+					}
+				}
+				live[p] = s
+				order = append(order, p)
+			} else {
+				p := order[len(order)-1]
+				order = order[:len(order)-1]
+				if err := h.Free(p); err != nil {
+					return false
+				}
+				delete(live, p)
+			}
+		}
+		_, err = h.Check()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stored payload words survive crash-with-rescue and reopen.
+func TestQuickPayloadSurvivesRescue(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		dev := nvm.NewDevice(nvm.Config{Words: 1 << 12})
+		h, _ := Format(dev)
+		p, err := h.Alloc(len(vals))
+		if err != nil {
+			return true
+		}
+		for i, v := range vals {
+			h.Store(p, i, v)
+		}
+		h.SetRoot(p)
+		dev.CrashRescue()
+		dev.Restart()
+		h2, err := Open(dev)
+		if err != nil {
+			return false
+		}
+		q := h2.Root()
+		if q != p {
+			return false
+		}
+		for i, v := range vals {
+			if h2.Load(q, i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GC never frees anything reachable from the root, for random
+// list shapes with random cross-links.
+func TestQuickGCPreservesReachability(t *testing.T) {
+	f := func(links []uint8, n uint8) bool {
+		count := int(n%20) + 1
+		h, err := Format(nvm.NewDevice(nvm.Config{Words: 1 << 14}))
+		if err != nil {
+			return false
+		}
+		ptrs := make([]Ptr, count)
+		for i := range ptrs {
+			p, err := h.Alloc(3)
+			if err != nil {
+				return true
+			}
+			ptrs[i] = p
+		}
+		// Random cross-links among the nodes.
+		for i, l := range links {
+			if i >= count {
+				break
+			}
+			h.Store(ptrs[i], int(l)%2, uint64(ptrs[int(l)%count]))
+		}
+		h.SetRoot(ptrs[0])
+		// Compute expected reachability.
+		reach := map[Ptr]bool{}
+		var walk func(p Ptr)
+		walk = func(p Ptr) {
+			if p.IsNil() || reach[p] {
+				return
+			}
+			reach[p] = true
+			for off := 0; off < 3; off++ {
+				v := Ptr(h.Load(p, off))
+				for _, q := range ptrs {
+					if v == q {
+						walk(q)
+					}
+				}
+			}
+		}
+		walk(ptrs[0])
+		if _, err := h.GC(); err != nil {
+			return false
+		}
+		// Every expected-reachable block must still be allocated.
+		stillAlloc := map[Ptr]bool{}
+		_ = h.Blocks(func(p Ptr, _ int, allocated bool) bool {
+			if allocated {
+				stillAlloc[p] = true
+			}
+			return true
+		})
+		for p := range reach {
+			if !stillAlloc[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

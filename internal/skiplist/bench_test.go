@@ -1,0 +1,119 @@
+package skiplist
+
+import (
+	"math/rand"
+	"testing"
+
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+)
+
+func benchList(b *testing.B, prefill int) *List {
+	b.Helper()
+	dev := nvm.NewDevice(nvm.Config{Words: 1 << 22})
+	heap, err := pheap.Format(dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := New(heap, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	heap.SetRoot(l.Ptr())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < prefill; i++ {
+		if _, err := l.Put(uint64(rng.Intn(prefill*2)), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return l
+}
+
+func BenchmarkGet(b *testing.B) {
+	l := benchList(b, 1<<14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Get(uint64(i) % (1 << 15))
+	}
+}
+
+func BenchmarkPutExisting(b *testing.B) {
+	l := benchList(b, 1<<14)
+	keys := collectKeys(l)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Put(keys[i%len(keys)], uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInc(b *testing.B) {
+	l := benchList(b, 1<<12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Inc(uint64(i)%(1<<13), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertDeleteCycle(b *testing.B) {
+	// Deleted nodes are reclaimed only at quiescence (recovery-time GC);
+	// long runs must collect periodically, outside the timed region,
+	// exactly as a long-lived deployment would.
+	dev := nvm.NewDevice(nvm.Config{Words: 1 << 22})
+	heap, err := pheap.Format(dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := New(heap, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	heap.SetRoot(l.Ptr())
+	for k := uint64(0); k < 1<<10; k++ {
+		if _, err := l.Put(k, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(1<<20) + uint64(i%256)
+		if _, err := l.Put(k, 1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.Delete(k); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%(1<<17) == 0 {
+			b.StopTimer()
+			if _, err := l.Compact(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := heap.GC(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	l := benchList(b, 1<<13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func collectKeys(l *List) []uint64 {
+	var keys []uint64
+	l.Range(func(k, _ uint64) bool {
+		keys = append(keys, k)
+		return true
+	})
+	return keys
+}

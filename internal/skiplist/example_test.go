@@ -1,0 +1,52 @@
+package skiplist_test
+
+import (
+	"fmt"
+
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+	"tsp/internal/skiplist"
+)
+
+// The Section 4.1 flow: a lock-free map needs NO crash-consistency code
+// at all — crash with a TSP rescue, reopen from the root, keep going.
+func Example() {
+	dev := nvm.NewDevice(nvm.Config{Words: 1 << 16})
+	heap, _ := pheap.Format(dev)
+	list, _ := skiplist.New(heap, 8)
+	heap.SetRoot(list.Ptr())
+
+	list.Put(3, 30)
+	list.Put(1, 10)
+	list.Inc(3, 3)
+
+	dev.CrashRescue()
+	dev.Restart()
+
+	heap2, _ := pheap.Open(dev)
+	list2, _ := skiplist.Open(heap2, heap2.Root())
+	list2.Range(func(k, v uint64) bool {
+		fmt.Println(k, v)
+		return true
+	})
+	// Output:
+	// 1 10
+	// 3 33
+}
+
+// Ordered scans are the skip list's structural advantage over the hash
+// map.
+func ExampleList_RangeBetween() {
+	dev := nvm.NewDevice(nvm.Config{Words: 1 << 16})
+	heap, _ := pheap.Format(dev)
+	list, _ := skiplist.New(heap, 8)
+	for k := uint64(0); k < 100; k += 10 {
+		list.Put(k, k)
+	}
+	list.RangeBetween(25, 65, func(k, _ uint64) bool {
+		fmt.Print(k, " ")
+		return true
+	})
+	fmt.Println()
+	// Output: 30 40 50 60
+}

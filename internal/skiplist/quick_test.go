@@ -1,0 +1,173 @@
+package skiplist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+)
+
+// Model-based testing: a random single-threaded op sequence against the
+// skip list and a plain Go map must agree at every step, and the list
+// must survive a crash-with-rescue at the end holding exactly the model.
+
+type modelOp struct {
+	kind uint8 // 0 put, 1 inc, 2 delete, 3 get
+	key  uint64
+	val  uint64
+}
+
+func decodeOps(raw []uint32) []modelOp {
+	ops := make([]modelOp, 0, len(raw))
+	for _, r := range raw {
+		ops = append(ops, modelOp{
+			kind: uint8(r % 4),
+			key:  uint64(r>>2) % 64, // small key space -> plenty of collisions
+			val:  uint64(r),
+		})
+	}
+	return ops
+}
+
+func TestQuickMatchesModel(t *testing.T) {
+	f := func(raw []uint32) bool {
+		dev := nvm.NewDevice(nvm.Config{Words: 1 << 16})
+		heap, err := pheap.Format(dev)
+		if err != nil {
+			return false
+		}
+		l, err := New(heap, 8)
+		if err != nil {
+			return false
+		}
+		heap.SetRoot(l.Ptr())
+		model := map[uint64]uint64{}
+		for _, op := range decodeOps(raw) {
+			switch op.kind {
+			case 0:
+				if _, err := l.Put(op.key, op.val); err != nil {
+					return false
+				}
+				model[op.key] = op.val
+			case 1:
+				if _, err := l.Inc(op.key, op.val); err != nil {
+					return false
+				}
+				model[op.key] += op.val
+			case 2:
+				ok, err := l.Delete(op.key)
+				if err != nil {
+					return false
+				}
+				_, inModel := model[op.key]
+				if ok != inModel {
+					return false
+				}
+				delete(model, op.key)
+			case 3:
+				v, ok := l.Get(op.key)
+				mv, inModel := model[op.key]
+				if ok != inModel || (ok && v != mv) {
+					return false
+				}
+			}
+		}
+		// Full agreement at the end.
+		if l.Len() != len(model) {
+			return false
+		}
+		agree := true
+		l.Range(func(k, v uint64) bool {
+			if mv, ok := model[k]; !ok || mv != v {
+				agree = false
+				return false
+			}
+			return true
+		})
+		if !agree {
+			return false
+		}
+		if _, err := l.Verify(); err != nil {
+			return false
+		}
+		// Crash with rescue; the recovered list must hold the model.
+		dev.CrashRescue()
+		dev.Restart()
+		heap2, err := pheap.Open(dev)
+		if err != nil {
+			return false
+		}
+		l2, err := Open(heap2, heap2.Root())
+		if err != nil {
+			return false
+		}
+		if _, err := l2.Verify(); err != nil {
+			return false
+		}
+		for k, v := range model {
+			got, ok := l2.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return l2.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compact + RebuildIndex never change the live contents.
+func TestQuickMaintenancePreservesContents(t *testing.T) {
+	f := func(raw []uint32) bool {
+		dev := nvm.NewDevice(nvm.Config{Words: 1 << 16})
+		heap, _ := pheap.Format(dev)
+		l, err := New(heap, 8)
+		if err != nil {
+			return false
+		}
+		heap.SetRoot(l.Ptr())
+		model := map[uint64]uint64{}
+		for _, op := range decodeOps(raw) {
+			switch op.kind {
+			case 0, 3:
+				if _, err := l.Put(op.key, op.val); err != nil {
+					return false
+				}
+				model[op.key] = op.val
+			case 1:
+				if _, err := l.Inc(op.key, op.val); err != nil {
+					return false
+				}
+				model[op.key] += op.val
+			case 2:
+				if _, err := l.Delete(op.key); err != nil {
+					return false
+				}
+				delete(model, op.key)
+			}
+		}
+		if _, err := l.Compact(); err != nil {
+			return false
+		}
+		if err := l.RebuildIndex(); err != nil {
+			return false
+		}
+		if _, err := l.Verify(); err != nil {
+			return false
+		}
+		if l.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if got, ok := l.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

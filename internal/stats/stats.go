@@ -1,0 +1,182 @@
+// Package stats provides the small statistical helpers the benchmark
+// harness and command-line tools use to summarize repeated measurements:
+// streaming mean/variance (Welford), order statistics, and fixed-width
+// table rendering.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates observations for summary statistics.
+type Sample struct {
+	values []float64
+	mean   float64
+	m2     float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	// Welford's online update keeps mean/variance numerically stable.
+	delta := v - s.mean
+	s.mean += delta / float64(len(s.values))
+	s.m2 += delta * (v - s.mean)
+}
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.values) }
+
+// Values returns the raw observations (shared slice; callers must not
+// mutate it). Used to merge per-worker samples.
+func (s *Sample) Values() []float64 { return s.values }
+
+// Mean returns the sample mean (0 with no observations).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance.
+func (s *Sample) Var() float64 {
+	if len(s.values) < 2 {
+		return 0
+	}
+	return s.m2 / float64(len(s.values)-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Sample) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 with none).
+func (s *Sample) Min() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation (0 with none).
+func (s *Sample) Max() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	m := s.values[0]
+	for _, v := range s.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank on a sorted copy.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Summary renders n/mean/std/min/max in one line.
+func (s *Sample) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g max=%.4g",
+		s.N(), s.Mean(), s.Stddev(), s.Min(), s.Max())
+}
+
+// Table renders rows of cells as a fixed-width text table with a header
+// row and a separator, right-aligning numeric-looking cells.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if looksNumeric(cell) {
+				fmt.Fprintf(&b, "%*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	digits := 0
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			digits++
+		case r == '.' || r == '-' || r == '+' || r == '%' || r == 'e' || r == 'E':
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}

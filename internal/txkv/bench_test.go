@@ -1,0 +1,96 @@
+package txkv
+
+import (
+	"testing"
+
+	"tsp/internal/atlas"
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+)
+
+func benchStore(b *testing.B, mode atlas.Mode) (*Store, *atlas.Thread) {
+	b.Helper()
+	dev := nvm.NewDevice(nvm.Config{Words: 1 << 22})
+	heap, err := pheap.Format(dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := atlas.New(heap, mode, atlas.Options{MaxThreads: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(rt, 1<<12, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	heap.SetRoot(s.Ptr())
+	th, err := rt.NewThread()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Prefill.
+	keys := make([]uint64, 0, 64)
+	for k := uint64(0); k < 1<<10; k++ {
+		keys = append(keys[:0], k)
+		if err := s.Update(th, keys, func(tx *Txn) error { return tx.Put(k, k) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s, th
+}
+
+// BenchmarkTransfer measures a two-key read-modify-write transaction
+// across the three fortification modes — the transactional analogue of
+// Table 1's columns.
+func BenchmarkTransfer(b *testing.B) {
+	for _, mode := range []atlas.Mode{atlas.ModeOff, atlas.ModeTSP, atlas.ModeNonTSP} {
+		b.Run(mode.String(), func(b *testing.B) {
+			s, th := benchStore(b, mode)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				from := uint64(i) % (1 << 10)
+				to := (from + 7) % (1 << 10)
+				if from == to {
+					continue
+				}
+				err := s.Update(th, []uint64{from, to}, func(tx *Txn) error {
+					fv, _, err := tx.Get(from)
+					if err != nil {
+						return err
+					}
+					if err := tx.Put(from, fv-1); err != nil {
+						return err
+					}
+					_, err = tx.Add(to, 1)
+					return err
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWideTransaction measures an 8-key transaction.
+func BenchmarkWideTransaction(b *testing.B) {
+	s, th := benchStore(b, atlas.ModeTSP)
+	keys := make([]uint64, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range keys {
+			keys[j] = uint64((i + j*37) % (1 << 10))
+		}
+		err := s.Update(th, keys, func(tx *Txn) error {
+			for _, k := range keys {
+				if err := tx.Put(k, uint64(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

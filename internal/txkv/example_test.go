@@ -1,0 +1,42 @@
+package txkv_test
+
+import (
+	"fmt"
+
+	"tsp/internal/atlas"
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+	"tsp/internal/txkv"
+)
+
+// A multi-key transfer as one failure-atomic transaction: all stripe
+// locks are taken in order, writes apply inside one outermost critical
+// section, and a crash anywhere before the final unlock rolls the whole
+// transfer back at recovery.
+func Example() {
+	dev := nvm.NewDevice(nvm.Config{Words: 1 << 18})
+	heap, _ := pheap.Format(dev)
+	rt, _ := atlas.New(heap, atlas.ModeTSP, atlas.Options{MaxThreads: 1})
+	bank, _ := txkv.New(rt, 64, 8)
+	heap.SetRoot(bank.Ptr())
+
+	th, _ := rt.NewThread()
+	bank.Update(th, []uint64{1, 2}, func(tx *txkv.Txn) error {
+		tx.Put(1, 500)
+		tx.Put(2, 500)
+		return nil
+	})
+
+	// Transfer 200 from account 1 to account 2.
+	bank.Update(th, []uint64{1, 2}, func(tx *txkv.Txn) error {
+		from, _, _ := tx.Get(1)
+		tx.Put(1, from-200)
+		tx.Add(2, 200)
+		return nil
+	})
+
+	v1, _, _ := bank.Map().Get(th, 1)
+	v2, _, _ := bank.Map().Get(th, 2)
+	fmt.Println(v1, v2)
+	// Output: 300 700
+}

@@ -1,0 +1,410 @@
+package txkv
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tsp/internal/atlas"
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+)
+
+type env struct {
+	dev  *nvm.Device
+	heap *pheap.Heap
+	rt   *atlas.Runtime
+	s    *Store
+}
+
+func newEnv(t *testing.T, mode atlas.Mode) *env {
+	t.Helper()
+	dev := nvm.NewDevice(nvm.Config{Words: 1 << 20})
+	heap, err := pheap.Format(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := atlas.New(heap, mode, atlas.Options{MaxThreads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(rt, 256, 16) // 16 stripes: multi-stripe txns are common
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap.SetRoot(s.Ptr())
+	dev.FlushAll()
+	return &env{dev: dev, heap: heap, rt: rt, s: s}
+}
+
+func (e *env) thread(t *testing.T) *atlas.Thread {
+	t.Helper()
+	th, err := e.rt.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th
+}
+
+// recover crashes, restarts, recovers and reattaches.
+func (e *env) recover(t *testing.T, frac float64, mode atlas.Mode) (*Store, *atlas.Thread) {
+	t.Helper()
+	e.dev.Crash(nvm.CrashOptions{RescueFraction: frac, Seed: 3})
+	e.dev.Restart()
+	heap, err := pheap.Open(e.dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := atlas.Recover(heap); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := atlas.New(heap, mode, atlas.Options{MaxThreads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(rt, heap.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := rt.NewThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, th
+}
+
+func TestBasicTransaction(t *testing.T) {
+	e := newEnv(t, atlas.ModeTSP)
+	th := e.thread(t)
+	err := e.s.Update(th, []uint64{1, 2, 3}, func(tx *Txn) error {
+		if err := tx.Put(1, 100); err != nil {
+			return err
+		}
+		if err := tx.Put(2, 200); err != nil {
+			return err
+		}
+		// Read-your-writes.
+		v, ok, err := tx.Get(1)
+		if err != nil || !ok || v != 100 {
+			t.Errorf("read-your-writes: %d,%v,%v", v, ok, err)
+		}
+		// Absent key reads as absent.
+		if _, ok, _ := tx.Get(3); ok {
+			t.Error("absent key found")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	v, ok, _ := e.s.Map().Get(th, 2)
+	if !ok || v != 200 {
+		t.Fatalf("committed value = %d,%v", v, ok)
+	}
+}
+
+func TestAbortAppliesNothing(t *testing.T) {
+	e := newEnv(t, atlas.ModeTSP)
+	th := e.thread(t)
+	e.s.Update(th, []uint64{5}, func(tx *Txn) error { return tx.Put(5, 1) })
+	boom := errors.New("boom")
+	err := e.s.Update(th, []uint64{5, 6}, func(tx *Txn) error {
+		tx.Put(5, 999)
+		tx.Put(6, 999)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if v, _, _ := e.s.Map().Get(th, 5); v != 1 {
+		t.Fatalf("aborted write applied: %d", v)
+	}
+	if _, ok, _ := e.s.Map().Get(th, 6); ok {
+		t.Fatal("aborted insert applied")
+	}
+}
+
+func TestUndeclaredKeyRejected(t *testing.T) {
+	e := newEnv(t, atlas.ModeTSP)
+	th := e.thread(t)
+	err := e.s.Update(th, []uint64{1}, func(tx *Txn) error {
+		return tx.Put(2, 1)
+	})
+	if !errors.Is(err, ErrUndeclaredKey) {
+		t.Fatalf("err = %v, want ErrUndeclaredKey", err)
+	}
+	err = e.s.Update(th, []uint64{1}, func(tx *Txn) error {
+		_, _, err := tx.Get(99)
+		return err
+	})
+	if !errors.Is(err, ErrUndeclaredKey) {
+		t.Fatalf("Get err = %v, want ErrUndeclaredKey", err)
+	}
+}
+
+func TestDeleteInTransaction(t *testing.T) {
+	e := newEnv(t, atlas.ModeTSP)
+	th := e.thread(t)
+	e.s.Update(th, []uint64{7, 8}, func(tx *Txn) error {
+		tx.Put(7, 70)
+		tx.Put(8, 80)
+		return nil
+	})
+	e.s.Update(th, []uint64{7, 8}, func(tx *Txn) error {
+		if err := tx.Delete(7); err != nil {
+			return err
+		}
+		// The delete is visible within the transaction.
+		if _, ok, _ := tx.Get(7); ok {
+			t.Error("deleted key still visible in txn")
+		}
+		return tx.Put(8, 88)
+	})
+	if _, ok, _ := e.s.Map().Get(th, 7); ok {
+		t.Fatal("delete not applied")
+	}
+	if v, _, _ := e.s.Map().Get(th, 8); v != 88 {
+		t.Fatalf("update not applied: %d", v)
+	}
+	if _, err := e.s.Map().Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestViewRejectsWrites(t *testing.T) {
+	e := newEnv(t, atlas.ModeTSP)
+	th := e.thread(t)
+	err := e.s.View(th, []uint64{1}, func(tx *Txn) error {
+		return tx.Put(1, 1)
+	})
+	if err == nil {
+		t.Fatal("View accepted a write")
+	}
+}
+
+// The headline property: a crash mid-commit rolls back the ENTIRE
+// multi-key transaction, even across stripes.
+func TestCrashMidCommitRollsBackWholeTransaction(t *testing.T) {
+	e := newEnv(t, atlas.ModeTSP)
+	th := e.thread(t)
+	// Committed state: two accounts across different stripes.
+	if err := e.s.Update(th, []uint64{10, 200}, func(tx *Txn) error {
+		tx.Put(10, 1000)
+		tx.Put(200, 1000)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A transfer whose commit the crash interrupts between the two
+	// writes: arm the crash a couple of stores into the apply phase.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.s.Update(th, []uint64{10, 200}, func(tx *Txn) error {
+			tx.Add(10, ^uint64(499)) // -500 in two's complement
+			tx.Add(200, 500)
+			// Arm: the apply phase will issue several stores (undo
+			// records are not store-class... they ARE: StoreBlock).
+			// Fire after the first data store of the apply.
+			e.dev.ArmCrashAfter(2, nvm.CrashOptions{RescueFraction: 1})
+			return nil
+		})
+	}()
+	<-done
+
+	if !e.dev.Crashed() {
+		t.Skip("apply finished before the armed crash; offsets shifted")
+	}
+	s2, th2 := e.recover(t, 1, atlas.ModeTSP)
+	v1, _, _ := s2.Map().Get(th2, 10)
+	v2, _, _ := s2.Map().Get(th2, 200)
+	if v1 != 1000 || v2 != 1000 {
+		t.Fatalf("partial transfer survived: %d/%d, want 1000/1000", v1, v2)
+	}
+	if _, err := s2.Map().Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestCompletedTransactionSurvivesCrash(t *testing.T) {
+	for _, tc := range []struct {
+		mode atlas.Mode
+		frac float64
+	}{
+		{atlas.ModeTSP, 1},
+		{atlas.ModeNonTSP, 0},
+	} {
+		t.Run(tc.mode.String(), func(t *testing.T) {
+			e := newEnv(t, tc.mode)
+			th := e.thread(t)
+			if err := e.s.Update(th, []uint64{1, 2, 3}, func(tx *Txn) error {
+				tx.Put(1, 11)
+				tx.Put(2, 22)
+				tx.Put(3, 33)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			s2, th2 := e.recover(t, tc.frac, tc.mode)
+			for k, want := range map[uint64]uint64{1: 11, 2: 22, 3: 33} {
+				if v, ok, _ := s2.Map().Get(th2, k); !ok || v != want {
+					t.Fatalf("key %d = %d,%v want %d", k, v, ok, want)
+				}
+			}
+		})
+	}
+}
+
+func TestConcurrentTransfersConserveTotal(t *testing.T) {
+	e := newEnv(t, atlas.ModeTSP)
+	const accounts, initial = 32, 1000
+	setup := e.thread(t)
+	keys := make([]uint64, accounts)
+	for i := range keys {
+		keys[i] = uint64(i)
+	}
+	if err := e.s.Update(setup, keys, func(tx *Txn) error {
+		for _, k := range keys {
+			tx.Put(k, initial)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th, err := e.rt.NewThread()
+			if err != nil {
+				t.Errorf("NewThread: %v", err)
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 300; i++ {
+				from := uint64(rng.Intn(accounts))
+				to := uint64(rng.Intn(accounts))
+				if from == to {
+					continue
+				}
+				err := e.s.Update(th, []uint64{from, to}, func(tx *Txn) error {
+					fv, _, err := tx.Get(from)
+					if err != nil {
+						return err
+					}
+					if fv < 10 {
+						return errors.New("insufficient funds") // abort
+					}
+					if err := tx.Put(from, fv-10); err != nil {
+						return err
+					}
+					_, err = tx.Add(to, 10)
+					return err
+				})
+				if err != nil && err.Error() != "insufficient funds" {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	var total uint64
+	e.s.Map().Range(func(_, v uint64) bool { total += v; return true })
+	if total != accounts*initial {
+		t.Fatalf("total = %d, want %d (money created or destroyed)", total, accounts*initial)
+	}
+	if _, err := e.s.Map().Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+// The counterpoint: WITHOUT Atlas (ModeOff), a crash mid-apply tears the
+// transaction — money disappears. This is the hazard the runtime exists
+// to close; observing it confirms the fortified result above is not
+// vacuous.
+func TestModeOffCrashMidApplyTearsTransaction(t *testing.T) {
+	sawTorn := false
+	for seed := uint64(1); seed <= 20 && !sawTorn; seed++ {
+		e := newEnv(t, atlas.ModeOff)
+		th := e.thread(t)
+		if err := e.s.Update(th, []uint64{10, 200}, func(tx *Txn) error {
+			tx.Put(10, 1000)
+			tx.Put(200, 1000)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Transfer 500 with a crash armed somewhere inside the apply
+		// phase (ModeOff has no log records, so the store offsets differ
+		// from the fortified case; sweep a few).
+		e.s.Update(th, []uint64{10, 200}, func(tx *Txn) error {
+			fv, _, _ := tx.Get(10)
+			tx.Put(10, fv-500)
+			tx.Add(200, 500)
+			e.dev.ArmCrashAfter(seed%5, nvm.CrashOptions{RescueFraction: 1})
+			return nil
+		})
+		if !e.dev.Crashed() {
+			continue
+		}
+		s2, th2 := e.recover(t, 1, atlas.ModeOff)
+		v1, _, _ := s2.Map().Get(th2, 10)
+		v2, _, _ := s2.Map().Get(th2, 200)
+		if v1+v2 != 2000 {
+			sawTorn = true
+		}
+	}
+	if !sawTorn {
+		t.Skip("no torn transfer observed; crash offsets shifted")
+	}
+}
+
+// Property: random multi-key transactions with random crash points
+// always recover to transaction-atomic state (every txn all-or-nothing).
+func TestRandomCrashPointsTransactionAtomicity(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		e := newEnv(t, atlas.ModeTSP)
+		th := e.thread(t)
+		rng := rand.New(rand.NewSource(int64(trial)))
+
+		// Model: apply each txn to the model only when Update returns.
+		model := map[uint64]uint64{}
+		e.dev.ArmCrashAfter(uint64(rng.Intn(200)), nvm.CrashOptions{RescueFraction: 1})
+		for i := 0; i < 50 && !e.dev.Crashed(); i++ {
+			k1, k2 := uint64(rng.Intn(20)), uint64(20+rng.Intn(20))
+			v1, v2 := rng.Uint64()%1000, rng.Uint64()%1000
+			err := e.s.Update(th, []uint64{k1, k2}, func(tx *Txn) error {
+				if err := tx.Put(k1, v1); err != nil {
+					return err
+				}
+				return tx.Put(k2, v2)
+			})
+			if err == nil && !e.dev.Crashed() {
+				model[k1], model[k2] = v1, v2
+			}
+		}
+		s2, th2 := e.recover(t, 1, atlas.ModeTSP)
+		if _, err := s2.Map().Verify(); err != nil {
+			t.Fatalf("trial %d: Verify: %v", trial, err)
+		}
+		// Every committed (pre-crash-return) transaction must be fully
+		// present. (Keys from the in-flight txn may hold either old or
+		// rolled-back values; since we only recorded returns that
+		// preceded the crash, the model is a lower bound we check
+		// exactly: txkv writes to k1,k2 pairs are always overwritten
+		// together, so model state must match.)
+		for k, want := range model {
+			got, ok, _ := s2.Map().Get(th2, k)
+			if !ok || got != want {
+				t.Fatalf("trial %d: key %d = %d,%v want %d", trial, k, got, ok, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package wsp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDesktopTypicalIsFeasible(t *testing.T) {
+	res, err := Evaluate(DesktopMachine(), TypicalEnergy(), TypicalRates())
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if !res.Feasible() {
+		t.Fatalf("desktop WSP should be feasible:\n%s", res)
+	}
+	if res.Stage1.Time >= res.Stage2.Time {
+		t.Fatalf("stage1 (%v) should be far faster than stage2 (%v)", res.Stage1.Time, res.Stage2.Time)
+	}
+}
+
+func TestServerNeedsMoreSupercap(t *testing.T) {
+	// 1.5 TB at 1 GB/s and 40 W needs ~61 kJ; the 5 kJ typical bank
+	// must be insufficient.
+	res, err := Evaluate(ServerMachine(), TypicalEnergy(), TypicalRates())
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if res.Stage2.Feasible {
+		t.Fatalf("server stage 2 should exceed a 5 kJ bank:\n%s", res)
+	}
+	if res.Stage1.Feasible == false {
+		t.Fatalf("server stage 1 (cache flush) should still fit PSU residual:\n%s", res)
+	}
+}
+
+func TestStage1EnergyMath(t *testing.T) {
+	m := Machine{Cores: 1, RegisterBytesPerCore: 0, CacheBytes: 10e9}
+	r := Rates{FlushBytesPerSec: 10e9, FlushWatts: 100, SaveBytesPerSec: 1, SaveWatts: 1}
+	res, err := Evaluate(m, Energy{PSUResidualJoules: 100.1, SupercapJoules: 1}, r)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	// 10 GB at 10 GB/s = 1 s at 100 W = 100 J.
+	if res.Stage1.Time.Round(time.Millisecond) != time.Second {
+		t.Fatalf("stage1 time = %v, want 1s", res.Stage1.Time)
+	}
+	if res.Stage1.EnergyNeeded < 99.9 || res.Stage1.EnergyNeeded > 100.1 {
+		t.Fatalf("stage1 energy = %v, want ~100 J", res.Stage1.EnergyNeeded)
+	}
+	if !res.Stage1.Feasible {
+		t.Fatal("stage1 should fit a 100.1 J budget")
+	}
+}
+
+func TestMaxDRAMBytes(t *testing.T) {
+	r := Rates{FlushBytesPerSec: 1, FlushWatts: 1, SaveBytesPerSec: 1e9, SaveWatts: 40}
+	n, err := MaxDRAMBytes(Energy{SupercapJoules: 40}, r)
+	if err != nil {
+		t.Fatalf("MaxDRAMBytes: %v", err)
+	}
+	// 40 J at 40 W = 1 s at 1 GB/s = 1e9 bytes.
+	if n != 1e9 {
+		t.Fatalf("MaxDRAMBytes = %d, want 1e9", n)
+	}
+}
+
+func TestMaxDRAMBytesConsistentWithEvaluate(t *testing.T) {
+	e, r := TypicalEnergy(), TypicalRates()
+	maxBytes, err := MaxDRAMBytes(e, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DesktopMachine()
+	m.DRAMBytes = maxBytes
+	res, err := Evaluate(m, e, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stage2.Feasible {
+		t.Fatalf("DRAM at the computed maximum should be feasible:\n%s", res)
+	}
+	m.DRAMBytes = maxBytes + maxBytes/100
+	res, _ = Evaluate(m, e, r)
+	if res.Stage2.Feasible {
+		t.Fatal("DRAM 1% past the maximum should be infeasible")
+	}
+}
+
+func TestDiskEvacuationAsymmetry(t *testing.T) {
+	// The Section 2 point: cache flush is minuscule next to pushing
+	// DRAM through a disk path.
+	cache, disk, err := DiskEvacuationComparison(DesktopMachine(), TypicalRates(), 200e6)
+	if err != nil {
+		t.Fatalf("DiskEvacuationComparison: %v", err)
+	}
+	if cache*1000 > disk {
+		t.Fatalf("cache flush (%v) should be >1000x faster than disk evacuation (%v)", cache, disk)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := Evaluate(Machine{}, TypicalEnergy(), TypicalRates()); err == nil {
+		t.Error("zero-core machine accepted")
+	}
+	if _, err := Evaluate(DesktopMachine(), TypicalEnergy(), Rates{}); err == nil {
+		t.Error("zero rates accepted")
+	}
+	if _, err := Evaluate(DesktopMachine(), Energy{PSUResidualJoules: -1}, TypicalRates()); err == nil {
+		t.Error("negative energy accepted")
+	}
+	if _, err := MaxDRAMBytes(Energy{SupercapJoules: -1}, TypicalRates()); err == nil {
+		t.Error("negative supercap accepted")
+	}
+	if _, _, err := DiskEvacuationComparison(DesktopMachine(), TypicalRates(), 0); err == nil {
+		t.Error("zero disk bandwidth accepted")
+	}
+}
+
+func TestQuickMoreEnergyNeverHurts(t *testing.T) {
+	f := func(dramGB uint16, extraJ uint16) bool {
+		m := DesktopMachine()
+		m.DRAMBytes = int64(dramGB%2048) << 30
+		e := TypicalEnergy()
+		res1, err := Evaluate(m, e, TypicalRates())
+		if err != nil {
+			return false
+		}
+		e.SupercapJoules += float64(extraJ)
+		e.PSUResidualJoules += float64(extraJ)
+		res2, err := Evaluate(m, e, TypicalRates())
+		if err != nil {
+			return false
+		}
+		// Monotonicity: adding energy can only turn infeasible into
+		// feasible, never the reverse.
+		if res1.Feasible() && !res2.Feasible() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTimeScalesWithBytes(t *testing.T) {
+	f := func(gb uint8) bool {
+		m := DesktopMachine()
+		m.DRAMBytes = int64(gb) << 30
+		res, err := Evaluate(m, TypicalEnergy(), TypicalRates())
+		if err != nil {
+			return false
+		}
+		m2 := m
+		m2.DRAMBytes *= 2
+		res2, err := Evaluate(m2, TypicalEnergy(), TypicalRates())
+		if err != nil {
+			return false
+		}
+		return res2.Stage2.Time >= res.Stage2.Time
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	res, _ := Evaluate(DesktopMachine(), TypicalEnergy(), TypicalRates())
+	if s := res.String(); len(s) == 0 {
+		t.Fatal("empty Result string")
+	}
+	if res.Stage1.Margin() <= 0 {
+		t.Fatal("nonpositive margin on feasible stage")
+	}
+	empty := StageResult{}
+	if empty.Margin() <= 0 {
+		t.Fatal("zero-need margin should be huge")
+	}
+}
