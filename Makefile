@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench-shards
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The pre-merge gate: vet + build + race-detector pass on the
+# concurrency-heavy packages + the full suite. See scripts/check.sh.
+check:
+	sh scripts/check.sh
+
+# The sharding acceptance benchmark: multi-shard must beat single-shard
+# at >= 4 goroutines.
+bench-shards:
+	$(GO) test -run 'ZZZ' -bench 'Shards|Mget' -cpu 4,8 -benchtime 300000x ./internal/cacheserver

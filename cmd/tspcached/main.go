@@ -1,22 +1,29 @@
-// Command tspcached serves a miniature memcached-style cache backed by
+// Command tspcached serves a sharded, memcached-style cache backed by
 // the crash-resilient persistent-heap stack — the application shape the
-// paper's Atlas work was evaluated on. Connect with any line-oriented
-// TCP client (nc, telnet):
+// paper's Atlas work was evaluated on. Keys are hashed across N
+// independent storage stacks, so operations on different shards never
+// contend. Connect with any line-oriented TCP client (nc, telnet):
 //
-//	$ go run ./cmd/tspcached -addr 127.0.0.1:11222 &
-//	$ printf 'set 1 100\r\nincr 1 11\r\ncrash\r\nget 1\r\nquit\r\n' | nc 127.0.0.1 11222
-//	STORED
+//	$ go run ./cmd/tspcached -addr 127.0.0.1:11222 -shards 4 &
+//	$ printf 'mset 1 100 2 200\r\nincr 1 11\r\ncrash\r\nmget 1 2\r\nquit\r\n' | nc 127.0.0.1 11222
+//	STORED 2
 //	111
 //	OK RECOVERED
 //	VALUE 1 111
+//	VALUE 2 200
+//	END
 //
-// The crash command simulates a power failure with a TSP rescue and
-// runs the full recovery path (heap reopen, Atlas rollback, verify);
-// the data is still there, as Section 4.2 promises.
+// The crash command simulates a power failure with a TSP rescue on
+// every shard (crash <n> takes down just one, while the rest keep
+// serving) and runs the full recovery path (heap reopen, Atlas
+// rollback, verify); the data is still there, as Section 4.2 promises.
+// The stats command reports aggregate counters; stats shards breaks
+// them down per shard, including recovery counts and latencies.
 //
 // Usage:
 //
-//	tspcached [-addr 127.0.0.1:11222] [-mode tsp|nontsp|off] [-conns 16]
+//	tspcached [-addr 127.0.0.1:11222] [-mode tsp|nontsp|off] [-shards 4]
+//	          [-conns 16] [-words 1048576]
 package main
 
 import (
@@ -31,7 +38,9 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:11222", "TCP listen address")
 	mode := flag.String("mode", "tsp", "fortification: tsp (log only), nontsp (log+flush), off (unfortified)")
-	conns := flag.Int("conns", 16, "maximum concurrent connections")
+	shards := flag.Int("shards", 4, "independent storage shards")
+	conns := flag.Int("conns", 16, "served connections; excess connections queue (backpressure)")
+	words := flag.Int("words", 1<<20, "simulated NVM words per shard")
 	flag.Parse()
 
 	var m atlas.Mode
@@ -47,16 +56,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv, err := cacheserver.New(cacheserver.Config{
-		Addr:     *addr,
-		Mode:     m,
-		MaxConns: *conns,
-	})
+	srv, err := cacheserver.New(
+		cacheserver.WithAddr(*addr),
+		cacheserver.WithMode(m),
+		cacheserver.WithShards(*shards),
+		cacheserver.WithMaxConns(*conns),
+		cacheserver.WithDeviceWords(*words),
+	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("tspcached listening on %s (mode %s, %d connection slots)\n", srv.Addr(), m, *conns)
+	fmt.Printf("tspcached listening on %s (mode %s, %d shards, %d connection slots)\n",
+		srv.Addr(), m, srv.NumShards(), *conns)
 	if err := srv.Serve(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -14,7 +14,10 @@
 //  3. Atlas non-TSP (log+flush) + NO rescue -> rollback from the
 //     synchronously flushed log, consistent even though the cache died.
 //
-//     go run ./examples/kvstore
+// The storage stack (device, heap, runtime, map) is assembled and
+// recovered by internal/stack; this file only drives the workload.
+//
+//	go run ./examples/kvstore
 package main
 
 import (
@@ -25,7 +28,7 @@ import (
 	"tsp/internal/atlas"
 	"tsp/internal/hashmap"
 	"tsp/internal/nvm"
-	"tsp/internal/pheap"
+	"tsp/internal/stack"
 )
 
 func main() {
@@ -46,29 +49,23 @@ func main() {
 }
 
 func runScenario(mode atlas.Mode, rescue float64) {
-	dev := nvm.NewDevice(nvm.Config{Words: 1 << 20})
-	heap, err := pheap.Format(dev)
+	st, err := stack.New(
+		stack.WithDeviceWords(1<<20),
+		stack.WithMode(mode),
+		stack.WithMaxThreads(4),
+		stack.WithBuckets(1024, 128),
+	)
 	if err != nil {
-		log.Fatalf("format: %v", err)
+		log.Fatalf("stack: %v", err)
 	}
-	rt, err := atlas.New(heap, mode, atlas.Options{MaxThreads: 4})
-	if err != nil {
-		log.Fatalf("atlas: %v", err)
-	}
-	m, err := hashmap.New(rt, 1024, 128)
-	if err != nil {
-		log.Fatalf("hashmap: %v", err)
-	}
-	heap.SetRoot(m.Ptr())
-	dev.FlushAll() // setup is not in the crash window
 
-	th, err := rt.NewThread()
+	th, err := st.RT.NewThread()
 	if err != nil {
 		log.Fatalf("thread: %v", err)
 	}
 	// Committed state: account balances.
 	for k := uint64(1); k <= 10; k++ {
-		if err := m.Put(th, k, 1000); err != nil {
+		if err := st.Map.Put(th, k, 1000); err != nil {
 			log.Fatalf("put: %v", err)
 		}
 	}
@@ -77,40 +74,26 @@ func runScenario(mode atlas.Mode, rescue float64) {
 	// lands after the first value store, before its integrity word.
 	// (TornUpdate is a test hook exposed by the map precisely to let
 	// fault-injection land between the two stores.)
-	m.TornUpdate(th, 3, 250)
+	st.Map.TornUpdate(th, 3, 250)
 	fmt.Println("  crash lands mid-critical-section (value written, check word not)")
 
-	dev.StopEvictor()
-	dev.Crash(nvm.CrashOptions{RescueFraction: rescue, Seed: 7})
-	dev.Restart()
-
-	// New incarnation: open, recover, verify.
-	heap2, err := pheap.Open(dev)
-	if err != nil {
-		log.Fatalf("reopen: %v", err)
-	}
-	rep, err := atlas.Recover(heap2)
+	// Crash, restart, and bring a new incarnation up through the
+	// standard recovery path (heap reopen, Atlas rollback, map attach).
+	st.Dev.StopEvictor()
+	st2, err := st.CrashReattach(nvm.CrashOptions{RescueFraction: rescue, Seed: 7})
 	if err != nil {
 		log.Fatalf("recover: %v", err)
 	}
-	fmt.Printf("  recovery: %s\n", rep)
+	fmt.Printf("  recovery: %s\n", st2.Recovery)
 
-	rt2, err := atlas.New(heap2, mode, atlas.Options{MaxThreads: 4})
-	if err != nil {
-		log.Fatalf("atlas reopen: %v", err)
-	}
-	m2, err := hashmap.Open(rt2, heap2.Root())
-	if err != nil {
-		log.Fatalf("hashmap reopen: %v", err)
-	}
-	if _, err := m2.Verify(); err != nil {
+	if _, err := st2.Map.Verify(); err != nil {
 		if errors.Is(err, hashmap.ErrCorrupt) {
 			fmt.Printf("  VERDICT: map corrupt, as expected without Atlas: %v\n", err)
 			return
 		}
 		log.Fatalf("verify: %v", err)
 	}
-	th2, _ := rt2.NewThread()
-	v, _, _ := m2.Get(th2, 3)
+	th2, _ := st2.RT.NewThread()
+	v, _, _ := st2.Map.Get(th2, 3)
 	fmt.Printf("  VERDICT: map consistent; account 3 = %d (torn update rolled back)\n", v)
 }

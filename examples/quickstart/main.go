@@ -13,8 +13,8 @@ import (
 	"fmt"
 	"log"
 
-	"tsp/internal/nvm"
 	"tsp/internal/pheap"
+	"tsp/internal/stack"
 )
 
 // Node layout in the persistent heap: [next, value].
@@ -24,14 +24,14 @@ const (
 )
 
 func main() {
-	// A 64 K-word (512 KB) simulated NVM device. Stores land in the
-	// volatile image (CPU cache/DRAM); only flushed or rescued lines
-	// reach the persisted image a crash leaves behind.
-	dev := nvm.NewDevice(nvm.Config{Words: 1 << 16})
-	heap, err := pheap.Format(dev)
+	// A heap-only stack on a 64 K-word (512 KB) simulated NVM device.
+	// Stores land in the volatile image (CPU cache/DRAM); only flushed
+	// or rescued lines reach the persisted image a crash leaves behind.
+	st, err := stack.New(stack.HeapOnly(), stack.WithDeviceWords(1<<16))
 	if err != nil {
 		log.Fatalf("format heap: %v", err)
 	}
+	dev, heap := st.Dev, st.Heap
 
 	// Build a 5-node list. Persistent pointers are stable word offsets,
 	// so no pointer swizzling is ever needed across incarnations.
@@ -63,10 +63,11 @@ func main() {
 	dev.Restart()
 
 	// ---- new incarnation: the recovery observer ----
-	heap2, err := pheap.Open(dev)
+	st2, err := stack.Reattach(dev, stack.HeapOnly())
 	if err != nil {
 		log.Fatalf("reopen heap: %v", err)
 	}
+	heap2 := st2.Heap
 	fmt.Println("\nafter crash + TSP rescue:")
 	for p := heap2.Root(); !p.IsNil(); p = pheap.Ptr(heap2.Load(p, nodeNext)) {
 		fmt.Printf("  node %4d: value %d\n", p, heap2.Load(p, nodeValue))

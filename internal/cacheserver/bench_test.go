@@ -1,0 +1,114 @@
+package cacheserver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// resident is the number of keys loaded before measurement. Every
+// deployment shape carries the same resident set; what changes with the
+// shard count is how much of it each stack holds.
+const resident = 1 << 18
+
+// benchmarkShards measures the in-process command path (parse,
+// shard-route, locked map operation) over a large resident key set.
+// A shard is a fixed-size storage stack — one runtime, one
+// heap-allocator mutex, one 4096-bucket striped map — so a single-shard
+// deployment concentrates the whole resident set in one map (64-entry
+// average chains here) and funnels every fortified mutation through one
+// runtime and one allocator lock. Sharding divides all of it: with four
+// shards each map holds a quarter of the keys (16-entry chains) and the
+// serialization points quadruple. The chain-length effect shows on any
+// host; the lock effects add on multi-core ones. Each goroutine plays
+// one connection with its own connState, the same shape the
+// multi-client tests drive over the wire.
+func benchmarkShards(b *testing.B, nShards int) {
+	s, err := New(
+		WithShards(nShards),
+		WithMaxConns(64),
+		WithDeviceWords(1<<22),
+	)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	// Preload the resident set with a few parallel loader connections.
+	const loaders = 8
+	var wg sync.WaitGroup
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			cs := s.newConnState()
+			defer s.releaseConn(cs)
+			for k := l; k < resident; k += loaders {
+				if resp := s.dispatch(cs, fmt.Sprintf("set %d 1", k)); resp != "STORED" {
+					b.Errorf("preload: %s", resp)
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	if b.Failed() {
+		b.FailNow()
+	}
+
+	var gid atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cs := s.newConnState()
+		defer s.releaseConn(cs)
+		rng := gid.Add(1) * 0x9e3779b97f4a7c15
+		for pb.Next() {
+			// splitmix64 step: key choice uncorrelated with shard hash.
+			rng += 0x9e3779b97f4a7c15
+			x := rng
+			x ^= x >> 30
+			x *= 0xbf58476d1ce4e5b9
+			x ^= x >> 27
+			x *= 0x94d049bb133111eb
+			x ^= x >> 31
+			k := x % resident
+			var resp string
+			if x>>60 < 4 { // 1 in 4: fortified overwrite
+				resp = s.dispatch(cs, fmt.Sprintf("set %d %d", k, rng))
+			} else { // 3 in 4: read
+				resp = s.dispatch(cs, fmt.Sprintf("get %d", k))
+			}
+			if len(resp) >= 12 && resp[:12] == "SERVER_ERROR" {
+				b.Fatal(resp)
+			}
+		}
+	})
+}
+
+// The acceptance comparison: with >= 4 benchmark goroutines
+// (go test -bench Shards -cpu 4,8) the multi-shard configurations must
+// beat the single-shard one, whose global stack serializes all
+// fortified mutations and concentrates the whole key population in one
+// fixed-size map.
+func BenchmarkShards1(b *testing.B) { benchmarkShards(b, 1) }
+func BenchmarkShards2(b *testing.B) { benchmarkShards(b, 2) }
+func BenchmarkShards4(b *testing.B) { benchmarkShards(b, 4) }
+func BenchmarkShards8(b *testing.B) { benchmarkShards(b, 8) }
+
+// BenchmarkMget8Keys measures the pipelined batch read: one request
+// fanned out across every shard concurrently.
+func BenchmarkMget8Keys(b *testing.B) {
+	s, err := New(WithShards(4), WithMaxConns(64), WithDeviceWords(1<<21))
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	cs := s.newConnState()
+	defer s.releaseConn(cs)
+	s.dispatch(cs, "mset 1 1 2 2 3 3 4 4 5 5 6 6 7 7 8 8")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.dispatch(cs, "mget 1 2 3 4 5 6 7 8")
+	}
+}

@@ -1,0 +1,108 @@
+package cacheserver
+
+import (
+	"fmt"
+
+	"tsp/internal/atlas"
+)
+
+// config is the resolved server configuration. It is built from
+// functional options rather than a zero-value-defaulted struct: the old
+// Config approach could not express "explicitly off" — atlas.ModeOff
+// (== 0) was indistinguishable from "unset" and silently rewritten to
+// ModeTSP, so an unfortified server was unreachable. An Option runs
+// only when the caller invokes it, so WithMode(atlas.ModeOff) now
+// sticks.
+type config struct {
+	addr        string
+	mode        atlas.Mode
+	shards      int
+	maxConns    int
+	deviceWords int // per shard
+	writeBuf    int // per-connection response buffer bound, bytes
+	buckets     int // per-shard hash map shape
+	perMutex    int
+}
+
+func defaultConfig() config {
+	return config{
+		addr:        "127.0.0.1:0",
+		mode:        atlas.ModeTSP,
+		shards:      4,
+		maxConns:    16,
+		deviceWords: 1 << 20,
+		writeBuf:    16 << 10,
+		buckets:     4096,
+		perMutex:    256,
+	}
+}
+
+func (c config) validate() error {
+	if c.shards < 1 {
+		return fmt.Errorf("cacheserver: shards must be >= 1, got %d", c.shards)
+	}
+	if c.maxConns < 1 {
+		return fmt.Errorf("cacheserver: max conns must be >= 1, got %d", c.maxConns)
+	}
+	if c.deviceWords < 1<<12 {
+		return fmt.Errorf("cacheserver: device words %d too small", c.deviceWords)
+	}
+	if c.writeBuf < 512 {
+		return fmt.Errorf("cacheserver: write buffer %d bytes too small", c.writeBuf)
+	}
+	return nil
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithAddr sets the TCP listen address (default "127.0.0.1:0").
+func WithAddr(addr string) Option {
+	return func(c *config) { c.addr = addr }
+}
+
+// WithMode sets the Atlas fortification level for every shard. The
+// default is ModeTSP; WithMode(atlas.ModeOff) runs the server genuinely
+// unfortified.
+func WithMode(m atlas.Mode) Option {
+	return func(c *config) { c.mode = m }
+}
+
+// WithShards sets the number of independent storage stacks keys are
+// hashed across (default 4). Operations on different shards never
+// contend: each shard has its own device, heap, Atlas runtime, map and
+// lock.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// WithMaxConns bounds concurrently served connections (default 16).
+// Connections beyond the bound are not rejected; they queue until a
+// slot frees (accept-side backpressure). Each shard's runtime is sized
+// so every admitted connection can register a thread on every shard.
+func WithMaxConns(n int) Option {
+	return func(c *config) { c.maxConns = n }
+}
+
+// WithDeviceWords sizes each shard's simulated NVM device
+// (default 1<<20 words).
+func WithDeviceWords(n int) Option {
+	return func(c *config) { c.deviceWords = n }
+}
+
+// WithWriteBuffer bounds each connection's response buffer in bytes
+// (default 16 KiB). Responses larger than the bound spill to the socket
+// as they are produced, so a slow reader exerts backpressure on its own
+// handler instead of growing server memory.
+func WithWriteBuffer(bytes int) Option {
+	return func(c *config) { c.writeBuf = bytes }
+}
+
+// WithBuckets shapes each shard's hash map: bucket count and buckets
+// per stripe mutex (defaults 4096 and 256).
+func WithBuckets(buckets, perMutex int) Option {
+	return func(c *config) {
+		c.buckets = buckets
+		c.perMutex = perMutex
+	}
+}

@@ -1,22 +1,34 @@
-// Package cacheserver is a miniature memcached-style TCP server backed
+// Package cacheserver is a sharded, memcached-style TCP server backed
 // by the crash-resilient persistent-heap stack — the shape of
 // application the paper's Atlas work was originally evaluated on
-// (memcached, OpenLDAP). Every mutation runs through the Atlas runtime,
-// so the cache's contents survive simulated crashes with the usual TSP
-// contract, and an administrative command can inject exactly such a
-// crash to demonstrate it over a live connection.
+// (memcached, OpenLDAP). Keys are hashed across N independent storage
+// stacks (device + heap + Atlas runtime + map, assembled by
+// internal/stack), so operations on different shards never contend and
+// throughput scales with cores instead of serializing on one global
+// stack. Every mutation runs through an Atlas runtime, so the cache's
+// contents survive simulated crashes with the usual TSP contract —
+// per shard: an administrative command can power-fail one shard (or all
+// of them) while the rest keep serving, and recovery re-verifies the
+// shard's integrity invariants before it rejoins.
 //
 // The protocol is a line-oriented subset of memcached's text protocol
 // over integer keys and values:
 //
-//	set <key> <value>      -> STORED
-//	get <key>              -> VALUE <key> <value> | NOT_FOUND
-//	incr <key> <delta>     -> <new value> | error
-//	delete <key>           -> DELETED | NOT_FOUND
-//	stats                  -> STAT lines + END
-//	crash                  -> simulates a power failure with TSP rescue,
-//	                          recovers, and reports OK RECOVERED
-//	quit                   -> closes the connection
+//	set <key> <value>        -> STORED
+//	get <key>                -> VALUE <key> <value> | NOT_FOUND
+//	incr <key> <delta>       -> <new value> | error
+//	delete <key>             -> DELETED | NOT_FOUND
+//	mget <key> ...           -> per key VALUE <key> <value> | NOT_FOUND <key>, then END
+//	mset <key> <value> ...   -> STORED <count>
+//	stats                    -> aggregate STAT lines + END
+//	stats shards             -> one STAT line per shard + END
+//	crash                    -> power-fails and recovers every shard; OK RECOVERED
+//	crash <shard>            -> power-fails and recovers one shard; OK RECOVERED SHARD <n>
+//	quit                     -> closes the connection
+//
+// The batch commands pipeline one request across shards: keys are
+// grouped by shard and the groups execute concurrently, one goroutine
+// per shard touched, so a single mget/mset drives every stack at once.
 package cacheserver
 
 import (
@@ -30,73 +42,50 @@ import (
 	"sync/atomic"
 
 	"tsp/internal/atlas"
-	"tsp/internal/hashmap"
-	"tsp/internal/nvm"
-	"tsp/internal/pheap"
 )
 
-// Config parameterizes a server.
-type Config struct {
-	// Addr is the TCP listen address, e.g. "127.0.0.1:0".
-	Addr string
-
-	// Mode is the Atlas fortification level. Default ModeTSP.
-	Mode atlas.Mode
-
-	// DeviceWords sizes the simulated NVM. Default 1<<21.
-	DeviceWords int
-
-	// MaxConns bounds concurrent connections (each holds an Atlas
-	// thread slot). Default 16.
-	MaxConns int
-}
-
-func (c *Config) fillDefaults() {
-	if c.DeviceWords == 0 {
-		c.DeviceWords = 1 << 21
-	}
-	if c.MaxConns == 0 {
-		c.MaxConns = 16
-	}
-	if c.Mode == 0 {
-		c.Mode = atlas.ModeTSP
-	}
-}
-
-// Server is a running cache server.
+// Server is a running sharded cache server.
 type Server struct {
-	cfg Config
-	ln  net.Listener
+	cfg    config
+	ln     net.Listener
+	shards []*shard
 
-	// state guards the storage stack: the crash command tears it down
-	// and rebuilds it, so request handling takes it as a read lock.
-	state struct {
-		sync.RWMutex
-		dev  *nvm.Device
-		heap *pheap.Heap
-		rt   *atlas.Runtime
-		m    *hashmap.Map
-	}
+	// sem is the MaxConns admission semaphore: Serve acquires a slot
+	// before accepting, so excess connections queue in the listen
+	// backlog (backpressure) instead of being served or erroring.
+	sem chan struct{}
 
 	wg      sync.WaitGroup
 	closing atomic.Bool
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
-
-	// Counters for the stats command.
-	gets, sets, hits, crashes atomic.Uint64
 }
 
-// New builds the storage stack and starts listening. Call Serve to
-// accept connections.
-func New(cfg Config) (*Server, error) {
-	cfg.fillDefaults()
-	s := &Server{cfg: cfg, conns: map[net.Conn]struct{}{}}
-	if err := s.buildStack(nil); err != nil {
+// New builds the sharded storage stacks and starts listening. Call
+// Serve to accept connections.
+func New(opts ...Option) (*Server, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
+	s := &Server{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.shards),
+		sem:    make(chan struct{}, cfg.maxConns),
+		conns:  map[net.Conn]struct{}{},
+	}
+	for i := range s.shards {
+		sh, err := newShard(i, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = sh
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return nil, fmt.Errorf("cacheserver: %w", err)
 	}
@@ -104,63 +93,57 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// buildStack constructs (or, given a recovered device, reattaches) the
-// storage stack. Caller must hold the state write lock unless this is
-// construction time.
-func (s *Server) buildStack(dev *nvm.Device) error {
-	fresh := dev == nil
-	if fresh {
-		dev = nvm.NewDevice(nvm.Config{Words: s.cfg.DeviceWords})
-	}
-	var heap *pheap.Heap
-	var err error
-	if fresh {
-		heap, err = pheap.Format(dev)
-	} else {
-		heap, err = pheap.Open(dev)
-	}
-	if err != nil {
-		return err
-	}
-	if !fresh {
-		if _, err := atlas.Recover(heap); err != nil {
-			return err
-		}
-	}
-	rt, err := atlas.New(heap, s.cfg.Mode, atlas.Options{MaxThreads: s.cfg.MaxConns})
-	if err != nil {
-		return err
-	}
-	var m *hashmap.Map
-	if fresh {
-		m, err = hashmap.New(rt, 4096, 256)
-		if err != nil {
-			return err
-		}
-		heap.SetRoot(m.Ptr())
-		dev.FlushAll()
-	} else {
-		m, err = hashmap.Open(rt, heap.Root())
-		if err != nil {
-			return err
-		}
-	}
-	s.state.dev = dev
-	s.state.heap = heap
-	s.state.rt = rt
-	s.state.m = m
-	return nil
-}
-
 // Addr returns the bound listen address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
+// NumShards returns the shard count.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// Mode returns the fortification mode the shards run under.
+func (s *Server) Mode() atlas.Mode { return s.cfg.mode }
+
+// VerifyAll re-checks every shard's map integrity invariants,
+// quiescing each shard in turn. It returns the first failure.
+func (s *Server) VerifyAll() error {
+	for _, sh := range s.shards {
+		if err := sh.verify(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardOf hashes a key to its shard. The finalizer differs from the
+// map's own bucket hash (a splitmix64 step) and uses the high bits, so
+// shard selection does not correlate with bucket selection — otherwise
+// each shard's keys would cluster in 1/N of its buckets.
+func (s *Server) shardOf(key uint64) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	x := key
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return s.shards[(x>>32)%uint64(len(s.shards))]
+}
+
 // Serve accepts connections until Close. It returns nil on clean
-// shutdown.
+// shutdown. A connection slot is acquired before each accept, so at
+// most MaxConns connections are ever in service; further clients wait
+// in the listen backlog until a slot frees.
 func (s *Server) Serve() error {
 	for {
+		s.sem <- struct{}{}
+		if s.closing.Load() {
+			<-s.sem
+			return nil
+		}
 		conn, err := s.ln.Accept()
 		if err != nil {
+			<-s.sem
 			if s.closing.Load() {
 				return nil
 			}
@@ -176,6 +159,7 @@ func (s *Server) Serve() error {
 				s.connMu.Lock()
 				delete(s.conns, conn)
 				s.connMu.Unlock()
+				<-s.sem
 			}()
 			s.handle(conn)
 		}()
@@ -196,47 +180,42 @@ func (s *Server) Close() error {
 	return err
 }
 
-// connState is one connection's registration with the (current) storage
-// stack. A crash replaces the runtime; ensureFresh re-registers lazily.
+// connState is one connection's registration with the shards: one lazy
+// Atlas thread per shard, tagged with the shard generation it was
+// registered under so a crash-rebuilt shard triggers re-registration.
 type connState struct {
-	rt *atlas.Runtime
-	th *atlas.Thread
+	shards []connShard
 }
 
-// ensureFresh re-registers the connection's Atlas thread if the storage
-// stack was rebuilt by a crash since the last request. Caller holds the
-// state read lock.
-func (s *Server) ensureFresh(cs *connState) error {
-	if cs.rt == s.state.rt && cs.th != nil {
-		return nil
-	}
-	cs.rt = s.state.rt
-	th, err := cs.rt.NewThread()
-	if err != nil {
-		return err
-	}
-	cs.th = th
-	return nil
+type connShard struct {
+	gen uint64
+	th  *atlas.Thread
 }
 
-// handle runs one connection's request loop.
+func (s *Server) newConnState() *connState {
+	return &connState{shards: make([]connShard, len(s.shards))}
+}
+
+// releaseConn returns every registered thread slot at connection end.
+func (s *Server) releaseConn(cs *connState) {
+	for i, sl := range cs.shards {
+		if sl.th != nil {
+			s.shards[i].releaseThread(cs)
+		}
+	}
+}
+
+// handle runs one connection's request loop. Responses go through a
+// bounded write buffer: anything beyond the bound spills to the socket
+// as it is produced, so a slow reader stalls only its own handler.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewScanner(conn)
-	w := bufio.NewWriter(conn)
+	w := bufio.NewWriterSize(conn, s.cfg.writeBuf)
 	defer w.Flush()
 
-	cs := &connState{}
-	// Release the thread slot at connection end, unless the runtime it
-	// belongs to has already been replaced by a crash (then it is
-	// garbage along with its runtime).
-	defer func() {
-		s.state.RLock()
-		if cs.th != nil && cs.rt == s.state.rt {
-			_ = cs.rt.ReleaseThread(cs.th)
-		}
-		s.state.RUnlock()
-	}()
+	cs := s.newConnState()
+	defer s.releaseConn(cs)
 
 	for r.Scan() {
 		line := strings.TrimSpace(r.Text())
@@ -246,12 +225,27 @@ func (s *Server) handle(conn net.Conn) {
 		if strings.EqualFold(line, "quit") {
 			return
 		}
-		fmt.Fprintf(w, "%s\r\n", s.dispatch(cs, line))
+		w.WriteString(s.dispatch(cs, line))
+		w.WriteString("\r\n")
 		w.Flush()
 	}
 }
 
-// dispatch executes one command line.
+// withShard runs fn on key's shard under its read lock with the
+// connection's thread for that shard.
+func (s *Server) withShard(cs *connState, key uint64, fn func(sh *shard, th *atlas.Thread) string) string {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	th, err := sh.threadFor(cs)
+	if err != nil {
+		return fmt.Sprintf("SERVER_ERROR %v", err)
+	}
+	return fn(sh, th)
+}
+
+// dispatch executes one command line and returns the response (possibly
+// multi-line, CRLF-separated; the caller appends the final CRLF).
 func (s *Server) dispatch(cs *connState, line string) string {
 	fields := strings.Fields(line)
 	cmd := strings.ToLower(fields[0])
@@ -259,24 +253,29 @@ func (s *Server) dispatch(cs *connState, line string) string {
 
 	parse := func(a string) (uint64, error) { return strconv.ParseUint(a, 10, 64) }
 
-	// The crash command takes the state write lock itself and must not
-	// run under the read lock below.
-	if cmd == "crash" {
-		if err := s.crashAndRecover(); err != nil {
-			return fmt.Sprintf("SERVER_ERROR recovery failed: %v", err)
-		}
-		s.crashes.Add(1)
-		return "OK RECOVERED"
-	}
-
-	s.state.RLock()
-	defer s.state.RUnlock()
-	if err := s.ensureFresh(cs); err != nil {
-		return fmt.Sprintf("SERVER_ERROR %v", err)
-	}
-	th := cs.th
-
 	switch cmd {
+	case "crash":
+		// Crash takes shard write locks itself and must not run under a
+		// read lock.
+		switch {
+		case len(args) == 0:
+			if err := s.crashAll(); err != nil {
+				return fmt.Sprintf("SERVER_ERROR recovery failed: %v", err)
+			}
+			return "OK RECOVERED"
+		case len(args) == 1:
+			idx, err := strconv.Atoi(args[0])
+			if err != nil || idx < 0 || idx >= len(s.shards) {
+				return fmt.Sprintf("CLIENT_ERROR shard index out of range [0,%d)", len(s.shards))
+			}
+			if err := s.shards[idx].crashAndRecover(); err != nil {
+				return fmt.Sprintf("SERVER_ERROR recovery failed: %v", err)
+			}
+			return fmt.Sprintf("OK RECOVERED SHARD %d", idx)
+		default:
+			return "CLIENT_ERROR usage: crash [shard]"
+		}
+
 	case "set":
 		if len(args) != 2 {
 			return "CLIENT_ERROR usage: set <key> <value>"
@@ -286,11 +285,13 @@ func (s *Server) dispatch(cs *connState, line string) string {
 		if err1 != nil || err2 != nil {
 			return "CLIENT_ERROR keys and values are unsigned integers"
 		}
-		if err := s.state.m.Put(th, k, v); err != nil {
-			return fmt.Sprintf("SERVER_ERROR %v", err)
-		}
-		s.sets.Add(1)
-		return "STORED"
+		return s.withShard(cs, k, func(sh *shard, th *atlas.Thread) string {
+			if err := sh.stk.Map.Put(th, k, v); err != nil {
+				return fmt.Sprintf("SERVER_ERROR %v", err)
+			}
+			sh.sets.Add(1)
+			return "STORED"
+		})
 
 	case "get":
 		if len(args) != 1 {
@@ -300,16 +301,18 @@ func (s *Server) dispatch(cs *connState, line string) string {
 		if err != nil {
 			return "CLIENT_ERROR bad key"
 		}
-		v, ok, gerr := s.state.m.Get(th, k)
-		s.gets.Add(1)
-		if gerr != nil {
-			return fmt.Sprintf("SERVER_ERROR %v", gerr)
-		}
-		if !ok {
-			return "NOT_FOUND"
-		}
-		s.hits.Add(1)
-		return fmt.Sprintf("VALUE %d %d", k, v)
+		return s.withShard(cs, k, func(sh *shard, th *atlas.Thread) string {
+			v, ok, gerr := sh.stk.Map.Get(th, k)
+			sh.gets.Add(1)
+			if gerr != nil {
+				return fmt.Sprintf("SERVER_ERROR %v", gerr)
+			}
+			if !ok {
+				return "NOT_FOUND"
+			}
+			sh.hits.Add(1)
+			return fmt.Sprintf("VALUE %d %d", k, v)
+		})
 
 	case "incr":
 		if len(args) != 2 {
@@ -320,12 +323,14 @@ func (s *Server) dispatch(cs *connState, line string) string {
 		if err1 != nil || err2 != nil {
 			return "CLIENT_ERROR bad arguments"
 		}
-		nv, err := s.state.m.Inc(th, k, d)
-		if err != nil {
-			return fmt.Sprintf("SERVER_ERROR %v", err)
-		}
-		s.sets.Add(1)
-		return strconv.FormatUint(nv, 10)
+		return s.withShard(cs, k, func(sh *shard, th *atlas.Thread) string {
+			nv, err := sh.stk.Map.Inc(th, k, d)
+			if err != nil {
+				return fmt.Sprintf("SERVER_ERROR %v", err)
+			}
+			sh.sets.Add(1)
+			return strconv.FormatUint(nv, 10)
+		})
 
 	case "delete":
 		if len(args) != 1 {
@@ -335,41 +340,217 @@ func (s *Server) dispatch(cs *connState, line string) string {
 		if err != nil {
 			return "CLIENT_ERROR bad key"
 		}
-		ok, derr := s.state.m.Delete(th, k)
-		if derr != nil {
-			return fmt.Sprintf("SERVER_ERROR %v", derr)
+		return s.withShard(cs, k, func(sh *shard, th *atlas.Thread) string {
+			ok, derr := sh.stk.Map.Delete(th, k)
+			if derr != nil {
+				return fmt.Sprintf("SERVER_ERROR %v", derr)
+			}
+			sh.dels.Add(1)
+			if !ok {
+				return "NOT_FOUND"
+			}
+			return "DELETED"
+		})
+
+	case "mget":
+		if len(args) == 0 {
+			return "CLIENT_ERROR usage: mget <key> ..."
 		}
-		if !ok {
-			return "NOT_FOUND"
+		keys := make([]uint64, len(args))
+		for i, a := range args {
+			k, err := parse(a)
+			if err != nil {
+				return "CLIENT_ERROR bad key"
+			}
+			keys[i] = k
 		}
-		return "DELETED"
+		return s.mget(cs, keys)
+
+	case "mset":
+		if len(args) == 0 || len(args)%2 != 0 {
+			return "CLIENT_ERROR usage: mset <key> <value> ..."
+		}
+		kv := make([]uint64, len(args))
+		for i, a := range args {
+			n, err := parse(a)
+			if err != nil {
+				return "CLIENT_ERROR keys and values are unsigned integers"
+			}
+			kv[i] = n
+		}
+		return s.mset(cs, kv)
 
 	case "stats":
-		items := s.state.m.Len()
-		devStats := s.state.dev.Stats()
-		return fmt.Sprintf("STAT items %d\r\nSTAT gets %d\r\nSTAT hits %d\r\nSTAT sets %d\r\nSTAT crashes_survived %d\r\nSTAT nvm_stores %d\r\nEND",
-			items, s.gets.Load(), s.hits.Load(), s.sets.Load(), s.crashes.Load(), devStats.Stores)
+		if len(args) == 1 && strings.EqualFold(args[0], "shards") {
+			return s.statsShards()
+		}
+		return s.statsAggregate()
 
 	default:
 		return "ERROR unknown command"
 	}
 }
 
-// crashAndRecover simulates a power failure with a TSP rescue and brings
-// the storage stack back through the standard recovery path, exactly as
-// a restarted process would.
-func (s *Server) crashAndRecover() error {
-	s.state.Lock()
-	defer s.state.Unlock()
-	dev := s.state.dev
-	dev.StopEvictor()
-	dev.CrashRescue()
-	dev.Restart()
-	if err := s.buildStack(dev); err != nil {
-		return errors.Join(errors.New("cacheserver: stack rebuild failed"), err)
+// fanOut groups request indices by shard and runs one goroutine per
+// shard touched, pipelining a single batch command across the stacks.
+// fn handles that shard's index group with the connection's thread (nil
+// if registration failed); it must write only its own indices' results.
+// Distinct shards mean distinct connState slots and distinct result
+// indices, so the goroutines share nothing mutable.
+func (s *Server) fanOut(cs *connState, nIdx int, shardFor func(i int) *shard, fn func(sh *shard, th *atlas.Thread, idxs []int)) {
+	groups := make([][]int, len(s.shards))
+	for i := 0; i < nIdx; i++ {
+		sh := shardFor(i)
+		groups[sh.idx] = append(groups[sh.idx], i)
 	}
-	if _, err := s.state.m.Verify(); err != nil {
-		return err
+	var wg sync.WaitGroup
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := s.shards[si]
+		wg.Add(1)
+		go func(sh *shard, idxs []int) {
+			defer wg.Done()
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
+			th, _ := sh.threadFor(cs)
+			fn(sh, th, idxs)
+		}(sh, idxs)
 	}
-	return nil
+	wg.Wait()
+}
+
+// mget pipelines a multi-key read across shards and reports results in
+// request order.
+func (s *Server) mget(cs *connState, keys []uint64) string {
+	lines := make([]string, len(keys)+1)
+	s.fanOut(cs, len(keys),
+		func(i int) *shard { return s.shardOf(keys[i]) },
+		func(sh *shard, th *atlas.Thread, idxs []int) {
+			for _, i := range idxs {
+				if th == nil {
+					lines[i] = fmt.Sprintf("SERVER_ERROR shard %d unavailable", sh.idx)
+					continue
+				}
+				k := keys[i]
+				v, ok, err := sh.stk.Map.Get(th, k)
+				sh.gets.Add(1)
+				switch {
+				case err != nil:
+					lines[i] = fmt.Sprintf("SERVER_ERROR %v", err)
+				case ok:
+					sh.hits.Add(1)
+					lines[i] = fmt.Sprintf("VALUE %d %d", k, v)
+				default:
+					lines[i] = fmt.Sprintf("NOT_FOUND %d", k)
+				}
+			}
+		})
+	lines[len(keys)] = "END"
+	return strings.Join(lines, "\r\n")
+}
+
+// mset pipelines a multi-key write across shards. On success it reports
+// the number of keys stored; any per-shard failure is reported instead.
+func (s *Server) mset(cs *connState, kv []uint64) string {
+	n := len(kv) / 2
+	errsByIdx := make([]error, n)
+	s.fanOut(cs, n,
+		func(i int) *shard { return s.shardOf(kv[2*i]) },
+		func(sh *shard, th *atlas.Thread, idxs []int) {
+			for _, i := range idxs {
+				if th == nil {
+					errsByIdx[i] = fmt.Errorf("shard %d unavailable", sh.idx)
+					continue
+				}
+				if err := sh.stk.Map.Put(th, kv[2*i], kv[2*i+1]); err != nil {
+					errsByIdx[i] = err
+					continue
+				}
+				sh.sets.Add(1)
+			}
+		})
+	if err := errors.Join(errsByIdx...); err != nil {
+		return fmt.Sprintf("SERVER_ERROR %v", err)
+	}
+	return fmt.Sprintf("STORED %d", n)
+}
+
+// crashAll power-fails and recovers every shard concurrently — the
+// whole-machine analogue of the per-shard crash command.
+func (s *Server) crashAll() error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			errs[i] = sh.crashAndRecover()
+		}(i, sh)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// statsAggregate renders the whole-server stats view.
+func (s *Server) statsAggregate() string {
+	var agg shardStats
+	var recAvgSum, recMax float64
+	shardsWithRec := 0
+	for _, sh := range s.shards {
+		st := sh.snapshot()
+		agg.items += st.items
+		agg.gets += st.gets
+		agg.hits += st.hits
+		agg.sets += st.sets
+		agg.dels += st.dels
+		agg.recoveries += st.recoveries
+		agg.dev.Stores += st.dev.Stores
+		agg.dev.Flushes += st.dev.Flushes
+		agg.dev.Writebacks += st.dev.Writebacks
+		if st.recoveries > 0 {
+			recAvgSum += st.recAvgUS
+			shardsWithRec++
+			if st.recMaxUS > recMax {
+				recMax = st.recMaxUS
+			}
+		}
+	}
+	hitRate := 0.0
+	if agg.gets > 0 {
+		hitRate = float64(agg.hits) / float64(agg.gets)
+	}
+	recAvg := 0.0
+	if shardsWithRec > 0 {
+		recAvg = recAvgSum / float64(shardsWithRec)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "STAT shards %d\r\n", len(s.shards))
+	fmt.Fprintf(&b, "STAT items %d\r\n", agg.items)
+	fmt.Fprintf(&b, "STAT gets %d\r\n", agg.gets)
+	fmt.Fprintf(&b, "STAT hits %d\r\n", agg.hits)
+	fmt.Fprintf(&b, "STAT hit_rate %.4f\r\n", hitRate)
+	fmt.Fprintf(&b, "STAT sets %d\r\n", agg.sets)
+	fmt.Fprintf(&b, "STAT deletes %d\r\n", agg.dels)
+	fmt.Fprintf(&b, "STAT crashes_survived %d\r\n", agg.recoveries)
+	fmt.Fprintf(&b, "STAT recovery_avg_us %.1f\r\n", recAvg)
+	fmt.Fprintf(&b, "STAT recovery_max_us %.1f\r\n", recMax)
+	fmt.Fprintf(&b, "STAT nvm_stores %d\r\n", agg.dev.Stores)
+	fmt.Fprintf(&b, "STAT nvm_flushes %d\r\n", agg.dev.Flushes)
+	fmt.Fprintf(&b, "STAT nvm_writebacks %d\r\n", agg.dev.Writebacks)
+	b.WriteString("END")
+	return b.String()
+}
+
+// statsShards renders one line per shard.
+func (s *Server) statsShards() string {
+	var b strings.Builder
+	for _, sh := range s.shards {
+		st := sh.snapshot()
+		fmt.Fprintf(&b, "STAT shard %d items %d gets %d hits %d sets %d deletes %d recoveries %d recovery_avg_us %.1f nvm_stores %d nvm_flushes %d\r\n",
+			sh.idx, st.items, st.gets, st.hits, st.sets, st.dels, st.recoveries, st.recAvgUS, st.dev.Stores, st.dev.Flushes)
+	}
+	b.WriteString("END")
+	return b.String()
 }

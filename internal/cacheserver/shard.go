@@ -1,0 +1,148 @@
+package cacheserver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsp/internal/atlas"
+	"tsp/internal/nvm"
+	"tsp/internal/stack"
+	"tsp/internal/stats"
+)
+
+// shard is one independent storage stack: its own device, heap, Atlas
+// runtime and map. Keys are hashed across shards, so operations on
+// different shards share no lock, no log ring, no device counter — the
+// multi-core scaling the single global stack could not provide.
+type shard struct {
+	idx int
+	cfg config
+
+	// mu guards the stack pointer: a crash tears the stack down and
+	// rebuilds it under the write lock, so request handling holds the
+	// read lock for the duration of each operation. Different shards
+	// have different locks; only same-shard operations and that shard's
+	// recovery ever contend.
+	mu  sync.RWMutex
+	stk *stack.Stack
+
+	// gen counts stack rebuilds. A connection's per-shard Atlas thread
+	// is valid only for the generation it registered with; threadFor
+	// re-registers lazily after a crash.
+	gen atomic.Uint64
+
+	// Per-shard operation counters for the stats surface.
+	gets, hits, sets, dels atomic.Uint64
+
+	// Recovery bookkeeping. recoveries is read lock-free by stats;
+	// recLat is only appended under the shard write lock (recoveries are
+	// serialized by it) and read under the read lock.
+	recoveries atomic.Uint64
+	recLat     stats.Sample
+}
+
+func newShard(idx int, c config) (*shard, error) {
+	stk, err := stack.New(
+		stack.WithDeviceWords(c.deviceWords),
+		stack.WithMode(c.mode),
+		stack.WithMaxThreads(c.maxConns),
+		stack.WithBuckets(c.buckets, c.perMutex),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("cacheserver: shard %d: %w", idx, err)
+	}
+	return &shard{idx: idx, cfg: c, stk: stk}, nil
+}
+
+// threadFor returns the connection's Atlas thread on this shard,
+// registering one (or re-registering after a crash replaced the
+// runtime) on first use. Caller holds the shard read lock, which keeps
+// gen stable: rebuilds happen only under the write lock.
+func (sh *shard) threadFor(cs *connState) (*atlas.Thread, error) {
+	slot := &cs.shards[sh.idx]
+	if slot.th != nil && slot.gen == sh.gen.Load() {
+		return slot.th, nil
+	}
+	th, err := sh.stk.RT.NewThread()
+	if err != nil {
+		return nil, err
+	}
+	slot.th = th
+	slot.gen = sh.gen.Load()
+	return th, nil
+}
+
+// releaseThread returns the connection's thread slot to this shard's
+// runtime at connection end. A thread whose runtime was replaced by a
+// crash is garbage along with that runtime and needs no release.
+func (sh *shard) releaseThread(cs *connState) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	slot := &cs.shards[sh.idx]
+	if slot.th != nil && slot.gen == sh.gen.Load() {
+		_ = sh.stk.RT.ReleaseThread(slot.th)
+	}
+	slot.th = nil
+}
+
+// crashAndRecover simulates a power failure with a TSP rescue on this
+// shard only and brings its stack back through the standard recovery
+// path, re-verifying the map's integrity invariants before serving
+// again. Other shards keep serving throughout: the write lock taken
+// here is per-shard.
+func (sh *shard) crashAndRecover() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.stk.Dev.StopEvictor()
+	start := time.Now()
+	ns, err := sh.stk.CrashReattach(nvm.CrashOptions{RescueFraction: 1})
+	if err != nil {
+		return fmt.Errorf("cacheserver: shard %d rebuild: %w", sh.idx, err)
+	}
+	if _, err := ns.Map.Verify(); err != nil {
+		return fmt.Errorf("cacheserver: shard %d verify: %w", sh.idx, err)
+	}
+	sh.stk = ns
+	sh.gen.Add(1)
+	sh.recoveries.Add(1)
+	sh.recLat.Add(time.Since(start).Seconds())
+	return nil
+}
+
+// verify re-checks the shard's map invariants on a quiesced shard.
+func (sh *shard) verify() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, err := sh.stk.Map.Verify(); err != nil {
+		return fmt.Errorf("cacheserver: shard %d: %w", sh.idx, err)
+	}
+	return nil
+}
+
+// shardStats is one shard's contribution to the stats command.
+type shardStats struct {
+	items                  int
+	gets, hits, sets, dels uint64
+	recoveries             uint64
+	recAvgUS, recMaxUS     float64
+	dev                    nvm.StatsSnapshot
+}
+
+// snapshot collects the shard's counters under the read lock.
+func (sh *shard) snapshot() shardStats {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return shardStats{
+		items:      sh.stk.Map.Len(),
+		gets:       sh.gets.Load(),
+		hits:       sh.hits.Load(),
+		sets:       sh.sets.Load(),
+		dels:       sh.dels.Load(),
+		recoveries: sh.recoveries.Load(),
+		recAvgUS:   sh.recLat.Mean() * 1e6,
+		recMaxUS:   sh.recLat.Max() * 1e6,
+		dev:        sh.stk.Dev.Stats(),
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"tsp/internal/atlas"
 	"tsp/internal/nvm"
 	"tsp/internal/pheap"
+	"tsp/internal/skiplist"
+	"tsp/internal/stack"
 )
 
 // ThroughputResult reports one failure-free measurement run.
@@ -218,15 +220,33 @@ func RunCrash(cfg Config, opts CrashOptions) (CrashResult, error) {
 }
 
 // recoverDeployment reopens the heap, runs Atlas recovery (a no-op with
-// GC for the non-blocking variant) and reattaches the store.
+// GC for the non-blocking variant) and reattaches the store. The
+// mutex-based variants go through the shared stack recovery path; the
+// non-blocking variant has no runtime or map to rebuild, only the skip
+// list at the root.
 func recoverDeployment(cfg Config, dev *nvm.Device) (*deployment, error) {
 	cfg.fillDefaults()
-	heap, err := pheap.Open(dev)
-	if err != nil {
-		return nil, err
+	switch cfg.Variant {
+	case NonBlocking:
+		heap, err := pheap.Open(dev)
+		if err != nil {
+			return nil, err
+		}
+		// Recover is a directory-less no-op here but still runs the
+		// recovery-time GC the observer expects.
+		if _, err := atlas.Recover(heap); err != nil {
+			return nil, err
+		}
+		l, err := skiplist.Open(heap, heap.Root())
+		if err != nil {
+			return nil, err
+		}
+		return &deployment{cfg: cfg, dev: dev, heap: heap, store: &nonBlockingStore{l: l}}, nil
+	default:
+		st, err := stack.Reattach(dev, cfg.stackOptions()...)
+		if err != nil {
+			return nil, err
+		}
+		return &deployment{cfg: cfg, dev: st.Dev, heap: st.Heap, rt: st.RT, store: &mutexStore{m: st.Map}}, nil
 	}
-	if _, err := atlas.Recover(heap); err != nil {
-		return nil, err
-	}
-	return reopen(cfg, heap)
 }

@@ -8,6 +8,7 @@ import (
 	"tsp/internal/nvm"
 	"tsp/internal/pheap"
 	"tsp/internal/skiplist"
+	"tsp/internal/stack"
 )
 
 // kvStore abstracts the two map implementations behind the operations
@@ -148,6 +149,30 @@ type deployment struct {
 	store kvStore
 }
 
+// deviceConfig collects the machine-dependent device knobs.
+func (c Config) deviceConfig() nvm.Config {
+	return nvm.Config{
+		Words:     c.DeviceWords,
+		FlushCost: c.FlushCost,
+		MissCost:  c.MissCost,
+		MissLines: c.MissLines,
+		Evictor:   c.Evictor,
+	}
+}
+
+// stackOptions maps the harness configuration onto the shared
+// stack-construction API used by the mutex-based variants.
+func (c Config) stackOptions() []stack.Option {
+	return []stack.Option{
+		stack.WithDeviceConfig(c.deviceConfig()),
+		stack.WithMode(c.Variant.AtlasMode()),
+		stack.WithMaxThreads(c.Threads),
+		stack.WithLogEntries(1 << 10),
+		stack.WithLogEveryStore(c.LogEveryStore),
+		stack.WithBuckets(c.Buckets, c.BucketsPerMutex),
+	}
+}
+
 // build constructs a fresh device, heap and store per the configuration
 // and makes the initialized (pre-workload) state durable.
 func build(cfg Config) (*deployment, error) {
@@ -155,76 +180,29 @@ func build(cfg Config) (*deployment, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	dev := nvm.NewDevice(nvm.Config{
-		Words:     cfg.DeviceWords,
-		FlushCost: cfg.FlushCost,
-		MissCost:  cfg.MissCost,
-		MissLines: cfg.MissLines,
-		Evictor:   cfg.Evictor,
-	})
-	heap, err := pheap.Format(dev)
-	if err != nil {
-		return nil, err
-	}
-	d := &deployment{cfg: cfg, dev: dev, heap: heap}
 	switch cfg.Variant {
 	case NonBlocking:
-		l, err := skiplist.New(heap, cfg.SkipLevels)
+		// The non-blocking variant has no runtime and no map: a
+		// heap-only stack carries the skip list directly.
+		st, err := stack.New(stack.HeapOnly(), stack.WithDeviceConfig(cfg.deviceConfig()))
 		if err != nil {
 			return nil, err
 		}
-		heap.SetRoot(l.Ptr())
-		d.store = &nonBlockingStore{l: l}
+		l, err := skiplist.New(st.Heap, cfg.SkipLevels)
+		if err != nil {
+			return nil, err
+		}
+		st.Heap.SetRoot(l.Ptr())
+		// Setup is not part of the crash window: make it durable.
+		st.Dev.FlushAll()
+		return &deployment{cfg: cfg, dev: st.Dev, heap: st.Heap, store: &nonBlockingStore{l: l}}, nil
 	default:
-		rt, err := atlas.New(heap, cfg.Variant.AtlasMode(), atlas.Options{
-			MaxThreads:    cfg.Threads,
-			LogEntries:    1 << 10,
-			LogEveryStore: cfg.LogEveryStore,
-		})
+		st, err := stack.New(cfg.stackOptions()...)
 		if err != nil {
 			return nil, err
 		}
-		m, err := hashmap.New(rt, cfg.Buckets, cfg.BucketsPerMutex)
-		if err != nil {
-			return nil, err
-		}
-		heap.SetRoot(m.Ptr())
-		d.rt = rt
-		d.store = &mutexStore{m: m}
+		return &deployment{cfg: cfg, dev: st.Dev, heap: st.Heap, rt: st.RT, store: &mutexStore{m: st.Map}}, nil
 	}
-	// Setup is not part of the crash window: make it durable.
-	dev.FlushAll()
-	return d, nil
-}
-
-// reopen attaches to the store of an already-recovered heap.
-func reopen(cfg Config, heap *pheap.Heap) (*deployment, error) {
-	cfg.fillDefaults()
-	d := &deployment{cfg: cfg, dev: heap.Device(), heap: heap}
-	switch cfg.Variant {
-	case NonBlocking:
-		l, err := skiplist.Open(heap, heap.Root())
-		if err != nil {
-			return nil, err
-		}
-		d.store = &nonBlockingStore{l: l}
-	default:
-		rt, err := atlas.New(heap, cfg.Variant.AtlasMode(), atlas.Options{
-			MaxThreads:    cfg.Threads,
-			LogEntries:    1 << 10,
-			LogEveryStore: cfg.LogEveryStore,
-		})
-		if err != nil {
-			return nil, err
-		}
-		m, err := hashmap.Open(rt, heap.Root())
-		if err != nil {
-			return nil, err
-		}
-		d.rt = rt
-		d.store = &mutexStore{m: m}
-	}
-	return d, nil
 }
 
 // newWorker registers worker idx with the deployment.

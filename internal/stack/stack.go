@@ -1,0 +1,233 @@
+// Package stack assembles the full persistent storage stack — simulated
+// NVM device, persistent heap, Atlas runtime, and fortified hash map —
+// behind a single constructor pair. The build sequence (format-or-open,
+// atlas.Recover on reopen, map attach, root publication, setup flush)
+// has a strict required order, and before this package existed it was
+// hand-duplicated at every call site (the cache server, the experiment
+// harness behind cmd/faultinject, and the examples), each copy one
+// reordering away from a recovery bug.
+//
+// Two entry points cover the two incarnations of a program's life:
+//
+//   - New builds a fresh stack: new device, formatted heap, runtime, an
+//     empty map published as the heap root, all made durable so setup is
+//     never part of a crash window.
+//   - Reattach is the recovery path: reopen the heap of a restarted
+//     device, run Atlas recovery (rollback of incomplete critical
+//     sections), rebuild the runtime, and attach the map found at the
+//     root.
+//
+// Options use the functional-option pattern precisely because the
+// zero-value-defaulting Config structs they replace could not express
+// "explicitly off": atlas.ModeOff == 0 was indistinguishable from "not
+// set" and silently rewritten to ModeTSP. WithMode(atlas.ModeOff) now
+// means what it says.
+package stack
+
+import (
+	"fmt"
+
+	"tsp/internal/atlas"
+	"tsp/internal/hashmap"
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+)
+
+// Stack is one assembled storage stack. RT and Map are nil for a
+// heap-only stack (see HeapOnly).
+type Stack struct {
+	Dev  *nvm.Device
+	Heap *pheap.Heap
+	RT   *atlas.Runtime
+	Map  *hashmap.Map
+
+	// Recovery is the Atlas recovery report when the stack came up via
+	// Reattach (zero value for a fresh stack or a heap-only reattach).
+	Recovery atlas.Report
+
+	cfg config // retained so CrashReattach can rebuild identically
+}
+
+type config struct {
+	devCfg        nvm.Config
+	mode          atlas.Mode
+	maxThreads    int
+	logEntries    int
+	logEveryStore bool
+	buckets       int
+	perMutex      int
+	heapOnly      bool
+}
+
+func defaults() config {
+	return config{
+		devCfg:     nvm.Config{Words: 1 << 21},
+		mode:       atlas.ModeTSP,
+		maxThreads: 16,
+		buckets:    4096,
+		perMutex:   256,
+	}
+}
+
+// Option configures New and Reattach.
+type Option func(*config)
+
+// WithDeviceWords sizes the simulated NVM device (default 1<<21 words).
+func WithDeviceWords(n int) Option {
+	return func(c *config) { c.devCfg.Words = n }
+}
+
+// WithDeviceConfig replaces the whole device configuration (line size,
+// flush cost, evictor, ...). Zero Words falls back to the default size.
+func WithDeviceConfig(cfg nvm.Config) Option {
+	return func(c *config) {
+		if cfg.Words == 0 {
+			cfg.Words = c.devCfg.Words
+		}
+		c.devCfg = cfg
+	}
+}
+
+// WithMode selects the Atlas fortification mode. The default is
+// ModeTSP; WithMode(atlas.ModeOff) builds a genuinely unfortified
+// stack — the option is only applied when the caller invokes it, so the
+// zero value is never second-guessed.
+func WithMode(m atlas.Mode) Option {
+	return func(c *config) { c.mode = m }
+}
+
+// WithMaxThreads bounds concurrent atlas.Thread registrations
+// (default 16).
+func WithMaxThreads(n int) Option {
+	return func(c *config) { c.maxThreads = n }
+}
+
+// WithLogEntries sizes each thread's undo-log ring (0 = atlas default).
+func WithLogEntries(n int) Option {
+	return func(c *config) { c.logEntries = n }
+}
+
+// WithLogEveryStore disables Atlas's first-store-per-OCS filter
+// (ablation knob; see atlas.Options.LogEveryStore).
+func WithLogEveryStore(on bool) Option {
+	return func(c *config) { c.logEveryStore = on }
+}
+
+// WithBuckets shapes the hash map: bucket count and buckets per stripe
+// mutex (defaults 4096 and 256).
+func WithBuckets(buckets, perMutex int) Option {
+	return func(c *config) {
+		c.buckets = buckets
+		c.perMutex = perMutex
+	}
+}
+
+// HeapOnly stops the stack at the persistent heap: no Atlas runtime, no
+// map. For programs that build their own persistent structures directly
+// on heap words (like examples/quickstart's linked list).
+func HeapOnly() Option {
+	return func(c *config) { c.heapOnly = true }
+}
+
+func buildConfig(opts []Option) config {
+	c := defaults()
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+func (c config) atlasOptions() atlas.Options {
+	return atlas.Options{
+		MaxThreads:    c.maxThreads,
+		LogEntries:    c.logEntries,
+		LogEveryStore: c.logEveryStore,
+	}
+}
+
+// New builds a fresh stack on a new device and makes the initialized
+// (pre-workload) state durable, so setup is not part of any crash
+// window.
+func New(opts ...Option) (*Stack, error) {
+	c := buildConfig(opts)
+	dev := nvm.NewDevice(c.devCfg)
+	heap, err := pheap.Format(dev)
+	if err != nil {
+		return nil, fmt.Errorf("stack: format heap: %w", err)
+	}
+	s := &Stack{Dev: dev, Heap: heap, cfg: c}
+	if c.heapOnly {
+		return s, nil
+	}
+	rt, err := atlas.New(heap, c.mode, c.atlasOptions())
+	if err != nil {
+		return nil, fmt.Errorf("stack: atlas runtime: %w", err)
+	}
+	m, err := hashmap.New(rt, c.buckets, c.perMutex)
+	if err != nil {
+		return nil, fmt.Errorf("stack: hashmap: %w", err)
+	}
+	heap.SetRoot(m.Ptr())
+	dev.FlushAll()
+	s.RT = rt
+	s.Map = m
+	return s, nil
+}
+
+// Reattach is the recovery path: open the heap of a restarted device,
+// run Atlas recovery, rebuild the runtime and attach the map anchored
+// at the heap root. The options must describe the same shape the stack
+// was built with (mode may differ — a store can be reopened under a
+// different fortification level, as the paper's mode comparison does).
+func Reattach(dev *nvm.Device, opts ...Option) (*Stack, error) {
+	c := buildConfig(opts)
+	heap, err := pheap.Open(dev)
+	if err != nil {
+		return nil, fmt.Errorf("stack: reopen heap: %w", err)
+	}
+	s := &Stack{Dev: dev, Heap: heap, cfg: c}
+	if c.heapOnly {
+		return s, nil
+	}
+	rep, err := atlas.Recover(heap)
+	if err != nil {
+		return nil, fmt.Errorf("stack: atlas recovery: %w", err)
+	}
+	s.Recovery = rep
+	rt, err := atlas.New(heap, c.mode, c.atlasOptions())
+	if err != nil {
+		return nil, fmt.Errorf("stack: atlas runtime: %w", err)
+	}
+	m, err := hashmap.Open(rt, heap.Root())
+	if err != nil {
+		return nil, fmt.Errorf("stack: hashmap reattach: %w", err)
+	}
+	s.RT = rt
+	s.Map = m
+	return s, nil
+}
+
+// Mode returns the fortification mode the stack was assembled with.
+func (s *Stack) Mode() atlas.Mode { return s.cfg.mode }
+
+// CrashReattach simulates a power failure on the stack's device (with
+// the given crash options), restarts it, and brings a new stack up
+// through the standard recovery path — exactly what a restarted process
+// would do. The receiver stack is dead afterwards; use the returned
+// one. The caller is responsible for stopping the evictor first if one
+// is running (a crashed machine's cache controller is not running
+// either).
+func (s *Stack) CrashReattach(opts nvm.CrashOptions) (*Stack, error) {
+	s.Dev.Crash(opts)
+	s.Dev.Restart()
+	return s.reattachSelf()
+}
+
+func (s *Stack) reattachSelf() (*Stack, error) {
+	c := s.cfg
+	ns, err := Reattach(s.Dev, func(out *config) { *out = c })
+	if err != nil {
+		return nil, err
+	}
+	return ns, nil
+}

@@ -1,0 +1,23 @@
+#!/bin/sh
+# check.sh — the pre-merge gate: vet everything, then run the
+# concurrency-heavy packages (the cache server and the Section 5
+# harness, plus the stack constructor they share) under the race
+# detector. The full suite already runs race-clean; this focuses the
+# expensive -race pass on the packages that exercise real parallelism.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race (server + harness + stack)"
+go test -race ./internal/cacheserver ./internal/harness ./internal/stack
+
+echo "== go test ./... (everything else, no race)"
+go test ./...
+
+echo "OK"
