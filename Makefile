@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench-shards
+.PHONY: build test check bench-shards bench-json bench-telemetry
 
 build:
 	$(GO) build ./...
@@ -17,3 +17,14 @@ check:
 # at >= 4 goroutines.
 bench-shards:
 	$(GO) test -run 'ZZZ' -bench 'Shards|Mget' -cpu 4,8 -benchtime 300000x ./internal/cacheserver
+
+# Machine-readable Table 1 run: writes BENCH_tspbench.json next to the
+# human-readable output, for tracking perf across commits.
+bench-json:
+	$(GO) run ./cmd/tspbench -duration 500ms -json -out BENCH_tspbench.json
+
+# The telemetry overhead guard: counting on vs off at the device and map
+# layers must stay within a few percent.
+bench-telemetry:
+	$(GO) test -run 'ZZZ' -bench 'StoreTelemetry|LoadTelemetry' -benchtime 2000000x ./internal/nvm
+	$(GO) test -run 'ZZZ' -bench 'PutTelemetry' -benchtime 300000x ./internal/hashmap

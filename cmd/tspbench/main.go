@@ -4,12 +4,19 @@
 // the desktop and server platform profiles, followed by the derived
 // overhead and speedup percentages the paper quotes.
 //
+// With -json the same results are additionally written as a
+// machine-readable report to BENCH_tspbench.json (see benchReport), so
+// perf trajectories can be tracked across commits without scraping the
+// human-readable tables.
+//
 // Usage:
 //
 //	tspbench [-duration 2s] [-seed 1] [-profiles desktop,server] [-runs 3]
+//	         [-latency] [-json] [-out BENCH_tspbench.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,12 +28,54 @@ import (
 	"tsp/internal/stats"
 )
 
+// benchCell is one (profile, variant) measurement in the JSON report.
+// Throughput fields are in millions of worker iterations per second;
+// latency fields are nanoseconds. Fields that don't apply to the mode
+// are omitted.
+type benchCell struct {
+	Profile string `json:"profile"`
+	Variant string `json:"variant"`
+	Threads int    `json:"threads"`
+	Runs    int    `json:"runs,omitempty"`
+
+	BestMIterPerSec   float64 `json:"best_miter_per_sec,omitempty"`
+	MeanMIterPerSec   float64 `json:"mean_miter_per_sec,omitempty"`
+	StddevMIterPerSec float64 `json:"stddev_miter_per_sec,omitempty"`
+
+	Iterations uint64  `json:"iterations,omitempty"`
+	P50Ns      float64 `json:"p50_ns,omitempty"`
+	P90Ns      float64 `json:"p90_ns,omitempty"`
+	P99Ns      float64 `json:"p99_ns,omitempty"`
+	MaxNs      float64 `json:"max_ns,omitempty"`
+	MeanNs     float64 `json:"mean_ns,omitempty"`
+}
+
+// benchDerived carries the paper's headline percentages for one profile.
+type benchDerived struct {
+	Profile             string  `json:"profile"`
+	LogOnlyOverheadPct  float64 `json:"log_only_overhead_pct"`
+	LogFlushOverheadPct float64 `json:"log_flush_overhead_pct"`
+	TSPSpeedupPct       float64 `json:"tsp_speedup_pct"`
+}
+
+// benchReport is the top-level JSON document.
+type benchReport struct {
+	Mode        string         `json:"mode"` // "throughput" or "latency"
+	DurationSec float64        `json:"duration_sec"`
+	Seed        int64          `json:"seed"`
+	Timestamp   string         `json:"timestamp"`
+	Cells       []benchCell    `json:"cells"`
+	Derived     []benchDerived `json:"derived,omitempty"`
+}
+
 func main() {
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per cell")
 	seed := flag.Int64("seed", 1, "workload seed")
 	profiles := flag.String("profiles", "desktop,server", "comma-separated platform profiles")
 	runs := flag.Int("runs", 1, "repetitions per cell (best run reported, all summarized)")
 	latency := flag.Bool("latency", false, "measure per-iteration latency distributions instead of throughput")
+	jsonOut := flag.Bool("json", false, "also write a machine-readable report (see -out)")
+	outPath := flag.String("out", "BENCH_tspbench.json", "report path used with -json")
 	flag.Parse()
 
 	var profs []platform.Profile
@@ -39,40 +88,101 @@ func main() {
 		profs = append(profs, p)
 	}
 
+	report := benchReport{
+		Mode:        "throughput",
+		DurationSec: duration.Seconds(),
+		Seed:        *seed,
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+	}
 	if *latency {
-		fmt.Println("Per-iteration latency distributions (extension experiment: the tail cost")
-		fmt.Println("of prevention — synchronous flushing — versus TSP procrastination)")
-		fmt.Println()
-		for _, prof := range profs {
-			fmt.Printf("== %s ==\n", prof)
-			for _, v := range harness.AllVariants() {
-				cfg := harness.Config{Variant: v, Duration: *duration, Seed: *seed}.FromProfile(prof)
-				res, err := harness.RunLatency(cfg)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				fmt.Printf("  %s\n", res)
-			}
-			fmt.Println()
-		}
-		return
+		report.Mode = "latency"
 	}
 
-	fmt.Println("Reproducing Table 1 (throughput in millions of worker iterations per second;")
-	fmt.Println("each iteration = 3 atomic map operations, as in Section 5.1)")
-	fmt.Println()
+	switch {
+	case *latency:
+		runLatencyMode(profs, *duration, *seed, &report)
+	case *runs <= 1:
+		runSingle(profs, *duration, *seed, &report)
+	default:
+		runMulti(profs, *duration, *seed, *runs, &report)
+	}
 
-	if *runs <= 1 {
-		rows, err := harness.Table1(profs, *duration, *seed)
-		if err != nil {
+	if *jsonOut {
+		if err := writeReport(*outPath, report); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Print(harness.FormatTable1(rows))
-		return
+		fmt.Printf("wrote %s (%d cells)\n", *outPath, len(report.Cells))
 	}
+}
 
+func runLatencyMode(profs []platform.Profile, duration time.Duration, seed int64, report *benchReport) {
+	fmt.Println("Per-iteration latency distributions (extension experiment: the tail cost")
+	fmt.Println("of prevention — synchronous flushing — versus TSP procrastination)")
+	fmt.Println()
+	for _, prof := range profs {
+		fmt.Printf("== %s ==\n", prof)
+		for _, v := range harness.AllVariants() {
+			cfg := harness.Config{Variant: v, Duration: duration, Seed: seed}.FromProfile(prof)
+			res, err := harness.RunLatency(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %s\n", res)
+			report.Cells = append(report.Cells, benchCell{
+				Profile:    prof.Name,
+				Variant:    v.String(),
+				Threads:    res.Threads,
+				Iterations: res.Iterations,
+				P50Ns:      float64(res.P50),
+				P90Ns:      float64(res.P90),
+				P99Ns:      float64(res.P99),
+				MaxNs:      float64(res.Max),
+				MeanNs:     float64(res.Mean),
+			})
+		}
+		fmt.Println()
+	}
+}
+
+func runSingle(profs []platform.Profile, duration time.Duration, seed int64, report *benchReport) {
+	fmt.Println("Reproducing Table 1 (throughput in millions of worker iterations per second;")
+	fmt.Println("each iteration = 3 atomic map operations, as in Section 5.1)")
+	fmt.Println()
+	rows, err := harness.Table1(profs, duration, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(harness.FormatTable1(rows))
+	for _, row := range rows {
+		for _, v := range harness.AllVariants() {
+			res := row.Results[v]
+			report.Cells = append(report.Cells, benchCell{
+				Profile:         row.Profile.Name,
+				Variant:         v.String(),
+				Threads:         res.Threads,
+				Runs:            1,
+				BestMIterPerSec: res.IterPerSec() / 1e6,
+				MeanMIterPerSec: res.IterPerSec() / 1e6,
+				Iterations:      res.Iterations,
+			})
+		}
+		lo, lf, sp := row.Overheads()
+		report.Derived = append(report.Derived, benchDerived{
+			Profile:             row.Profile.Name,
+			LogOnlyOverheadPct:  lo * 100,
+			LogFlushOverheadPct: lf * 100,
+			TSPSpeedupPct:       sp * 100,
+		})
+	}
+}
+
+func runMulti(profs []platform.Profile, duration time.Duration, seed int64, runs int, report *benchReport) {
+	fmt.Println("Reproducing Table 1 (throughput in millions of worker iterations per second;")
+	fmt.Println("each iteration = 3 atomic map operations, as in Section 5.1)")
+	fmt.Println()
 	// Multi-run mode: report best-of plus dispersion per cell.
 	for _, prof := range profs {
 		fmt.Printf("== %s ==\n", prof)
@@ -80,13 +190,15 @@ func main() {
 		best := map[harness.Variant]float64{}
 		for _, v := range harness.AllVariants() {
 			var sample stats.Sample
-			for r := 0; r < *runs; r++ {
-				cfg := harness.Config{Variant: v, Duration: *duration, Seed: *seed + int64(r)}.FromProfile(prof)
+			threads := 0
+			for r := 0; r < runs; r++ {
+				cfg := harness.Config{Variant: v, Duration: duration, Seed: seed + int64(r)}.FromProfile(prof)
 				res, err := harness.RunThroughput(cfg)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
 				}
+				threads = res.Threads
 				m := res.IterPerSec() / 1e6
 				sample.Add(m)
 				if m > best[v] {
@@ -98,12 +210,35 @@ func main() {
 				fmt.Sprintf("%.3f", sample.Mean()),
 				fmt.Sprintf("%.3f", sample.Stddev()),
 				fmt.Sprintf("%d", sample.N()))
+			report.Cells = append(report.Cells, benchCell{
+				Profile:           prof.Name,
+				Variant:           v.String(),
+				Threads:           threads,
+				Runs:              sample.N(),
+				BestMIterPerSec:   best[v],
+				MeanMIterPerSec:   sample.Mean(),
+				StddevMIterPerSec: sample.Stddev(),
+			})
 		}
 		fmt.Print(tbl.String())
 		base, logOnly, logFlush := best[harness.MutexNoAtlas], best[harness.MutexAtlasTSP], best[harness.MutexAtlasNonTSP]
 		if base > 0 && logFlush > 0 {
-			fmt.Printf("log-only overhead %.0f%%, log+flush overhead %.0f%%, TSP speedup over non-TSP %.0f%%\n\n",
-				(1-logOnly/base)*100, (1-logFlush/base)*100, (logOnly/logFlush-1)*100)
+			lo, lf, sp := (1-logOnly/base)*100, (1-logFlush/base)*100, (logOnly/logFlush-1)*100
+			fmt.Printf("log-only overhead %.0f%%, log+flush overhead %.0f%%, TSP speedup over non-TSP %.0f%%\n\n", lo, lf, sp)
+			report.Derived = append(report.Derived, benchDerived{
+				Profile:             prof.Name,
+				LogOnlyOverheadPct:  lo,
+				LogFlushOverheadPct: lf,
+				TSPSpeedupPct:       sp,
+			})
 		}
 	}
+}
+
+func writeReport(path string, report benchReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

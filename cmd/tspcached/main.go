@@ -17,13 +17,19 @@
 // every shard (crash <n> takes down just one, while the rest keep
 // serving) and runs the full recovery path (heap reopen, Atlas
 // rollback, verify); the data is still there, as Section 4.2 promises.
-// The stats command reports aggregate counters; stats shards breaks
-// them down per shard, including recovery counts and latencies.
+// The stats command reports aggregate counters — including every
+// layer's telemetry (device flushes, Atlas log appends, map ops) and
+// op-latency percentiles; stats shards breaks them down per shard,
+// including recovery counts and latencies. With -metrics-addr the same
+// telemetry is additionally served as Prometheus-style text over HTTP:
+//
+//	$ tspcached -metrics-addr 127.0.0.1:9090 &
+//	$ curl -s http://127.0.0.1:9090/metrics | grep tsp_nvm_flushes
 //
 // Usage:
 //
 //	tspcached [-addr 127.0.0.1:11222] [-mode tsp|nontsp|off] [-shards 4]
-//	          [-conns 16] [-words 1048576]
+//	          [-conns 16] [-words 1048576] [-metrics-addr host:port]
 package main
 
 import (
@@ -41,6 +47,7 @@ func main() {
 	shards := flag.Int("shards", 4, "independent storage shards")
 	conns := flag.Int("conns", 16, "served connections; excess connections queue (backpressure)")
 	words := flag.Int("words", 1<<20, "simulated NVM words per shard")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP metrics listen address (Prometheus text at /metrics); empty disables")
 	flag.Parse()
 
 	var m atlas.Mode
@@ -62,6 +69,7 @@ func main() {
 		cacheserver.WithShards(*shards),
 		cacheserver.WithMaxConns(*conns),
 		cacheserver.WithDeviceWords(*words),
+		cacheserver.WithMetricsAddr(*metricsAddr),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -69,6 +77,9 @@ func main() {
 	}
 	fmt.Printf("tspcached listening on %s (mode %s, %d shards, %d connection slots)\n",
 		srv.Addr(), m, srv.NumShards(), *conns)
+	if ma := srv.MetricsAddr(); ma != nil {
+		fmt.Printf("metrics at http://%s/metrics\n", ma)
+	}
 	if err := srv.Serve(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

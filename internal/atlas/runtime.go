@@ -29,6 +29,7 @@ import (
 
 	"tsp/internal/nvm"
 	"tsp/internal/pheap"
+	"tsp/internal/telemetry"
 )
 
 // Mode selects the fortification level.
@@ -81,6 +82,11 @@ type Options struct {
 	// the ablation knob for quantifying what the filter buys — one of
 	// the design choices DESIGN.md calls out.
 	LogEveryStore bool
+
+	// Telemetry, when non-nil, receives the runtime's log-traffic and
+	// commit counters (typically a stack registry's Atlas section). Nil
+	// disables counting at the cost of one branch per event.
+	Telemetry *telemetry.AtlasStats
 }
 
 func (o *Options) fillDefaults() {
@@ -109,6 +115,7 @@ type Runtime struct {
 	dev  *nvm.Device
 	mode Mode
 	opts Options
+	tel  *telemetry.AtlasStats // nil-safe; from Options.Telemetry
 
 	dir   logDir
 	epoch atomic.Uint64 // cached copy of the directory epoch
@@ -145,7 +152,7 @@ func New(heap *pheap.Heap, mode Mode, opts Options) (*Runtime, error) {
 		// single-flush-per-record cost model and StoreBlock's contract.
 		return nil, fmt.Errorf("atlas: device line size %d words is not a multiple of the %d-word log record", lw, entryWords)
 	}
-	rt := &Runtime{heap: heap, dev: heap.Device(), mode: mode, opts: opts}
+	rt := &Runtime{heap: heap, dev: heap.Device(), mode: mode, opts: opts, tel: opts.Telemetry}
 
 	dirPtr := heap.Aux(AuxLogDir)
 	if dirPtr.IsNil() {
@@ -312,4 +319,5 @@ func (rt *Runtime) checkpointLocked() {
 	}
 	rt.mu.Unlock()
 	rt.checkpoints.Add(1)
+	rt.tel.IncCheckpoint()
 }

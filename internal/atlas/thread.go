@@ -99,6 +99,7 @@ func (t *Thread) appendEntry(kind entryKind, a, v uint64, opening bool) {
 	}, t.id, t.rt.epoch.Load())
 	t.head++
 	t.ocsEntries++
+	t.rt.tel.IncLogAppend()
 }
 
 // flushPending makes every appended-but-unflushed record durable, in
@@ -113,6 +114,7 @@ func (t *Thread) flushPending() {
 		}
 		t.rt.dev.FlushRange(t.buf+nvm.Addr(slot*entryWords), uint64(n*entryWords))
 		t.flushedTo += n
+		t.rt.tel.IncLogFlush()
 	}
 }
 
@@ -164,6 +166,7 @@ func (t *Thread) Unlock(m *Mutex) {
 				t.appendEntry(entryRelease, m.id, 0, false)
 			}
 			t.resetDirty()
+			t.rt.tel.IncOCSCommit()
 		} else {
 			t.appendEntry(entryRelease, m.id, 0, false)
 		}

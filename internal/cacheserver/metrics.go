@@ -1,0 +1,82 @@
+package cacheserver
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"tsp/internal/telemetry"
+)
+
+// metricsServer is the optional HTTP side-channel serving the shards'
+// telemetry as Prometheus-style text exposition (hand-rolled on
+// net/http; the repo takes no dependencies). It listens on its own
+// address so scraping never competes with the cache protocol for
+// connection slots.
+type metricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// startMetrics binds addr and begins serving GET /metrics in the
+// background. Serve errors after close are expected and discarded.
+func startMetrics(s *Server, addr string) (*metricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cacheserver: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(s.renderMetrics()))
+	})
+	m := &metricsServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = m.srv.Serve(ln) }()
+	return m, nil
+}
+
+func (m *metricsServer) addr() net.Addr { return m.ln.Addr() }
+
+func (m *metricsServer) close() { _ = m.srv.Close() }
+
+// renderMetrics renders every shard's registry plus the merged
+// aggregate in Prometheus text format. Counters carry a shard label
+// ("all" for the aggregate); the latency histograms surface as summary
+// quantiles in seconds, the conventional Prometheus unit.
+func (s *Server) renderMetrics() string {
+	var b strings.Builder
+
+	items, agg, opLat, recLat := s.aggregateViews()
+
+	b.WriteString("# TYPE tsp_items gauge\n")
+	fmt.Fprintf(&b, "tsp_items %d\n", items)
+
+	// One TYPE header per counter family, then the aggregate and every
+	// shard's value. The registry's Walk order keeps families contiguous.
+	views := make([]shardView, len(s.shards))
+	for i, sh := range s.shards {
+		views[i] = sh.view()
+	}
+	for _, name := range agg.Names() {
+		fmt.Fprintf(&b, "# TYPE tsp_%s counter\n", name)
+		fmt.Fprintf(&b, "tsp_%s{shard=\"all\"} %d\n", name, agg[name])
+		for i, v := range views {
+			fmt.Fprintf(&b, "tsp_%s{shard=\"%d\"} %d\n", name, i, v.counters[name])
+		}
+	}
+
+	writeSummary := func(name string, snap telemetry.HistogramSnapshot) {
+		fmt.Fprintf(&b, "# TYPE tsp_%s summary\n", name)
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(&b, "tsp_%s{quantile=\"%g\"} %g\n", name, q, snap.Quantile(q).Seconds())
+		}
+		fmt.Fprintf(&b, "tsp_%s_sum %g\n", name, (time.Duration(snap.Sum) * time.Nanosecond).Seconds())
+		fmt.Fprintf(&b, "tsp_%s_count %d\n", name, snap.Count())
+	}
+	writeSummary("op_latency_seconds", opLat)
+	writeSummary("recovery_latency_seconds", recLat)
+
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package cacheserver
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestStatsTelemetry verifies the extended stats vocabulary: per-layer
+// counters and op-latency percentiles from the shard registries.
+func TestStatsTelemetry(t *testing.T) {
+	s := startServer(t, WithShards(2))
+	c := dial(t, s.Addr().String())
+
+	c.cmd(t, "set 1 10")
+	c.cmd(t, "set 2 20")
+	c.cmd(t, "get 1")
+	c.cmd(t, "crash 0")
+
+	out := strings.Join(c.lines(t, "stats"), "\n")
+	for _, want := range []string{
+		"STAT op_count ",
+		"STAT op_p50_us ",
+		"STAT op_p95_us ",
+		"STAT op_p99_us ",
+		"STAT nvm_stores ",
+		"STAT nvm_flushes ",
+		"STAT atlas_log_appends ",
+		"STAT atlas_ocs_commits ",
+		"STAT map_gets ",
+		"STAT map_puts ",
+		"STAT heap_allocs ",
+		"STAT server_gets 1",
+		"STAT server_sets 2",
+		"STAT recovery_count 1",
+		"STAT stack_generation 3", // 2 shards at gen 1, one reattach bumps one to 2
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Per-shard lines carry the per-layer highlights too.
+	shardOut := strings.Join(c.lines(t, "stats shards"), "\n")
+	for _, want := range []string{"atlas_log_appends ", "map_gets ", "op_p50_us ", "op_p99_us "} {
+		if !strings.Contains(shardOut, want) {
+			t.Fatalf("stats shards output missing %q:\n%s", want, shardOut)
+		}
+	}
+}
+
+// TestMetricsEndpoint exercises the -metrics-addr HTTP surface: the
+// same registry data in Prometheus text form, per shard and aggregated.
+func TestMetricsEndpoint(t *testing.T) {
+	s := startServer(t, WithShards(2), WithMetricsAddr("127.0.0.1:0"))
+	c := dial(t, s.Addr().String())
+
+	c.cmd(t, "set 1 10")
+	c.cmd(t, "get 1")
+	c.cmd(t, "crash")
+
+	addr := s.MetricsAddr()
+	if addr == nil {
+		t.Fatal("MetricsAddr is nil with WithMetricsAddr set")
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE tsp_nvm_stores counter",
+		`tsp_nvm_stores{shard="all"}`,
+		`tsp_nvm_stores{shard="0"}`,
+		`tsp_nvm_stores{shard="1"}`,
+		`tsp_server_gets{shard="all"} 1`,
+		`tsp_recovery_count{shard="all"} 2`,
+		"# TYPE tsp_op_latency_seconds summary",
+		`tsp_op_latency_seconds{quantile="0.99"}`,
+		"tsp_op_latency_seconds_count",
+		"# TYPE tsp_recovery_latency_seconds summary",
+		"tsp_recovery_latency_seconds_count 2",
+		"tsp_items",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMetricsDisabled: no WithMetricsAddr means no endpoint.
+func TestMetricsDisabled(t *testing.T) {
+	s := startServer(t)
+	if s.MetricsAddr() != nil {
+		t.Fatal("MetricsAddr should be nil by default")
+	}
+}

@@ -22,6 +22,7 @@ type config struct {
 	writeBuf    int // per-connection response buffer bound, bytes
 	buckets     int // per-shard hash map shape
 	perMutex    int
+	metricsAddr string // optional HTTP metrics endpoint; "" = disabled
 }
 
 func defaultConfig() config {
@@ -96,6 +97,13 @@ func WithDeviceWords(n int) Option {
 // handler instead of growing server memory.
 func WithWriteBuffer(bytes int) Option {
 	return func(c *config) { c.writeBuf = bytes }
+}
+
+// WithMetricsAddr enables the HTTP metrics endpoint on addr (e.g.
+// "127.0.0.1:9090"): GET /metrics serves every shard's telemetry
+// registry as Prometheus-style text. Empty (the default) disables it.
+func WithMetricsAddr(addr string) Option {
+	return func(c *config) { c.metricsAddr = addr }
 }
 
 // WithBuckets shapes each shard's hash map: bucket count and buckets

@@ -40,8 +40,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tsp/internal/atlas"
+	"tsp/internal/telemetry"
 )
 
 // Server is a running sharded cache server.
@@ -60,6 +62,10 @@ type Server struct {
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+
+	// metrics is the optional Prometheus-style HTTP endpoint (see
+	// metrics.go); nil unless WithMetricsAddr was given.
+	metrics *metricsServer
 }
 
 // New builds the sharded storage stacks and starts listening. Call
@@ -90,7 +96,24 @@ func New(opts ...Option) (*Server, error) {
 		return nil, fmt.Errorf("cacheserver: %w", err)
 	}
 	s.ln = ln
+	if cfg.metricsAddr != "" {
+		m, err := startMetrics(s, cfg.metricsAddr)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.metrics = m
+	}
 	return s, nil
+}
+
+// MetricsAddr returns the bound metrics listen address, or nil when the
+// metrics endpoint is disabled.
+func (s *Server) MetricsAddr() net.Addr {
+	if s.metrics == nil {
+		return nil
+	}
+	return s.metrics.addr()
 }
 
 // Addr returns the bound listen address.
@@ -171,6 +194,9 @@ func (s *Server) Serve() error {
 func (s *Server) Close() error {
 	s.closing.Store(true)
 	err := s.ln.Close()
+	if s.metrics != nil {
+		s.metrics.close()
+	}
 	s.connMu.Lock()
 	for conn := range s.conns {
 		conn.Close()
@@ -232,7 +258,8 @@ func (s *Server) handle(conn net.Conn) {
 }
 
 // withShard runs fn on key's shard under its read lock with the
-// connection's thread for that shard.
+// connection's thread for that shard, observing the operation's service
+// time into the shard's op-latency histogram.
 func (s *Server) withShard(cs *connState, key uint64, fn func(sh *shard, th *atlas.Thread) string) string {
 	sh := s.shardOf(key)
 	sh.mu.RLock()
@@ -241,7 +268,10 @@ func (s *Server) withShard(cs *connState, key uint64, fn func(sh *shard, th *atl
 	if err != nil {
 		return fmt.Sprintf("SERVER_ERROR %v", err)
 	}
-	return fn(sh, th)
+	start := time.Now()
+	resp := fn(sh, th)
+	sh.tel.OpLatency.Observe(time.Since(start))
+	return resp
 }
 
 // dispatch executes one command line and returns the response (possibly
@@ -289,7 +319,7 @@ func (s *Server) dispatch(cs *connState, line string) string {
 			if err := sh.stk.Map.Put(th, k, v); err != nil {
 				return fmt.Sprintf("SERVER_ERROR %v", err)
 			}
-			sh.sets.Add(1)
+			sh.tel.Server.Sets.Inc()
 			return "STORED"
 		})
 
@@ -303,14 +333,14 @@ func (s *Server) dispatch(cs *connState, line string) string {
 		}
 		return s.withShard(cs, k, func(sh *shard, th *atlas.Thread) string {
 			v, ok, gerr := sh.stk.Map.Get(th, k)
-			sh.gets.Add(1)
+			sh.tel.Server.Gets.Inc()
 			if gerr != nil {
 				return fmt.Sprintf("SERVER_ERROR %v", gerr)
 			}
 			if !ok {
 				return "NOT_FOUND"
 			}
-			sh.hits.Add(1)
+			sh.tel.Server.Hits.Inc()
 			return fmt.Sprintf("VALUE %d %d", k, v)
 		})
 
@@ -328,7 +358,7 @@ func (s *Server) dispatch(cs *connState, line string) string {
 			if err != nil {
 				return fmt.Sprintf("SERVER_ERROR %v", err)
 			}
-			sh.sets.Add(1)
+			sh.tel.Server.Sets.Inc()
 			return strconv.FormatUint(nv, 10)
 		})
 
@@ -345,7 +375,7 @@ func (s *Server) dispatch(cs *connState, line string) string {
 			if derr != nil {
 				return fmt.Sprintf("SERVER_ERROR %v", derr)
 			}
-			sh.dels.Add(1)
+			sh.tel.Server.Deletes.Inc()
 			if !ok {
 				return "NOT_FOUND"
 			}
@@ -434,13 +464,15 @@ func (s *Server) mget(cs *connState, keys []uint64) string {
 					continue
 				}
 				k := keys[i]
+				start := time.Now()
 				v, ok, err := sh.stk.Map.Get(th, k)
-				sh.gets.Add(1)
+				sh.tel.OpLatency.Observe(time.Since(start))
+				sh.tel.Server.Gets.Inc()
 				switch {
 				case err != nil:
 					lines[i] = fmt.Sprintf("SERVER_ERROR %v", err)
 				case ok:
-					sh.hits.Add(1)
+					sh.tel.Server.Hits.Inc()
 					lines[i] = fmt.Sprintf("VALUE %d %d", k, v)
 				default:
 					lines[i] = fmt.Sprintf("NOT_FOUND %d", k)
@@ -464,11 +496,14 @@ func (s *Server) mset(cs *connState, kv []uint64) string {
 					errsByIdx[i] = fmt.Errorf("shard %d unavailable", sh.idx)
 					continue
 				}
-				if err := sh.stk.Map.Put(th, kv[2*i], kv[2*i+1]); err != nil {
+				start := time.Now()
+				err := sh.stk.Map.Put(th, kv[2*i], kv[2*i+1])
+				sh.tel.OpLatency.Observe(time.Since(start))
+				if err != nil {
 					errsByIdx[i] = err
 					continue
 				}
-				sh.sets.Add(1)
+				sh.tel.Server.Sets.Inc()
 			}
 		})
 	if err := errors.Join(errsByIdx...); err != nil {
@@ -493,63 +528,67 @@ func (s *Server) crashAll() error {
 	return errors.Join(errs...)
 }
 
-// statsAggregate renders the whole-server stats view.
-func (s *Server) statsAggregate() string {
-	var agg shardStats
-	var recAvgSum, recMax float64
-	shardsWithRec := 0
+// aggregateViews collects and merges every shard's telemetry view.
+func (s *Server) aggregateViews() (items int, agg telemetry.Snapshot, opLat, recLat telemetry.HistogramSnapshot) {
+	agg = telemetry.Snapshot{}
 	for _, sh := range s.shards {
-		st := sh.snapshot()
-		agg.items += st.items
-		agg.gets += st.gets
-		agg.hits += st.hits
-		agg.sets += st.sets
-		agg.dels += st.dels
-		agg.recoveries += st.recoveries
-		agg.dev.Stores += st.dev.Stores
-		agg.dev.Flushes += st.dev.Flushes
-		agg.dev.Writebacks += st.dev.Writebacks
-		if st.recoveries > 0 {
-			recAvgSum += st.recAvgUS
-			shardsWithRec++
-			if st.recMaxUS > recMax {
-				recMax = st.recMaxUS
-			}
-		}
+		v := sh.view()
+		items += v.items
+		agg.Add(v.counters)
+		opLat.Merge(v.opLat)
+		recLat.Merge(v.recLat)
 	}
+	return items, agg, opLat, recLat
+}
+
+// us renders a duration in (fractional) microseconds for STAT lines.
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// statsAggregate renders the whole-server stats view: the historical
+// headline STAT keys, op-latency percentiles, and then the registry's
+// full per-layer counter vocabulary — every shard merged into one
+// monotonic snapshot.
+func (s *Server) statsAggregate() string {
+	items, agg, opLat, recLat := s.aggregateViews()
+	gets, hits := agg["server_gets"], agg["server_hits"]
 	hitRate := 0.0
-	if agg.gets > 0 {
-		hitRate = float64(agg.hits) / float64(agg.gets)
-	}
-	recAvg := 0.0
-	if shardsWithRec > 0 {
-		recAvg = recAvgSum / float64(shardsWithRec)
+	if gets > 0 {
+		hitRate = float64(hits) / float64(gets)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "STAT shards %d\r\n", len(s.shards))
-	fmt.Fprintf(&b, "STAT items %d\r\n", agg.items)
-	fmt.Fprintf(&b, "STAT gets %d\r\n", agg.gets)
-	fmt.Fprintf(&b, "STAT hits %d\r\n", agg.hits)
+	fmt.Fprintf(&b, "STAT items %d\r\n", items)
+	fmt.Fprintf(&b, "STAT gets %d\r\n", gets)
+	fmt.Fprintf(&b, "STAT hits %d\r\n", hits)
 	fmt.Fprintf(&b, "STAT hit_rate %.4f\r\n", hitRate)
-	fmt.Fprintf(&b, "STAT sets %d\r\n", agg.sets)
-	fmt.Fprintf(&b, "STAT deletes %d\r\n", agg.dels)
-	fmt.Fprintf(&b, "STAT crashes_survived %d\r\n", agg.recoveries)
-	fmt.Fprintf(&b, "STAT recovery_avg_us %.1f\r\n", recAvg)
-	fmt.Fprintf(&b, "STAT recovery_max_us %.1f\r\n", recMax)
-	fmt.Fprintf(&b, "STAT nvm_stores %d\r\n", agg.dev.Stores)
-	fmt.Fprintf(&b, "STAT nvm_flushes %d\r\n", agg.dev.Flushes)
-	fmt.Fprintf(&b, "STAT nvm_writebacks %d\r\n", agg.dev.Writebacks)
+	fmt.Fprintf(&b, "STAT sets %d\r\n", agg["server_sets"])
+	fmt.Fprintf(&b, "STAT deletes %d\r\n", agg["server_deletes"])
+	fmt.Fprintf(&b, "STAT crashes_survived %d\r\n", agg["recovery_count"])
+	fmt.Fprintf(&b, "STAT recovery_avg_us %.1f\r\n", us(recLat.Mean()))
+	fmt.Fprintf(&b, "STAT recovery_max_us %.1f\r\n", us(recLat.Max()))
+	fmt.Fprintf(&b, "STAT op_count %d\r\n", opLat.Count())
+	fmt.Fprintf(&b, "STAT op_p50_us %.1f\r\n", us(opLat.Quantile(0.50)))
+	fmt.Fprintf(&b, "STAT op_p95_us %.1f\r\n", us(opLat.Quantile(0.95)))
+	fmt.Fprintf(&b, "STAT op_p99_us %.1f\r\n", us(opLat.Quantile(0.99)))
+	for _, name := range agg.Names() {
+		fmt.Fprintf(&b, "STAT %s %d\r\n", name, agg[name])
+	}
 	b.WriteString("END")
 	return b.String()
 }
 
-// statsShards renders one line per shard.
+// statsShards renders one line per shard: the historical per-shard
+// fields plus that shard's per-layer highlights and op percentiles.
 func (s *Server) statsShards() string {
 	var b strings.Builder
 	for _, sh := range s.shards {
-		st := sh.snapshot()
-		fmt.Fprintf(&b, "STAT shard %d items %d gets %d hits %d sets %d deletes %d recoveries %d recovery_avg_us %.1f nvm_stores %d nvm_flushes %d\r\n",
-			sh.idx, st.items, st.gets, st.hits, st.sets, st.dels, st.recoveries, st.recAvgUS, st.dev.Stores, st.dev.Flushes)
+		v := sh.view()
+		c := v.counters
+		fmt.Fprintf(&b, "STAT shard %d items %d gets %d hits %d sets %d deletes %d recoveries %d recovery_avg_us %.1f nvm_stores %d nvm_flushes %d atlas_log_appends %d map_gets %d map_puts %d op_p50_us %.1f op_p99_us %.1f\r\n",
+			sh.idx, v.items, c["server_gets"], c["server_hits"], c["server_sets"], c["server_deletes"],
+			c["recovery_count"], us(v.recLat.Mean()), c["nvm_stores"], c["nvm_flushes"],
+			c["atlas_log_appends"], c["map_gets"], c["map_puts"],
+			us(v.opLat.Quantile(0.50)), us(v.opLat.Quantile(0.99)))
 	}
 	b.WriteString("END")
 	return b.String()

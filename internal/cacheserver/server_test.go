@@ -207,11 +207,11 @@ func TestCrashSingleShardLeavesOthersServing(t *testing.T) {
 		}
 	}
 	// Only the crashed shard counts a recovery.
-	if got := s.shards[2].recoveries.Load(); got != 1 {
+	if got := s.shards[2].tel.Recovery.Recoveries.Load(); got != 1 {
 		t.Fatalf("shard 2 recoveries = %d, want 1", got)
 	}
 	for _, i := range []int{0, 1, 3} {
-		if got := s.shards[i].recoveries.Load(); got != 0 {
+		if got := s.shards[i].tel.Recovery.Recoveries.Load(); got != 0 {
 			t.Fatalf("shard %d recoveries = %d, want 0", i, got)
 		}
 	}
@@ -417,7 +417,7 @@ func TestCrashDuringLoad(t *testing.T) {
 		t.Fatalf("VerifyAll after crash-under-load: %v", err)
 	}
 	for _, sh := range s.shards {
-		if got := sh.recoveries.Load(); got < 2 {
+		if got := sh.tel.Recovery.Recoveries.Load(); got < 2 {
 			t.Fatalf("shard %d recoveries = %d, want >= 2", sh.idx, got)
 		}
 	}

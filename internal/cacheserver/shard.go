@@ -9,7 +9,7 @@ import (
 	"tsp/internal/atlas"
 	"tsp/internal/nvm"
 	"tsp/internal/stack"
-	"tsp/internal/stats"
+	"tsp/internal/telemetry"
 )
 
 // shard is one independent storage stack: its own device, heap, Atlas
@@ -19,6 +19,14 @@ import (
 type shard struct {
 	idx int
 	cfg config
+
+	// tel is the shard's telemetry registry: one observability plane for
+	// this shard's whole stack, from device counters to protocol-level
+	// hit/miss counts and op latency. The registry pointer is stable for
+	// the shard's lifetime even though the stack underneath is torn down
+	// and rebuilt by crashes — stack.CrashReattach reuses it, so counters
+	// accumulate across incarnations.
+	tel *telemetry.Registry
 
 	// mu guards the stack pointer: a crash tears the stack down and
 	// rebuilds it under the write lock, so request handling holds the
@@ -32,28 +40,21 @@ type shard struct {
 	// is valid only for the generation it registered with; threadFor
 	// re-registers lazily after a crash.
 	gen atomic.Uint64
-
-	// Per-shard operation counters for the stats surface.
-	gets, hits, sets, dels atomic.Uint64
-
-	// Recovery bookkeeping. recoveries is read lock-free by stats;
-	// recLat is only appended under the shard write lock (recoveries are
-	// serialized by it) and read under the read lock.
-	recoveries atomic.Uint64
-	recLat     stats.Sample
 }
 
 func newShard(idx int, c config) (*shard, error) {
+	tel := telemetry.NewRegistry()
 	stk, err := stack.New(
 		stack.WithDeviceWords(c.deviceWords),
 		stack.WithMode(c.mode),
 		stack.WithMaxThreads(c.maxConns),
 		stack.WithBuckets(c.buckets, c.perMutex),
+		stack.WithTelemetry(tel),
 	)
 	if err != nil {
 		return nil, fmt.Errorf("cacheserver: shard %d: %w", idx, err)
 	}
-	return &shard{idx: idx, cfg: c, stk: stk}, nil
+	return &shard{idx: idx, cfg: c, tel: tel, stk: stk}, nil
 }
 
 // threadFor returns the connection's Atlas thread on this shard,
@@ -91,7 +92,9 @@ func (sh *shard) releaseThread(cs *connState) {
 // shard only and brings its stack back through the standard recovery
 // path, re-verifying the map's integrity invariants before serving
 // again. Other shards keep serving throughout: the write lock taken
-// here is per-shard.
+// here is per-shard. The crash-to-serving latency lands in the shard
+// registry's RecoveryLatency histogram; the recovery counts themselves
+// are recorded by stack.Reattach.
 func (sh *shard) crashAndRecover() error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -106,8 +109,7 @@ func (sh *shard) crashAndRecover() error {
 	}
 	sh.stk = ns
 	sh.gen.Add(1)
-	sh.recoveries.Add(1)
-	sh.recLat.Add(time.Since(start).Seconds())
+	sh.tel.RecoveryLatency.Observe(time.Since(start))
 	return nil
 }
 
@@ -121,28 +123,25 @@ func (sh *shard) verify() error {
 	return nil
 }
 
-// shardStats is one shard's contribution to the stats command.
-type shardStats struct {
-	items                  int
-	gets, hits, sets, dels uint64
-	recoveries             uint64
-	recAvgUS, recMaxUS     float64
-	dev                    nvm.StatsSnapshot
+// shardView is one shard's telemetry contribution to the stats command
+// and the metrics endpoint: the full registry snapshot plus the only
+// value the registry cannot know — the map's live item count.
+type shardView struct {
+	items    int
+	counters telemetry.Snapshot
+	opLat    telemetry.HistogramSnapshot
+	recLat   telemetry.HistogramSnapshot
 }
 
-// snapshot collects the shard's counters under the read lock.
-func (sh *shard) snapshot() shardStats {
+// view collects the shard's telemetry under the read lock (Map.Len
+// needs a live stack; the registry itself is lock-free).
+func (sh *shard) view() shardView {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	return shardStats{
-		items:      sh.stk.Map.Len(),
-		gets:       sh.gets.Load(),
-		hits:       sh.hits.Load(),
-		sets:       sh.sets.Load(),
-		dels:       sh.dels.Load(),
-		recoveries: sh.recoveries.Load(),
-		recAvgUS:   sh.recLat.Mean() * 1e6,
-		recMaxUS:   sh.recLat.Max() * 1e6,
-		dev:        sh.stk.Dev.Stats(),
+	return shardView{
+		items:    sh.stk.Map.Len(),
+		counters: sh.tel.Counters(),
+		opLat:    sh.tel.OpLatency.Snapshot(),
+		recLat:   sh.tel.RecoveryLatency.Snapshot(),
 	}
 }

@@ -88,9 +88,7 @@ func RunLatency(cfg Config) (LatencyResult, error) {
 	// Merge the per-worker samples.
 	var all stats.Sample
 	for _, s := range samples {
-		for _, v := range s.Values() {
-			all.Add(v)
-		}
+		all.Merge(s)
 	}
 	res := LatencyResult{
 		Variant:    cfg.Variant,

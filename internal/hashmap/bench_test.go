@@ -6,6 +6,7 @@ import (
 	"tsp/internal/atlas"
 	"tsp/internal/nvm"
 	"tsp/internal/pheap"
+	"tsp/internal/telemetry"
 )
 
 func benchMap(b *testing.B, mode atlas.Mode, prefill int) (*Map, *atlas.Thread) {
@@ -87,6 +88,34 @@ func BenchmarkDelete(b *testing.B) {
 		if _, err := m.Delete(th, k); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPutTelemetry compares map writes with a live telemetry
+// section attached ("on") against the nil-section fast path ("off") —
+// the map-level half of the telemetry overhead guard. The device under
+// both runs still counts (benchMap uses the default device config), so
+// the delta isolates the map layer's own increment.
+//
+//	go test -run ZZZ -bench PutTelemetry ./internal/hashmap
+func BenchmarkPutTelemetry(b *testing.B) {
+	for _, withTel := range []bool{true, false} {
+		name := "off"
+		if withTel {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			m, th := benchMap(b, atlas.ModeTSP, 1<<12)
+			if withTel {
+				m.SetTelemetry(&telemetry.MapStats{})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Put(th, uint64(i)%(1<<12), uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"tsp/internal/atlas"
 	"tsp/internal/nvm"
 	"tsp/internal/pheap"
+	"tsp/internal/telemetry"
 )
 
 // Descriptor layout (payload words):
@@ -64,7 +65,15 @@ type Map struct {
 	nBuckets int
 	stride   int
 	mutexes  []*atlas.Mutex
+
+	tel *telemetry.MapStats // nil-safe; set via SetTelemetry
 }
+
+// SetTelemetry points the map's operation counters at a registry section
+// (nil turns counting off). Call before the map is shared. The *Locked
+// stripe-level variants count too: they are the same logical map
+// operations, just with caller-managed locking.
+func (m *Map) SetTelemetry(tel *telemetry.MapStats) { m.tel = tel }
 
 // mix64 is the table's hash and integrity mixer.
 func mix64(x uint64) uint64 {
@@ -176,6 +185,7 @@ func (m *Map) Put(t *atlas.Thread, key, value uint64) error {
 	if t == nil {
 		return ErrNoThread
 	}
+	m.tel.IncPut()
 	b := m.bucketOf(key)
 	mu := m.mutexFor(b)
 	t.Lock(mu)
@@ -210,6 +220,7 @@ func (m *Map) Get(t *atlas.Thread, key uint64) (uint64, bool, error) {
 	if t == nil {
 		return 0, false, ErrNoThread
 	}
+	m.tel.IncGet()
 	b := m.bucketOf(key)
 	mu := m.mutexFor(b)
 	t.Lock(mu)
@@ -228,6 +239,7 @@ func (m *Map) Inc(t *atlas.Thread, key, delta uint64) (uint64, error) {
 	if t == nil {
 		return 0, ErrNoThread
 	}
+	m.tel.IncInc()
 	b := m.bucketOf(key)
 	mu := m.mutexFor(b)
 	t.Lock(mu)
@@ -253,6 +265,7 @@ func (m *Map) Delete(t *atlas.Thread, key uint64) (bool, error) {
 	if t == nil {
 		return false, ErrNoThread
 	}
+	m.tel.IncDelete()
 	b := m.bucketOf(key)
 	mu := m.mutexFor(b)
 	t.Lock(mu)
@@ -289,6 +302,7 @@ func (m *Map) GetLocked(t *atlas.Thread, key uint64) (uint64, bool, error) {
 	if t == nil {
 		return 0, false, ErrNoThread
 	}
+	m.tel.IncGet()
 	n, _ := m.findLocked(t, m.bucketOf(key), key)
 	if n.IsNil() {
 		return 0, false, nil
@@ -301,6 +315,7 @@ func (m *Map) PutLocked(t *atlas.Thread, key, value uint64) error {
 	if t == nil {
 		return ErrNoThread
 	}
+	m.tel.IncPut()
 	return m.putLocked(t, m.bucketOf(key), key, value)
 }
 
@@ -310,6 +325,7 @@ func (m *Map) DeleteLocked(t *atlas.Thread, key uint64) (bool, error) {
 	if t == nil {
 		return false, ErrNoThread
 	}
+	m.tel.IncDelete()
 	b := m.bucketOf(key)
 	n, prev := m.findLocked(t, b, key)
 	if n.IsNil() {

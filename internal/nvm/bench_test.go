@@ -75,6 +75,52 @@ func BenchmarkLoadWithMissModelMiss(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreTelemetry pins the telemetry layer's overhead bound:
+// "on" is the default device (counting into its DeviceStats section,
+// sharded-atomic increments only), "off" takes the nil-receiver fast
+// path via DisableStats. The two must stay within a few percent of each
+// other — counting is sharded atomics with no locks, and disabling it
+// costs only a predictable nil-check branch.
+//
+//	go test -run ZZZ -bench StoreTelemetry ./internal/nvm
+func BenchmarkStoreTelemetry(b *testing.B) {
+	for _, sub := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"on", Config{Words: 1 << 16}},
+		{"off", Config{Words: 1 << 16, DisableStats: true}},
+	} {
+		b.Run(sub.name, func(b *testing.B) {
+			d := NewDevice(sub.cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Store(Addr(i&0xffff), uint64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkLoadTelemetry is the read-path twin of
+// BenchmarkStoreTelemetry.
+func BenchmarkLoadTelemetry(b *testing.B) {
+	for _, sub := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"on", Config{Words: 1 << 16}},
+		{"off", Config{Words: 1 << 16, DisableStats: true}},
+	} {
+		b.Run(sub.name, func(b *testing.B) {
+			d := NewDevice(sub.cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Load(Addr(i & 0xffff))
+			}
+		})
+	}
+}
+
 func BenchmarkCrashRescue(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()

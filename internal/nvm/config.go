@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"tsp/internal/telemetry"
 )
 
 // Config describes the simulated memory hierarchy.
@@ -40,6 +42,18 @@ type Config struct {
 	// Evictor configures background write-back of dirty lines, modelling
 	// cache replacement. A zero value disables it.
 	Evictor EvictorConfig
+
+	// Telemetry, when non-nil, is the counter section the device reports
+	// into — typically a stack registry's Device section, so the device's
+	// counters aggregate with the layers above it. When nil the device
+	// allocates a private section (the historical always-on behavior)
+	// unless DisableStats is set.
+	Telemetry *telemetry.DeviceStats
+
+	// DisableStats turns counting off entirely: the device holds a nil
+	// telemetry section and every counter update is a single predictable
+	// branch. Stats() then reads as all zeros.
+	DisableStats bool
 }
 
 // EvictorConfig controls the background evictor goroutine.

@@ -52,13 +52,13 @@ func (d *Device) Crash(opts CrashOptions) {
 	d.crashed.Store(true)
 	switch {
 	case opts.RescueFraction == 1:
-		d.stats.rescues.Add(1)
+		d.tel.IncRescue()
 		d.FlushAll()
 	case opts.RescueFraction == 0:
-		d.stats.drops.Add(1)
+		d.tel.IncDrop()
 		// Dirty lines are simply lost; nothing to do.
 	default:
-		d.stats.rescues.Add(1)
+		d.tel.IncRescue()
 		rng := rand.New(rand.NewSource(opts.Seed))
 		for line := uint64(0); line < uint64(len(d.dirty)); line++ {
 			if d.lineDirty(line) && rng.Float64() < opts.RescueFraction {

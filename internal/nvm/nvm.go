@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"tsp/internal/telemetry"
 )
 
 // Addr is a word index into a Device. Word 0 is a valid address; packages
@@ -56,7 +58,10 @@ type Device struct {
 	// content may differ from its persisted content.
 	dirty []uint32
 
-	stats Stats
+	// tel is the device's counter section: injected via Config.Telemetry,
+	// privately allocated by default, or nil when Config.DisableStats is
+	// set (every update then costs one branch).
+	tel *telemetry.DeviceStats
 
 	// cacheTags is the direct-mapped latency model: cacheTags[line&mask]
 	// holds line+1 when that line is "cached". Entries race benignly —
@@ -93,6 +98,10 @@ func NewDevice(cfg Config) *Device {
 		volatile:  make([]uint64, cfg.Words),
 		persisted: make([]uint64, cfg.Words),
 		dirty:     make([]uint32, lines),
+		tel:       cfg.Telemetry,
+	}
+	if d.tel == nil && !cfg.DisableStats {
+		d.tel = &telemetry.DeviceStats{}
 	}
 	if cfg.MissCost > 0 {
 		d.cacheTags = make([]uint64, cfg.MissLines)
@@ -161,7 +170,7 @@ func (d *Device) check(a Addr) {
 // Load atomically reads the word at a from the volatile image.
 func (d *Device) Load(a Addr) uint64 {
 	d.check(a)
-	d.stats.loads.inc(a)
+	d.tel.IncLoad(uint64(a))
 	d.touchLoad(a)
 	return atomic.LoadUint64(&d.volatile[a])
 }
@@ -174,7 +183,7 @@ func (d *Device) Store(a Addr, v uint64) {
 	if d.crashed.Load() || d.countdown() {
 		return
 	}
-	d.stats.stores.inc(a)
+	d.tel.IncStore(uint64(a))
 	d.touchStore(a)
 	atomic.StoreUint64(&d.volatile[a], v)
 	d.markDirty(a)
@@ -199,7 +208,7 @@ func (d *Device) StoreBlock(a Addr, vals []uint64) {
 	if d.crashed.Load() || d.countdown() {
 		return
 	}
-	d.stats.stores.inc(a)
+	d.tel.IncStore(uint64(a))
 	d.touchStore(a)
 	for i, v := range vals {
 		atomic.StoreUint64(&d.volatile[a+Addr(i)], v)
@@ -214,7 +223,7 @@ func (d *Device) CAS(a Addr, old, new uint64) bool {
 	if d.crashed.Load() || d.countdown() {
 		return false
 	}
-	d.stats.cases.inc(a)
+	d.tel.IncCAS(uint64(a))
 	d.touchLoad(a)
 	if atomic.CompareAndSwapUint64(&d.volatile[a], old, new) {
 		d.markDirty(a)
@@ -230,7 +239,7 @@ func (d *Device) Add(a Addr, delta uint64) uint64 {
 	if d.crashed.Load() || d.countdown() {
 		return atomic.LoadUint64(&d.volatile[a])
 	}
-	d.stats.stores.inc(a)
+	d.tel.IncStore(uint64(a))
 	d.touchLoad(a)
 	v := atomic.AddUint64(&d.volatile[a], delta)
 	d.markDirty(a)
@@ -287,10 +296,10 @@ func (d *Device) FlushAll() {
 // never silently lost.
 func (d *Device) flushLine(line uint64, charge bool) {
 	if charge {
-		d.stats.flushes.Add(1)
+		d.tel.IncFlush()
 		spin(d.cfg.FlushCost)
 	} else {
-		d.stats.writebacks.Add(1)
+		d.tel.IncWriteback()
 	}
 	atomic.StoreUint32(&d.dirty[line], 0)
 	lo := line * uint64(d.cfg.LineWords)
@@ -336,8 +345,14 @@ func (d *Device) persistedLoad(w uint64) uint64    { return atomic.LoadUint64(&d
 func (d *Device) dirtyLoad(line uint64) uint32     { return atomic.LoadUint32(&d.dirty[line]) }
 func (d *Device) dirtyClear(line uint64)           { atomic.StoreUint32(&d.dirty[line], 0) }
 
-// Stats returns a snapshot of the device's operation counters.
-func (d *Device) Stats() StatsSnapshot { return d.stats.snapshot() }
+// Stats returns a snapshot of the device's operation counters (all
+// zeros when counting is disabled).
+func (d *Device) Stats() StatsSnapshot { return snapshotOf(d.tel) }
 
 // ResetStats zeroes the operation counters.
-func (d *Device) ResetStats() { d.stats.reset() }
+func (d *Device) ResetStats() { d.tel.Reset() }
+
+// Telemetry returns the device's live counter section (nil when counting
+// is disabled). stack.Reattach adopts it into the new incarnation's
+// registry so device counters survive a crash/reattach cycle.
+func (d *Device) Telemetry() *telemetry.DeviceStats { return d.tel }

@@ -2,77 +2,16 @@ package nvm
 
 import (
 	"fmt"
-	"sync/atomic"
+
+	"tsp/internal/telemetry"
 )
 
-// Stats holds the device's always-on operation counters. The hot-path
-// counters (loads, stores, CAS) are sharded across padded cache lines
-// and indexed by address bits: with many worker threads hammering the
-// device, a single shared counter word would serialize the simulation on
-// counter-line ping-pong and distort every measurement the counters are
-// supposed to support.
-type Stats struct {
-	loads  shardedCounter
-	stores shardedCounter
-	cases  shardedCounter // CAS attempts
-
-	flushes    atomic.Uint64 // synchronous, latency-charged flushes
-	writebacks atomic.Uint64 // background/rescue write-backs (free)
-	rescues    atomic.Uint64 // crash-time rescues performed
-	drops      atomic.Uint64 // crashes that discarded the volatile image
-}
-
-const statShards = 16
-
-// paddedU64 occupies a full cache line so shards never false-share.
-type paddedU64 struct {
-	v uint64
-	_ [7]uint64
-}
-
-type shardedCounter struct {
-	shards [statShards]paddedU64
-}
-
-func (c *shardedCounter) inc(a Addr) {
-	atomic.AddUint64(&c.shards[uint64(a)&(statShards-1)].v, 1)
-}
-
-func (c *shardedCounter) sum() uint64 {
-	var total uint64
-	for i := range c.shards {
-		total += atomic.LoadUint64(&c.shards[i].v)
-	}
-	return total
-}
-
-func (c *shardedCounter) reset() {
-	for i := range c.shards {
-		atomic.StoreUint64(&c.shards[i].v, 0)
-	}
-}
-
-func (s *Stats) snapshot() StatsSnapshot {
-	return StatsSnapshot{
-		Loads:      s.loads.sum(),
-		Stores:     s.stores.sum(),
-		CAS:        s.cases.sum(),
-		Flushes:    s.flushes.Load(),
-		Writebacks: s.writebacks.Load(),
-		Rescues:    s.rescues.Load(),
-		Drops:      s.drops.Load(),
-	}
-}
-
-func (s *Stats) reset() {
-	s.loads.reset()
-	s.stores.reset()
-	s.cases.reset()
-	s.flushes.Store(0)
-	s.writebacks.Store(0)
-	s.rescues.Store(0)
-	s.drops.Store(0)
-}
+// The device's counters live in a telemetry.DeviceStats section — either
+// one injected via Config.Telemetry (so a whole stack shares one
+// registry) or a private section the device allocates for itself, which
+// preserves the historical always-on behavior of the old nvm.Stats.
+// StatsSnapshot remains the package's stable read-side view: a plain
+// value struct the tests, the harness, and Table 1 diff and print.
 
 // StatsSnapshot is a point-in-time copy of the device counters.
 type StatsSnapshot struct {
@@ -83,6 +22,23 @@ type StatsSnapshot struct {
 	Writebacks uint64
 	Rescues    uint64
 	Drops      uint64
+}
+
+// snapshotOf copies a telemetry section into the exported view. A nil
+// section (telemetry disabled) reads as all zeros.
+func snapshotOf(tel *telemetry.DeviceStats) StatsSnapshot {
+	if tel == nil {
+		return StatsSnapshot{}
+	}
+	return StatsSnapshot{
+		Loads:      tel.Loads.Load(),
+		Stores:     tel.Stores.Load(),
+		CAS:        tel.CAS.Load(),
+		Flushes:    tel.Flushes.Load(),
+		Writebacks: tel.Writebacks.Load(),
+		Rescues:    tel.Rescues.Load(),
+		Drops:      tel.Drops.Load(),
+	}
 }
 
 // Sub returns the delta s minus earlier, counter by counter.

@@ -78,6 +78,7 @@ func (h *Heap) GC() (GCReport, error) {
 		rep.BlocksFreed++
 		rep.WordsReclaimed += total
 	}
+	h.tel.AddGC(uint64(rep.BlocksFreed))
 	return rep, nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"tsp/internal/nvm"
+	"tsp/internal/telemetry"
 )
 
 // Ptr is a persistent pointer: the word address of a block's payload.
@@ -97,6 +98,8 @@ type Heap struct {
 	large []Ptr   // free blocks bigger than the last class
 
 	pins map[Ptr]struct{} // volatile GC roots registered this incarnation
+
+	tel *telemetry.HeapStats // nil-safe; set via SetTelemetry
 }
 
 // Format initializes a fresh heap on the device, destroying any previous
@@ -238,8 +241,13 @@ func (h *Heap) Alloc(words int) (Ptr, error) {
 	for i := 0; i < total-1; i++ {
 		h.dev.Store(p.Addr()+nvm.Addr(i), 0)
 	}
+	h.tel.IncAlloc()
 	return p, nil
 }
+
+// SetTelemetry points the heap's counters at a registry section (nil
+// turns counting off). Call before the heap is shared.
+func (h *Heap) SetTelemetry(tel *telemetry.HeapStats) { h.tel = tel }
 
 func (h *Heap) allocLocked(need int) (Ptr, int, error) {
 	// Try the segregated lists first.
@@ -321,6 +329,7 @@ func (h *Heap) Free(p Ptr) error {
 	h.dev.Store(hdrAddr, hdr&^uint64(allocBit))
 	h.pushFree(p, int(hdr>>1))
 	delete(h.pins, p)
+	h.tel.IncFree()
 	return nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"tsp/internal/hashmap"
 	"tsp/internal/nvm"
 	"tsp/internal/pheap"
+	"tsp/internal/telemetry"
 )
 
 // Stack is one assembled storage stack. RT and Map are nil for a
@@ -45,6 +46,13 @@ type Stack struct {
 	// Reattach (zero value for a fresh stack or a heap-only reattach).
 	Recovery atlas.Report
 
+	// Tel is the stack's telemetry registry: one observability plane for
+	// every layer. Nil when the stack was built WithoutTelemetry. The
+	// registry outlives any single incarnation — CrashReattach hands the
+	// same registry to the recovered stack, so counters accumulate across
+	// crashes (Generation tells incarnations apart).
+	Tel *telemetry.Registry
+
 	cfg config // retained so CrashReattach can rebuild identically
 }
 
@@ -57,6 +65,8 @@ type config struct {
 	buckets       int
 	perMutex      int
 	heapOnly      bool
+	tel           *telemetry.Registry
+	telemetryOff  bool
 }
 
 func defaults() config {
@@ -129,6 +139,27 @@ func HeapOnly() Option {
 	return func(c *config) { c.heapOnly = true }
 }
 
+// WithTelemetry threads an existing registry through every layer instead
+// of the fresh one New would otherwise build — how a multi-stack program
+// (one registry per cache-server shard) keeps each shard's registry
+// stable while the shard's stack is crashed and rebuilt underneath it.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *config) {
+		c.tel = reg
+		c.telemetryOff = reg == nil
+	}
+}
+
+// WithoutTelemetry builds the stack with no registry at all: every layer
+// holds nil counter sections and pays one predictable branch per event.
+// This is the configuration the overhead benchmarks compare against.
+func WithoutTelemetry() Option {
+	return func(c *config) {
+		c.tel = nil
+		c.telemetryOff = true
+	}
+}
+
 func buildConfig(opts []Option) config {
 	c := defaults()
 	for _, o := range opts {
@@ -137,12 +168,31 @@ func buildConfig(opts []Option) config {
 	return c
 }
 
-func (c config) atlasOptions() atlas.Options {
-	return atlas.Options{
+func (c config) atlasOptions(reg *telemetry.Registry) atlas.Options {
+	o := atlas.Options{
 		MaxThreads:    c.maxThreads,
 		LogEntries:    c.logEntries,
 		LogEveryStore: c.logEveryStore,
 	}
+	if reg != nil {
+		o.Telemetry = reg.Atlas
+	}
+	return o
+}
+
+// resolveRegistry picks the stack's registry: the injected one, a fresh
+// one by default, or nil when telemetry is explicitly off. The choice is
+// written back into the config so CrashReattach rebuilds onto the SAME
+// registry — that is what makes counters survive a crash.
+func (c *config) resolveRegistry() *telemetry.Registry {
+	if c.telemetryOff {
+		c.tel = nil
+		return nil
+	}
+	if c.tel == nil {
+		c.tel = telemetry.NewRegistry()
+	}
+	return c.tel
 }
 
 // New builds a fresh stack on a new device and makes the initialized
@@ -150,16 +200,29 @@ func (c config) atlasOptions() atlas.Options {
 // window.
 func New(opts ...Option) (*Stack, error) {
 	c := buildConfig(opts)
-	dev := nvm.NewDevice(c.devCfg)
+	reg := c.resolveRegistry()
+	devCfg := c.devCfg
+	if reg != nil {
+		devCfg.Telemetry = reg.Device
+	} else {
+		devCfg.DisableStats = true
+	}
+	dev := nvm.NewDevice(devCfg)
 	heap, err := pheap.Format(dev)
 	if err != nil {
 		return nil, fmt.Errorf("stack: format heap: %w", err)
 	}
-	s := &Stack{Dev: dev, Heap: heap, cfg: c}
+	if reg != nil {
+		heap.SetTelemetry(reg.Heap)
+	}
+	s := &Stack{Dev: dev, Heap: heap, Tel: reg, cfg: c}
 	if c.heapOnly {
+		if reg != nil {
+			reg.Generation.Inc()
+		}
 		return s, nil
 	}
-	rt, err := atlas.New(heap, c.mode, c.atlasOptions())
+	rt, err := atlas.New(heap, c.mode, c.atlasOptions(reg))
 	if err != nil {
 		return nil, fmt.Errorf("stack: atlas runtime: %w", err)
 	}
@@ -167,10 +230,16 @@ func New(opts ...Option) (*Stack, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stack: hashmap: %w", err)
 	}
+	if reg != nil {
+		m.SetTelemetry(reg.Map)
+	}
 	heap.SetRoot(m.Ptr())
 	dev.FlushAll()
 	s.RT = rt
 	s.Map = m
+	if reg != nil {
+		reg.Generation.Inc()
+	}
 	return s, nil
 }
 
@@ -181,12 +250,27 @@ func New(opts ...Option) (*Stack, error) {
 // different fortification level, as the paper's mode comparison does).
 func Reattach(dev *nvm.Device, opts ...Option) (*Stack, error) {
 	c := buildConfig(opts)
+	reg := c.resolveRegistry()
+	if reg != nil && dev.Telemetry() != nil {
+		// Adopt the restarted device's live counter section: the device
+		// (and its counters) survived the crash, so severing them here
+		// would erase exactly the flush/rescue history a crash experiment
+		// wants to read afterwards.
+		reg.Device = dev.Telemetry()
+	}
 	heap, err := pheap.Open(dev)
 	if err != nil {
 		return nil, fmt.Errorf("stack: reopen heap: %w", err)
 	}
-	s := &Stack{Dev: dev, Heap: heap, cfg: c}
+	if reg != nil {
+		heap.SetTelemetry(reg.Heap)
+	}
+	s := &Stack{Dev: dev, Heap: heap, Tel: reg, cfg: c}
 	if c.heapOnly {
+		if reg != nil {
+			reg.Generation.Inc()
+			reg.Recovery.Recoveries.Inc()
+		}
 		return s, nil
 	}
 	rep, err := atlas.Recover(heap)
@@ -194,7 +278,7 @@ func Reattach(dev *nvm.Device, opts ...Option) (*Stack, error) {
 		return nil, fmt.Errorf("stack: atlas recovery: %w", err)
 	}
 	s.Recovery = rep
-	rt, err := atlas.New(heap, c.mode, c.atlasOptions())
+	rt, err := atlas.New(heap, c.mode, c.atlasOptions(reg))
 	if err != nil {
 		return nil, fmt.Errorf("stack: atlas runtime: %w", err)
 	}
@@ -202,9 +286,30 @@ func Reattach(dev *nvm.Device, opts ...Option) (*Stack, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stack: hashmap reattach: %w", err)
 	}
+	if reg != nil {
+		m.SetTelemetry(reg.Map)
+		reg.Generation.Inc()
+		recordRecovery(reg.Recovery, rep)
+	}
 	s.RT = rt
 	s.Map = m
 	return s, nil
+}
+
+// recordRecovery accumulates one Atlas recovery report into the
+// registry's recovery section.
+func recordRecovery(rs *telemetry.RecoveryStats, rep atlas.Report) {
+	if rs == nil {
+		return
+	}
+	rs.Recoveries.Inc()
+	rs.EntriesScanned.Add(uint64(rep.EntriesScanned))
+	rs.OCSes.Add(uint64(rep.OCSes))
+	rs.PartialGroups.Add(uint64(rep.IgnoredPartial))
+	rs.Incomplete.Add(uint64(rep.Incomplete))
+	rs.Cascaded.Add(uint64(rep.Cascaded))
+	rs.UndoApplied.Add(uint64(rep.UndoApplied))
+	rs.GCBlocksFreed.Add(uint64(rep.GC.BlocksFreed))
 }
 
 // Mode returns the fortification mode the stack was assembled with.

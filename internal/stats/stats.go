@@ -30,9 +30,26 @@ func (s *Sample) Add(v float64) {
 // N returns the observation count.
 func (s *Sample) N() int { return len(s.values) }
 
-// Values returns the raw observations (shared slice; callers must not
-// mutate it). Used to merge per-worker samples.
-func (s *Sample) Values() []float64 { return s.values }
+// Values returns a copy of the raw observations. The internal slice
+// used to escape here, which let any caller corrupt the Welford state
+// behind the accessor's back; a copy keeps the accumulator sealed.
+func (s *Sample) Values() []float64 {
+	return append([]float64(nil), s.values...)
+}
+
+// Merge folds every observation of other into s — the per-worker
+// aggregation step the harness previously hand-rolled over the exposed
+// slice. Merging a sample into itself is safe (the count is captured
+// before any append).
+func (s *Sample) Merge(other *Sample) {
+	if other == nil {
+		return
+	}
+	n := len(other.values)
+	for i := 0; i < n; i++ {
+		s.Add(other.values[i])
+	}
+}
 
 // Mean returns the sample mean (0 with no observations).
 func (s *Sample) Mean() float64 { return s.mean }

@@ -34,6 +34,55 @@ func TestEmptySampleSafe(t *testing.T) {
 	}
 }
 
+func TestValuesReturnsCopy(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	vs := s.Values()
+	vs[0] = 999 // mutating the copy must not corrupt the sample
+	if got := s.Values()[0]; got != 1 {
+		t.Fatalf("Values leaked internal slice: values[0] = %v after external mutation", got)
+	}
+	if s.Min() != 1 {
+		t.Fatalf("Min = %v after external mutation, want 1", s.Min())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Sample
+	for _, v := range []float64{1, 2, 3} {
+		a.Add(v)
+	}
+	for _, v := range []float64{4, 5} {
+		b.Add(v)
+	}
+	a.Merge(&b)
+	if a.N() != 5 {
+		t.Fatalf("merged N = %d, want 5", a.N())
+	}
+	if math.Abs(a.Mean()-3) > 1e-12 {
+		t.Fatalf("merged Mean = %v, want 3", a.Mean())
+	}
+	if a.Min() != 1 || a.Max() != 5 {
+		t.Fatalf("merged min/max = %v/%v, want 1/5", a.Min(), a.Max())
+	}
+	a.Merge(nil) // nil is a no-op
+	if a.N() != 5 {
+		t.Fatalf("N after nil merge = %d, want 5", a.N())
+	}
+	// Self-merge doubles the sample instead of looping forever.
+	var c Sample
+	c.Add(1)
+	c.Add(3)
+	c.Merge(&c)
+	if c.N() != 4 {
+		t.Fatalf("self-merge N = %d, want 4", c.N())
+	}
+	if math.Abs(c.Mean()-2) > 1e-12 {
+		t.Fatalf("self-merge Mean = %v, want 2", c.Mean())
+	}
+}
+
 func TestMinMax(t *testing.T) {
 	var s Sample
 	for _, v := range []float64{3, -1, 7, 0} {

@@ -1,0 +1,385 @@
+package telemetry
+
+import "sort"
+
+// DeviceStats is the simulated NVM device's section: memory-access
+// counters (sharded; they fire on every simulated load/store) and the
+// persistence-cost counters the paper's whole argument rests on —
+// synchronous flushes are the preventive cost, writebacks are free
+// background work, rescues/drops classify crash outcomes.
+type DeviceStats struct {
+	Loads  ShardedCounter
+	Stores ShardedCounter
+	CAS    ShardedCounter
+
+	Flushes    Counter // synchronous, latency-charged flushes
+	Writebacks Counter // background/rescue write-backs (free)
+	Rescues    Counter // crash-time rescues performed
+	Drops      Counter // crashes that discarded the volatile image
+}
+
+// The Inc* helpers are the device's hot-path entry points. They are
+// nil-receiver safe so a device built without telemetry pays exactly one
+// branch per event.
+
+func (s *DeviceStats) IncLoad(hint uint64) {
+	if s != nil {
+		s.Loads.Inc(hint)
+	}
+}
+
+func (s *DeviceStats) IncStore(hint uint64) {
+	if s != nil {
+		s.Stores.Inc(hint)
+	}
+}
+
+func (s *DeviceStats) IncCAS(hint uint64) {
+	if s != nil {
+		s.CAS.Inc(hint)
+	}
+}
+
+func (s *DeviceStats) IncFlush() {
+	if s != nil {
+		s.Flushes.Inc()
+	}
+}
+
+func (s *DeviceStats) IncWriteback() {
+	if s != nil {
+		s.Writebacks.Inc()
+	}
+}
+
+func (s *DeviceStats) IncRescue() {
+	if s != nil {
+		s.Rescues.Inc()
+	}
+}
+
+func (s *DeviceStats) IncDrop() {
+	if s != nil {
+		s.Drops.Inc()
+	}
+}
+
+// Reset zeroes the section (nvm.Device.ResetStats compatibility).
+func (s *DeviceStats) Reset() {
+	if s == nil {
+		return
+	}
+	s.Loads.Reset()
+	s.Stores.Reset()
+	s.CAS.Reset()
+	s.Flushes.Reset()
+	s.Writebacks.Reset()
+	s.Rescues.Reset()
+	s.Drops.Reset()
+}
+
+// AtlasStats is the Atlas runtime's section: undo-log traffic and OCS
+// commit counts — the "log writes" column of the paper's cost breakdown.
+type AtlasStats struct {
+	LogAppends  Counter // undo records appended
+	LogFlushes  Counter // synchronous log flush ranges (ModeNonTSP only)
+	OCSCommits  Counter // outermost critical sections committed
+	Checkpoints Counter // explicit log-truncating checkpoints
+}
+
+func (s *AtlasStats) IncLogAppend() {
+	if s != nil {
+		s.LogAppends.Inc()
+	}
+}
+
+func (s *AtlasStats) IncLogFlush() {
+	if s != nil {
+		s.LogFlushes.Inc()
+	}
+}
+
+func (s *AtlasStats) IncOCSCommit() {
+	if s != nil {
+		s.OCSCommits.Inc()
+	}
+}
+
+func (s *AtlasStats) IncCheckpoint() {
+	if s != nil {
+		s.Checkpoints.Inc()
+	}
+}
+
+// HeapStats is the persistent heap's section.
+type HeapStats struct {
+	Allocs        Counter
+	Frees         Counter
+	GCRuns        Counter
+	GCBlocksFreed Counter
+}
+
+func (s *HeapStats) IncAlloc() {
+	if s != nil {
+		s.Allocs.Inc()
+	}
+}
+
+func (s *HeapStats) IncFree() {
+	if s != nil {
+		s.Frees.Inc()
+	}
+}
+
+func (s *HeapStats) AddGC(blocksFreed uint64) {
+	if s != nil {
+		s.GCRuns.Inc()
+		s.GCBlocksFreed.Add(blocksFreed)
+	}
+}
+
+// MapStats is the fortified hash map's section: data-structure-level
+// operation counts (distinct from ServerStats, which counts protocol
+// requests — one mget request is many map gets).
+type MapStats struct {
+	Gets    Counter
+	Puts    Counter
+	Incs    Counter
+	Deletes Counter
+}
+
+func (s *MapStats) IncGet() {
+	if s != nil {
+		s.Gets.Inc()
+	}
+}
+
+func (s *MapStats) IncPut() {
+	if s != nil {
+		s.Puts.Inc()
+	}
+}
+
+func (s *MapStats) IncInc() {
+	if s != nil {
+		s.Incs.Inc()
+	}
+}
+
+func (s *MapStats) IncDelete() {
+	if s != nil {
+		s.Deletes.Inc()
+	}
+}
+
+// ServerStats is the cache server's protocol-level section, per shard.
+type ServerStats struct {
+	Gets    Counter
+	Hits    Counter
+	Sets    Counter
+	Deletes Counter
+}
+
+// RecoveryStats accumulates crash/recovery outcomes across a stack's
+// incarnations: one Recoveries increment per successful reattach, plus
+// the cumulative Atlas recovery-report counts (what rescue-time work the
+// paper's procrastination deferred to failure time).
+type RecoveryStats struct {
+	Recoveries     Counter // successful crash/reattach cycles
+	EntriesScanned Counter // valid log records found at recovery
+	OCSes          Counter // fully captured OCS groups
+	PartialGroups  Counter // partially overwritten old groups skipped
+	Incomplete     Counter // OCSes lacking a durable final release
+	Cascaded       Counter // completed OCSes rolled back via happens-before
+	UndoApplied    Counter // undo records replayed
+	GCBlocksFreed  Counter // leaked blocks reclaimed by recovery GC
+}
+
+// Registry is one storage stack's complete telemetry plane. Layer
+// sections are pointers so an already-running layer's live section can
+// be adopted (stack.Reattach adopts the restarted device's counters
+// instead of severing their history). A nil *Registry disables telemetry
+// end to end; every accessor tolerates it.
+type Registry struct {
+	Device   *DeviceStats
+	Atlas    *AtlasStats
+	Heap     *HeapStats
+	Map      *MapStats
+	Server   *ServerStats
+	Recovery *RecoveryStats
+
+	// OpLatency is the per-operation service-time distribution observed
+	// at the top of the stack (one observation per request-level op).
+	OpLatency *Histogram
+
+	// RecoveryLatency is the crash-to-serving distribution, one
+	// observation per recovery.
+	RecoveryLatency *Histogram
+
+	// Generation counts the stack's incarnations: 1 after New, +1 per
+	// reattach. Counters deliberately survive reattach (the registry
+	// outlives the stack it instruments); Generation is how a consumer
+	// tells one incarnation's deltas from the next.
+	Generation Counter
+}
+
+// NewRegistry returns a registry with every section live.
+func NewRegistry() *Registry {
+	return &Registry{
+		Device:          &DeviceStats{},
+		Atlas:           &AtlasStats{},
+		Heap:            &HeapStats{},
+		Map:             &MapStats{},
+		Server:          &ServerStats{},
+		Recovery:        &RecoveryStats{},
+		OpLatency:       &Histogram{},
+		RecoveryLatency: &Histogram{},
+	}
+}
+
+// Snapshot is a point-in-time copy of a registry's counters, keyed by
+// canonical metric name. Counters are monotonic within an incarnation,
+// so Sub yields the events of a window and Add aggregates shards.
+type Snapshot map[string]uint64
+
+// Counters snapshots every counter in the registry (nil on a nil
+// registry). Names are stable: they are the wire-protocol and
+// Prometheus-exposition vocabulary.
+func (r *Registry) Counters() Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := make(Snapshot, 32)
+	r.Walk(func(name string, v uint64) { s[name] = v })
+	return s
+}
+
+// Walk calls fn for every counter with its canonical name, in a fixed
+// order. Missing (nil) sections are emitted as zeros so consumers always
+// see the full vocabulary.
+func (r *Registry) Walk(fn func(name string, value uint64)) {
+	if r == nil {
+		return
+	}
+	d, a, h, m, sv, rec := r.Device, r.Atlas, r.Heap, r.Map, r.Server, r.Recovery
+	fn("nvm_loads", d.loadsLoad())
+	fn("nvm_stores", d.storesLoad())
+	fn("nvm_cas", d.casLoad())
+	fn("nvm_flushes", d.flushesLoad())
+	fn("nvm_writebacks", d.writebacksLoad())
+	fn("nvm_rescues", d.rescuesLoad())
+	fn("nvm_drops", d.dropsLoad())
+	fn("atlas_log_appends", fieldLoad(a, func(a *AtlasStats) *Counter { return &a.LogAppends }))
+	fn("atlas_log_flushes", fieldLoad(a, func(a *AtlasStats) *Counter { return &a.LogFlushes }))
+	fn("atlas_ocs_commits", fieldLoad(a, func(a *AtlasStats) *Counter { return &a.OCSCommits }))
+	fn("atlas_checkpoints", fieldLoad(a, func(a *AtlasStats) *Counter { return &a.Checkpoints }))
+	fn("heap_allocs", fieldLoad(h, func(h *HeapStats) *Counter { return &h.Allocs }))
+	fn("heap_frees", fieldLoad(h, func(h *HeapStats) *Counter { return &h.Frees }))
+	fn("heap_gc_runs", fieldLoad(h, func(h *HeapStats) *Counter { return &h.GCRuns }))
+	fn("heap_gc_blocks_freed", fieldLoad(h, func(h *HeapStats) *Counter { return &h.GCBlocksFreed }))
+	fn("map_gets", fieldLoad(m, func(m *MapStats) *Counter { return &m.Gets }))
+	fn("map_puts", fieldLoad(m, func(m *MapStats) *Counter { return &m.Puts }))
+	fn("map_incs", fieldLoad(m, func(m *MapStats) *Counter { return &m.Incs }))
+	fn("map_deletes", fieldLoad(m, func(m *MapStats) *Counter { return &m.Deletes }))
+	fn("server_gets", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Gets }))
+	fn("server_hits", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Hits }))
+	fn("server_sets", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Sets }))
+	fn("server_deletes", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Deletes }))
+	fn("recovery_count", fieldLoad(rec, func(r *RecoveryStats) *Counter { return &r.Recoveries }))
+	fn("recovery_entries_scanned", fieldLoad(rec, func(r *RecoveryStats) *Counter { return &r.EntriesScanned }))
+	fn("recovery_ocses", fieldLoad(rec, func(r *RecoveryStats) *Counter { return &r.OCSes }))
+	fn("recovery_partial_groups", fieldLoad(rec, func(r *RecoveryStats) *Counter { return &r.PartialGroups }))
+	fn("recovery_incomplete", fieldLoad(rec, func(r *RecoveryStats) *Counter { return &r.Incomplete }))
+	fn("recovery_cascaded", fieldLoad(rec, func(r *RecoveryStats) *Counter { return &r.Cascaded }))
+	fn("recovery_undo_applied", fieldLoad(rec, func(r *RecoveryStats) *Counter { return &r.UndoApplied }))
+	fn("recovery_gc_blocks_freed", fieldLoad(rec, func(r *RecoveryStats) *Counter { return &r.GCBlocksFreed }))
+	fn("stack_generation", r.Generation.Load())
+}
+
+// fieldLoad loads one counter out of a possibly-nil section.
+func fieldLoad[S any](sec *S, field func(*S) *Counter) uint64 {
+	if sec == nil {
+		return 0
+	}
+	return field(sec).Load()
+}
+
+// Sharded device counters need their own nil-tolerant loads.
+
+func (s *DeviceStats) loadsLoad() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Loads.Load()
+}
+
+func (s *DeviceStats) storesLoad() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Stores.Load()
+}
+
+func (s *DeviceStats) casLoad() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.CAS.Load()
+}
+
+func (s *DeviceStats) flushesLoad() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Flushes.Load()
+}
+
+func (s *DeviceStats) writebacksLoad() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Writebacks.Load()
+}
+
+func (s *DeviceStats) rescuesLoad() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Rescues.Load()
+}
+
+func (s *DeviceStats) dropsLoad() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Drops.Load()
+}
+
+// Sub returns s minus earlier, name by name. Names present in s but not
+// in earlier are treated as starting from zero.
+func (s Snapshot) Sub(earlier Snapshot) Snapshot {
+	out := make(Snapshot, len(s))
+	for name, v := range s {
+		out[name] = v - earlier[name]
+	}
+	return out
+}
+
+// Add merges other into s (s is mutated and returned).
+func (s Snapshot) Add(other Snapshot) Snapshot {
+	for name, v := range other {
+		s[name] += v
+	}
+	return s
+}
+
+// Names returns the snapshot's metric names, sorted, for deterministic
+// rendering.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s))
+	for name := range s {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -8,6 +8,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt"
+unformatted=$(gofmt -l cmd internal)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -19,5 +27,11 @@ go test -race ./internal/cacheserver ./internal/harness ./internal/stack
 
 echo "== go test ./... (everything else, no race)"
 go test ./...
+
+# The telemetry package is the one layer every other layer calls into on
+# its hot path; keep its own coverage visible (and atomic-mode clean,
+# since its whole point is concurrent counting).
+echo "== telemetry coverage (covermode=atomic)"
+go test -covermode=atomic -cover ./internal/telemetry
 
 echo "OK"
