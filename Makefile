@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench-shards bench-json bench-telemetry
+.PHONY: build test check bench-shards bench-json bench-telemetry bench-batch bench-diff
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,19 @@ bench-shards:
 # human-readable output, for tracking perf across commits.
 bench-json:
 	$(GO) run ./cmd/tspbench -duration 500ms -json -out BENCH_tspbench.json
+
+# The batch-pipeline acceptance benchmark, at 8 concurrent clients:
+# per-op latency parity on single sets (batched config vs BatchMax 0)
+# and throughput improvement on the batched mutation workload (8-key
+# msets), with client-observed p50/p95 command latency and mean
+# ops/batch as extra metrics.
+bench-batch:
+	$(GO) test -run 'ZZZ' -bench 'SetsBatched|SetsUnbatched|MsetsBatched|MsetsUnbatched' -cpu 8 -benchtime 50000x ./internal/cacheserver
+
+# Compare the working BENCH_tspbench.json against the baseline
+# committed at HEAD; soft gate (report-only) unless BENCH_DIFF_STRICT=1.
+bench-diff:
+	sh scripts/bench_diff.sh
 
 # The telemetry overhead guard: counting on vs off at the device and map
 # layers must stay within a few percent.

@@ -30,6 +30,15 @@
 //
 //	tspcached [-addr 127.0.0.1:11222] [-mode tsp|nontsp|off] [-shards 4]
 //	          [-conns 16] [-words 1048576] [-metrics-addr host:port]
+//	          [-batch-max 64] [-queue-depth 256]
+//
+// Each shard batches queued requests — from any connection — into one
+// Atlas critical section per drained group (up to -batch-max ops),
+// amortizing the per-section persistence cost across the batch;
+// -batch-max 0 disables batching and serves every request on the
+// synchronous per-op path. -queue-depth bounds each shard's pending
+// queue; when it is full, requests degrade to the synchronous path
+// instead of waiting (the stats report the fallbacks).
 package main
 
 import (
@@ -48,6 +57,8 @@ func main() {
 	conns := flag.Int("conns", 16, "served connections; excess connections queue (backpressure)")
 	words := flag.Int("words", 1<<20, "simulated NVM words per shard")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP metrics listen address (Prometheus text at /metrics); empty disables")
+	batchMax := flag.Int("batch-max", 64, "max ops per batched critical section; 0 disables batching")
+	queueDepth := flag.Int("queue-depth", 256, "per-shard pending-request queue bound")
 	flag.Parse()
 
 	var m atlas.Mode
@@ -70,6 +81,8 @@ func main() {
 		cacheserver.WithMaxConns(*conns),
 		cacheserver.WithDeviceWords(*words),
 		cacheserver.WithMetricsAddr(*metricsAddr),
+		cacheserver.WithBatchMax(*batchMax),
+		cacheserver.WithQueueDepth(*queueDepth),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,133 @@
+package atlas
+
+import (
+	"errors"
+	"testing"
+
+	"tsp/internal/nvm"
+	"tsp/internal/telemetry"
+)
+
+// TestSectionIsOneOCS: a Section over several mutexes commits exactly
+// one outermost critical section, however many locks and stores it
+// spans — the amortization the cache server's batch pipeline rides on.
+func TestSectionIsOneOCS(t *testing.T) {
+	tel := &telemetry.AtlasStats{}
+	e := newEnv(t, ModeTSP, Options{Telemetry: tel})
+	th := e.thread(t)
+	p := e.alloc(t, 8)
+	mus := []*Mutex{e.rt.NewMutex(), e.rt.NewMutex(), e.rt.NewMutex()}
+
+	err := th.Section(mus, func() error {
+		for w := 0; w < 8; w++ {
+			th.Store(p.Addr()+uint64ToAddr(w), uint64(w)*7)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Section: %v", err)
+	}
+	if got := tel.OCSCommits.Load(); got != 1 {
+		t.Fatalf("OCS commits = %d, want 1 (one section, one OCS)", got)
+	}
+	if th.InOCS() {
+		t.Fatal("thread still inside an OCS after Section returned")
+	}
+	for w := 0; w < 8; w++ {
+		if got := th.Load(p.Addr() + uint64ToAddr(w)); got != uint64(w)*7 {
+			t.Fatalf("word %d = %d, want %d", w, got, uint64(w)*7)
+		}
+	}
+}
+
+// TestSectionNested: a Section entered while a mutex is already held
+// stays inside the enclosing OCS (no extra commit) — the nesting
+// behavior mutex-based Atlas code relies on.
+func TestSectionNested(t *testing.T) {
+	tel := &telemetry.AtlasStats{}
+	e := newEnv(t, ModeTSP, Options{Telemetry: tel})
+	th := e.thread(t)
+	outer := e.rt.NewMutex()
+	inner := []*Mutex{e.rt.NewMutex(), e.rt.NewMutex()}
+
+	th.Lock(outer)
+	if err := th.Section(inner, func() error { return nil }); err != nil {
+		t.Fatalf("nested Section: %v", err)
+	}
+	if got := tel.OCSCommits.Load(); got != 0 {
+		t.Fatalf("OCS commits = %d inside enclosing OCS, want 0", got)
+	}
+	if !th.InOCS() {
+		t.Fatal("enclosing OCS closed by nested Section")
+	}
+	th.Unlock(outer)
+	if got := tel.OCSCommits.Load(); got != 1 {
+		t.Fatalf("OCS commits = %d after outer unlock, want 1", got)
+	}
+}
+
+// TestSectionErrorStillReleases: fn's error is propagated and every
+// mutex is released — an erroring section must not wedge the stripe
+// locks it holds.
+func TestSectionErrorStillReleases(t *testing.T) {
+	e := newEnv(t, ModeTSP, Options{})
+	th := e.thread(t)
+	mus := []*Mutex{e.rt.NewMutex(), e.rt.NewMutex()}
+	sentinel := errors.New("boom")
+
+	if err := th.Section(mus, func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("Section error = %v, want %v", err, sentinel)
+	}
+	if th.InOCS() {
+		t.Fatal("thread left inside OCS after erroring section")
+	}
+	// The mutexes are free again: a fresh section over them succeeds.
+	if err := th.Section(mus, func() error { return nil }); err != nil {
+		t.Fatalf("reusing mutexes after error: %v", err)
+	}
+}
+
+// TestSectionCrashRollsBackWholeGroup: a crash before the section's
+// final release rolls back EVERY store the section made, across all of
+// its mutexes — group atomicity, the correctness half of batching many
+// operations into one critical section.
+func TestSectionCrashRollsBackWholeGroup(t *testing.T) {
+	e := newEnv(t, ModeTSP, Options{})
+	th := e.thread(t)
+	p := e.alloc(t, 4)
+	e.heap.SetRoot(p)
+	mus := []*Mutex{e.rt.NewMutex(), e.rt.NewMutex()}
+
+	// Committed baseline values.
+	if err := th.Section(mus, func() error {
+		for w := 0; w < 4; w++ {
+			th.Store(p.Addr()+uint64ToAddr(w), 100+uint64(w))
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("baseline Section: %v", err)
+	}
+
+	// Open a new section by hand (Section cannot pause mid-flight), dirty
+	// every word, and crash before the final release.
+	for _, m := range mus {
+		th.Lock(m)
+	}
+	for w := 0; w < 4; w++ {
+		th.Store(p.Addr()+uint64ToAddr(w), 999)
+	}
+	th.Unlock(mus[1]) // inner release: the OCS is still open
+
+	heap, rep := e.reopen(t, 1)
+	if rep.Incomplete == 0 {
+		t.Fatalf("recovery saw no incomplete OCS: %+v", rep)
+	}
+	for w := 0; w < 4; w++ {
+		if got := heap.Device().Load(heap.Root().Addr() + uint64ToAddr(w)); got != 100+uint64(w) {
+			t.Fatalf("word %d = %d after rollback, want %d (whole group rolled back)", w, got, 100+uint64(w))
+		}
+	}
+}
+
+// uint64ToAddr converts a word offset for address arithmetic in tests.
+func uint64ToAddr(w int) nvm.Addr { return nvm.Addr(w) }

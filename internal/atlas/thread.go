@@ -184,6 +184,38 @@ func (t *Thread) Unlock(m *Mutex) {
 	}
 }
 
+// Section acquires every mutex in mus in slice order, runs fn, and
+// releases in reverse order. Called with no mutex held, the whole body
+// is ONE outermost critical section: every store fn makes — across any
+// number of data-structure operations and stripe locks — commits or
+// rolls back as a unit at recovery, and the per-OCS costs (begin/end
+// records, first-store filtering, the ModeNonTSP commit flush) are paid
+// once for the group instead of once per operation. This is the
+// paper-side lever behind the cache server's batch pipeline: persistence
+// cost per outermost critical section, so many queued operations in one
+// Section amortize it.
+//
+// Callers that run concurrent Sections over overlapping mutex sets must
+// order mus consistently (e.g. by stripe index, as txkv and the cache
+// server do); Section itself imposes no order. fn's error is returned
+// after the locks release; the error does NOT abort the section's
+// stores — a caller needing all-or-nothing application must buffer
+// writes until it knows fn succeeds (txkv's pattern).
+//
+// One sizing caveat: the section's undo records all land in the same
+// log ring, so the combined footprint of fn must stay under the
+// runtime's LogEntries bound (the ring panics if a single OCS laps it).
+func (t *Thread) Section(mus []*Mutex, fn func() error) error {
+	for _, m := range mus {
+		t.Lock(m)
+	}
+	err := fn()
+	for i := len(mus) - 1; i >= 0; i-- {
+		t.Unlock(mus[i])
+	}
+	return err
+}
+
 // flushOCSData flushes every cache line dirtied by this OCS's guarded
 // stores (deduplicated by line). The line scratch is thread-local so the
 // commit path stays allocation-free.

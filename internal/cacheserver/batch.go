@@ -1,0 +1,339 @@
+package cacheserver
+
+import (
+	"sort"
+	"time"
+
+	"tsp/internal/atlas"
+)
+
+// The batch pipeline: each shard owns a bounded request queue, a drain
+// lock, and one worker goroutine. Handlers enqueue a request's
+// operations as a group; a drain pulls every group already queued (up
+// to BatchMax operations), executes them all inside ONE Atlas
+// outermost critical section over the union of their stripe mutexes,
+// and then completes every waiting handler at once. That is the
+// paper's procrastination argument applied to the server's own request
+// path: the persistence cost — acquire/release log records, undo
+// logging, the OCS commit — is paid once per DRAINED BATCH instead of
+// once per operation, so the per-op cost shrinks as load (and
+// therefore batch size) grows.
+//
+// Who runs the drain is a flat-combining split: the handler that just
+// enqueued tries the drain lock without waiting and, if it wins, runs
+// the drain in its own goroutine — no context switch, so an
+// uncontended batched command costs what the synchronous path costs
+// (see combine). Handlers that lose the lock ring the shard's doorbell
+// and wait; the dedicated worker goroutine wakes, takes its turn on
+// the drain lock, and flushes what the combiners left (see worker).
+// An idle server therefore loses nothing — the flush-on-idle contract,
+// enforced at every layer: a single op on an idle pipeline runs inline
+// on the synchronous path (see Server.exec and shard.pipelineActive),
+// a multi-op group on an idle pipeline is drained by its own handler
+// the instant it is enqueued, and a full queue degrades to the
+// synchronous path instead of blocking the handler (see
+// Server.tryEnqueue).
+//
+// Crash safety is inherited rather than re-proven: every drain
+// executes under the shard read lock, and the administrative crash
+// command tears the stack down under the shard WRITE lock, so a
+// simulated power failure always lands between batches, never inside
+// one — each drained batch is one OCS and is therefore applied or
+// rolled back as a unit. Requests still in the queue live in volatile
+// Go memory the simulated crash does not touch; they simply execute
+// against the recovered stack, the drain re-registering its Atlas
+// thread under the new runtime generation exactly like a connection
+// does.
+
+// opKind selects the map operation a batchOp performs.
+type opKind uint8
+
+const (
+	opGet opKind = iota
+	opSet
+	opIncr
+	opDelete
+)
+
+// batchOp is one key operation plus its result slots. Ops travel by
+// slice; the executor writes results in place and the channel close on
+// batchReq.done publishes them back to the waiting handler.
+type batchOp struct {
+	kind opKind
+	key  uint64
+	arg  uint64 // value for set, delta for incr
+
+	val uint64
+	ok  bool
+	err error
+}
+
+// batchReq is one enqueued group: the ops one command contributes to
+// one shard. done is closed after every op's result is filled in.
+type batchReq struct {
+	ops  []batchOp
+	done chan struct{}
+}
+
+// workerThread returns the drain's Atlas thread on the current stack
+// incarnation, re-registering after a crash replaced the runtime. Only
+// the drain-lock holder (worker or combiner) touches wth/wgen, and the
+// caller holds the shard read lock, which keeps gen stable.
+func (sh *shard) workerThread() (*atlas.Thread, error) {
+	if sh.wth != nil && sh.wgen == sh.gen.Load() {
+		return sh.wth, nil
+	}
+	th, err := sh.stk.RT.NewThread()
+	if err != nil {
+		return nil, err
+	}
+	sh.wth = th
+	sh.wgen = sh.gen.Load()
+	return th, nil
+}
+
+// worker is the pipeline's liveness backstop. Nobody blocks receiving
+// on the queue — an enqueuer that wins the drain lock flushes the queue
+// in its own goroutine (see combine), paying no handoff. Only when the
+// lock is contended does the loser ring the doorbell, and the worker
+// wakes, waits its turn on the drain lock, and flushes whatever the
+// combiners left behind. The doorbell has capacity one: rings coalesce,
+// and a wake that finds the queue already drained costs one empty
+// drainAll.
+func (sh *shard) worker() {
+	defer close(sh.workerDone)
+	for {
+		_, ok := <-sh.doorbell
+		sh.drainAll()
+		if !ok {
+			return
+		}
+	}
+}
+
+// ringDoorbell wakes the worker if it is not already pending a wake.
+// Must not be called after closePipeline (the server only closes once
+// every connection handler has exited).
+func (sh *shard) ringDoorbell() {
+	select {
+	case sh.doorbell <- struct{}{}:
+	default:
+	}
+}
+
+// drainLocked pulls the next batch — at most batchMax ops, never
+// splitting a group — off the carry slot and the queue. Caller holds
+// combineMu. A group that would overflow this batch parks in sh.carry
+// for the next call, keeping its one-OCS atomicity intact.
+func (sh *shard) drainLocked() ([]*batchReq, int) {
+	max := sh.cfg.batchMax
+	pending := sh.pendingScratch[:0]
+	nops := 0
+	if sh.carry != nil {
+		pending = append(pending, sh.carry)
+		nops = len(sh.carry.ops)
+		sh.carry = nil
+	}
+	for nops < max {
+		select {
+		case r := <-sh.queue:
+			if nops+len(r.ops) > max {
+				sh.carry = r
+				sh.pendingScratch = pending
+				return pending, nops
+			}
+			pending = append(pending, r)
+			nops += len(r.ops)
+		default:
+			sh.pendingScratch = pending
+			return pending, nops
+		}
+	}
+	sh.pendingScratch = pending
+	return pending, nops
+}
+
+// drainAll flushes the queue to empty (in batchMax-bounded sections),
+// blocking for the drain lock. The worker's path.
+func (sh *shard) drainAll() {
+	sh.combineMu.Lock()
+	sh.busy.Store(true)
+	for {
+		reqs, nops := sh.drainLocked()
+		if len(reqs) == 0 {
+			break
+		}
+		sh.runBatch(reqs, nops)
+	}
+	sh.busy.Store(false)
+	sh.combineMu.Unlock()
+}
+
+// combine is the flat-combining fast path: the goroutine that just
+// enqueued req tries to take the drain lock without waiting and, if it
+// wins, drains and executes batches itself until its own request
+// completes — the batch runs with zero goroutine handoff, which is
+// what lets an uncontended batched op cost the same as the synchronous
+// path. Groups drained alongside req complete with it; groups still
+// queued when combine returns belong to enqueuers that lost the drain
+// lock, and each of those rings the doorbell, so the worker flushes
+// them. Returns whether req completed; on false the caller must ring
+// the doorbell and wait.
+func (sh *shard) combine(req *batchReq) bool {
+	if !sh.combineMu.TryLock() {
+		return false
+	}
+	sh.busy.Store(true)
+	done := false
+	for {
+		select {
+		case <-req.done:
+			done = true
+		default:
+		}
+		if done {
+			break
+		}
+		reqs, nops := sh.drainLocked()
+		if len(reqs) == 0 {
+			// req is neither queued nor done: a prior lock holder
+			// drained it and is completing it. Fall back to waiting.
+			break
+		}
+		sh.runBatch(reqs, nops)
+	}
+	sh.busy.Store(false)
+	sh.combineMu.Unlock()
+	return done
+}
+
+// runBatch executes one drained batch of requests inside a single
+// outermost critical section over the union of their stripe mutexes,
+// then completes every request. The caller holds combineMu, so at most
+// one batch is in flight per shard and the scratch buffers and drain
+// thread are single-owner. Stripes are deduplicated and acquired in
+// ascending order; the drain-lock holder is the only multi-stripe
+// acquirer on this shard (synchronous-path ops lock one stripe at a
+// time), so the ordering makes the acquisition deadlock-free.
+func (sh *shard) runBatch(reqs []*batchReq, nops int) {
+	sh.mu.RLock()
+	th, err := sh.workerThread()
+	if err != nil {
+		sh.mu.RUnlock()
+		for _, r := range reqs {
+			for i := range r.ops {
+				r.ops[i].err = err
+			}
+			close(r.done)
+		}
+		return
+	}
+	m := sh.stk.Map
+	stripes := sh.stripeScratch[:0]
+	for _, r := range reqs {
+		for i := range r.ops {
+			stripes = append(stripes, m.StripeOf(r.ops[i].key))
+		}
+	}
+	sort.Ints(stripes)
+	mus := sh.mutexScratch[:0]
+	last := -1
+	for _, st := range stripes {
+		if st != last {
+			mus = append(mus, m.StripeMutex(st))
+			last = st
+		}
+	}
+
+	start := time.Now()
+	_ = th.Section(mus, func() error {
+		for _, r := range reqs {
+			for i := range r.ops {
+				sh.execOp(th, &r.ops[i], true)
+			}
+		}
+		return nil
+	})
+	// One latency observation and one size observation per drained
+	// group — the amortization the stats should make visible.
+	sh.tel.OpLatency.Observe(time.Since(start))
+	sh.tel.BatchSize.ObserveValue(uint64(nops))
+	sh.tel.Server.Batches.Inc()
+	sh.tel.Server.BatchedOps.Add(uint64(nops))
+	sh.stripeScratch, sh.mutexScratch = stripes[:0], mus[:0]
+	sh.mu.RUnlock()
+	for _, r := range reqs {
+		close(r.done)
+	}
+}
+
+// execOp runs one op against the shard's map with th, recording the
+// protocol counters. locked selects the *Locked map variants for the
+// batch path, where the section already holds every stripe mutex the
+// group needs; the synchronous path lets each call take its own.
+func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
+	m := sh.stk.Map
+	switch op.kind {
+	case opGet:
+		sh.tel.Server.Gets.Inc()
+		if locked {
+			op.val, op.ok, op.err = m.GetLocked(th, op.key)
+		} else {
+			op.val, op.ok, op.err = m.Get(th, op.key)
+		}
+		if op.ok {
+			sh.tel.Server.Hits.Inc()
+		}
+	case opSet:
+		if locked {
+			op.err = m.PutLocked(th, op.key, op.arg)
+		} else {
+			op.err = m.Put(th, op.key, op.arg)
+		}
+		if op.err == nil {
+			op.ok = true
+			sh.tel.Server.Sets.Inc()
+		}
+	case opIncr:
+		if locked {
+			op.val, op.err = m.IncLocked(th, op.key, op.arg)
+		} else {
+			op.val, op.err = m.Inc(th, op.key, op.arg)
+		}
+		if op.err == nil {
+			op.ok = true
+			sh.tel.Server.Sets.Inc()
+		}
+	case opDelete:
+		if locked {
+			op.ok, op.err = m.DeleteLocked(th, op.key)
+		} else {
+			op.ok, op.err = m.Delete(th, op.key)
+		}
+		if op.err == nil {
+			sh.tel.Server.Deletes.Inc()
+		}
+	}
+}
+
+// pipelineActive reports whether the shard's worker has a drain in
+// flight or groups already waiting. A single op arriving now will
+// coalesce into (or immediately follow) an existing batch, so routing
+// it through the queue buys amortization; on an idle pipeline the same
+// op would only pay two goroutine handoffs to share a section with
+// nobody, so exec keeps it on the inline path instead.
+func (sh *shard) pipelineActive() bool {
+	return sh.queue != nil && (sh.busy.Load() || len(sh.queue) > 0)
+}
+
+// closePipeline stops the worker after the last enqueuer is gone: the
+// doorbell is closed, the worker performs one final drain (every
+// queued request is executed, never dropped), and the call returns
+// when it has exited.
+func (sh *shard) closePipeline() {
+	if sh.queue == nil {
+		return
+	}
+	close(sh.doorbell)
+	<-sh.workerDone
+}

@@ -2,9 +2,12 @@ package cacheserver
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"tsp/internal/telemetry"
 )
 
 // resident is the number of keys loaded before measurement. Every
@@ -95,6 +98,121 @@ func BenchmarkShards1(b *testing.B) { benchmarkShards(b, 1) }
 func BenchmarkShards2(b *testing.B) { benchmarkShards(b, 2) }
 func BenchmarkShards4(b *testing.B) { benchmarkShards(b, 4) }
 func BenchmarkShards8(b *testing.B) { benchmarkShards(b, 8) }
+
+// benchmarkMutations measures a pure-mutation workload with the batch
+// pipeline on (the default BatchMax) or off (BatchMax 0 — the
+// pre-pipeline synchronous path), reporting the client-observed set
+// latency quantiles from the servers' own per-command histograms next
+// to the usual ns/op. Run with -cpu 8 or higher: batching pays off
+// when concurrent requests actually coalesce into shared critical
+// sections, which the reported ops/batch metric makes visible.
+func benchmarkMutations(b *testing.B, nShards, batchMax int) {
+	s, err := New(
+		WithShards(nShards),
+		WithBatchMax(batchMax),
+		WithMaxConns(64),
+		WithDeviceWords(1<<22),
+	)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	var gid atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cs := s.newConnState()
+		defer s.releaseConn(cs)
+		rng := gid.Add(1) * 0x9e3779b97f4a7c15
+		for pb.Next() {
+			rng += 0x9e3779b97f4a7c15
+			x := rng
+			x ^= x >> 30
+			x *= 0xbf58476d1ce4e5b9
+			x ^= x >> 27
+			x *= 0x94d049bb133111eb
+			x ^= x >> 31
+			k := x % (1 << 16)
+			if resp := s.dispatch(cs, fmt.Sprintf("set %d %d", k, rng)); resp != "STORED" {
+				b.Fatal(resp)
+			}
+		}
+	})
+	b.StopTimer()
+	v := s.aggregateViews()
+	b.ReportMetric(us(v.cmdLat[telemetry.CmdSet].Quantile(0.50)), "p50_us")
+	b.ReportMetric(us(v.cmdLat[telemetry.CmdSet].Quantile(0.95)), "p95_us")
+	if n := v.batchSize.Count(); n > 0 {
+		b.ReportMetric(float64(v.batchSize.Sum)/float64(n), "ops/batch")
+	}
+}
+
+// benchmarkMsets measures the batched mutation workload: every request
+// rewrites an 8-key group. With the pipeline on, each per-shard group
+// runs inside ONE outermost critical section (plus whatever other
+// groups the worker's drain coalesces in); with BatchMax 0 every op
+// pays its own section on the synchronous path. This is where the
+// per-group amortization shows as throughput.
+func benchmarkMsets(b *testing.B, nShards, batchMax int) {
+	s, err := New(
+		WithShards(nShards),
+		WithBatchMax(batchMax),
+		WithMaxConns(64),
+		WithDeviceWords(1<<22),
+	)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	var gid atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cs := s.newConnState()
+		defer s.releaseConn(cs)
+		rng := gid.Add(1) * 0x9e3779b97f4a7c15
+		var sb strings.Builder
+		for pb.Next() {
+			rng += 0x9e3779b97f4a7c15
+			x := rng
+			x ^= x >> 30
+			x *= 0xbf58476d1ce4e5b9
+			x ^= x >> 27
+			x *= 0x94d049bb133111eb
+			x ^= x >> 31
+			base := x % (1 << 16)
+			sb.Reset()
+			sb.WriteString("mset")
+			for i := uint64(0); i < 8; i++ {
+				fmt.Fprintf(&sb, " %d %d", base+i, rng)
+			}
+			if resp := s.dispatch(cs, sb.String()); resp != "STORED 8" {
+				b.Fatal(resp)
+			}
+		}
+	})
+	b.StopTimer()
+	v := s.aggregateViews()
+	b.ReportMetric(us(v.cmdLat[telemetry.CmdMSet].Quantile(0.50)), "p50_us")
+	b.ReportMetric(us(v.cmdLat[telemetry.CmdMSet].Quantile(0.95)), "p95_us")
+	if n := v.batchSize.Count(); n > 0 {
+		b.ReportMetric(float64(v.batchSize.Sum)/float64(n), "ops/batch")
+	}
+}
+
+func BenchmarkMsetsBatchedShards1(b *testing.B)   { benchmarkMsets(b, 1, 64) }
+func BenchmarkMsetsBatchedShards4(b *testing.B)   { benchmarkMsets(b, 4, 64) }
+func BenchmarkMsetsBatchedShards8(b *testing.B)   { benchmarkMsets(b, 8, 64) }
+func BenchmarkMsetsUnbatchedShards1(b *testing.B) { benchmarkMsets(b, 1, 0) }
+func BenchmarkMsetsUnbatchedShards4(b *testing.B) { benchmarkMsets(b, 4, 0) }
+func BenchmarkMsetsUnbatchedShards8(b *testing.B) { benchmarkMsets(b, 8, 0) }
+
+func BenchmarkSetsBatchedShards1(b *testing.B)   { benchmarkMutations(b, 1, 64) }
+func BenchmarkSetsBatchedShards4(b *testing.B)   { benchmarkMutations(b, 4, 64) }
+func BenchmarkSetsBatchedShards8(b *testing.B)   { benchmarkMutations(b, 8, 64) }
+func BenchmarkSetsUnbatchedShards1(b *testing.B) { benchmarkMutations(b, 1, 0) }
+func BenchmarkSetsUnbatchedShards4(b *testing.B) { benchmarkMutations(b, 4, 0) }
+func BenchmarkSetsUnbatchedShards8(b *testing.B) { benchmarkMutations(b, 8, 0) }
 
 // BenchmarkMget8Keys measures the pipelined batch read: one request
 // fanned out across every shard concurrently.

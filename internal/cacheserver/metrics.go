@@ -48,10 +48,11 @@ func (m *metricsServer) close() { _ = m.srv.Close() }
 func (s *Server) renderMetrics() string {
 	var b strings.Builder
 
-	items, agg, opLat, recLat := s.aggregateViews()
+	v := s.aggregateViews()
+	agg := v.agg
 
 	b.WriteString("# TYPE tsp_items gauge\n")
-	fmt.Fprintf(&b, "tsp_items %d\n", items)
+	fmt.Fprintf(&b, "tsp_items %d\n", v.items)
 
 	// One TYPE header per counter family, then the aggregate and every
 	// shard's value. The registry's Walk order keeps families contiguous.
@@ -75,8 +76,23 @@ func (s *Server) renderMetrics() string {
 		fmt.Fprintf(&b, "tsp_%s_sum %g\n", name, (time.Duration(snap.Sum) * time.Nanosecond).Seconds())
 		fmt.Fprintf(&b, "tsp_%s_count %d\n", name, snap.Count())
 	}
-	writeSummary("op_latency_seconds", opLat)
-	writeSummary("recovery_latency_seconds", recLat)
+	writeSummary("op_latency_seconds", v.opLat)
+	writeSummary("recovery_latency_seconds", v.recLat)
+	for _, c := range telemetry.Commands() {
+		if v.cmdLat[c].Count() == 0 {
+			continue
+		}
+		writeSummary(fmt.Sprintf("cmd_%s_latency_seconds", c), v.cmdLat[c])
+	}
+
+	// Batch sizes are plain counts, not durations: render the summary
+	// in ops.
+	b.WriteString("# TYPE tsp_batch_size_ops summary\n")
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		fmt.Fprintf(&b, "tsp_batch_size_ops{quantile=\"%g\"} %d\n", q, uint64(v.batchSize.Quantile(q)))
+	}
+	fmt.Fprintf(&b, "tsp_batch_size_ops_sum %d\n", v.batchSize.Sum)
+	fmt.Fprintf(&b, "tsp_batch_size_ops_count %d\n", v.batchSize.Count())
 
 	return b.String()
 }

@@ -23,6 +23,8 @@ type config struct {
 	buckets     int // per-shard hash map shape
 	perMutex    int
 	metricsAddr string // optional HTTP metrics endpoint; "" = disabled
+	batchMax    int    // max ops per drained batch group; 0 disables the pipeline
+	queueDepth  int    // per-shard pending-request queue bound
 }
 
 func defaultConfig() config {
@@ -35,6 +37,8 @@ func defaultConfig() config {
 		writeBuf:    16 << 10,
 		buckets:     4096,
 		perMutex:    256,
+		batchMax:    64,
+		queueDepth:  256,
 	}
 }
 
@@ -50,6 +54,12 @@ func (c config) validate() error {
 	}
 	if c.writeBuf < 512 {
 		return fmt.Errorf("cacheserver: write buffer %d bytes too small", c.writeBuf)
+	}
+	if c.batchMax < 0 {
+		return fmt.Errorf("cacheserver: batch max must be >= 0, got %d", c.batchMax)
+	}
+	if c.batchMax > 0 && c.queueDepth < 1 {
+		return fmt.Errorf("cacheserver: queue depth must be >= 1, got %d", c.queueDepth)
 	}
 	return nil
 }
@@ -104,6 +114,25 @@ func WithWriteBuffer(bytes int) Option {
 // registry as Prometheus-style text. Empty (the default) disables it.
 func WithMetricsAddr(addr string) Option {
 	return func(c *config) { c.metricsAddr = addr }
+}
+
+// WithBatchMax bounds how many operations one drained batch group may
+// execute inside a single Atlas critical section (default 64).
+// WithBatchMax(0) disables the batch pipeline entirely: every request
+// takes the synchronous per-op path, the pre-pipeline behavior. A
+// request group larger than the bound (a wide mset aimed at one shard)
+// also falls back to the synchronous path rather than being split —
+// the bound is what sizes the undo-log ring.
+func WithBatchMax(n int) Option {
+	return func(c *config) { c.batchMax = n }
+}
+
+// WithQueueDepth bounds each shard's pending-request queue (default
+// 256 groups). A full queue does not block the handler: the request
+// degrades to the synchronous path and the fallback is counted, so
+// backpressure shows up in stats rather than as added latency.
+func WithQueueDepth(n int) Option {
+	return func(c *config) { c.queueDepth = n }
 }
 
 // WithBuckets shapes each shard's hash map: bucket count and buckets

@@ -22,13 +22,18 @@
 //	mset <key> <value> ...   -> STORED <count>
 //	stats                    -> aggregate STAT lines + END
 //	stats shards             -> one STAT line per shard + END
+//	stats reset              -> zeroes counters and histograms; RESET
 //	crash                    -> power-fails and recovers every shard; OK RECOVERED
 //	crash <shard>            -> power-fails and recovers one shard; OK RECOVERED SHARD <n>
 //	quit                     -> closes the connection
 //
-// The batch commands pipeline one request across shards: keys are
-// grouped by shard and the groups execute concurrently, one goroutine
-// per shard touched, so a single mget/mset drives every stack at once.
+// Execution is batched per shard (see batch.go): each shard's worker
+// drains every request group already queued — from any connection —
+// and runs them inside one Atlas critical section, so the persistence
+// cost of a critical section is paid per batch, not per op. Batch
+// commands additionally pipeline one request across shards: keys are
+// grouped by shard and the groups proceed concurrently, so a single
+// mget/mset drives every stack at once.
 package cacheserver
 
 import (
@@ -190,9 +195,13 @@ func (s *Server) Serve() error {
 }
 
 // Close stops accepting, closes the listener and every active
-// connection, and waits for the handlers to finish.
+// connection, waits for the handlers to finish, and then drains the
+// shard batch workers (every request already queued executes before
+// its worker exits). Close is idempotent.
 func (s *Server) Close() error {
-	s.closing.Store(true)
+	if s.closing.Swap(true) {
+		return nil
+	}
 	err := s.ln.Close()
 	if s.metrics != nil {
 		s.metrics.close()
@@ -203,6 +212,11 @@ func (s *Server) Close() error {
 	}
 	s.connMu.Unlock()
 	s.wg.Wait()
+	// All enqueuers are gone: handlers have exited and the acceptor is
+	// stopped, so the queues can close safely.
+	for _, sh := range s.shards {
+		sh.closePipeline()
+	}
 	return err
 }
 
@@ -257,27 +271,172 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// withShard runs fn on key's shard under its read lock with the
-// connection's thread for that shard, observing the operation's service
-// time into the shard's op-latency histogram.
-func (s *Server) withShard(cs *connState, key uint64, fn func(sh *shard, th *atlas.Thread) string) string {
-	sh := s.shardOf(key)
+// tryEnqueue hands ops to sh's batch worker if the pipeline can take
+// them, returning the request to wait on. It returns nil — and counts
+// the fallback when the pipeline is enabled — if the caller must run
+// the group synchronously instead: pipeline disabled, group larger
+// than one batch may hold, or queue full (backpressure degrades to the
+// pre-pipeline path rather than blocking the handler).
+func (s *Server) tryEnqueue(sh *shard, ops []batchOp) *batchReq {
+	if s.cfg.batchMax <= 0 {
+		return nil
+	}
+	if len(ops) > s.cfg.batchMax {
+		sh.tel.Server.BatchFallbacks.Inc()
+		return nil
+	}
+	req := &batchReq{ops: ops, done: make(chan struct{})}
+	select {
+	case sh.queue <- req:
+		return req
+	default:
+		sh.tel.Server.BatchFallbacks.Inc()
+		return nil
+	}
+}
+
+// execSync executes ops on sh the pre-pipeline way: under the shard
+// read lock with the connection's own thread, one stripe acquisition
+// and one op-latency observation per op.
+func (s *Server) execSync(cs *connState, sh *shard, ops []batchOp) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	th, err := sh.threadFor(cs)
 	if err != nil {
-		return fmt.Sprintf("SERVER_ERROR %v", err)
+		for i := range ops {
+			ops[i].err = err
+		}
+		return
 	}
+	for i := range ops {
+		start := time.Now()
+		sh.execOp(th, &ops[i], false)
+		sh.tel.OpLatency.Observe(time.Since(start))
+	}
+}
+
+// exec routes ops to their shards and blocks until every result is in:
+// ops are grouped by shard, each group goes to its shard's batch
+// pipeline when it has something to amortize — more than one op, or a
+// drain already in flight to coalesce with — and otherwise runs inline
+// on the synchronous path (flush-on-idle: a lone op on an idle shard
+// pays no goroutine handoff). Groups on distinct shards proceed
+// concurrently — the pipelining the old per-command fan-out provided,
+// now through the shared worker queues.
+// Results land in ops in place. Each touched shard observes the
+// command's end-to-end service time (queueing included) into its
+// per-command latency histogram.
+func (s *Server) exec(cs *connState, cmd telemetry.Command, ops []batchOp) {
 	start := time.Now()
-	resp := fn(sh, th)
-	sh.tel.OpLatency.Observe(time.Since(start))
-	return resp
+
+	// Fast path: everything on one shard (always true for single-key
+	// commands and single-shard servers) — no group copies needed.
+	oneShard := s.shardOf(ops[0].key)
+	multi := false
+	for i := 1; i < len(ops); i++ {
+		if s.shardOf(ops[i].key) != oneShard {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		var req *batchReq
+		if len(ops) > 1 || oneShard.pipelineActive() {
+			req = s.tryEnqueue(oneShard, ops)
+		}
+		if req != nil {
+			// Combining first: if the drain lock is free this goroutine
+			// executes its own batch (plus anything queued alongside)
+			// with no handoff; only a contended drain wakes the worker.
+			if !oneShard.combine(req) {
+				oneShard.ringDoorbell()
+				<-req.done
+			}
+		} else {
+			s.execSync(cs, oneShard, ops)
+		}
+		oneShard.tel.CmdLatency.Observe(cmd, time.Since(start))
+		return
+	}
+
+	type group struct {
+		sh   *shard
+		idxs []int
+		ops  []batchOp
+		req  *batchReq
+	}
+	byShard := make([][]int, len(s.shards))
+	for i := range ops {
+		sh := s.shardOf(ops[i].key)
+		byShard[sh.idx] = append(byShard[sh.idx], i)
+	}
+	var groups []*group
+	var syncGroups []*group
+	for si, idxs := range byShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		g := &group{sh: s.shards[si], idxs: idxs, ops: make([]batchOp, len(idxs))}
+		for j, i := range idxs {
+			g.ops[j] = ops[i]
+		}
+		if len(g.ops) > 1 || g.sh.pipelineActive() {
+			g.req = s.tryEnqueue(g.sh, g.ops)
+		}
+		if g.req == nil {
+			syncGroups = append(syncGroups, g)
+		}
+		groups = append(groups, g)
+	}
+	// Synchronous groups run one goroutine per shard, like the old
+	// fan-out; distinct shards mean distinct connState slots, so the
+	// goroutines share nothing mutable.
+	var wg sync.WaitGroup
+	for _, g := range syncGroups {
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			s.execSync(cs, g.sh, g.ops)
+		}(g)
+	}
+	// Combine each enqueued group in turn: every drain this goroutine
+	// wins runs inline with no handoff, and a shard whose drain lock is
+	// already taken gets its doorbell rung so its worker (or the active
+	// combiner) finishes the group while we move to the next shard.
+	for _, g := range groups {
+		if g.req != nil && !g.sh.combine(g.req) {
+			g.sh.ringDoorbell()
+		}
+	}
+	for _, g := range groups {
+		if g.req != nil {
+			<-g.req.done
+		}
+	}
+	wg.Wait()
+	for _, g := range groups {
+		for j, i := range g.idxs {
+			ops[i] = g.ops[j]
+		}
+		g.sh.tel.CmdLatency.Observe(cmd, time.Since(start))
+	}
+}
+
+// execOne runs a single-key command through the batch pipeline and
+// returns its result.
+func (s *Server) execOne(cs *connState, cmd telemetry.Command, op batchOp) batchOp {
+	ops := []batchOp{op}
+	s.exec(cs, cmd, ops)
+	return ops[0]
 }
 
 // dispatch executes one command line and returns the response (possibly
 // multi-line, CRLF-separated; the caller appends the final CRLF).
 func (s *Server) dispatch(cs *connState, line string) string {
 	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERROR empty command"
+	}
 	cmd := strings.ToLower(fields[0])
 	args := fields[1:]
 
@@ -315,13 +474,11 @@ func (s *Server) dispatch(cs *connState, line string) string {
 		if err1 != nil || err2 != nil {
 			return "CLIENT_ERROR keys and values are unsigned integers"
 		}
-		return s.withShard(cs, k, func(sh *shard, th *atlas.Thread) string {
-			if err := sh.stk.Map.Put(th, k, v); err != nil {
-				return fmt.Sprintf("SERVER_ERROR %v", err)
-			}
-			sh.tel.Server.Sets.Inc()
-			return "STORED"
-		})
+		op := s.execOne(cs, telemetry.CmdSet, batchOp{kind: opSet, key: k, arg: v})
+		if op.err != nil {
+			return fmt.Sprintf("SERVER_ERROR %v", op.err)
+		}
+		return "STORED"
 
 	case "get":
 		if len(args) != 1 {
@@ -331,18 +488,14 @@ func (s *Server) dispatch(cs *connState, line string) string {
 		if err != nil {
 			return "CLIENT_ERROR bad key"
 		}
-		return s.withShard(cs, k, func(sh *shard, th *atlas.Thread) string {
-			v, ok, gerr := sh.stk.Map.Get(th, k)
-			sh.tel.Server.Gets.Inc()
-			if gerr != nil {
-				return fmt.Sprintf("SERVER_ERROR %v", gerr)
-			}
-			if !ok {
-				return "NOT_FOUND"
-			}
-			sh.tel.Server.Hits.Inc()
-			return fmt.Sprintf("VALUE %d %d", k, v)
-		})
+		op := s.execOne(cs, telemetry.CmdGet, batchOp{kind: opGet, key: k})
+		switch {
+		case op.err != nil:
+			return fmt.Sprintf("SERVER_ERROR %v", op.err)
+		case !op.ok:
+			return "NOT_FOUND"
+		}
+		return fmt.Sprintf("VALUE %d %d", k, op.val)
 
 	case "incr":
 		if len(args) != 2 {
@@ -353,14 +506,11 @@ func (s *Server) dispatch(cs *connState, line string) string {
 		if err1 != nil || err2 != nil {
 			return "CLIENT_ERROR bad arguments"
 		}
-		return s.withShard(cs, k, func(sh *shard, th *atlas.Thread) string {
-			nv, err := sh.stk.Map.Inc(th, k, d)
-			if err != nil {
-				return fmt.Sprintf("SERVER_ERROR %v", err)
-			}
-			sh.tel.Server.Sets.Inc()
-			return strconv.FormatUint(nv, 10)
-		})
+		op := s.execOne(cs, telemetry.CmdIncr, batchOp{kind: opIncr, key: k, arg: d})
+		if op.err != nil {
+			return fmt.Sprintf("SERVER_ERROR %v", op.err)
+		}
+		return strconv.FormatUint(op.val, 10)
 
 	case "delete":
 		if len(args) != 1 {
@@ -370,17 +520,14 @@ func (s *Server) dispatch(cs *connState, line string) string {
 		if err != nil {
 			return "CLIENT_ERROR bad key"
 		}
-		return s.withShard(cs, k, func(sh *shard, th *atlas.Thread) string {
-			ok, derr := sh.stk.Map.Delete(th, k)
-			if derr != nil {
-				return fmt.Sprintf("SERVER_ERROR %v", derr)
-			}
-			sh.tel.Server.Deletes.Inc()
-			if !ok {
-				return "NOT_FOUND"
-			}
-			return "DELETED"
-		})
+		op := s.execOne(cs, telemetry.CmdDelete, batchOp{kind: opDelete, key: k})
+		switch {
+		case op.err != nil:
+			return fmt.Sprintf("SERVER_ERROR %v", op.err)
+		case !op.ok:
+			return "NOT_FOUND"
+		}
+		return "DELETED"
 
 	case "mget":
 		if len(args) == 0 {
@@ -411,8 +558,13 @@ func (s *Server) dispatch(cs *connState, line string) string {
 		return s.mset(cs, kv)
 
 	case "stats":
-		if len(args) == 1 && strings.EqualFold(args[0], "shards") {
-			return s.statsShards()
+		if len(args) == 1 {
+			switch {
+			case strings.EqualFold(args[0], "shards"):
+				return s.statsShards()
+			case strings.EqualFold(args[0], "reset"):
+				return s.statsReset()
+			}
 		}
 		return s.statsAggregate()
 
@@ -421,92 +573,45 @@ func (s *Server) dispatch(cs *connState, line string) string {
 	}
 }
 
-// fanOut groups request indices by shard and runs one goroutine per
-// shard touched, pipelining a single batch command across the stacks.
-// fn handles that shard's index group with the connection's thread (nil
-// if registration failed); it must write only its own indices' results.
-// Distinct shards mean distinct connState slots and distinct result
-// indices, so the goroutines share nothing mutable.
-func (s *Server) fanOut(cs *connState, nIdx int, shardFor func(i int) *shard, fn func(sh *shard, th *atlas.Thread, idxs []int)) {
-	groups := make([][]int, len(s.shards))
-	for i := 0; i < nIdx; i++ {
-		sh := shardFor(i)
-		groups[sh.idx] = append(groups[sh.idx], i)
-	}
-	var wg sync.WaitGroup
-	for si, idxs := range groups {
-		if len(idxs) == 0 {
-			continue
-		}
-		sh := s.shards[si]
-		wg.Add(1)
-		go func(sh *shard, idxs []int) {
-			defer wg.Done()
-			sh.mu.RLock()
-			defer sh.mu.RUnlock()
-			th, _ := sh.threadFor(cs)
-			fn(sh, th, idxs)
-		}(sh, idxs)
-	}
-	wg.Wait()
-}
-
-// mget pipelines a multi-key read across shards and reports results in
-// request order.
+// mget runs a multi-key read through the batch pipeline and reports
+// results in request order.
 func (s *Server) mget(cs *connState, keys []uint64) string {
-	lines := make([]string, len(keys)+1)
-	s.fanOut(cs, len(keys),
-		func(i int) *shard { return s.shardOf(keys[i]) },
-		func(sh *shard, th *atlas.Thread, idxs []int) {
-			for _, i := range idxs {
-				if th == nil {
-					lines[i] = fmt.Sprintf("SERVER_ERROR shard %d unavailable", sh.idx)
-					continue
-				}
-				k := keys[i]
-				start := time.Now()
-				v, ok, err := sh.stk.Map.Get(th, k)
-				sh.tel.OpLatency.Observe(time.Since(start))
-				sh.tel.Server.Gets.Inc()
-				switch {
-				case err != nil:
-					lines[i] = fmt.Sprintf("SERVER_ERROR %v", err)
-				case ok:
-					sh.tel.Server.Hits.Inc()
-					lines[i] = fmt.Sprintf("VALUE %d %d", k, v)
-				default:
-					lines[i] = fmt.Sprintf("NOT_FOUND %d", k)
-				}
-			}
-		})
-	lines[len(keys)] = "END"
+	ops := make([]batchOp, len(keys))
+	for i, k := range keys {
+		ops[i] = batchOp{kind: opGet, key: k}
+	}
+	s.exec(cs, telemetry.CmdMGet, ops)
+	lines := make([]string, len(ops)+1)
+	for i := range ops {
+		op := &ops[i]
+		switch {
+		case op.err != nil:
+			lines[i] = fmt.Sprintf("SERVER_ERROR %v", op.err)
+		case op.ok:
+			lines[i] = fmt.Sprintf("VALUE %d %d", op.key, op.val)
+		default:
+			lines[i] = fmt.Sprintf("NOT_FOUND %d", op.key)
+		}
+	}
+	lines[len(ops)] = "END"
 	return strings.Join(lines, "\r\n")
 }
 
-// mset pipelines a multi-key write across shards. On success it reports
-// the number of keys stored; any per-shard failure is reported instead.
+// mset runs a multi-key write through the batch pipeline. On success
+// it reports the number of keys stored; any per-key failure is
+// reported instead.
 func (s *Server) mset(cs *connState, kv []uint64) string {
 	n := len(kv) / 2
-	errsByIdx := make([]error, n)
-	s.fanOut(cs, n,
-		func(i int) *shard { return s.shardOf(kv[2*i]) },
-		func(sh *shard, th *atlas.Thread, idxs []int) {
-			for _, i := range idxs {
-				if th == nil {
-					errsByIdx[i] = fmt.Errorf("shard %d unavailable", sh.idx)
-					continue
-				}
-				start := time.Now()
-				err := sh.stk.Map.Put(th, kv[2*i], kv[2*i+1])
-				sh.tel.OpLatency.Observe(time.Since(start))
-				if err != nil {
-					errsByIdx[i] = err
-					continue
-				}
-				sh.tel.Server.Sets.Inc()
-			}
-		})
-	if err := errors.Join(errsByIdx...); err != nil {
+	ops := make([]batchOp, n)
+	for i := 0; i < n; i++ {
+		ops[i] = batchOp{kind: opSet, key: kv[2*i], arg: kv[2*i+1]}
+	}
+	s.exec(cs, telemetry.CmdMSet, ops)
+	errs := make([]error, n)
+	for i := range ops {
+		errs[i] = ops[i].err
+	}
+	if err := errors.Join(errs...); err != nil {
 		return fmt.Sprintf("SERVER_ERROR %v", err)
 	}
 	return fmt.Sprintf("STORED %d", n)
@@ -528,17 +633,40 @@ func (s *Server) crashAll() error {
 	return errors.Join(errs...)
 }
 
+// serverView is every shard's telemetry merged into one snapshot.
+type serverView struct {
+	items     int
+	agg       telemetry.Snapshot
+	opLat     telemetry.HistogramSnapshot
+	recLat    telemetry.HistogramSnapshot
+	cmdLat    telemetry.CommandLatencySnapshot
+	batchSize telemetry.HistogramSnapshot
+}
+
 // aggregateViews collects and merges every shard's telemetry view.
-func (s *Server) aggregateViews() (items int, agg telemetry.Snapshot, opLat, recLat telemetry.HistogramSnapshot) {
-	agg = telemetry.Snapshot{}
+func (s *Server) aggregateViews() serverView {
+	v := serverView{agg: telemetry.Snapshot{}}
 	for _, sh := range s.shards {
-		v := sh.view()
-		items += v.items
-		agg.Add(v.counters)
-		opLat.Merge(v.opLat)
-		recLat.Merge(v.recLat)
+		sv := sh.view()
+		v.items += sv.items
+		v.agg.Add(sv.counters)
+		v.opLat.Merge(sv.opLat)
+		v.recLat.Merge(sv.recLat)
+		v.cmdLat.Merge(sv.cmdLat)
+		v.batchSize.Merge(sv.batchSize)
 	}
-	return items, agg, opLat, recLat
+	return v
+}
+
+// statsReset zeroes every shard's counters and histograms. Shard
+// generations survive — they identify the stack incarnation, not the
+// traffic — as does anything a crash needs for recovery: the reset
+// touches only telemetry.
+func (s *Server) statsReset() string {
+	for _, sh := range s.shards {
+		sh.tel.Reset()
+	}
+	return "RESET"
 }
 
 // us renders a duration in (fractional) microseconds for STAT lines.
@@ -549,7 +677,8 @@ func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond)
 // full per-layer counter vocabulary — every shard merged into one
 // monotonic snapshot.
 func (s *Server) statsAggregate() string {
-	items, agg, opLat, recLat := s.aggregateViews()
+	v := s.aggregateViews()
+	agg, opLat, recLat := v.agg, v.opLat, v.recLat
 	gets, hits := agg["server_gets"], agg["server_hits"]
 	hitRate := 0.0
 	if gets > 0 {
@@ -557,7 +686,7 @@ func (s *Server) statsAggregate() string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "STAT shards %d\r\n", len(s.shards))
-	fmt.Fprintf(&b, "STAT items %d\r\n", items)
+	fmt.Fprintf(&b, "STAT items %d\r\n", v.items)
 	fmt.Fprintf(&b, "STAT gets %d\r\n", gets)
 	fmt.Fprintf(&b, "STAT hits %d\r\n", hits)
 	fmt.Fprintf(&b, "STAT hit_rate %.4f\r\n", hitRate)
@@ -570,6 +699,18 @@ func (s *Server) statsAggregate() string {
 	fmt.Fprintf(&b, "STAT op_p50_us %.1f\r\n", us(opLat.Quantile(0.50)))
 	fmt.Fprintf(&b, "STAT op_p95_us %.1f\r\n", us(opLat.Quantile(0.95)))
 	fmt.Fprintf(&b, "STAT op_p99_us %.1f\r\n", us(opLat.Quantile(0.99)))
+	fmt.Fprintf(&b, "STAT batch_count %d\r\n", v.batchSize.Count())
+	fmt.Fprintf(&b, "STAT batch_size_p50 %d\r\n", uint64(v.batchSize.Quantile(0.50)))
+	fmt.Fprintf(&b, "STAT batch_size_max %d\r\n", uint64(v.batchSize.Max()))
+	for _, c := range telemetry.Commands() {
+		cl := v.cmdLat[c]
+		if cl.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "STAT cmd_%s_count %d\r\n", c, cl.Count())
+		fmt.Fprintf(&b, "STAT cmd_%s_p50_us %.1f\r\n", c, us(cl.Quantile(0.50)))
+		fmt.Fprintf(&b, "STAT cmd_%s_p99_us %.1f\r\n", c, us(cl.Quantile(0.99)))
+	}
 	for _, name := range agg.Names() {
 		fmt.Fprintf(&b, "STAT %s %d\r\n", name, agg[name])
 	}

@@ -40,21 +40,59 @@ type shard struct {
 	// is valid only for the generation it registered with; threadFor
 	// re-registers lazily after a crash.
 	gen atomic.Uint64
+
+	// Batch pipeline state (see batch.go). queue is nil when batching
+	// is disabled. combineMu is the drain lock: its holder — the
+	// handler that won it without waiting, else the worker woken by the
+	// doorbell — is the one goroutine draining and executing batches,
+	// and owns carry, the scratch slices and the drain thread wth/wgen
+	// while it holds the lock. busy is true while a drain is in flight,
+	// the signal exec uses to route single ops into an active batch
+	// instead of the idle-shard inline path.
+	queue          chan *batchReq
+	doorbell       chan struct{}
+	combineMu      sync.Mutex
+	busy           atomic.Bool
+	workerDone     chan struct{}
+	carry          *batchReq
+	wth            *atlas.Thread
+	wgen           uint64
+	pendingScratch []*batchReq
+	stripeScratch  []int
+	mutexScratch   []*atlas.Mutex
 }
 
 func newShard(idx int, c config) (*shard, error) {
+	// The worker drains at most batchMax ops into one outermost critical
+	// section; size the undo-log ring so the largest group (acquire and
+	// release records per stripe plus first-store undo records per op)
+	// cannot lap it, without shrinking the atlas default.
+	logEntries := c.batchMax*32 + 1024
+	if logEntries < 4096 {
+		logEntries = 4096
+	}
 	tel := telemetry.NewRegistry()
 	stk, err := stack.New(
 		stack.WithDeviceWords(c.deviceWords),
 		stack.WithMode(c.mode),
-		stack.WithMaxThreads(c.maxConns),
+		// One thread slot per admitted connection plus one for the
+		// shard's batch worker.
+		stack.WithMaxThreads(c.maxConns+1),
+		stack.WithLogEntries(logEntries),
 		stack.WithBuckets(c.buckets, c.perMutex),
 		stack.WithTelemetry(tel),
 	)
 	if err != nil {
 		return nil, fmt.Errorf("cacheserver: shard %d: %w", idx, err)
 	}
-	return &shard{idx: idx, cfg: c, tel: tel, stk: stk}, nil
+	sh := &shard{idx: idx, cfg: c, tel: tel, stk: stk}
+	if c.batchMax > 0 {
+		sh.queue = make(chan *batchReq, c.queueDepth)
+		sh.doorbell = make(chan struct{}, 1)
+		sh.workerDone = make(chan struct{})
+		go sh.worker()
+	}
+	return sh, nil
 }
 
 // threadFor returns the connection's Atlas thread on this shard,
@@ -127,10 +165,12 @@ func (sh *shard) verify() error {
 // and the metrics endpoint: the full registry snapshot plus the only
 // value the registry cannot know — the map's live item count.
 type shardView struct {
-	items    int
-	counters telemetry.Snapshot
-	opLat    telemetry.HistogramSnapshot
-	recLat   telemetry.HistogramSnapshot
+	items     int
+	counters  telemetry.Snapshot
+	opLat     telemetry.HistogramSnapshot
+	recLat    telemetry.HistogramSnapshot
+	cmdLat    telemetry.CommandLatencySnapshot
+	batchSize telemetry.HistogramSnapshot
 }
 
 // view collects the shard's telemetry under the read lock (Map.Len
@@ -139,9 +179,11 @@ func (sh *shard) view() shardView {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	return shardView{
-		items:    sh.stk.Map.Len(),
-		counters: sh.tel.Counters(),
-		opLat:    sh.tel.OpLatency.Snapshot(),
-		recLat:   sh.tel.RecoveryLatency.Snapshot(),
+		items:     sh.stk.Map.Len(),
+		counters:  sh.tel.Counters(),
+		opLat:     sh.tel.OpLatency.Snapshot(),
+		recLat:    sh.tel.RecoveryLatency.Snapshot(),
+		cmdLat:    sh.tel.CmdLatency.SnapshotAll(),
+		batchSize: sh.tel.BatchSize.Snapshot(),
 	}
 }

@@ -244,6 +244,10 @@ func (m *Map) Inc(t *atlas.Thread, key, delta uint64) (uint64, error) {
 	mu := m.mutexFor(b)
 	t.Lock(mu)
 	defer t.Unlock(mu)
+	return m.incLocked(t, b, key, delta)
+}
+
+func (m *Map) incLocked(t *atlas.Thread, b int, key, delta uint64) (uint64, error) {
 	if n, _ := m.findLocked(t, b, key); !n.IsNil() {
 		v := t.Load(n.Addr()+nodeValue) + delta
 		t.Store(n.Addr()+nodeValue, v)
@@ -317,6 +321,17 @@ func (m *Map) PutLocked(t *atlas.Thread, key, value uint64) error {
 	}
 	m.tel.IncPut()
 	return m.putLocked(t, m.bucketOf(key), key, value)
+}
+
+// IncLocked adds delta to key's value (inserting delta if absent) under
+// a caller-held stripe lock, returning the new value — Inc's body for
+// layers that batch several operations into one critical section.
+func (m *Map) IncLocked(t *atlas.Thread, key, delta uint64) (uint64, error) {
+	if t == nil {
+		return 0, ErrNoThread
+	}
+	m.tel.IncInc()
+	return m.incLocked(t, m.bucketOf(key), key, delta)
 }
 
 // DeleteLocked unlinks key under a caller-held stripe lock, with the

@@ -2,6 +2,7 @@ package stack
 
 import (
 	"testing"
+	"time"
 
 	"tsp/internal/nvm"
 	"tsp/internal/telemetry"
@@ -66,6 +67,10 @@ func TestTelemetryContinuityAcrossCrashReattach(t *testing.T) {
 	if before["nvm_rescues"] != 0 {
 		t.Fatalf("nvm_rescues = %d before crash", before["nvm_rescues"])
 	}
+	// The registry's histogram sections (the cache server's batch-size
+	// and per-command planes included) must ride the same continuity.
+	s.Tel.CmdLatency.Observe(telemetry.CmdSet, time.Millisecond)
+	s.Tel.BatchSize.ObserveValue(7)
 
 	s2, err := s.CrashReattach(nvm.CrashOptions{RescueFraction: 1})
 	if err != nil {
@@ -97,6 +102,12 @@ func TestTelemetryContinuityAcrossCrashReattach(t *testing.T) {
 	}
 	if want := uint64(s2.Recovery.OCSes); after["recovery_ocses"] != want {
 		t.Errorf("recovery_ocses = %d, want %d (report)", after["recovery_ocses"], want)
+	}
+	if got := s2.Tel.CmdLatency.Snapshot(telemetry.CmdSet).Count(); got != 1 {
+		t.Errorf("cmd latency count = %d across crash, want 1", got)
+	}
+	if got := s2.Tel.BatchSize.Snapshot().Count(); got != 1 {
+		t.Errorf("batch size count = %d across crash, want 1", got)
 	}
 
 	// A second crash/reattach keeps accumulating.

@@ -1,0 +1,107 @@
+package telemetry
+
+import "time"
+
+// Command enumerates the cache server's protocol commands, the key of
+// the per-command latency attribution the batch pipeline reports: a
+// coalesced drain serves gets and sets in the same critical section, so
+// only per-command histograms can show whether reads ride along for
+// free or pay for the mutations they were batched with.
+type Command uint8
+
+const (
+	CmdGet Command = iota
+	CmdSet
+	CmdIncr
+	CmdDelete
+	CmdMGet
+	CmdMSet
+
+	// NumCommands bounds the enum; CommandLatency sizes its histogram
+	// array with it.
+	NumCommands = int(CmdMSet) + 1
+)
+
+// String returns the wire-protocol spelling of the command.
+func (c Command) String() string {
+	switch c {
+	case CmdGet:
+		return "get"
+	case CmdSet:
+		return "set"
+	case CmdIncr:
+		return "incr"
+	case CmdDelete:
+		return "delete"
+	case CmdMGet:
+		return "mget"
+	case CmdMSet:
+		return "mset"
+	default:
+		return "unknown"
+	}
+}
+
+// Commands lists every command in enum order, for deterministic
+// rendering of per-command surfaces.
+func Commands() []Command {
+	return []Command{CmdGet, CmdSet, CmdIncr, CmdDelete, CmdMGet, CmdMSet}
+}
+
+// CommandLatency is a bundle of per-command latency histograms, one
+// per protocol command. Like every section it is nil-receiver safe:
+// a nil *CommandLatency is "telemetry off".
+type CommandLatency struct {
+	hists [NumCommands]Histogram
+}
+
+// Observe records one request's service time under its command.
+// Out-of-range commands are dropped rather than panicking — the
+// histogram is telemetry, not control flow.
+func (c *CommandLatency) Observe(cmd Command, d time.Duration) {
+	if c == nil || int(cmd) >= NumCommands {
+		return
+	}
+	c.hists[cmd].Observe(d)
+}
+
+// Snapshot copies one command's histogram (zero value on nil).
+func (c *CommandLatency) Snapshot(cmd Command) HistogramSnapshot {
+	if c == nil || int(cmd) >= NumCommands {
+		return HistogramSnapshot{}
+	}
+	return c.hists[cmd].Snapshot()
+}
+
+// Reset zeroes every command's histogram.
+func (c *CommandLatency) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.hists {
+		c.hists[i].Reset()
+	}
+}
+
+// CommandLatencySnapshot is the point-in-time copy of a whole bundle,
+// and the unit of cross-shard aggregation.
+type CommandLatencySnapshot [NumCommands]HistogramSnapshot
+
+// SnapshotAll copies every command's histogram at once.
+func (c *CommandLatency) SnapshotAll() CommandLatencySnapshot {
+	var s CommandLatencySnapshot
+	if c == nil {
+		return s
+	}
+	for i := range c.hists {
+		s[i] = c.hists[i].Snapshot()
+	}
+	return s
+}
+
+// Merge adds other's buckets into s, command by command.
+func (s *CommandLatencySnapshot) Merge(other CommandLatencySnapshot) {
+	for i := range s {
+		s[i].Merge(other[i])
+	}
+}

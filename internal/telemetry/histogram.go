@@ -39,6 +39,19 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sum.Add(uint64(d))
 }
 
+// ObserveValue records an arbitrary uint64 magnitude (a batch size, a
+// byte count) in the same power-of-two buckets. Quantiles over a
+// value-observed histogram read back as plain integers through the
+// returned Duration's numeric value; Histogram imposes no unit, only
+// bit-length bucketing.
+func (h *Histogram) ObserveValue(v uint64) {
+	if h == nil {
+		return
+	}
+	h.counts[bits.Len64(v)].Add(1)
+	h.sum.Add(v)
+}
+
 // Snapshot returns a point-in-time copy of the buckets. The copy is not
 // atomic across buckets; concurrent observations may straddle it, which
 // distorts a quantile by at most the in-flight events.

@@ -111,6 +111,17 @@ func (s *AtlasStats) IncCheckpoint() {
 	}
 }
 
+// Reset zeroes the section.
+func (s *AtlasStats) Reset() {
+	if s == nil {
+		return
+	}
+	s.LogAppends.Reset()
+	s.LogFlushes.Reset()
+	s.OCSCommits.Reset()
+	s.Checkpoints.Reset()
+}
+
 // HeapStats is the persistent heap's section.
 type HeapStats struct {
 	Allocs        Counter
@@ -136,6 +147,17 @@ func (s *HeapStats) AddGC(blocksFreed uint64) {
 		s.GCRuns.Inc()
 		s.GCBlocksFreed.Add(blocksFreed)
 	}
+}
+
+// Reset zeroes the section.
+func (s *HeapStats) Reset() {
+	if s == nil {
+		return
+	}
+	s.Allocs.Reset()
+	s.Frees.Reset()
+	s.GCRuns.Reset()
+	s.GCBlocksFreed.Reset()
 }
 
 // MapStats is the fortified hash map's section: data-structure-level
@@ -172,12 +194,45 @@ func (s *MapStats) IncDelete() {
 	}
 }
 
+// Reset zeroes the section.
+func (s *MapStats) Reset() {
+	if s == nil {
+		return
+	}
+	s.Gets.Reset()
+	s.Puts.Reset()
+	s.Incs.Reset()
+	s.Deletes.Reset()
+}
+
 // ServerStats is the cache server's protocol-level section, per shard.
+// The batch counters instrument the per-shard execution pipeline: how
+// many coalesced critical sections ran, how many operations rode in
+// them, and how often a full queue degraded an operation to the
+// synchronous per-op path.
 type ServerStats struct {
 	Gets    Counter
 	Hits    Counter
 	Sets    Counter
 	Deletes Counter
+
+	Batches        Counter // drained batch groups executed by the shard worker
+	BatchedOps     Counter // operations executed inside batch groups
+	BatchFallbacks Counter // operations that took the synchronous path (queue full/disabled)
+}
+
+// Reset zeroes the section.
+func (s *ServerStats) Reset() {
+	if s == nil {
+		return
+	}
+	s.Gets.Reset()
+	s.Hits.Reset()
+	s.Sets.Reset()
+	s.Deletes.Reset()
+	s.Batches.Reset()
+	s.BatchedOps.Reset()
+	s.BatchFallbacks.Reset()
 }
 
 // RecoveryStats accumulates crash/recovery outcomes across a stack's
@@ -195,6 +250,21 @@ type RecoveryStats struct {
 	GCBlocksFreed  Counter // leaked blocks reclaimed by recovery GC
 }
 
+// Reset zeroes the section.
+func (s *RecoveryStats) Reset() {
+	if s == nil {
+		return
+	}
+	s.Recoveries.Reset()
+	s.EntriesScanned.Reset()
+	s.OCSes.Reset()
+	s.PartialGroups.Reset()
+	s.Incomplete.Reset()
+	s.Cascaded.Reset()
+	s.UndoApplied.Reset()
+	s.GCBlocksFreed.Reset()
+}
+
 // Registry is one storage stack's complete telemetry plane. Layer
 // sections are pointers so an already-running layer's live section can
 // be adopted (stack.Reattach adopts the restarted device's counters
@@ -208,13 +278,24 @@ type Registry struct {
 	Server   *ServerStats
 	Recovery *RecoveryStats
 
-	// OpLatency is the per-operation service-time distribution observed
-	// at the top of the stack (one observation per request-level op).
+	// OpLatency is the service-time distribution observed at the top of
+	// the stack: one observation per request-level op on the synchronous
+	// path, one per drained group on the batch pipeline (the group is
+	// the unit of locking and persistence there).
 	OpLatency *Histogram
 
 	// RecoveryLatency is the crash-to-serving distribution, one
 	// observation per recovery.
 	RecoveryLatency *Histogram
+
+	// CmdLatency attributes request service time per protocol command
+	// (one observation per request, on both execution paths).
+	CmdLatency *CommandLatency
+
+	// BatchSize is a value histogram (ObserveValue) of operations per
+	// drained batch group — the direct read on how much amortization the
+	// pipeline is actually getting.
+	BatchSize *Histogram
 
 	// Generation counts the stack's incarnations: 1 after New, +1 per
 	// reattach. Counters deliberately survive reattach (the registry
@@ -234,7 +315,30 @@ func NewRegistry() *Registry {
 		Recovery:        &RecoveryStats{},
 		OpLatency:       &Histogram{},
 		RecoveryLatency: &Histogram{},
+		CmdLatency:      &CommandLatency{},
+		BatchSize:       &Histogram{},
 	}
+}
+
+// Reset zeroes every counter and histogram in the registry — the
+// operator-facing "stats reset" — while deliberately leaving Generation
+// alone: counters describe traffic, Generation describes which
+// incarnation of the stack is serving it, and a reset must not make a
+// twice-recovered stack look freshly built.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.Device.Reset()
+	r.Atlas.Reset()
+	r.Heap.Reset()
+	r.Map.Reset()
+	r.Server.Reset()
+	r.Recovery.Reset()
+	r.OpLatency.Reset()
+	r.RecoveryLatency.Reset()
+	r.CmdLatency.Reset()
+	r.BatchSize.Reset()
 }
 
 // Snapshot is a point-in-time copy of a registry's counters, keyed by
@@ -285,6 +389,9 @@ func (r *Registry) Walk(fn func(name string, value uint64)) {
 	fn("server_hits", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Hits }))
 	fn("server_sets", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Sets }))
 	fn("server_deletes", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Deletes }))
+	fn("server_batches", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Batches }))
+	fn("server_batched_ops", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.BatchedOps }))
+	fn("server_batch_fallbacks", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.BatchFallbacks }))
 	fn("recovery_count", fieldLoad(rec, func(r *RecoveryStats) *Counter { return &r.Recoveries }))
 	fn("recovery_entries_scanned", fieldLoad(rec, func(r *RecoveryStats) *Counter { return &r.EntriesScanned }))
 	fn("recovery_ocses", fieldLoad(rec, func(r *RecoveryStats) *Counter { return &r.OCSes }))

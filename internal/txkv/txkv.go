@@ -167,42 +167,40 @@ func (s *Store) Update(t *atlas.Thread, keys []uint64, fn func(tx *Txn) error) e
 		order = append(order, st)
 	}
 	sort.Ints(order)
-	for _, st := range order {
-		t.Lock(s.m.StripeMutex(st))
+	mus := make([]*atlas.Mutex, len(order))
+	for i, st := range order {
+		mus[i] = s.m.StripeMutex(st)
 	}
-	// Unlock in reverse order; the LAST unlock closes the OCS and
-	// commits.
-	defer func() {
-		for i := len(order) - 1; i >= 0; i-- {
-			t.Unlock(s.m.StripeMutex(order[i]))
-		}
-	}()
 
-	tx := &Txn{
-		s:        s,
-		t:        t,
-		declared: declared,
-		writes:   map[uint64]writeOp{},
-	}
-	if err := fn(tx); err != nil {
+	// Section holds every stripe for the duration of fn plus the apply
+	// phase; the final release closes the OCS and commits.
+	return t.Section(mus, func() error {
+		tx := &Txn{
+			s:        s,
+			t:        t,
+			declared: declared,
+			writes:   map[uint64]writeOp{},
+		}
+		if err := fn(tx); err != nil {
+			tx.done = true
+			return err // nothing applied; locks release with no stores made
+		}
 		tx.done = true
-		return err // nothing applied; locks release with no stores made
-	}
-	tx.done = true
-	// Apply the write set inside the OCS, in deterministic order.
-	for _, k := range tx.order {
-		op := tx.writes[k]
-		if op.del {
-			if _, err := s.m.DeleteLocked(t, k); err != nil {
+		// Apply the write set inside the OCS, in deterministic order.
+		for _, k := range tx.order {
+			op := tx.writes[k]
+			if op.del {
+				if _, err := s.m.DeleteLocked(t, k); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := s.m.PutLocked(t, k, op.val); err != nil {
 				return err
 			}
-			continue
 		}
-		if err := s.m.PutLocked(t, k, op.val); err != nil {
-			return err
-		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // View runs fn with shared access to the declared keys (same locking as

@@ -1,0 +1,94 @@
+#!/bin/sh
+# bench_diff.sh — compare the working tspbench report against a
+# baseline and flag throughput-ratio regressions per (profile, variant,
+# threads) cell. By default the baseline is the BENCH_tspbench.json
+# committed at HEAD, so the comparison is "this working tree vs the
+# last recorded run". The gate is SOFT: the script always exits 0
+# unless BENCH_DIFF_STRICT=1, because single-run cells on a shared
+# machine are noisy — the report is for eyes, the strict mode for
+# dedicated perf runs.
+#
+# Usage: bench_diff.sh [current.json] [baseline.json] [threshold_pct]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cur=${1:-BENCH_tspbench.json}
+base=${2:-}
+thresh=${3:-25}
+
+if [ ! -f "$cur" ]; then
+	echo "bench-diff: $cur not found (run make bench-json first); skipping"
+	exit 0
+fi
+
+cleanup=""
+if [ -z "$base" ]; then
+	if ! git cat-file -e "HEAD:BENCH_tspbench.json" 2>/dev/null; then
+		echo "bench-diff: no BENCH_tspbench.json committed at HEAD; skipping"
+		exit 0
+	fi
+	base=$(mktemp)
+	cleanup=$base
+	trap 'rm -f "$cleanup"' EXIT
+	git show HEAD:BENCH_tspbench.json >"$base"
+fi
+
+# Pull (profile, variant, threads) -> best_miter_per_sec out of the
+# pretty-printed JSON. Field order inside each cell follows the Go
+# struct (profile, variant, threads, ..., best_miter_per_sec), so a
+# line scanner is enough; no jq dependency.
+extract() {
+	awk '
+		/"profile":/  { split($0, q, "\""); p = q[4] }
+		/"variant":/  { split($0, q, "\""); v = q[4]; gsub(/ /, "_", v) }
+		/"threads":/  { split($0, a, /[:,]/); t = a[2]; gsub(/[ \t]/, "", t) }
+		/"best_miter_per_sec":/ {
+			split($0, a, /[:,]/); val = a[2]; gsub(/[ \t]/, "", val)
+			print p "/" v "/t" t, val
+		}
+	' "$1"
+}
+
+tb=$(mktemp) && tc=$(mktemp)
+trap 'rm -f "$tb" "$tc" $cleanup' EXIT
+extract "$base" >"$tb"
+extract "$cur" >"$tc"
+
+if [ ! -s "$tc" ]; then
+	echo "bench-diff: no throughput cells in $cur; skipping"
+	exit 0
+fi
+
+# Exit 10 from awk flags at least one regression; the table itself
+# goes to stdout either way.
+set +e
+awk -v thresh="$thresh" '
+	NR == FNR { base[$1] = $2; next }
+	{
+		if (!($1 in base)) { printf "new      %-42s %24.3f M/s\n", $1, $2; next }
+		b = base[$1] + 0; c = $2 + 0
+		if (b <= 0) next
+		pct = (c / b - 1) * 100
+		tag = "ok      "
+		if (pct < -thresh) { tag = "REGRESS "; bad++ }
+		else if (pct > thresh) tag = "improve "
+		printf "%s %-42s %10.3f -> %10.3f M/s  %+7.1f%%\n", tag, $1, b, c, pct
+	}
+	END { exit (bad > 0 ? 10 : 0) }
+' "$tb" "$tc"
+rc=$?
+set -e
+
+if [ "$rc" -eq 10 ]; then
+	echo "bench-diff: regression(s) beyond ${thresh}% vs baseline"
+	if [ "${BENCH_DIFF_STRICT:-0}" = "1" ]; then
+		exit 1
+	fi
+	echo "bench-diff: soft gate — not failing (set BENCH_DIFF_STRICT=1 to enforce)"
+elif [ "$rc" -ne 0 ]; then
+	echo "bench-diff: comparison failed (awk exit $rc); skipping"
+else
+	echo "bench-diff: no cell regressed more than ${thresh}%"
+fi
+exit 0

@@ -34,4 +34,10 @@ go test ./...
 echo "== telemetry coverage (covermode=atomic)"
 go test -covermode=atomic -cover ./internal/telemetry
 
+# Report-only perf gate: diff the working tspbench report (if any)
+# against the committed baseline. Never fails the check — single runs
+# are too noisy — but a regression prints loudly.
+echo "== bench-diff (soft gate)"
+sh scripts/bench_diff.sh || true
+
 echo "OK"
