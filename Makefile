@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: build test check bench-shards bench-json bench-telemetry bench-batch bench-diff
+.PHONY: build test check bench-shards bench-json bench-telemetry bench-batch bench-diff \
+	bench-repl bench-cacheserver-baseline demo-repl
 
 build:
 	$(GO) build ./...
@@ -35,6 +36,25 @@ bench-batch:
 # committed at HEAD; soft gate (report-only) unless BENCH_DIFF_STRICT=1.
 bench-diff:
 	sh scripts/bench_diff.sh
+
+# The replication overhead comparison: the pure-set workload with a
+# streaming in-process follower attached vs standalone. The On variant
+# also reports the ack-measured lag percentiles.
+bench-repl:
+	$(GO) test -run 'ZZZ' -bench 'SetsRepl' -cpu 8 -benchtime 50000x ./internal/cacheserver
+
+# Record the cacheserver go-bench baseline that bench-diff compares
+# ns/op against. Commit the refreshed BENCH_cacheserver.txt when the
+# numbers move for a known reason.
+bench-cacheserver-baseline:
+	$(GO) test -run 'ZZZ' -bench 'Sets|Msets|Mget8' -cpu 8 -benchtime 20000x \
+		./internal/cacheserver | tee BENCH_cacheserver.txt
+
+# The replication acceptance campaign: two real tspcached processes,
+# load, SIGKILL the primary, promote the follower, verify Equations 1
+# and 2 on the promoted copy. See cmd/repldemo.
+demo-repl:
+	$(GO) run ./cmd/repldemo
 
 # The telemetry overhead guard: counting on vs off at the device and map
 # layers must stay within a few percent.

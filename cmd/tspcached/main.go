@@ -31,6 +31,8 @@
 //	tspcached [-addr 127.0.0.1:11222] [-mode tsp|nontsp|off] [-shards 4]
 //	          [-conns 16] [-words 1048576] [-metrics-addr host:port]
 //	          [-batch-max 64] [-queue-depth 256]
+//	          [-repl-listen host:port | -replica-of host:port]
+//	          [-repl-window 4096]
 //
 // Each shard batches queued requests — from any connection — into one
 // Atlas critical section per drained group (up to -batch-max ops),
@@ -39,6 +41,21 @@
 // synchronous per-op path. -queue-depth bounds each shard's pending
 // queue; when it is full, requests degrade to the synchronous path
 // instead of waiting (the stats report the fallbacks).
+//
+// Replication (the preventive tier for site-disaster failure classes —
+// see internal/repl): -repl-listen makes this process a primary that
+// streams every committed batch group to connected followers;
+// -replica-of starts a read-only follower applying the stream from the
+// primary's replication listener, promotable over the wire with the
+// "promote" command after the primary's site is lost:
+//
+//	$ tspcached -addr 127.0.0.1:11222 -repl-listen 127.0.0.1:12222 &
+//	$ tspcached -addr 127.0.0.1:11223 -replica-of 127.0.0.1:12222 &
+//	$ printf 'set 1 100\r\nquit\r\n' | nc 127.0.0.1 11222
+//	$ kill -9 %1
+//	$ printf 'promote\r\nget 1\r\nquit\r\n' | nc 127.0.0.1 11223
+//	OK PROMOTED
+//	VALUE 1 100
 package main
 
 import (
@@ -59,6 +76,9 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "HTTP metrics listen address (Prometheus text at /metrics); empty disables")
 	batchMax := flag.Int("batch-max", 64, "max ops per batched critical section; 0 disables batching")
 	queueDepth := flag.Int("queue-depth", 256, "per-shard pending-request queue bound")
+	replListen := flag.String("repl-listen", "", "replication listen address: stream committed batches to followers (primary role); empty disables")
+	replicaOf := flag.String("replica-of", "", "primary's replication address: apply its stream read-only until promoted (follower role); empty disables")
+	replWindow := flag.Int("repl-window", 4096, "committed groups the replication log retains; reconnects beyond it trigger a snapshot transfer")
 	flag.Parse()
 
 	var m atlas.Mode
@@ -83,6 +103,9 @@ func main() {
 		cacheserver.WithMetricsAddr(*metricsAddr),
 		cacheserver.WithBatchMax(*batchMax),
 		cacheserver.WithQueueDepth(*queueDepth),
+		cacheserver.WithReplListen(*replListen),
+		cacheserver.WithReplicaOf(*replicaOf),
+		cacheserver.WithReplWindow(*replWindow),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -92,6 +115,12 @@ func main() {
 		srv.Addr(), m, srv.NumShards(), *conns)
 	if ma := srv.MetricsAddr(); ma != nil {
 		fmt.Printf("metrics at http://%s/metrics\n", ma)
+	}
+	if ra := srv.ReplAddr(); ra != nil {
+		fmt.Printf("replication: primary streaming on %s\n", ra)
+	}
+	if *replicaOf != "" {
+		fmt.Printf("replication: following %s (read-only until promote)\n", *replicaOf)
 	}
 	if err := srv.Serve(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -260,6 +260,12 @@ func (sh *shard) runBatch(reqs []*batchReq, nops int) {
 	sh.tel.BatchSize.ObserveValue(uint64(nops))
 	sh.tel.Server.Batches.Inc()
 	sh.tel.Server.BatchedOps.Add(uint64(nops))
+	// Replication tail: the batch just committed as one OCS becomes one
+	// replication log group. Still under the read lock, so a crash (and
+	// its generation bump) cannot land between commit and append.
+	if sh.replLog != nil {
+		sh.appendRepl(reqs)
+	}
 	sh.stripeScratch, sh.mutexScratch = stripes[:0], mus[:0]
 	sh.mu.RUnlock()
 	for _, r := range reqs {

@@ -214,6 +214,77 @@ func BenchmarkSetsUnbatchedShards1(b *testing.B) { benchmarkMutations(b, 1, 0) }
 func BenchmarkSetsUnbatchedShards4(b *testing.B) { benchmarkMutations(b, 4, 0) }
 func BenchmarkSetsUnbatchedShards8(b *testing.B) { benchmarkMutations(b, 8, 0) }
 
+// benchmarkSetsRepl measures the pure-set workload with the preventive
+// replication tier on or off. With replication on, an in-process
+// follower applies every committed group, and the primary pays the
+// tier's commit-path tax: every mutating group is forced through the
+// shard drain lock (so log order matches commit order) and appended to
+// the replication log under the shard read lock. The streaming and the
+// follower's own Atlas work happen off the measured path; the reported
+// lag quantiles show how far the copy trails.
+func benchmarkSetsRepl(b *testing.B, replicated bool) {
+	popts := []Option{
+		WithShards(4),
+		WithMaxConns(64),
+		WithDeviceWords(1 << 22),
+	}
+	if replicated {
+		popts = append(popts, WithReplListen("127.0.0.1:0"))
+	}
+	s, err := New(popts...)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	if replicated {
+		f, err := New(
+			WithReplicaOf(s.ReplAddr().String()),
+			WithShards(4),
+			WithMaxConns(64),
+			WithDeviceWords(1<<22),
+		)
+		if err != nil {
+			b.Fatalf("New follower: %v", err)
+		}
+		defer f.Close()
+	}
+
+	var gid atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cs := s.newConnState()
+		defer s.releaseConn(cs)
+		rng := gid.Add(1) * 0x9e3779b97f4a7c15
+		for pb.Next() {
+			rng += 0x9e3779b97f4a7c15
+			x := rng
+			x ^= x >> 30
+			x *= 0xbf58476d1ce4e5b9
+			x ^= x >> 27
+			x *= 0x94d049bb133111eb
+			x ^= x >> 31
+			k := x % (1 << 16)
+			if resp := s.dispatch(cs, fmt.Sprintf("set %d %d", k, rng)); resp != "STORED" {
+				b.Fatal(resp)
+			}
+		}
+	})
+	b.StopTimer()
+	v := s.aggregateViews()
+	b.ReportMetric(us(v.cmdLat[telemetry.CmdSet].Quantile(0.50)), "p50_us")
+	b.ReportMetric(us(v.cmdLat[telemetry.CmdSet].Quantile(0.95)), "p95_us")
+	if lag := s.replTel.LagSnapshot(); lag.Count() > 0 {
+		b.ReportMetric(us(lag.Quantile(0.50)), "lag_p50_us")
+		b.ReportMetric(us(lag.Quantile(0.95)), "lag_p95_us")
+	}
+}
+
+// The replication overhead comparison (make bench-repl): the same
+// workload, shapes, and concurrency, differing only in whether a
+// follower is streaming.
+func BenchmarkSetsReplOn(b *testing.B)  { benchmarkSetsRepl(b, true) }
+func BenchmarkSetsReplOff(b *testing.B) { benchmarkSetsRepl(b, false) }
+
 // BenchmarkMget8Keys measures the pipelined batch read: one request
 // fanned out across every shard concurrently.
 func BenchmarkMget8Keys(b *testing.B) {

@@ -94,5 +94,23 @@ func (s *Server) renderMetrics() string {
 	fmt.Fprintf(&b, "tsp_batch_size_ops_sum %d\n", v.batchSize.Sum)
 	fmt.Fprintf(&b, "tsp_batch_size_ops_count %d\n", v.batchSize.Count())
 
+	// Replication family: server-wide (streams span shards), so no
+	// shard label. The role gauge's value encodes nothing; the label
+	// carries the information, Prometheus-info-metric style.
+	if role := s.replRole(); role != "" {
+		b.WriteString("# TYPE tsp_repl_role gauge\n")
+		fmt.Fprintf(&b, "tsp_repl_role{role=%q} 1\n", role)
+		if s.replPrimary != nil {
+			b.WriteString("# TYPE tsp_repl_followers gauge\n")
+			fmt.Fprintf(&b, "tsp_repl_followers %d\n", s.replPrimary.Followers())
+		}
+		rs := s.replTel.Snapshot()
+		for _, name := range sortedKeys(rs) {
+			fmt.Fprintf(&b, "# TYPE tsp_%s counter\n", name)
+			fmt.Fprintf(&b, "tsp_%s %d\n", name, rs[name])
+		}
+		writeSummary("repl_lag_seconds", s.replTel.LagSnapshot())
+	}
+
 	return b.String()
 }

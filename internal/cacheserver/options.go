@@ -25,6 +25,9 @@ type config struct {
 	metricsAddr string // optional HTTP metrics endpoint; "" = disabled
 	batchMax    int    // max ops per drained batch group; 0 disables the pipeline
 	queueDepth  int    // per-shard pending-request queue bound
+	replListen  string // replication listener (primary role); "" = disabled
+	replicaOf   string // primary's replication address (follower role); "" = disabled
+	replWindow  int    // committed groups the replication log retains
 }
 
 func defaultConfig() config {
@@ -39,6 +42,7 @@ func defaultConfig() config {
 		perMutex:    256,
 		batchMax:    64,
 		queueDepth:  256,
+		replWindow:  4096,
 	}
 }
 
@@ -60,6 +64,12 @@ func (c config) validate() error {
 	}
 	if c.batchMax > 0 && c.queueDepth < 1 {
 		return fmt.Errorf("cacheserver: queue depth must be >= 1, got %d", c.queueDepth)
+	}
+	if c.replListen != "" && c.replicaOf != "" {
+		return fmt.Errorf("cacheserver: a server cannot be both primary (repl listen) and follower (replica of)")
+	}
+	if (c.replListen != "" || c.replicaOf != "") && c.replWindow < 1 {
+		return fmt.Errorf("cacheserver: repl window must be >= 1, got %d", c.replWindow)
 	}
 	return nil
 }
@@ -142,4 +152,32 @@ func WithBuckets(buckets, perMutex int) Option {
 		c.buckets = buckets
 		c.perMutex = perMutex
 	}
+}
+
+// WithReplListen makes the server a replication primary: it accepts
+// follower connections on addr (e.g. "127.0.0.1:0") and streams every
+// committed batch group to them (see internal/repl). Mutually exclusive
+// with WithReplicaOf. On a replicating primary every mutating group is
+// serialized through the shard's drain lock so the replication log
+// order matches commit order exactly.
+func WithReplListen(addr string) Option {
+	return func(c *config) { c.replListen = addr }
+}
+
+// WithReplicaOf makes the server a read-only follower of the primary
+// whose replication listener is at addr: it applies the streamed groups
+// through its own storage stacks and rejects client mutations until the
+// "promote" command severs replication — the site-disaster failover the
+// planner's prevention verdict calls for. Mutually exclusive with
+// WithReplListen.
+func WithReplicaOf(addr string) Option {
+	return func(c *config) { c.replicaOf = addr }
+}
+
+// WithReplWindow bounds how many committed groups the primary's
+// in-memory replication log retains (default 4096). A follower
+// reconnecting inside the window catches up by streaming; one behind it
+// receives a full snapshot transfer instead.
+func WithReplWindow(n int) Option {
+	return func(c *config) { c.replWindow = n }
 }

@@ -1,0 +1,266 @@
+package cacheserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+
+	"tsp/internal/repl"
+	"tsp/internal/telemetry"
+)
+
+// Replication integration (see internal/repl for the protocol and the
+// paper's prevention argument). The replication unit is the batch
+// pipeline's drained group: runBatch appends each committed group's
+// resolved effects to the log while still holding the shard read lock,
+// so a crash (which needs the write lock) can never separate an OCS
+// commit from its log entry. Order is made unambiguous by routing —
+// on a replicating primary every mutating group goes through the
+// shard's drain lock (the pipeline, or runGroupDirect when the
+// pipeline can't take it), never the synchronous path, so per shard
+// the log order IS the commit order, and keys never span shards, so
+// per-key order is total. Reads keep the synchronous fast path: they
+// produce no log entries.
+
+// replRole names the server's replication role for stats: "primary",
+// "follower", "promoted" (a follower after promote), or "" when
+// replication is not configured.
+func (s *Server) replRole() string {
+	switch {
+	case s.replPrimary != nil:
+		return "primary"
+	case s.replFollower == nil:
+		return ""
+	case s.readOnly.Load():
+		return "follower"
+	default:
+		return "promoted"
+	}
+}
+
+// ReplAddr returns the primary's replication listener address, or nil
+// when the server is not a replication primary.
+func (s *Server) ReplAddr() net.Addr {
+	if s.replPrimary == nil {
+		return nil
+	}
+	if a, err := net.ResolveTCPAddr("tcp", s.replPrimary.Addr()); err == nil {
+		return a
+	}
+	return nil
+}
+
+// ReadOnly reports whether the server currently rejects client
+// mutations (follower mode before promotion).
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
+
+// startReplication wires the configured replication role. Called by
+// New after the shards exist; the shard replLog fields are written
+// before any client traffic, and every later reader is ordered after
+// New by the connection accept (or, for the batch workers, by the
+// doorbell channel), so no lock is needed.
+func (s *Server) startReplication() error {
+	if s.cfg.replListen != "" {
+		s.replLog = repl.NewLog(s.cfg.replWindow)
+		for _, sh := range s.shards {
+			sh.replLog = s.replLog
+		}
+		p, err := repl.ListenPrimary(s.cfg.replListen, repl.PrimaryConfig{
+			Log:      s.replLog,
+			Snapshot: s.replSnapshot,
+			Tel:      s.replTel,
+		})
+		if err != nil {
+			s.replLog.Close()
+			return fmt.Errorf("cacheserver: %w", err)
+		}
+		s.replPrimary = p
+	}
+	if s.cfg.replicaOf != "" {
+		s.readOnly.Store(true)
+		s.replCS = s.newConnState()
+		f, err := repl.StartFollower(repl.FollowerConfig{
+			Addr:    s.cfg.replicaOf,
+			Applier: &replApplier{s: s, cs: s.replCS},
+			Tel:     s.replTel,
+		})
+		if err != nil {
+			return fmt.Errorf("cacheserver: %w", err)
+		}
+		s.replFollower = f
+	}
+	return nil
+}
+
+// closeReplication tears the replication role down. Called by Close
+// before the shard pipelines stop: the follower's applier and the
+// primary's snapshot callback both execute through the shards and must
+// be gone first.
+func (s *Server) closeReplication() {
+	if s.replFollower != nil {
+		s.replFollower.Stop()
+	}
+	if s.replPrimary != nil {
+		s.replPrimary.Close()
+	}
+	if s.replLog != nil {
+		s.replLog.Close()
+	}
+	if s.replCS != nil {
+		s.releaseConn(s.replCS)
+	}
+}
+
+// replSnapshot streams a full copy of every shard to a catching-up
+// follower. Each shard is copied under its write lock — the same full
+// quiescence the crash command uses, since Map.Range reads the device
+// directly — and released before the pairs go to the network, so the
+// pause per shard is the copy, not the transfer. The log position the
+// primary captured before calling this may trail the copied state;
+// that is safe because replicated ops are absolute and replay
+// converges.
+func (s *Server) replSnapshot(emit func([]repl.Pair) error) error {
+	for _, sh := range s.shards {
+		pairs, err := sh.pairs()
+		if err != nil {
+			return err
+		}
+		if err := emit(pairs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pairs copies the shard's live contents for a snapshot transfer.
+func (sh *shard) pairs() ([]repl.Pair, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]repl.Pair, 0, 1024)
+	sh.stk.Map.Range(func(k, v uint64) bool {
+		out = append(out, repl.Pair{Key: k, Val: v})
+		return true
+	})
+	return out, nil
+}
+
+// runGroupDirect executes a mutating group under the shard's drain
+// lock when the pipeline could not take it (disabled, oversized group,
+// or full queue). On a replicating primary this replaces the
+// synchronous fallback: commit order must match log append order, and
+// only the drain-lock holder has that guarantee. Oversized groups are
+// chunked to the batch bound (each chunk one OCS and one log group) —
+// the same atomicity the synchronous fallback offered, with the bound
+// keeping each section inside the undo-log ring.
+func (s *Server) runGroupDirect(sh *shard, ops []batchOp) {
+	chunk := sh.cfg.batchMax
+	if chunk < 1 {
+		chunk = 64
+	}
+	sh.combineMu.Lock()
+	sh.busy.Store(true)
+	for off := 0; off < len(ops); off += chunk {
+		end := off + chunk
+		if end > len(ops) {
+			end = len(ops)
+		}
+		req := &batchReq{ops: ops[off:end], done: make(chan struct{})}
+		sh.runBatch([]*batchReq{req}, end-off)
+	}
+	sh.busy.Store(false)
+	sh.combineMu.Unlock()
+}
+
+// appendRepl turns one drained batch's committed effects into a
+// replication log group: sets and resolved increments become absolute
+// sets, applied deletes become deletes, failed and read-only ops vanish.
+// Caller is runBatch, still under the shard read lock.
+func (sh *shard) appendRepl(reqs []*batchReq) {
+	var rops []repl.Op
+	for _, r := range reqs {
+		for i := range r.ops {
+			op := &r.ops[i]
+			if op.err != nil {
+				continue
+			}
+			switch op.kind {
+			case opSet:
+				rops = append(rops, repl.Op{Key: op.key, Val: op.arg})
+			case opIncr:
+				rops = append(rops, repl.Op{Key: op.key, Val: op.val})
+			case opDelete:
+				if op.ok {
+					rops = append(rops, repl.Op{Del: true, Key: op.key})
+				}
+			}
+		}
+	}
+	if len(rops) > 0 {
+		sh.replLog.Append(rops)
+	}
+}
+
+// replApplier applies the replication stream through the server's own
+// exec path — the same sharded stacks, Atlas critical sections and
+// telemetry clients use, labeled CmdRepl. All calls arrive from the
+// follower's single apply goroutine.
+type replApplier struct {
+	s  *Server
+	cs *connState
+}
+
+// applyOps converts replicated ops to batch ops and executes them.
+func (a *replApplier) applyOps(rops []repl.Op) error {
+	if len(rops) == 0 {
+		return nil
+	}
+	ops := make([]batchOp, len(rops))
+	for i, r := range rops {
+		if r.Del {
+			ops[i] = batchOp{kind: opDelete, key: r.Key}
+		} else {
+			ops[i] = batchOp{kind: opSet, key: r.Key, arg: r.Val}
+		}
+	}
+	a.s.exec(a.cs, telemetry.CmdRepl, ops)
+	errs := make([]error, 0, 1)
+	for i := range ops {
+		if ops[i].err != nil {
+			errs = append(errs, ops[i].err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Wipe deletes every local key so an incoming snapshot replaces the
+// follower's state rather than merging with it.
+func (a *replApplier) Wipe() error {
+	for _, sh := range a.s.shards {
+		pairs, err := sh.pairs()
+		if err != nil {
+			return err
+		}
+		dels := make([]repl.Op, len(pairs))
+		for i, p := range pairs {
+			dels[i] = repl.Op{Del: true, Key: p.Key}
+		}
+		if err := a.applyOps(dels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyPairs installs one snapshot chunk as absolute sets.
+func (a *replApplier) ApplyPairs(pairs []repl.Pair) error {
+	sets := make([]repl.Op, len(pairs))
+	for i, p := range pairs {
+		sets[i] = repl.Op{Key: p.Key, Val: p.Val}
+	}
+	return a.applyOps(sets)
+}
+
+// ApplyGroup applies one committed group in commit order.
+func (a *replApplier) ApplyGroup(ops []repl.Op) error {
+	return a.applyOps(ops)
+}

@@ -25,7 +25,15 @@
 //	stats reset              -> zeroes counters and histograms; RESET
 //	crash                    -> power-fails and recovers every shard; OK RECOVERED
 //	crash <shard>            -> power-fails and recovers one shard; OK RECOVERED SHARD <n>
+//	promote                  -> severs replication on a follower; OK PROMOTED
 //	quit                     -> closes the connection
+//
+// A server can additionally run as a replication primary (streaming
+// every committed batch group to followers) or as a read-only follower
+// of such a primary — the preventive tier for site-disaster failure
+// classes; see repl.go and internal/repl. A follower rejects mutations
+// (and the crash command, whose state shedding would silently diverge
+// the copy) until promoted.
 //
 // Execution is batched per shard (see batch.go): each shard's worker
 // drains every request group already queued — from any connection —
@@ -41,6 +49,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -48,6 +57,7 @@ import (
 	"time"
 
 	"tsp/internal/atlas"
+	"tsp/internal/repl"
 	"tsp/internal/telemetry"
 )
 
@@ -71,6 +81,18 @@ type Server struct {
 	// metrics is the optional Prometheus-style HTTP endpoint (see
 	// metrics.go); nil unless WithMetricsAddr was given.
 	metrics *metricsServer
+
+	// Replication state (see repl.go). replLog and replPrimary are set
+	// on a primary (WithReplListen); replFollower and replCS on a
+	// follower (WithReplicaOf); replTel always exists so stats can
+	// record unconditionally. readOnly gates client mutations while the
+	// follower replicates; the promote command clears it.
+	replLog      *repl.Log
+	replPrimary  *repl.Primary
+	replFollower *repl.Follower
+	replCS       *connState
+	replTel      *telemetry.ReplStats
+	readOnly     atomic.Bool
 }
 
 // New builds the sharded storage stacks and starts listening. Call
@@ -84,10 +106,11 @@ func New(opts ...Option) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:    cfg,
-		shards: make([]*shard, cfg.shards),
-		sem:    make(chan struct{}, cfg.maxConns),
-		conns:  map[net.Conn]struct{}{},
+		cfg:     cfg,
+		shards:  make([]*shard, cfg.shards),
+		sem:     make(chan struct{}, cfg.maxConns),
+		conns:   map[net.Conn]struct{}{},
+		replTel: telemetry.NewReplStats(),
 	}
 	for i := range s.shards {
 		sh, err := newShard(i, cfg)
@@ -96,8 +119,12 @@ func New(opts ...Option) (*Server, error) {
 		}
 		s.shards[i] = sh
 	}
+	if err := s.startReplication(); err != nil {
+		return nil, err
+	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
+		s.closeReplication()
 		return nil, fmt.Errorf("cacheserver: %w", err)
 	}
 	s.ln = ln
@@ -105,6 +132,7 @@ func New(opts ...Option) (*Server, error) {
 		m, err := startMetrics(s, cfg.metricsAddr)
 		if err != nil {
 			ln.Close()
+			s.closeReplication()
 			return nil, err
 		}
 		s.metrics = m
@@ -212,8 +240,12 @@ func (s *Server) Close() error {
 	}
 	s.connMu.Unlock()
 	s.wg.Wait()
-	// All enqueuers are gone: handlers have exited and the acceptor is
-	// stopped, so the queues can close safely.
+	// The follower's applier and the primary's snapshot callback both
+	// execute through the shards, so replication must stop while the
+	// pipelines are still alive.
+	s.closeReplication()
+	// All enqueuers are gone: handlers have exited, the acceptor is
+	// stopped, and replication is down, so the queues can close safely.
 	for _, sh := range s.shards {
 		sh.closePipeline()
 	}
@@ -329,6 +361,21 @@ func (s *Server) execSync(cs *connState, sh *shard, ops []batchOp) {
 func (s *Server) exec(cs *connState, cmd telemetry.Command, ops []batchOp) {
 	start := time.Now()
 
+	// On a replicating primary every mutating group must be serialized
+	// through its shard's drain lock — the synchronous path would commit
+	// outside the replication log's order (and never append to it). The
+	// group is forced into the pipeline, or through runGroupDirect when
+	// the pipeline can't take it.
+	force := false
+	if s.replLog != nil {
+		for i := range ops {
+			if ops[i].kind != opGet {
+				force = true
+				break
+			}
+		}
+	}
+
 	// Fast path: everything on one shard (always true for single-key
 	// commands and single-shard servers) — no group copies needed.
 	oneShard := s.shardOf(ops[0].key)
@@ -341,10 +388,11 @@ func (s *Server) exec(cs *connState, cmd telemetry.Command, ops []batchOp) {
 	}
 	if !multi {
 		var req *batchReq
-		if len(ops) > 1 || oneShard.pipelineActive() {
+		if force || len(ops) > 1 || oneShard.pipelineActive() {
 			req = s.tryEnqueue(oneShard, ops)
 		}
-		if req != nil {
+		switch {
+		case req != nil:
 			// Combining first: if the drain lock is free this goroutine
 			// executes its own batch (plus anything queued alongside)
 			// with no handoff; only a contended drain wakes the worker.
@@ -352,7 +400,9 @@ func (s *Server) exec(cs *connState, cmd telemetry.Command, ops []batchOp) {
 				oneShard.ringDoorbell()
 				<-req.done
 			}
-		} else {
+		case force:
+			s.runGroupDirect(oneShard, ops)
+		default:
 			s.execSync(cs, oneShard, ops)
 		}
 		oneShard.tel.CmdLatency.Observe(cmd, time.Since(start))
@@ -380,7 +430,7 @@ func (s *Server) exec(cs *connState, cmd telemetry.Command, ops []batchOp) {
 		for j, i := range idxs {
 			g.ops[j] = ops[i]
 		}
-		if len(g.ops) > 1 || g.sh.pipelineActive() {
+		if force || len(g.ops) > 1 || g.sh.pipelineActive() {
 			g.req = s.tryEnqueue(g.sh, g.ops)
 		}
 		if g.req == nil {
@@ -390,13 +440,18 @@ func (s *Server) exec(cs *connState, cmd telemetry.Command, ops []batchOp) {
 	}
 	// Synchronous groups run one goroutine per shard, like the old
 	// fan-out; distinct shards mean distinct connState slots, so the
-	// goroutines share nothing mutable.
+	// goroutines share nothing mutable. Forced groups the pipeline
+	// rejected keep the drain-lock ordering via runGroupDirect.
 	var wg sync.WaitGroup
 	for _, g := range syncGroups {
 		wg.Add(1)
 		go func(g *group) {
 			defer wg.Done()
-			s.execSync(cs, g.sh, g.ops)
+			if force {
+				s.runGroupDirect(g.sh, g.ops)
+			} else {
+				s.execSync(cs, g.sh, g.ops)
+			}
 		}(g)
 	}
 	// Combine each enqueued group in turn: every drain this goroutine
@@ -442,7 +497,27 @@ func (s *Server) dispatch(cs *connState, line string) string {
 
 	parse := func(a string) (uint64, error) { return strconv.ParseUint(a, 10, 64) }
 
+	// A replicating follower serves reads only: client mutations would
+	// diverge the copy from the primary's stream, and a local crash
+	// would shed replicated-but-buffered state while the follower's
+	// stream position says it was applied. Promote severs the stream
+	// and lifts the gate.
+	if s.readOnly.Load() {
+		switch cmd {
+		case "set", "incr", "delete", "mset", "crash":
+			return "SERVER_ERROR read-only replica (promote to enable writes)"
+		}
+	}
+
 	switch cmd {
+	case "promote":
+		if s.replFollower == nil {
+			return "CLIENT_ERROR not a replica"
+		}
+		s.replFollower.Stop()
+		s.readOnly.Store(false)
+		return "OK PROMOTED"
+
 	case "crash":
 		// Crash takes shard write locks itself and must not run under a
 		// read lock.
@@ -666,6 +741,7 @@ func (s *Server) statsReset() string {
 	for _, sh := range s.shards {
 		sh.tel.Reset()
 	}
+	s.replTel.Reset()
 	return "RESET"
 }
 
@@ -711,11 +787,45 @@ func (s *Server) statsAggregate() string {
 		fmt.Fprintf(&b, "STAT cmd_%s_p50_us %.1f\r\n", c, us(cl.Quantile(0.50)))
 		fmt.Fprintf(&b, "STAT cmd_%s_p99_us %.1f\r\n", c, us(cl.Quantile(0.99)))
 	}
+	if role := s.replRole(); role != "" {
+		fmt.Fprintf(&b, "STAT repl_role %s\r\n", role)
+		if s.replPrimary != nil {
+			fmt.Fprintf(&b, "STAT repl_followers %d\r\n", s.replPrimary.Followers())
+			gen, seq := s.replLog.Position()
+			fmt.Fprintf(&b, "STAT repl_log_gen %d\r\n", gen)
+			fmt.Fprintf(&b, "STAT repl_log_seq %d\r\n", seq)
+		}
+		if s.replFollower != nil {
+			gen, seq := s.replFollower.Position()
+			fmt.Fprintf(&b, "STAT repl_pos_gen %d\r\n", gen)
+			fmt.Fprintf(&b, "STAT repl_pos_seq %d\r\n", seq)
+		}
+		rs := s.replTel.Snapshot()
+		for _, name := range sortedKeys(rs) {
+			fmt.Fprintf(&b, "STAT %s %d\r\n", name, rs[name])
+		}
+		if lag := s.replTel.LagSnapshot(); lag.Count() > 0 {
+			fmt.Fprintf(&b, "STAT repl_lag_count %d\r\n", lag.Count())
+			fmt.Fprintf(&b, "STAT repl_lag_p50_us %.1f\r\n", us(lag.Quantile(0.50)))
+			fmt.Fprintf(&b, "STAT repl_lag_p95_us %.1f\r\n", us(lag.Quantile(0.95)))
+			fmt.Fprintf(&b, "STAT repl_lag_p99_us %.1f\r\n", us(lag.Quantile(0.99)))
+		}
+	}
 	for _, name := range agg.Names() {
 		fmt.Fprintf(&b, "STAT %s %d\r\n", name, agg[name])
 	}
 	b.WriteString("END")
 	return b.String()
+}
+
+// sortedKeys renders a counter map deterministically.
+func sortedKeys(m map[string]uint64) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // statsShards renders one line per shard: the historical per-shard

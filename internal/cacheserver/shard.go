@@ -8,6 +8,7 @@ import (
 
 	"tsp/internal/atlas"
 	"tsp/internal/nvm"
+	"tsp/internal/repl"
 	"tsp/internal/stack"
 	"tsp/internal/telemetry"
 )
@@ -60,6 +61,13 @@ type shard struct {
 	pendingScratch []*batchReq
 	stripeScratch  []int
 	mutexScratch   []*atlas.Mutex
+
+	// replLog, when non-nil (primary role), receives every drained
+	// batch's committed effects as one replication group; runBatch
+	// appends under the shard read lock so a crash can never separate a
+	// commit from its log entry. Written once before traffic (see
+	// Server.startReplication).
+	replLog *repl.Log
 }
 
 func newShard(idx int, c config) (*shard, error) {
@@ -75,9 +83,10 @@ func newShard(idx int, c config) (*shard, error) {
 	stk, err := stack.New(
 		stack.WithDeviceWords(c.deviceWords),
 		stack.WithMode(c.mode),
-		// One thread slot per admitted connection plus one for the
-		// shard's batch worker.
-		stack.WithMaxThreads(c.maxConns+1),
+		// One thread slot per admitted connection, one for the shard's
+		// batch worker, and one for the replication applier a follower
+		// runs.
+		stack.WithMaxThreads(c.maxConns+2),
 		stack.WithLogEntries(logEntries),
 		stack.WithBuckets(c.buckets, c.perMutex),
 		stack.WithTelemetry(tel),
@@ -148,6 +157,13 @@ func (sh *shard) crashAndRecover() error {
 	sh.stk = ns
 	sh.gen.Add(1)
 	sh.tel.RecoveryLatency.Observe(time.Since(start))
+	// The rebuilt state shed whatever the crash caught un-persisted, so
+	// "snapshot + suffix of the replication log" no longer describes
+	// this server: move followers to a fresh generation, which re-seeds
+	// them with a full snapshot.
+	if sh.replLog != nil {
+		sh.replLog.Bump()
+	}
 	return nil
 }
 

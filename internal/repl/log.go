@@ -1,0 +1,215 @@
+package repl
+
+import (
+	"sync"
+	"time"
+)
+
+// NextStatus reports how a Log.Next call resolved.
+type NextStatus int
+
+// Next outcomes.
+const (
+	// NextOK means the requested group was returned.
+	NextOK NextStatus = iota
+	// NextSnapshot means the requested position has fallen behind the
+	// retained window or belongs to an older generation; the caller must
+	// take a full snapshot and resume from its position.
+	NextSnapshot
+	// NextClosed means the log has been closed and no further groups
+	// will be appended.
+	NextClosed
+)
+
+// entry is one retained group plus the wall-clock instant it was
+// appended, which the primary uses to compute replication lag when the
+// follower's ack for it arrives.
+type entry struct {
+	group Group
+	at    time.Time
+}
+
+// Log is the primary's bounded in-memory replication log: a ring of the
+// most recently committed groups, keyed by (generation, sequence).
+// Sequence numbers start at 1 and increase by one per appended group
+// within a generation. The generation is seeded from the wall clock at
+// construction — so positions from a previous primary life can never
+// alias into this one — and is bumped, with the retained window
+// discarded, whenever the primary's state can no longer be described
+// as "the snapshot plus a suffix of this log", e.g. after a primary
+// shard crash-reattach rebuilds state from NVM and sheds buffered
+// (not-yet-persistent) batches. A follower positioned on any other
+// generation, or behind the window's first retained sequence, is told
+// to re-snapshot.
+//
+// Appends never block: when the ring is full the oldest entry is
+// evicted, shrinking the window. Readers block in Next until the
+// requested sequence is appended, the window moves past them, the
+// generation changes, or the log closes.
+type Log struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ring   []entry
+	gen    uint64
+	first  uint64 // seq of the oldest retained entry; first > last means empty
+	next   uint64 // seq the next appended group will receive
+	closed bool
+}
+
+// NewLog returns an empty log retaining at most window groups.
+// A window below 1 is raised to 1.
+func NewLog(window int) *Log {
+	if window < 1 {
+		window = 1
+	}
+	l := &Log{
+		ring:  make([]entry, 0, window),
+		gen:   uint64(time.Now().UnixNano()),
+		first: 1,
+		next:  1,
+	}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Gen returns the current generation.
+func (l *Log) Gen() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
+
+// Position returns the current (generation, last assigned sequence);
+// the sequence is 0 when nothing has been appended this generation.
+func (l *Log) Position() (gen, seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen, l.next - 1
+}
+
+// First returns the sequence of the oldest retained group, or 0 when
+// the window is empty.
+func (l *Log) First() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.first >= l.next {
+		return 0
+	}
+	return l.first
+}
+
+// Append assigns the next sequence number to ops, retains the group in
+// the window (evicting the oldest group if full), and wakes blocked
+// readers. It returns the assigned sequence. Appending an empty group
+// is a no-op returning the last assigned sequence.
+func (l *Log) Append(ops []Op) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(ops) == 0 || l.closed {
+		return l.next - 1
+	}
+	seq := l.next
+	l.next++
+	e := entry{group: Group{Seq: seq, Ops: ops}, at: time.Now()}
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+	} else {
+		// Ring full: the slot for seq is the one the evicted oldest
+		// occupied (seq-1 ≡ first-1 mod cap when next-first == cap).
+		l.ring[int(seq-1)%cap(l.ring)] = e
+		l.first++
+	}
+	l.cond.Broadcast()
+	return seq
+}
+
+// Get returns the group at seq in the current generation if retained.
+func (l *Log) Get(gen, seq uint64) (Group, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if gen != l.gen || seq < l.first || seq >= l.next {
+		return Group{}, false
+	}
+	return l.entryAt(seq).group, true
+}
+
+// AppendTime returns the wall-clock instant the group at seq was
+// appended, if it is still retained in the current generation. The
+// primary uses it to turn a follower's ack into a lag sample.
+func (l *Log) AppendTime(gen, seq uint64) (time.Time, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if gen != l.gen || seq < l.first || seq >= l.next {
+		return time.Time{}, false
+	}
+	return l.entryAt(seq).at, true
+}
+
+// entryAt indexes the ring; caller holds mu and has bounds-checked seq.
+// The group with sequence s always lives at slot (s-1) mod cap: while
+// filling, first stays 1 so append lands seq s at index s-1; once full,
+// eviction writes each new seq into exactly that slot.
+func (l *Log) entryAt(seq uint64) *entry {
+	return &l.ring[int(seq-1)%cap(l.ring)]
+}
+
+// Next blocks until the group following (gen, seq) is available and
+// returns it. It resolves to NextSnapshot when the caller's position is
+// on another generation or has fallen behind the retained window, and
+// to NextClosed when the log closes or the optional cancelled
+// predicate reports true after a Wake (a per-reader cancellation the
+// Primary uses to shut down streamers without closing the shared log).
+func (l *Log) Next(gen, seq uint64, cancelled func() bool) (Group, NextStatus) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.closed || (cancelled != nil && cancelled()) {
+			return Group{}, NextClosed
+		}
+		if gen != l.gen {
+			return Group{}, NextSnapshot
+		}
+		want := seq + 1
+		if want < l.first {
+			return Group{}, NextSnapshot
+		}
+		if want < l.next {
+			return l.entryAt(want).group, NextOK
+		}
+		l.cond.Wait()
+	}
+}
+
+// Bump discards the retained window and moves to the next generation,
+// waking blocked readers so their streams re-snapshot. The primary
+// calls it when a shard crash-reattach makes the live state diverge
+// from "snapshot + log suffix" (buffered batches are shed on crash).
+func (l *Log) Bump() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.gen++
+	l.ring = l.ring[:0]
+	l.first = 1
+	l.next = 1
+	l.cond.Broadcast()
+}
+
+// Wake broadcasts to blocked Next callers so they re-evaluate their
+// cancelled predicate; the log's own state is untouched.
+func (l *Log) Wake() {
+	l.mu.Lock()
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Close wakes all blocked readers with NextClosed and makes further
+// appends no-ops.
+func (l *Log) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.cond.Broadcast()
+}

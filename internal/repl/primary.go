@@ -1,0 +1,243 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsp/internal/telemetry"
+)
+
+// snapshotChunkPairs bounds how many pairs the primary packs into one
+// FrameSnapshotChunk.
+const snapshotChunkPairs = 4096
+
+// PrimaryConfig configures a replication listener.
+type PrimaryConfig struct {
+	// Log is the bounded replication log the serving process appends
+	// committed groups to. Required.
+	Log *Log
+	// Snapshot streams a full copy of the current state as batches of
+	// pairs through emit, returning emit's error if any. The primary
+	// captures the log position immediately before calling it; because
+	// replicated ops are absolute, the copy may safely include effects
+	// committed after that position — replaying them is idempotent.
+	// Required.
+	Snapshot func(emit func([]Pair) error) error
+	// Tel receives the replication counters and lag histogram. Optional
+	// (nil-safe).
+	Tel *telemetry.ReplStats
+	// Logf, when set, receives human-readable connection events.
+	Logf func(format string, args ...any)
+}
+
+// Primary accepts follower connections and streams the replication log
+// to each, serving a full snapshot first whenever a follower's position
+// is unusable (wrong generation, behind the retained window, or from a
+// previous primary life).
+type Primary struct {
+	cfg       PrimaryConfig
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closing   atomic.Bool
+	followers atomic.Int64
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// ListenPrimary starts accepting followers on addr (":0" picks a port).
+func ListenPrimary(addr string, cfg PrimaryConfig) (*Primary, error) {
+	if cfg.Log == nil || cfg.Snapshot == nil {
+		return nil, fmt.Errorf("repl: PrimaryConfig needs Log and Snapshot")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Tel == nil {
+		cfg.Tel = telemetry.NewReplStats()
+	}
+	p := &Primary{cfg: cfg, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the listener's address, for followers to dial.
+func (p *Primary) Addr() string { return p.ln.Addr().String() }
+
+// Followers returns the number of currently connected followers.
+func (p *Primary) Followers() int { return int(p.followers.Load()) }
+
+// Close stops accepting, severs follower connections, and waits for the
+// per-connection goroutines to drain. It does not close the Log; the
+// owner does that (closing the Log also unblocks streamers).
+func (p *Primary) Close() {
+	if !p.closing.CompareAndSwap(false, true) {
+		return
+	}
+	p.ln.Close()
+	p.connMu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.connMu.Unlock()
+	// Streamers parked in Log.Next re-check the closing flag on wake.
+	p.cfg.Log.Wake()
+	p.wg.Wait()
+}
+
+func (p *Primary) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+func (p *Primary) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.connMu.Lock()
+		if p.closing.Load() {
+			p.connMu.Unlock()
+			conn.Close()
+			return
+		}
+		p.conns[conn] = struct{}{}
+		p.connMu.Unlock()
+		p.wg.Add(1)
+		go p.serveFollower(conn)
+	}
+}
+
+// serveFollower drives one follower: handshake, then a loop of
+// snapshot-if-needed and group streaming. A second goroutine drains the
+// follower's acks and turns them into lag samples.
+func (p *Primary) serveFollower(conn net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		conn.Close()
+		p.connMu.Lock()
+		delete(p.conns, conn)
+		p.connMu.Unlock()
+	}()
+
+	r := bufio.NewReader(conn)
+	payload, err := readFrame(r)
+	if err != nil || len(payload) == 0 || payload[0] != FrameHello {
+		p.logf("repl: follower %s: bad handshake", conn.RemoteAddr())
+		return
+	}
+	gen, seq, err := decodeHello(payload)
+	if err != nil {
+		p.logf("repl: follower %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	p.followers.Add(1)
+	defer p.followers.Add(-1)
+	p.logf("repl: follower %s connected at gen %d seq %d", conn.RemoteAddr(), gen, seq)
+
+	// The streamer below is the connection's only writer; the ack
+	// goroutine only reads, so no write lock is needed between them.
+	// Close the connection before waiting so the ack reader's blocked
+	// read is severed when the streamer exits first (e.g. log closed).
+	ackDone := make(chan struct{})
+	go p.readAcks(r, ackDone)
+	defer func() {
+		conn.Close()
+		<-ackDone
+	}()
+
+	w := bufio.NewWriter(conn)
+	for {
+		g, st := p.cfg.Log.Next(gen, seq, p.closing.Load)
+		switch st {
+		case NextClosed:
+			return
+		case NextSnapshot:
+			ngen, nseq, err := p.sendSnapshot(w)
+			if err != nil {
+				p.logf("repl: follower %s: snapshot: %v", conn.RemoteAddr(), err)
+				return
+			}
+			gen, seq = ngen, nseq
+		case NextOK:
+			if err := writeFrame(w, encodeGroup(g)); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+			p.cfg.Tel.GroupsStreamed.Inc()
+			p.cfg.Tel.OpsStreamed.Add(uint64(len(g.Ops)))
+			seq = g.Seq
+		}
+	}
+}
+
+// sendSnapshot streams a full state transfer and returns the position
+// the follower should resume streaming from.
+func (p *Primary) sendSnapshot(w *bufio.Writer) (gen, seq uint64, err error) {
+	gen, seq = p.cfg.Log.Position()
+	if err := writeFrame(w, encodeSnapshotBegin(gen, seq)); err != nil {
+		return 0, 0, err
+	}
+	var keys uint64
+	emit := func(pairs []Pair) error {
+		for len(pairs) > 0 {
+			n := len(pairs)
+			if n > snapshotChunkPairs {
+				n = snapshotChunkPairs
+			}
+			if err := writeFrame(w, encodeSnapshotChunk(pairs[:n])); err != nil {
+				return err
+			}
+			keys += uint64(n)
+			pairs = pairs[n:]
+		}
+		return nil
+	}
+	if err := p.cfg.Snapshot(emit); err != nil {
+		return 0, 0, err
+	}
+	if err := writeFrame(w, []byte{FrameSnapshotEnd}); err != nil {
+		return 0, 0, err
+	}
+	if err := w.Flush(); err != nil {
+		return 0, 0, err
+	}
+	p.cfg.Tel.Snapshots.Inc()
+	p.cfg.Tel.SnapshotKeys.Add(keys)
+	return gen, seq, nil
+}
+
+// readAcks drains the follower's cumulative acks, converting each into
+// a replication-lag sample when the acked group is still retained.
+func (p *Primary) readAcks(r io.Reader, done chan<- struct{}) {
+	defer close(done)
+	for {
+		payload, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		if len(payload) == 0 || payload[0] != FrameAck {
+			return
+		}
+		seq, err := decodeAck(payload)
+		if err != nil {
+			return
+		}
+		p.cfg.Tel.AcksReceived.Inc()
+		if at, ok := p.cfg.Log.AppendTime(p.cfg.Log.Gen(), seq); ok {
+			p.cfg.Tel.Lag.ObserveValue(uint64(time.Since(at).Nanoseconds()))
+		}
+	}
+}

@@ -1,0 +1,481 @@
+package repl
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tsp/internal/telemetry"
+)
+
+// source is the primary-side authoritative state the tests stream from:
+// a map mutated in lockstep with log appends, exactly how the cache
+// server appends each committed batch group.
+type source struct {
+	mu  sync.Mutex
+	m   map[uint64]uint64
+	log *Log
+}
+
+func newSource(window int) *source {
+	return &source{m: make(map[uint64]uint64), log: NewLog(window)}
+}
+
+// apply mutates the state and appends the group to the log.
+func (s *source) apply(ops ...Op) {
+	s.mu.Lock()
+	for _, op := range ops {
+		if op.Del {
+			delete(s.m, op.Key)
+		} else {
+			s.m[op.Key] = op.Val
+		}
+	}
+	s.mu.Unlock()
+	s.log.Append(ops)
+}
+
+// snapshot emits the current state, as the primary's Snapshot callback.
+func (s *source) snapshot(emit func([]Pair) error) error {
+	s.mu.Lock()
+	pairs := make([]Pair, 0, len(s.m))
+	for k, v := range s.m {
+		pairs = append(pairs, Pair{Key: k, Val: v})
+	}
+	s.mu.Unlock()
+	return emit(pairs)
+}
+
+// copyState returns a copy of the authoritative map.
+func (s *source) copyState() map[uint64]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uint64]uint64, len(s.m))
+	for k, v := range s.m {
+		out[k] = v
+	}
+	return out
+}
+
+// fakeApplier is an in-memory follower state; failPairs makes the next
+// N ApplyPairs calls fail to simulate a snapshot transfer dying midway.
+type fakeApplier struct {
+	mu        sync.Mutex
+	m         map[uint64]uint64
+	failPairs atomic.Int32
+}
+
+func newFakeApplier() *fakeApplier {
+	return &fakeApplier{m: make(map[uint64]uint64)}
+}
+
+func (a *fakeApplier) Wipe() error {
+	a.mu.Lock()
+	a.m = make(map[uint64]uint64)
+	a.mu.Unlock()
+	return nil
+}
+
+func (a *fakeApplier) ApplyPairs(pairs []Pair) error {
+	if a.failPairs.Load() > 0 {
+		a.failPairs.Add(-1)
+		return errFailInjected
+	}
+	a.mu.Lock()
+	for _, p := range pairs {
+		a.m[p.Key] = p.Val
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+func (a *fakeApplier) ApplyGroup(ops []Op) error {
+	a.mu.Lock()
+	for _, op := range ops {
+		if op.Del {
+			delete(a.m, op.Key)
+		} else {
+			a.m[op.Key] = op.Val
+		}
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+func (a *fakeApplier) copyState() map[uint64]uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[uint64]uint64, len(a.m))
+	for k, v := range a.m {
+		out[k] = v
+	}
+	return out
+}
+
+var errFailInjected = &injectedError{}
+
+type injectedError struct{}
+
+func (*injectedError) Error() string { return "injected failure" }
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// sameState compares two maps.
+func sameState(a, b map[uint64]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func startPrimary(t *testing.T, src *source, tel *telemetry.ReplStats) *Primary {
+	t.Helper()
+	p, err := ListenPrimary("127.0.0.1:0", PrimaryConfig{
+		Log:      src.log,
+		Snapshot: src.snapshot,
+		Tel:      tel,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("ListenPrimary: %v", err)
+	}
+	return p
+}
+
+func startFollower(t *testing.T, addr string, app Applier, tel *telemetry.ReplStats) *Follower {
+	t.Helper()
+	f, err := StartFollower(FollowerConfig{Addr: addr, Applier: app, Tel: tel, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("StartFollower: %v", err)
+	}
+	return f
+}
+
+// TestStreamBasic drives groups through a live stream and checks the
+// follower converges, acks flow back, and lag samples land.
+func TestStreamBasic(t *testing.T) {
+	src := newSource(1024)
+	ptel := telemetry.NewReplStats()
+	ftel := telemetry.NewReplStats()
+	p := startPrimary(t, src, ptel)
+	defer p.Close()
+	defer src.log.Close()
+
+	src.apply(Op{Key: 1, Val: 10}, Op{Key: 2, Val: 20})
+	app := newFakeApplier()
+	f := startFollower(t, p.Addr(), app, ftel)
+	defer f.Stop()
+
+	src.apply(Op{Key: 3, Val: 30})
+	src.apply(Op{Key: 1, Val: 11}, Op{Del: true, Key: 2})
+
+	waitFor(t, "follower convergence", func() bool {
+		return sameState(src.copyState(), app.copyState())
+	})
+	waitFor(t, "follower position", func() bool {
+		gen, seq := f.Position()
+		lgen, lseq := src.log.Position()
+		return gen == lgen && seq == lseq
+	})
+	waitFor(t, "acks and lag samples", func() bool {
+		return ptel.AcksReceived.Load() > 0 && ptel.LagSnapshot().Count() > 0
+	})
+	if got := ptel.Snapshots.Load(); got != 1 {
+		t.Fatalf("snapshots served = %d, want 1 (initial transfer only)", got)
+	}
+	if p.Followers() != 1 {
+		t.Fatalf("followers = %d, want 1", p.Followers())
+	}
+}
+
+// TestReconnectInsideWindow severs the stream by restarting the
+// primary's listener; the follower's position is still inside the log
+// window, so catch-up must stream groups without a second snapshot.
+func TestReconnectInsideWindow(t *testing.T) {
+	src := newSource(1024)
+	ptel := telemetry.NewReplStats()
+	p := startPrimary(t, src, ptel)
+	addr := p.Addr()
+	defer src.log.Close()
+
+	app := newFakeApplier()
+	ftel := telemetry.NewReplStats()
+	f := startFollower(t, addr, app, ftel)
+	defer f.Stop()
+
+	for i := uint64(0); i < 5; i++ {
+		src.apply(Op{Key: i, Val: i * 100})
+	}
+	waitFor(t, "initial convergence", func() bool {
+		return sameState(src.copyState(), app.copyState())
+	})
+
+	p.Close()
+	// Groups committed while the follower is disconnected; the window
+	// (1024) comfortably retains them.
+	for i := uint64(5); i < 10; i++ {
+		src.apply(Op{Key: i, Val: i * 100})
+	}
+	p2, err := ListenPrimary(addr, PrimaryConfig{Log: src.log, Snapshot: src.snapshot, Tel: ptel, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("restart primary: %v", err)
+	}
+	defer p2.Close()
+
+	waitFor(t, "catch-up convergence", func() bool {
+		return sameState(src.copyState(), app.copyState())
+	})
+	if got := ptel.Snapshots.Load(); got != 1 {
+		t.Fatalf("snapshots served = %d, want 1 (catch-up inside window must stream)", got)
+	}
+	if ftel.Reconnects.Load() == 0 {
+		t.Fatal("expected at least one reconnect")
+	}
+}
+
+// TestReconnectBeyondWindow does the same but with a tiny window the
+// disconnected-time commits overrun, forcing a full state transfer.
+func TestReconnectBeyondWindow(t *testing.T) {
+	src := newSource(4)
+	ptel := telemetry.NewReplStats()
+	p := startPrimary(t, src, ptel)
+	addr := p.Addr()
+	defer src.log.Close()
+
+	app := newFakeApplier()
+	f := startFollower(t, addr, app, telemetry.NewReplStats())
+	defer f.Stop()
+
+	src.apply(Op{Key: 1, Val: 1})
+	waitFor(t, "initial convergence", func() bool {
+		return sameState(src.copyState(), app.copyState())
+	})
+
+	p.Close()
+	// 20 groups through a window of 4: the follower's position falls
+	// behind First(), so reconnect must be answered with a snapshot.
+	for i := uint64(0); i < 20; i++ {
+		src.apply(Op{Key: i, Val: i + 1000})
+	}
+	p2, err := ListenPrimary(addr, PrimaryConfig{Log: src.log, Snapshot: src.snapshot, Tel: ptel, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("restart primary: %v", err)
+	}
+	defer p2.Close()
+
+	waitFor(t, "post-snapshot convergence", func() bool {
+		return sameState(src.copyState(), app.copyState())
+	})
+	if got := ptel.Snapshots.Load(); got != 2 {
+		t.Fatalf("snapshots served = %d, want 2 (initial + beyond-window catch-up)", got)
+	}
+}
+
+// TestGenerationMismatch bumps the log generation mid-stream — the
+// cache server does this after a primary shard CrashReattach — and
+// checks the connected follower is re-seeded with a snapshot in place.
+func TestGenerationMismatch(t *testing.T) {
+	src := newSource(1024)
+	ptel := telemetry.NewReplStats()
+	ftel := telemetry.NewReplStats()
+	p := startPrimary(t, src, ptel)
+	defer p.Close()
+	defer src.log.Close()
+
+	app := newFakeApplier()
+	f := startFollower(t, p.Addr(), app, ftel)
+	defer f.Stop()
+
+	src.apply(Op{Key: 7, Val: 70})
+	waitFor(t, "initial convergence", func() bool {
+		return sameState(src.copyState(), app.copyState())
+	})
+	oldGen, _ := f.Position()
+
+	// Simulated primary crash: shed a buffered group (it never reached
+	// NVM), rebuild, bump. The follower must converge to the post-crash
+	// state, not the shed one.
+	src.mu.Lock()
+	src.m[8] = 80
+	src.mu.Unlock()
+	src.log.Bump()
+	src.apply(Op{Key: 9, Val: 90})
+
+	waitFor(t, "post-bump convergence", func() bool {
+		return sameState(src.copyState(), app.copyState())
+	})
+	waitFor(t, "new generation adopted", func() bool {
+		gen, _ := f.Position()
+		return gen == src.log.Gen() && gen != oldGen
+	})
+	if got := ptel.Snapshots.Load(); got != 2 {
+		t.Fatalf("snapshots served = %d, want 2 (initial + post-bump)", got)
+	}
+	if ftel.SnapshotsLoaded.Load() != 2 {
+		t.Fatalf("snapshots loaded = %d, want 2", ftel.SnapshotsLoaded.Load())
+	}
+}
+
+// TestSnapshotInterrupted fails the first snapshot install midway (as
+// if the follower crashed during transfer): the position must stay
+// invalid so the retry is answered with a fresh, complete snapshot.
+func TestSnapshotInterrupted(t *testing.T) {
+	src := newSource(1024)
+	ptel := telemetry.NewReplStats()
+	ftel := telemetry.NewReplStats()
+	p := startPrimary(t, src, ptel)
+	defer p.Close()
+	defer src.log.Close()
+
+	for i := uint64(0); i < 8; i++ {
+		src.apply(Op{Key: i, Val: i})
+	}
+
+	app := newFakeApplier()
+	app.failPairs.Store(1)
+	f := startFollower(t, p.Addr(), app, ftel)
+	defer f.Stop()
+
+	waitFor(t, "convergence after interrupted snapshot", func() bool {
+		return sameState(src.copyState(), app.copyState())
+	})
+	gen, _ := f.Position()
+	if gen == 0 {
+		t.Fatal("follower position still invalid after successful retry")
+	}
+	if ftel.Reconnects.Load() == 0 {
+		t.Fatal("expected a reconnect after the injected snapshot failure")
+	}
+	if got := ptel.Snapshots.Load(); got < 2 {
+		t.Fatalf("snapshots served = %d, want >= 2 (failed attempt + retry)", got)
+	}
+	if got := ftel.SnapshotsLoaded.Load(); got != 1 {
+		t.Fatalf("snapshots loaded = %d, want 1 (only the complete transfer commits)", got)
+	}
+}
+
+// TestLogWindow exercises the ring bookkeeping directly.
+func TestLogWindow(t *testing.T) {
+	l := NewLog(4)
+	defer l.Close()
+	gen := l.Gen()
+	for i := uint64(1); i <= 10; i++ {
+		if seq := l.Append([]Op{{Key: i}}); seq != i {
+			t.Fatalf("append %d assigned seq %d", i, seq)
+		}
+	}
+	if first := l.First(); first != 7 {
+		t.Fatalf("First() = %d, want 7 (window of 4 ending at 10)", first)
+	}
+	if _, ok := l.Get(gen, 6); ok {
+		t.Fatal("seq 6 should have been evicted")
+	}
+	for i := uint64(7); i <= 10; i++ {
+		g, ok := l.Get(gen, i)
+		if !ok || g.Seq != i || g.Ops[0].Key != i {
+			t.Fatalf("Get(%d) = %+v ok=%v", i, g, ok)
+		}
+	}
+	// A reader behind the window is told to snapshot; one inside it
+	// advances; one on a foreign generation is told to snapshot.
+	if _, st := l.Next(gen, 3, nil); st != NextSnapshot {
+		t.Fatalf("Next behind window = %v, want NextSnapshot", st)
+	}
+	if g, st := l.Next(gen, 7, nil); st != NextOK || g.Seq != 8 {
+		t.Fatalf("Next(7) = %+v %v, want seq 8", g, st)
+	}
+	if _, st := l.Next(gen+999, 10, nil); st != NextSnapshot {
+		t.Fatalf("Next on foreign gen = %v, want NextSnapshot", st)
+	}
+
+	l.Bump()
+	if l.Gen() != gen+1 {
+		t.Fatalf("Bump: gen = %d, want %d", l.Gen(), gen+1)
+	}
+	if l.First() != 0 {
+		t.Fatalf("Bump: First() = %d, want 0 (empty window)", l.First())
+	}
+	if seq := l.Append([]Op{{Key: 1}}); seq != 1 {
+		t.Fatalf("post-bump append assigned seq %d, want 1", seq)
+	}
+}
+
+// TestLogNextBlocksAndCloseUnblocks checks the blocking handoff.
+func TestLogNextBlocksAndCloseUnblocks(t *testing.T) {
+	l := NewLog(8)
+	gen := l.Gen()
+	got := make(chan Group, 1)
+	go func() {
+		g, st := l.Next(gen, 0, nil)
+		if st == NextOK {
+			got <- g
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Append([]Op{{Key: 42, Val: 1}})
+	select {
+	case g := <-got:
+		if g.Seq != 1 || g.Ops[0].Key != 42 {
+			t.Fatalf("blocked Next returned %+v", g)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not wake on Append")
+	}
+
+	closed := make(chan NextStatus, 1)
+	go func() {
+		_, st := l.Next(gen, 1, nil)
+		closed <- st
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case st := <-closed:
+		if st != NextClosed {
+			t.Fatalf("Next after Close = %v, want NextClosed", st)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not wake on Close")
+	}
+}
+
+// TestWireRoundTrip round-trips every frame type through the codec.
+func TestWireRoundTrip(t *testing.T) {
+	g := Group{Seq: 99, Ops: []Op{{Key: 1, Val: 2}, {Del: true, Key: 3}}}
+	dg, err := decodeGroup(encodeGroup(g))
+	if err != nil || dg.Seq != 99 || len(dg.Ops) != 2 || dg.Ops[1].Del != true || dg.Ops[0].Val != 2 {
+		t.Fatalf("group round-trip: %+v err=%v", dg, err)
+	}
+	hg, hs, err := decodeHello(encodeHello(5, 6))
+	if err != nil || hg != 5 || hs != 6 {
+		t.Fatalf("hello round-trip: %d %d err=%v", hg, hs, err)
+	}
+	if _, _, err := decodeHello(encodeSnapshotBegin(1, 2)); err == nil {
+		t.Fatal("hello decode accepted a frame without the magic")
+	}
+	pairs, err := decodeSnapshotChunk(encodeSnapshotChunk([]Pair{{Key: 8, Val: 9}}))
+	if err != nil || len(pairs) != 1 || pairs[0].Val != 9 {
+		t.Fatalf("chunk round-trip: %+v err=%v", pairs, err)
+	}
+	seq, err := decodeAck(encodeAck(1234))
+	if err != nil || seq != 1234 {
+		t.Fatalf("ack round-trip: %d err=%v", seq, err)
+	}
+}

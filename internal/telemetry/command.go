@@ -16,10 +16,15 @@ const (
 	CmdDelete
 	CmdMGet
 	CmdMSet
+	// CmdRepl labels operations a follower applies from its replication
+	// stream — the same exec path as client commands, attributed
+	// separately so replica apply cost never masquerades as client
+	// traffic.
+	CmdRepl
 
 	// NumCommands bounds the enum; CommandLatency sizes its histogram
 	// array with it.
-	NumCommands = int(CmdMSet) + 1
+	NumCommands = int(CmdRepl) + 1
 )
 
 // String returns the wire-protocol spelling of the command.
@@ -37,6 +42,8 @@ func (c Command) String() string {
 		return "mget"
 	case CmdMSet:
 		return "mset"
+	case CmdRepl:
+		return "repl"
 	default:
 		return "unknown"
 	}
@@ -45,7 +52,7 @@ func (c Command) String() string {
 // Commands lists every command in enum order, for deterministic
 // rendering of per-command surfaces.
 func Commands() []Command {
-	return []Command{CmdGet, CmdSet, CmdIncr, CmdDelete, CmdMGet, CmdMSet}
+	return []Command{CmdGet, CmdSet, CmdIncr, CmdDelete, CmdMGet, CmdMSet, CmdRepl}
 }
 
 // CommandLatency is a bundle of per-command latency histograms, one

@@ -6,7 +6,7 @@ import (
 )
 
 func TestCommandStrings(t *testing.T) {
-	want := []string{"get", "set", "incr", "delete", "mget", "mset"}
+	want := []string{"get", "set", "incr", "delete", "mget", "mset", "repl"}
 	cmds := Commands()
 	if len(cmds) != NumCommands {
 		t.Fatalf("Commands() returned %d entries, want %d", len(cmds), NumCommands)

@@ -1,0 +1,81 @@
+package telemetry
+
+// ReplStats aggregates the replication tier's counters and the
+// ack-driven lag histogram. Unlike the per-stack Registry sections it
+// is server-wide — replication streams span shards — so the cache
+// server owns one instance and folds it into `stats` output and the
+// Prometheus endpoint itself. All methods are nil-receiver safe, like
+// the rest of the package, so code paths can record unconditionally.
+type ReplStats struct {
+	// GroupsStreamed counts committed groups sent to followers.
+	GroupsStreamed Counter
+	// OpsStreamed counts individual ops inside streamed groups.
+	OpsStreamed Counter
+	// AcksReceived counts cumulative acks received from followers.
+	AcksReceived Counter
+	// Snapshots counts full state transfers served by the primary.
+	Snapshots Counter
+	// SnapshotKeys counts key/value pairs sent in state transfers.
+	SnapshotKeys Counter
+	// GroupsApplied counts groups a follower applied locally.
+	GroupsApplied Counter
+	// OpsApplied counts ops a follower applied locally.
+	OpsApplied Counter
+	// SnapshotsLoaded counts full state transfers a follower installed.
+	SnapshotsLoaded Counter
+	// Reconnects counts follower dial attempts after the first.
+	Reconnects Counter
+	// Lag is the primary's ack-driven replication lag distribution:
+	// time from a group's commit (log append) to its cumulative ack.
+	Lag Histogram
+}
+
+// NewReplStats returns a zeroed bundle.
+func NewReplStats() *ReplStats {
+	return &ReplStats{}
+}
+
+// Reset zeroes every counter and the lag histogram.
+func (r *ReplStats) Reset() {
+	if r == nil {
+		return
+	}
+	r.GroupsStreamed.Reset()
+	r.OpsStreamed.Reset()
+	r.AcksReceived.Reset()
+	r.Snapshots.Reset()
+	r.SnapshotKeys.Reset()
+	r.GroupsApplied.Reset()
+	r.OpsApplied.Reset()
+	r.SnapshotsLoaded.Reset()
+	r.Reconnects.Reset()
+	r.Lag.Reset()
+}
+
+// Snapshot returns the counters under their canonical repl_* names.
+// The lag histogram is exposed separately via LagSnapshot so callers
+// can render quantiles.
+func (r *ReplStats) Snapshot() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	return map[string]uint64{
+		"repl_groups_streamed":  r.GroupsStreamed.Load(),
+		"repl_ops_streamed":     r.OpsStreamed.Load(),
+		"repl_acks_received":    r.AcksReceived.Load(),
+		"repl_snapshots":        r.Snapshots.Load(),
+		"repl_snapshot_keys":    r.SnapshotKeys.Load(),
+		"repl_groups_applied":   r.GroupsApplied.Load(),
+		"repl_ops_applied":      r.OpsApplied.Load(),
+		"repl_snapshots_loaded": r.SnapshotsLoaded.Load(),
+		"repl_reconnects":       r.Reconnects.Load(),
+	}
+}
+
+// LagSnapshot returns a point-in-time copy of the lag histogram.
+func (r *ReplStats) LagSnapshot() HistogramSnapshot {
+	if r == nil {
+		return HistogramSnapshot{}
+	}
+	return r.Lag.Snapshot()
+}

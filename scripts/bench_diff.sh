@@ -1,12 +1,19 @@
 #!/bin/sh
-# bench_diff.sh — compare the working tspbench report against a
-# baseline and flag throughput-ratio regressions per (profile, variant,
-# threads) cell. By default the baseline is the BENCH_tspbench.json
-# committed at HEAD, so the comparison is "this working tree vs the
-# last recorded run". The gate is SOFT: the script always exits 0
-# unless BENCH_DIFF_STRICT=1, because single-run cells on a shared
-# machine are noisy — the report is for eyes, the strict mode for
-# dedicated perf runs.
+# bench_diff.sh — compare the working benchmark reports against their
+# committed baselines and flag regressions. Two suites are covered:
+#
+#   1. The tspbench Table-1 report (BENCH_tspbench.json): per
+#      (profile, variant, threads) cell, throughput in Miter/s —
+#      higher is better.
+#   2. The cacheserver go-bench suite (BENCH_cacheserver.txt, from
+#      make bench-cacheserver-baseline): per benchmark, ns/op —
+#      lower is better.
+#
+# By default each baseline is the file committed at HEAD, so the
+# comparison is "this working tree vs the last recorded run". The gate
+# is SOFT: the script always exits 0 unless BENCH_DIFF_STRICT=1,
+# because single-run cells on a shared machine are noisy — the report
+# is for eyes, the strict mode for dedicated perf runs.
 #
 # Usage: bench_diff.sh [current.json] [baseline.json] [threshold_pct]
 set -eu
@@ -17,8 +24,53 @@ cur=${1:-BENCH_tspbench.json}
 base=${2:-}
 thresh=${3:-25}
 
+regressed=0
+
+# --- suite 2: cacheserver go-bench ns/op ---------------------------
+# Runs first so a missing tspbench report doesn't skip it. Pulls
+# "BenchmarkName-N <iters> <val> ns/op ..." lines out of the text
+# report; the sign convention is inverted vs throughput (ns/op going UP
+# is the regression).
+gob=BENCH_cacheserver.txt
+if [ -f "$gob" ] && git cat-file -e "HEAD:$gob" 2>/dev/null; then
+	gbase=$(mktemp)
+	git show "HEAD:$gob" >"$gbase"
+	extract_ns() {
+		awk '/ns\/op/ {
+			for (i = 1; i <= NF; i++) if ($i == "ns/op") print $1, $(i-1)
+		}' "$1"
+	}
+	tgb=$(mktemp) && tgc=$(mktemp)
+	extract_ns "$gbase" >"$tgb"
+	extract_ns "$gob" >"$tgc"
+	echo "bench-diff: cacheserver suite (ns/op, lower is better)"
+	set +e
+	awk -v thresh="$thresh" '
+		NR == FNR { base[$1] = $2; next }
+		{
+			if (!($1 in base)) { printf "new      %-42s %20.0f ns/op\n", $1, $2; next }
+			b = base[$1] + 0; c = $2 + 0
+			if (b <= 0) next
+			pct = (c / b - 1) * 100
+			tag = "ok      "
+			if (pct > thresh) { tag = "REGRESS "; bad++ }
+			else if (pct < -thresh) tag = "improve "
+			printf "%s %-42s %10.0f -> %10.0f ns/op  %+7.1f%%\n", tag, $1, b, c, pct
+		}
+		END { exit (bad > 0 ? 10 : 0) }
+	' "$tgb" "$tgc"
+	[ $? -eq 10 ] && regressed=1
+	set -e
+	rm -f "$gbase" "$tgb" "$tgc"
+else
+	echo "bench-diff: no committed $gob baseline; skipping cacheserver suite"
+fi
+
 if [ ! -f "$cur" ]; then
-	echo "bench-diff: $cur not found (run make bench-json first); skipping"
+	echo "bench-diff: $cur not found (run make bench-json first); skipping tspbench suite"
+	if [ "$regressed" -eq 1 ] && [ "${BENCH_DIFF_STRICT:-0}" = "1" ]; then
+		exit 1
+	fi
 	exit 0
 fi
 
@@ -62,6 +114,7 @@ fi
 
 # Exit 10 from awk flags at least one regression; the table itself
 # goes to stdout either way.
+echo "bench-diff: tspbench suite (Miter/s, higher is better)"
 set +e
 awk -v thresh="$thresh" '
 	NR == FNR { base[$1] = $2; next }
@@ -81,13 +134,17 @@ rc=$?
 set -e
 
 if [ "$rc" -eq 10 ]; then
+	regressed=1
+elif [ "$rc" -ne 0 ]; then
+	echo "bench-diff: tspbench comparison failed (awk exit $rc); skipping"
+fi
+
+if [ "$regressed" -eq 1 ]; then
 	echo "bench-diff: regression(s) beyond ${thresh}% vs baseline"
 	if [ "${BENCH_DIFF_STRICT:-0}" = "1" ]; then
 		exit 1
 	fi
 	echo "bench-diff: soft gate — not failing (set BENCH_DIFF_STRICT=1 to enforce)"
-elif [ "$rc" -ne 0 ]; then
-	echo "bench-diff: comparison failed (awk exit $rc); skipping"
 else
 	echo "bench-diff: no cell regressed more than ${thresh}%"
 fi

@@ -22,11 +22,30 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race (server + harness + stack)"
-go test -race ./internal/cacheserver ./internal/harness ./internal/stack
+echo "== go test -race (server + repl + harness + stack)"
+go test -race ./internal/cacheserver ./internal/repl ./internal/harness ./internal/stack
 
 echo "== go test ./... (everything else, no race)"
 go test ./...
+
+# The replication package is the repo's only wire protocol and the one
+# other repos would import first: every exported identifier must carry
+# a doc comment. go vet checks comment FORM; this catches absence,
+# which vet does not. Test files are exempt — the gate is about the
+# importable API surface.
+echo "== exported doc comments (internal/repl)"
+undocumented=$(ls internal/repl/*.go | grep -v '_test\.go$' | xargs awk '
+	FNR == 1 { prev = "" }
+	/^func [A-Z]/ || /^func \([^)]*\) [A-Z]/ || /^type [A-Z]/ || /^const [A-Z]/ || /^var [A-Z]/ {
+		if (prev !~ /^\/\//) print FILENAME ":" FNR ": " $0
+	}
+	{ prev = $0 }
+')
+if [ -n "$undocumented" ]; then
+	echo "exported identifiers missing doc comments:" >&2
+	echo "$undocumented" >&2
+	exit 1
+fi
 
 # The telemetry package is the one layer every other layer calls into on
 # its hot path; keep its own coverage visible (and atomic-mode clean,
