@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test check bench-shards bench-json bench-telemetry bench-batch bench-diff \
-	bench-repl bench-cacheserver-baseline demo-repl
+	bench-repl bench-read bench-cacheserver-baseline demo-repl
 
 build:
 	$(GO) build ./...
@@ -43,11 +43,18 @@ bench-diff:
 bench-repl:
 	$(GO) test -run 'ZZZ' -bench 'SetsRepl' -cpu 8 -benchtime 50000x ./internal/cacheserver
 
+# The optimistic-read acceptance benchmark, at 8 concurrent clients:
+# pure-get scaling at 1/4/8 shards and the 90/10 get/set mix, seqlock
+# read path vs the locked one. Optimistic pure-get throughput must beat
+# locked by >= 1.5x, and the mix's get p50 must be no worse.
+bench-read:
+	$(GO) test -run 'ZZZ' -bench 'Gets(Optimistic|Locked)|ReadMix' -cpu 8 -benchtime 50000x ./internal/cacheserver
+
 # Record the cacheserver go-bench baseline that bench-diff compares
 # ns/op against. Commit the refreshed BENCH_cacheserver.txt when the
 # numbers move for a known reason.
 bench-cacheserver-baseline:
-	$(GO) test -run 'ZZZ' -bench 'Sets|Msets|Mget8' -cpu 8 -benchtime 20000x \
+	$(GO) test -run 'ZZZ' -bench 'Sets|Msets|Mget8|GetsOptimistic|GetsLocked|ReadMix' -cpu 8 -benchtime 20000x \
 		./internal/cacheserver | tee BENCH_cacheserver.txt
 
 # The replication acceptance campaign: two real tspcached processes,

@@ -7,6 +7,13 @@
 // paper's Section 5.1 workload against the primary over TCP: T writer
 // threads each looping "set c1,t = i; incr a random high key; set
 // c2,t = i". Every committed batch group streams to the follower.
+// Alongside the writers, -readers optimistic reader connections hammer
+// the c1 counters on the lock-free seqlock get path and assert each
+// counter only ever moves forward — the recovery-observer argument
+// exercised live: the readers take no Atlas mutex, so nothing they do
+// can perturb the persistence the invariants depend on, and the
+// primary's stats must show the reads really were served lock-free
+// (map_opt_gets > 0).
 // After the load window it captures the primary's replication stats —
 // follower count, groups streamed, and the ack-measured lag
 // percentiles — then delivers the disaster: SIGKILL to the primary,
@@ -29,7 +36,7 @@
 //
 // Usage (or just `make demo-repl`):
 //
-//	go run ./cmd/repldemo [-threads 8] [-high-keys 64] [-shards 4] [-load 2s]
+//	go run ./cmd/repldemo [-threads 8] [-readers 4] [-high-keys 64] [-shards 4] [-load 2s]
 //
 // Exits 0 when every check passes, 1 otherwise.
 package main
@@ -239,6 +246,7 @@ func startServer(bin, tag string, expectRepl bool, args ...string) (*proc, error
 
 func run() int {
 	threads := flag.Int("threads", 8, "writer threads (T in Equations 1 and 2)")
+	readers := flag.Int("readers", 4, "optimistic reader connections polling the c1 counters during load")
 	highKeys := flag.Int("high-keys", 64, "high keys (the H range Equation 2 sums)")
 	shards := flag.Int("shards", 4, "shards on both primary and follower")
 	load := flag.Duration("load", 2*time.Second, "load window before the site disaster")
@@ -262,7 +270,7 @@ func run() int {
 		return 1
 	}
 
-	conns := strconv.Itoa(*threads + 4)
+	conns := strconv.Itoa(*threads + *readers + 4)
 	nShards := strconv.Itoa(*shards)
 	primary, err := startServer(bin, "primary", true,
 		"-addr", "127.0.0.1:0", "-repl-listen", "127.0.0.1:0",
@@ -341,6 +349,45 @@ func run() int {
 		}(t)
 	}
 
+	// The lock-free observers: each reader polls the c1 counters on the
+	// optimistic get path. A writer only ever advances its c1, so any
+	// validated read that regresses is a torn or stale read escaping the
+	// seqlock validation.
+	var (
+		totalReads atomic.Uint64
+		readerFail atomic.Value // first violation message, if any
+	)
+	for r := 0; r < *readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			w, err := dialWire(primary.addr)
+			if err != nil {
+				return
+			}
+			defer w.close()
+			last := make([]uint64, *threads)
+			for t := 0; ; t = (t + 1) % *threads {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, err := getVal(w, harness.KeyC1(t))
+				if err != nil {
+					return // the primary is gone: the disaster landed
+				}
+				if v < last[t] {
+					readerFail.Store(fmt.Sprintf(
+						"reader %d: c1,%d regressed %d -> %d", r, t, last[t], v))
+					return
+				}
+				last[t] = v
+				totalReads.Add(1)
+			}
+		}(r)
+	}
+
 	time.Sleep(*load)
 
 	// The acceptance gate on the primary side: a connected follower and
@@ -351,7 +398,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "dial primary for stats: %v\n", err)
 		return 1
 	}
-	var lagP50, lagP95, lagP99, streamed string
+	var lagP50, lagP95, lagP99, streamed, optGets string
 	statsDeadline := time.Now().Add(15 * time.Second)
 	for {
 		lines, err := pstats.lines("stats")
@@ -364,6 +411,7 @@ func run() int {
 		lagP95, _ = stat(lines, "repl_lag_p95_us")
 		lagP99, _ = stat(lines, "repl_lag_p99_us")
 		streamed, _ = stat(lines, "repl_groups_streamed")
+		optGets, _ = stat(lines, "map_opt_gets")
 		if followers == "1" && lagP50 != "" {
 			break
 		}
@@ -375,8 +423,12 @@ func run() int {
 		time.Sleep(50 * time.Millisecond)
 	}
 	pstats.close()
-	fmt.Printf("primary before the kill: repl_groups_streamed=%s lag p50=%sus p95=%sus p99=%sus\n",
-		streamed, lagP50, lagP95, lagP99)
+	fmt.Printf("primary before the kill: repl_groups_streamed=%s lag p50=%sus p95=%sus p99=%sus map_opt_gets=%s\n",
+		streamed, lagP50, lagP95, lagP99, optGets)
+	if *readers > 0 && (optGets == "" || optGets == "0") {
+		fmt.Fprintln(os.Stderr, "FAIL: readers ran but the primary served no optimistic gets")
+		return 1
+	}
 
 	// The site disaster: SIGKILL, no shutdown path, no final flush. The
 	// writers see connection errors and wind down like killed clients.
@@ -386,7 +438,12 @@ func run() int {
 	primaryAlive = false
 	close(stop)
 	wg.Wait()
-	fmt.Printf("writers stopped after %d completed iterations\n", totalIters.Load())
+	fmt.Printf("writers stopped after %d completed iterations; readers validated %d lock-free reads\n",
+		totalIters.Load(), totalReads.Load())
+	if msg := readerFail.Load(); msg != nil {
+		fmt.Fprintf(os.Stderr, "FAIL: %s\n", msg)
+		return 1
+	}
 
 	fw, err := dialWire(follower.addr)
 	if err != nil {

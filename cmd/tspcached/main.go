@@ -30,7 +30,7 @@
 //
 //	tspcached [-addr 127.0.0.1:11222] [-mode tsp|nontsp|off] [-shards 4]
 //	          [-conns 16] [-words 1048576] [-metrics-addr host:port]
-//	          [-batch-max 64] [-queue-depth 256]
+//	          [-batch-max 64] [-queue-depth 256] [-optimistic-reads=true]
 //	          [-repl-listen host:port | -replica-of host:port]
 //	          [-repl-window 4096]
 //
@@ -41,6 +41,13 @@
 // synchronous per-op path. -queue-depth bounds each shard's pending
 // queue; when it is full, requests degrade to the synchronous path
 // instead of waiting (the stats report the fallbacks).
+//
+// Pure reads (get, and mget when every key validates) are served by a
+// lock-free seqlock path that takes no Atlas mutex and never enters the
+// batch pipeline — the paper's recovery-observer argument applied to
+// the hot path. -optimistic-reads=false routes every read through the
+// locked machinery instead (the pre-optimistic behavior, useful for
+// benchmarking the difference).
 //
 // Replication (the preventive tier for site-disaster failure classes —
 // see internal/repl): -repl-listen makes this process a primary that
@@ -76,6 +83,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "HTTP metrics listen address (Prometheus text at /metrics); empty disables")
 	batchMax := flag.Int("batch-max", 64, "max ops per batched critical section; 0 disables batching")
 	queueDepth := flag.Int("queue-depth", 256, "per-shard pending-request queue bound")
+	optimisticReads := flag.Bool("optimistic-reads", true, "serve pure reads on the lock-free seqlock path (no Atlas mutex, no batching)")
 	replListen := flag.String("repl-listen", "", "replication listen address: stream committed batches to followers (primary role); empty disables")
 	replicaOf := flag.String("replica-of", "", "primary's replication address: apply its stream read-only until promoted (follower role); empty disables")
 	replWindow := flag.Int("repl-window", 4096, "committed groups the replication log retains; reconnects beyond it trigger a snapshot transfer")
@@ -103,6 +111,7 @@ func main() {
 		cacheserver.WithMetricsAddr(*metricsAddr),
 		cacheserver.WithBatchMax(*batchMax),
 		cacheserver.WithQueueDepth(*queueDepth),
+		cacheserver.WithOptimisticReads(*optimisticReads),
 		cacheserver.WithReplListen(*replListen),
 		cacheserver.WithReplicaOf(*replicaOf),
 		cacheserver.WithReplWindow(*replWindow),

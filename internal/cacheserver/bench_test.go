@@ -15,6 +15,32 @@ import (
 // shard count is how much of it each stack holds.
 const resident = 1 << 18
 
+// preloadResident loads the resident key set with a few parallel loader
+// connections before measurement starts.
+func preloadResident(b *testing.B, s *Server) {
+	b.Helper()
+	const loaders = 8
+	var wg sync.WaitGroup
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			cs := s.newConnState()
+			defer s.releaseConn(cs)
+			for k := l; k < resident; k += loaders {
+				if resp := s.dispatch(cs, fmt.Sprintf("set %d 1", k)); resp != "STORED" {
+					b.Errorf("preload: %s", resp)
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	if b.Failed() {
+		b.FailNow()
+	}
+}
+
 // benchmarkShards measures the in-process command path (parse,
 // shard-route, locked map operation) over a large resident key set.
 // A shard is a fixed-size storage stack — one runtime, one
@@ -38,27 +64,7 @@ func benchmarkShards(b *testing.B, nShards int) {
 	}
 	defer s.Close()
 
-	// Preload the resident set with a few parallel loader connections.
-	const loaders = 8
-	var wg sync.WaitGroup
-	for l := 0; l < loaders; l++ {
-		wg.Add(1)
-		go func(l int) {
-			defer wg.Done()
-			cs := s.newConnState()
-			defer s.releaseConn(cs)
-			for k := l; k < resident; k += loaders {
-				if resp := s.dispatch(cs, fmt.Sprintf("set %d 1", k)); resp != "STORED" {
-					b.Errorf("preload: %s", resp)
-					return
-				}
-			}
-		}(l)
-	}
-	wg.Wait()
-	if b.Failed() {
-		b.FailNow()
-	}
+	preloadResident(b, s)
 
 	var gid atomic.Uint64
 	b.ResetTimer()
@@ -284,6 +290,124 @@ func benchmarkSetsRepl(b *testing.B, replicated bool) {
 // follower is streaming.
 func BenchmarkSetsReplOn(b *testing.B)  { benchmarkSetsRepl(b, true) }
 func BenchmarkSetsReplOff(b *testing.B) { benchmarkSetsRepl(b, false) }
+
+// benchmarkGets measures the pure-read command path over the resident
+// set: with optimistic reads on, every get is a seqlock-validated walk
+// — no Atlas mutex, no pipeline entry, no connState thread; with them
+// off it is the pre-optimistic locked path (stripe mutex per get).
+// The gap between the two is what the locked machinery charges a
+// workload that, by the recovery-observer argument, owes nothing
+// (run with -cpu 8: the lock-free path scales with readers, the
+// locked one serializes per stripe and runtime).
+func benchmarkGets(b *testing.B, nShards int, optimistic bool) {
+	s, err := New(
+		WithShards(nShards),
+		WithMaxConns(64),
+		WithDeviceWords(1<<22),
+		WithOptimisticReads(optimistic),
+	)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	preloadResident(b, s)
+
+	var gid atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cs := s.newConnState()
+		defer s.releaseConn(cs)
+		rng := gid.Add(1) * 0x9e3779b97f4a7c15
+		for pb.Next() {
+			rng += 0x9e3779b97f4a7c15
+			x := rng
+			x ^= x >> 30
+			x *= 0xbf58476d1ce4e5b9
+			x ^= x >> 27
+			x *= 0x94d049bb133111eb
+			x ^= x >> 31
+			k := x % resident
+			if resp := s.dispatch(cs, fmt.Sprintf("get %d", k)); len(resp) >= 12 && resp[:12] == "SERVER_ERROR" {
+				b.Fatal(resp)
+			}
+		}
+	})
+	b.StopTimer()
+	v := s.aggregateViews()
+	b.ReportMetric(us(v.cmdLat[telemetry.CmdGet].Quantile(0.50)), "p50_us")
+	b.ReportMetric(us(v.cmdLat[telemetry.CmdGet].Quantile(0.95)), "p95_us")
+}
+
+// The pure-get scaling comparison (make bench-read): identical workload
+// and concurrency, differing only in the read path.
+func BenchmarkGetsOptimisticShards1(b *testing.B) { benchmarkGets(b, 1, true) }
+func BenchmarkGetsOptimisticShards4(b *testing.B) { benchmarkGets(b, 4, true) }
+func BenchmarkGetsOptimisticShards8(b *testing.B) { benchmarkGets(b, 8, true) }
+func BenchmarkGetsLockedShards1(b *testing.B)     { benchmarkGets(b, 1, false) }
+func BenchmarkGetsLockedShards4(b *testing.B)     { benchmarkGets(b, 4, false) }
+func BenchmarkGetsLockedShards8(b *testing.B)     { benchmarkGets(b, 8, false) }
+
+// benchmarkReadMix measures the 90/10 get/set mix — the read-heavy
+// shape the optimistic path exists for, with enough writes that
+// readers actually collide with stripe critical sections and the
+// fallback machinery gets exercised on the measured path.
+func benchmarkReadMix(b *testing.B, nShards int, optimistic bool) {
+	s, err := New(
+		WithShards(nShards),
+		WithMaxConns(64),
+		WithDeviceWords(1<<22),
+		WithOptimisticReads(optimistic),
+	)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	preloadResident(b, s)
+
+	var gid atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cs := s.newConnState()
+		defer s.releaseConn(cs)
+		rng := gid.Add(1) * 0x9e3779b97f4a7c15
+		for pb.Next() {
+			rng += 0x9e3779b97f4a7c15
+			x := rng
+			x ^= x >> 30
+			x *= 0xbf58476d1ce4e5b9
+			x ^= x >> 27
+			x *= 0x94d049bb133111eb
+			x ^= x >> 31
+			k := x % resident
+			var resp string
+			if (x>>48)%10 == 0 { // 1 in 10: fortified overwrite
+				resp = s.dispatch(cs, fmt.Sprintf("set %d %d", k, rng))
+			} else { // 9 in 10: read
+				resp = s.dispatch(cs, fmt.Sprintf("get %d", k))
+			}
+			if len(resp) >= 12 && resp[:12] == "SERVER_ERROR" {
+				b.Fatal(resp)
+			}
+		}
+	})
+	b.StopTimer()
+	v := s.aggregateViews()
+	b.ReportMetric(us(v.cmdLat[telemetry.CmdGet].Quantile(0.50)), "get_p50_us")
+	b.ReportMetric(us(v.cmdLat[telemetry.CmdGet].Quantile(0.95)), "get_p95_us")
+	if optimistic {
+		agg := v.agg
+		if total := agg["map_opt_gets"] + agg["map_opt_fallbacks"]; total > 0 {
+			b.ReportMetric(float64(agg["map_opt_gets"])/float64(total), "opt_hit_rate")
+		}
+	}
+}
+
+func BenchmarkReadMixOptimisticShards1(b *testing.B) { benchmarkReadMix(b, 1, true) }
+func BenchmarkReadMixOptimisticShards4(b *testing.B) { benchmarkReadMix(b, 4, true) }
+func BenchmarkReadMixOptimisticShards8(b *testing.B) { benchmarkReadMix(b, 8, true) }
+func BenchmarkReadMixLockedShards1(b *testing.B)     { benchmarkReadMix(b, 1, false) }
+func BenchmarkReadMixLockedShards4(b *testing.B)     { benchmarkReadMix(b, 4, false) }
+func BenchmarkReadMixLockedShards8(b *testing.B)     { benchmarkReadMix(b, 8, false) }
 
 // BenchmarkMget8Keys measures the pipelined batch read: one request
 // fanned out across every shard concurrently.

@@ -78,6 +78,7 @@ func (s *Server) renderMetrics() string {
 	}
 	writeSummary("op_latency_seconds", v.opLat)
 	writeSummary("recovery_latency_seconds", v.recLat)
+	writeSummary("read_latency_seconds", v.readLat)
 	for _, c := range telemetry.Commands() {
 		if v.cmdLat[c].Count() == 0 {
 			continue

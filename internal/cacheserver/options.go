@@ -28,6 +28,8 @@ type config struct {
 	replListen  string // replication listener (primary role); "" = disabled
 	replicaOf   string // primary's replication address (follower role); "" = disabled
 	replWindow  int    // committed groups the replication log retains
+
+	optimisticReads bool // serve pure reads on the lock-free seqlock path
 }
 
 func defaultConfig() config {
@@ -43,6 +45,8 @@ func defaultConfig() config {
 		batchMax:    64,
 		queueDepth:  256,
 		replWindow:  4096,
+
+		optimisticReads: true,
 	}
 }
 
@@ -172,6 +176,17 @@ func WithReplListen(addr string) Option {
 // WithReplListen.
 func WithReplicaOf(addr string) Option {
 	return func(c *config) { c.replicaOf = addr }
+}
+
+// WithOptimisticReads toggles the lock-free read path (default true).
+// When enabled, get and the pure-read mget are served by seqlock-
+// validated optimistic reads that take no Atlas mutex and never enter
+// the batch pipeline — the paper's recovery-observer argument (readers
+// need zero persistence work) applied to the server's hot path. A read
+// that keeps colliding with writers falls back to the locked path, so
+// disabling the option only removes the fast path, never behavior.
+func WithOptimisticReads(on bool) Option {
+	return func(c *config) { c.optimisticReads = on }
 }
 
 // WithReplWindow bounds how many committed groups the primary's

@@ -473,8 +473,14 @@ func (s *Server) exec(cs *connState, cmd telemetry.Command, ops []batchOp) {
 		for j, i := range g.idxs {
 			ops[i] = g.ops[j]
 		}
-		g.sh.tel.CmdLatency.Observe(cmd, time.Since(start))
 	}
+	// One observation per command, not per touched shard: the groups ran
+	// concurrently, so the elapsed time measured after the barrier IS the
+	// service time on the slowest shard. (Per-shard op latency still
+	// lands in each shard's OpLatency above.) Hosting it on the first
+	// touched shard keeps aggregate counts right; a merged view does not
+	// care which shard held it.
+	groups[0].sh.tel.CmdLatency.Observe(cmd, time.Since(start))
 }
 
 // execOne runs a single-key command through the batch pipeline and
@@ -483,6 +489,44 @@ func (s *Server) execOne(cs *connState, cmd telemetry.Command, op batchOp) batch
 	ops := []batchOp{op}
 	s.exec(cs, cmd, ops)
 	return ops[0]
+}
+
+// getOptimistic serves a single get entirely on the lock-free path:
+// no Atlas mutex, no batch pipeline, no connState thread. It reports
+// served=false when the read's retry budget was exhausted (a writer
+// kept the stripe hot) and the caller must fall back to execOne — the
+// locked path is the fair queue under sustained writes.
+func (s *Server) getOptimistic(key uint64) (resp string, served bool) {
+	start := time.Now()
+	sh := s.shardOf(key)
+	val, ok, valid := sh.getOptimistic(key)
+	if !valid {
+		return "", false
+	}
+	el := time.Since(start)
+	sh.tel.ReadLatency.Observe(el)
+	sh.tel.CmdLatency.Observe(telemetry.CmdGet, el)
+	if !ok {
+		return "NOT_FOUND", true
+	}
+	return fmt.Sprintf("VALUE %d %d", key, val), true
+}
+
+// readOptimistic attempts to serve every (pure-get) op on the lock-free
+// path, filling results in place, and returns the indexes it could not
+// validate. Those — typically a contended minority — must re-run through
+// exec; nil means the whole command was served without a lock.
+func (s *Server) readOptimistic(ops []batchOp) (pending []int) {
+	for i := range ops {
+		sh := s.shardOf(ops[i].key)
+		val, ok, valid := sh.getOptimistic(ops[i].key)
+		if !valid {
+			pending = append(pending, i)
+			continue
+		}
+		ops[i].val, ops[i].ok = val, ok
+	}
+	return pending
 }
 
 // dispatch executes one command line and returns the response (possibly
@@ -562,6 +606,11 @@ func (s *Server) dispatch(cs *connState, line string) string {
 		k, err := parse(args[0])
 		if err != nil {
 			return "CLIENT_ERROR bad key"
+		}
+		if s.cfg.optimisticReads {
+			if resp, served := s.getOptimistic(k); served {
+				return resp
+			}
 		}
 		op := s.execOne(cs, telemetry.CmdGet, batchOp{kind: opGet, key: k})
 		switch {
@@ -648,14 +697,45 @@ func (s *Server) dispatch(cs *connState, line string) string {
 	}
 }
 
-// mget runs a multi-key read through the batch pipeline and reports
-// results in request order.
+// mget runs a multi-key read and reports results in request order. With
+// optimistic reads on, every key is first attempted on the lock-free
+// path; only the keys whose snapshots kept failing validation re-run
+// through the batch pipeline (a mixed-dispatch command stays exact: the
+// fallback subset takes the same exec machinery as before).
 func (s *Server) mget(cs *connState, keys []uint64) string {
+	start := time.Now()
 	ops := make([]batchOp, len(keys))
 	for i, k := range keys {
 		ops[i] = batchOp{kind: opGet, key: k}
 	}
+	if s.cfg.optimisticReads {
+		pending := s.readOptimistic(ops)
+		if pending == nil {
+			// The whole command completed without a lock: charge its
+			// service time to the lock-free distributions (hosted on the
+			// first key's shard; merged views don't care which).
+			el := time.Since(start)
+			sh := s.shardOf(keys[0])
+			sh.tel.ReadLatency.Observe(el)
+			sh.tel.CmdLatency.Observe(telemetry.CmdMGet, el)
+			return renderMget(ops)
+		}
+		sub := make([]batchOp, len(pending))
+		for j, i := range pending {
+			sub[j] = ops[i]
+		}
+		s.exec(cs, telemetry.CmdMGet, sub)
+		for j, i := range pending {
+			ops[i] = sub[j]
+		}
+		return renderMget(ops)
+	}
 	s.exec(cs, telemetry.CmdMGet, ops)
+	return renderMget(ops)
+}
+
+// renderMget renders an mget response from resolved ops.
+func renderMget(ops []batchOp) string {
 	lines := make([]string, len(ops)+1)
 	for i := range ops {
 		op := &ops[i]
@@ -714,6 +794,7 @@ type serverView struct {
 	agg       telemetry.Snapshot
 	opLat     telemetry.HistogramSnapshot
 	recLat    telemetry.HistogramSnapshot
+	readLat   telemetry.HistogramSnapshot
 	cmdLat    telemetry.CommandLatencySnapshot
 	batchSize telemetry.HistogramSnapshot
 }
@@ -727,6 +808,7 @@ func (s *Server) aggregateViews() serverView {
 		v.agg.Add(sv.counters)
 		v.opLat.Merge(sv.opLat)
 		v.recLat.Merge(sv.recLat)
+		v.readLat.Merge(sv.readLat)
 		v.cmdLat.Merge(sv.cmdLat)
 		v.batchSize.Merge(sv.batchSize)
 	}
@@ -775,6 +857,10 @@ func (s *Server) statsAggregate() string {
 	fmt.Fprintf(&b, "STAT op_p50_us %.1f\r\n", us(opLat.Quantile(0.50)))
 	fmt.Fprintf(&b, "STAT op_p95_us %.1f\r\n", us(opLat.Quantile(0.95)))
 	fmt.Fprintf(&b, "STAT op_p99_us %.1f\r\n", us(opLat.Quantile(0.99)))
+	fmt.Fprintf(&b, "STAT read_count %d\r\n", v.readLat.Count())
+	fmt.Fprintf(&b, "STAT read_p50_us %.1f\r\n", us(v.readLat.Quantile(0.50)))
+	fmt.Fprintf(&b, "STAT read_p95_us %.1f\r\n", us(v.readLat.Quantile(0.95)))
+	fmt.Fprintf(&b, "STAT read_p99_us %.1f\r\n", us(v.readLat.Quantile(0.99)))
 	fmt.Fprintf(&b, "STAT batch_count %d\r\n", v.batchSize.Count())
 	fmt.Fprintf(&b, "STAT batch_size_p50 %d\r\n", uint64(v.batchSize.Quantile(0.50)))
 	fmt.Fprintf(&b, "STAT batch_size_max %d\r\n", uint64(v.batchSize.Max()))

@@ -167,6 +167,26 @@ func (sh *shard) crashAndRecover() error {
 	return nil
 }
 
+// getOptimistic serves one get on the map's lock-free seqlock path. The
+// shard read lock held here is a plain Go RWMutex guarding the stack
+// pointer against a concurrent crash rebuild — it is not an Atlas mutex
+// and not the batch pipeline's drain lock, so optimistic readers never
+// contend with writers (only with recovery, exactly like every other
+// request). valid=false means the retry budget was exhausted and the
+// caller must re-run the read through the locked machinery.
+func (sh *shard) getOptimistic(key uint64) (val uint64, ok, valid bool) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	val, ok, valid = sh.stk.Map.GetOptimistic(key)
+	if valid {
+		sh.tel.Server.Gets.Inc()
+		if ok {
+			sh.tel.Server.Hits.Inc()
+		}
+	}
+	return val, ok, valid
+}
+
 // verify re-checks the shard's map invariants on a quiesced shard.
 func (sh *shard) verify() error {
 	sh.mu.Lock()
@@ -185,6 +205,7 @@ type shardView struct {
 	counters  telemetry.Snapshot
 	opLat     telemetry.HistogramSnapshot
 	recLat    telemetry.HistogramSnapshot
+	readLat   telemetry.HistogramSnapshot
 	cmdLat    telemetry.CommandLatencySnapshot
 	batchSize telemetry.HistogramSnapshot
 }
@@ -199,6 +220,7 @@ func (sh *shard) view() shardView {
 		counters:  sh.tel.Counters(),
 		opLat:     sh.tel.OpLatency.Snapshot(),
 		recLat:    sh.tel.RecoveryLatency.Snapshot(),
+		readLat:   sh.tel.ReadLatency.Snapshot(),
 		cmdLat:    sh.tel.CmdLatency.SnapshotAll(),
 		batchSize: sh.tel.BatchSize.Snapshot(),
 	}

@@ -19,6 +19,7 @@ package hashmap
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"tsp/internal/atlas"
 	"tsp/internal/nvm"
@@ -65,8 +66,20 @@ type Map struct {
 	nBuckets int
 	stride   int
 	mutexes  []*atlas.Mutex
+	seqs     []stripeSeq // one seqlock word per stripe, parallel to mutexes
 
 	tel *telemetry.MapStats // nil-safe; set via SetTelemetry
+}
+
+// stripeSeq is one stripe's sequence counter, padded to a cache line so
+// writers on neighbouring stripes don't false-share. The counter lives in
+// volatile Go memory, not the persistent heap: like the stripe mutexes it
+// is rebuilt on attach, so recovery starts every stripe quiescent (even)
+// and crash-consistency never depends on it. Odd means a writer is inside
+// the stripe's critical section.
+type stripeSeq struct {
+	v uint64
+	_ [56]byte
 }
 
 // SetTelemetry points the map's operation counters at a registry section
@@ -147,8 +160,21 @@ func attach(rt *atlas.Runtime, desc pheap.Ptr) (*Map, error) {
 	for i := range m.mutexes {
 		m.mutexes[i] = rt.NewMutex()
 	}
+	m.seqs = make([]stripeSeq, nMutexes)
 	return m, nil
 }
+
+// writeBegin/writeEnd bracket every mutation of reachable map state under
+// a stripe mutex: begin flips the stripe's sequence odd before the first
+// visible store, end flips it even after the last. Optimistic readers
+// snapshot the sequence, walk, and revalidate; any bump in between voids
+// the snapshot. The callers already hold the stripe mutex, so the two
+// atomic adds never contend with another writer — they exist purely to
+// signal readers.
+
+func (m *Map) writeBegin(b int) { atomic.AddUint64(&m.seqs[b/m.stride].v, 1) }
+
+func (m *Map) writeEnd(b int) { atomic.AddUint64(&m.seqs[b/m.stride].v, 1) }
 
 // Ptr returns the descriptor pointer for linking into root structures.
 func (m *Map) Ptr() pheap.Ptr { return m.desc }
@@ -197,8 +223,10 @@ func (m *Map) putLocked(t *atlas.Thread, b int, key, value uint64) error {
 	if n, _ := m.findLocked(t, b, key); !n.IsNil() {
 		// The two-store update whose intermediate state is the
 		// mutex-based hazard: value first, integrity word second.
+		m.writeBegin(b)
 		t.Store(n.Addr()+nodeValue, value)
 		t.Store(n.Addr()+nodeCheck, checkWord(key, value))
+		m.writeEnd(b)
 		return nil
 	}
 	n, err := m.heap.Alloc(nodeWords)
@@ -209,7 +237,12 @@ func (m *Map) putLocked(t *atlas.Thread, b int, key, value uint64) error {
 	t.Store(n.Addr()+nodeValue, value)
 	t.Store(n.Addr()+nodeCheck, checkWord(key, value))
 	t.Store(n.Addr()+nodeNext, t.Load(m.bucketAddr(b)))
+	// Only the head store publishes the (fully initialized) node, but the
+	// bump keeps the reader protocol uniform: any mutation of reachable
+	// state invalidates concurrent snapshots.
+	m.writeBegin(b)
 	t.Store(m.bucketAddr(b), uint64(n))
+	m.writeEnd(b)
 	return nil
 }
 
@@ -250,10 +283,13 @@ func (m *Map) Inc(t *atlas.Thread, key, delta uint64) (uint64, error) {
 func (m *Map) incLocked(t *atlas.Thread, b int, key, delta uint64) (uint64, error) {
 	if n, _ := m.findLocked(t, b, key); !n.IsNil() {
 		v := t.Load(n.Addr()+nodeValue) + delta
+		m.writeBegin(b)
 		t.Store(n.Addr()+nodeValue, v)
 		t.Store(n.Addr()+nodeCheck, checkWord(key, v))
+		m.writeEnd(b)
 		return v, nil
 	}
+	// Absent key: the insert path (and its seqlock bump) is putLocked's.
 	if err := m.putLocked(t, b, key, delta); err != nil {
 		return 0, err
 	}
@@ -274,16 +310,27 @@ func (m *Map) Delete(t *atlas.Thread, key uint64) (bool, error) {
 	mu := m.mutexFor(b)
 	t.Lock(mu)
 	defer t.Unlock(mu)
+	return m.deleteLocked(t, b, key)
+}
+
+// deleteLocked is the shared unlink body of Delete and DeleteLocked. The
+// seqlock bump brackets the unlink store, so an optimistic reader that
+// could otherwise chase the dead node's pointers is forced to retry; the
+// deferred free then guarantees the block survives untouched until a full
+// log-ring lap later, long after every such snapshot has been voided.
+func (m *Map) deleteLocked(t *atlas.Thread, b int, key uint64) (bool, error) {
 	n, prev := m.findLocked(t, b, key)
 	if n.IsNil() {
 		return false, nil
 	}
 	next := t.Load(n.Addr() + nodeNext)
+	m.writeBegin(b)
 	if prev.IsNil() {
 		t.Store(m.bucketAddr(b), next)
 	} else {
 		t.Store(prev.Addr()+nodeNext, next)
 	}
+	m.writeEnd(b)
 	if err := t.FreeDeferred(n); err != nil {
 		return false, err
 	}
@@ -341,21 +388,7 @@ func (m *Map) DeleteLocked(t *atlas.Thread, key uint64) (bool, error) {
 		return false, ErrNoThread
 	}
 	m.tel.IncDelete()
-	b := m.bucketOf(key)
-	n, prev := m.findLocked(t, b, key)
-	if n.IsNil() {
-		return false, nil
-	}
-	next := t.Load(n.Addr() + nodeNext)
-	if prev.IsNil() {
-		t.Store(m.bucketAddr(b), next)
-	} else {
-		t.Store(prev.Addr()+nodeNext, next)
-	}
-	if err := t.FreeDeferred(n); err != nil {
-		return false, err
-	}
-	return true, nil
+	return m.deleteLocked(t, m.bucketOf(key), key)
 }
 
 // TornUpdate is a fault-injection hook: it begins the critical section
@@ -376,6 +409,12 @@ func (m *Map) TornUpdate(t *atlas.Thread, key, value uint64) error {
 	if n.IsNil() {
 		return fmt.Errorf("hashmap: TornUpdate: key %d not present", key)
 	}
+	// writeBegin with no matching writeEnd: the stripe sequence stays odd,
+	// so optimistic readers fall back to the (held) stripe lock — i.e.
+	// they block behind the torn writer exactly as the locked path would —
+	// until the crash the caller is about to inject rebuilds the map and
+	// its sequence counters.
+	m.writeBegin(b)
 	t.Store(n.Addr()+nodeValue, value)
 	// No check-word store, no Unlock: the crash happens here.
 	return nil

@@ -175,6 +175,21 @@ func (d *Device) Load(a Addr) uint64 {
 	return atomic.LoadUint64(&d.volatile[a])
 }
 
+// TryLoad atomically reads the word at a, reporting false instead of
+// panicking when a is out of range. Optimistic readers need it: a
+// lock-free chain walk can pick up a pointer mid-update, and the torn
+// value may index anywhere. The reader detects the interleaving by
+// sequence validation afterwards; TryLoad just keeps the speculative
+// dereference from killing the process first.
+func (d *Device) TryLoad(a Addr) (uint64, bool) {
+	if uint64(a) >= uint64(len(d.volatile)) {
+		return 0, false
+	}
+	d.tel.IncLoad(uint64(a))
+	d.touchLoad(a)
+	return atomic.LoadUint64(&d.volatile[a]), true
+}
+
 // Store atomically writes v to the word at a in the volatile image and
 // marks the containing line dirty. Stores issued after a crash are
 // dropped: the simulated threads have already been terminated.

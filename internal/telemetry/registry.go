@@ -162,12 +162,21 @@ func (s *HeapStats) Reset() {
 
 // MapStats is the fortified hash map's section: data-structure-level
 // operation counts (distinct from ServerStats, which counts protocol
-// requests — one mget request is many map gets).
+// requests — one mget request is many map gets). The Opt* counters
+// instrument the seqlock read path: OptGets are reads served without
+// any stripe mutex, OptRetries are snapshot validations that failed
+// (a writer interleaved), and OptFallbacks are reads that exhausted
+// their retry budget and re-ran under the stripe lock — the bounded-
+// retry contract made observable.
 type MapStats struct {
 	Gets    Counter
 	Puts    Counter
 	Incs    Counter
 	Deletes Counter
+
+	OptGets      Counter
+	OptRetries   Counter
+	OptFallbacks Counter
 }
 
 func (s *MapStats) IncGet() {
@@ -194,6 +203,24 @@ func (s *MapStats) IncDelete() {
 	}
 }
 
+func (s *MapStats) IncOptGet() {
+	if s != nil {
+		s.OptGets.Inc()
+	}
+}
+
+func (s *MapStats) IncOptRetry() {
+	if s != nil {
+		s.OptRetries.Inc()
+	}
+}
+
+func (s *MapStats) IncOptFallback() {
+	if s != nil {
+		s.OptFallbacks.Inc()
+	}
+}
+
 // Reset zeroes the section.
 func (s *MapStats) Reset() {
 	if s == nil {
@@ -203,6 +230,9 @@ func (s *MapStats) Reset() {
 	s.Puts.Reset()
 	s.Incs.Reset()
 	s.Deletes.Reset()
+	s.OptGets.Reset()
+	s.OptRetries.Reset()
+	s.OptFallbacks.Reset()
 }
 
 // ServerStats is the cache server's protocol-level section, per shard.
@@ -297,6 +327,14 @@ type Registry struct {
 	// pipeline is actually getting.
 	BatchSize *Histogram
 
+	// ReadLatency is the service-time distribution of read commands that
+	// completed entirely on the optimistic (seqlock) path — no stripe
+	// mutex, no batch pipeline. Every command still lands in CmdLatency
+	// exactly once whichever path served it; ReadLatency is the
+	// lock-free subset, so comparing the two isolates what the locked
+	// machinery costs a read.
+	ReadLatency *Histogram
+
 	// Generation counts the stack's incarnations: 1 after New, +1 per
 	// reattach. Counters deliberately survive reattach (the registry
 	// outlives the stack it instruments); Generation is how a consumer
@@ -317,6 +355,7 @@ func NewRegistry() *Registry {
 		RecoveryLatency: &Histogram{},
 		CmdLatency:      &CommandLatency{},
 		BatchSize:       &Histogram{},
+		ReadLatency:     &Histogram{},
 	}
 }
 
@@ -339,6 +378,7 @@ func (r *Registry) Reset() {
 	r.RecoveryLatency.Reset()
 	r.CmdLatency.Reset()
 	r.BatchSize.Reset()
+	r.ReadLatency.Reset()
 }
 
 // Snapshot is a point-in-time copy of a registry's counters, keyed by
@@ -385,6 +425,9 @@ func (r *Registry) Walk(fn func(name string, value uint64)) {
 	fn("map_puts", fieldLoad(m, func(m *MapStats) *Counter { return &m.Puts }))
 	fn("map_incs", fieldLoad(m, func(m *MapStats) *Counter { return &m.Incs }))
 	fn("map_deletes", fieldLoad(m, func(m *MapStats) *Counter { return &m.Deletes }))
+	fn("map_opt_gets", fieldLoad(m, func(m *MapStats) *Counter { return &m.OptGets }))
+	fn("map_opt_retries", fieldLoad(m, func(m *MapStats) *Counter { return &m.OptRetries }))
+	fn("map_opt_fallbacks", fieldLoad(m, func(m *MapStats) *Counter { return &m.OptFallbacks }))
 	fn("server_gets", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Gets }))
 	fn("server_hits", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Hits }))
 	fn("server_sets", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Sets }))

@@ -1,9 +1,11 @@
 #!/bin/sh
 # check.sh — the pre-merge gate: vet everything, then run the
 # concurrency-heavy packages (the cache server and the Section 5
-# harness, plus the stack constructor they share) under the race
-# detector. The full suite already runs race-clean; this focuses the
-# expensive -race pass on the packages that exercise real parallelism.
+# harness, plus the stack constructor they share, and the hashmap whose
+# seqlock read path races readers against writers by design) under the
+# race detector. The full suite already runs race-clean; this focuses
+# the expensive -race pass on the packages that exercise real
+# parallelism.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,8 +24,8 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race (server + repl + harness + stack)"
-go test -race ./internal/cacheserver ./internal/repl ./internal/harness ./internal/stack
+echo "== go test -race (server + repl + harness + stack + hashmap)"
+go test -race ./internal/cacheserver ./internal/repl ./internal/harness ./internal/stack ./internal/hashmap
 
 echo "== go test ./... (everything else, no race)"
 go test ./...
