@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test check bench-shards bench-json bench-telemetry bench-batch bench-diff \
-	bench-repl bench-read bench-cacheserver-baseline demo-repl
+	bench-repl bench-read bench-pipeline bench-cacheserver-baseline demo-repl
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,13 @@ bench-repl:
 # locked by >= 1.5x, and the mix's get p50 must be no worse.
 bench-read:
 	$(GO) test -run 'ZZZ' -bench 'Gets(Optimistic|Locked)|ReadMix' -cpu 8 -benchtime 50000x ./internal/cacheserver
+
+# The pipelined wire-codec benchmark: an in-process server driven over
+# TCP at pipeline depths 1/8/64. Cells merge into BENCH_tspbench.json
+# under profile "pipeline" (the Table-1 cells are preserved), where
+# bench-diff's soft gate tracks them like any other throughput cell.
+bench-pipeline:
+	$(GO) run ./cmd/tspbench -pipeline -duration 500ms -depths 1,8,64 -json -out BENCH_tspbench.json
 
 # Record the cacheserver go-bench baseline that bench-diff compares
 # ns/op against. Commit the refreshed BENCH_cacheserver.txt when the

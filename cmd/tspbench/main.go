@@ -9,10 +9,18 @@
 // perf trajectories can be tracked across commits without scraping the
 // human-readable tables.
 //
+// With -pipeline the command instead benchmarks the wire codec: an
+// in-process cache server driven over TCP by a client pipelining N
+// requests per write (N from -depths), reporting request throughput
+// and per-request latency per (workload, depth) cell. Pipeline cells
+// are merged into the JSON report under profile "pipeline" without
+// disturbing the Table-1 cells already recorded there.
+//
 // Usage:
 //
 //	tspbench [-duration 2s] [-seed 1] [-profiles desktop,server] [-runs 3]
-//	         [-latency] [-json] [-out BENCH_tspbench.json]
+//	         [-latency] [-pipeline] [-depths 1,8,64]
+//	         [-json] [-out BENCH_tspbench.json]
 package main
 
 import (
@@ -74,6 +82,8 @@ func main() {
 	profiles := flag.String("profiles", "desktop,server", "comma-separated platform profiles")
 	runs := flag.Int("runs", 1, "repetitions per cell (best run reported, all summarized)")
 	latency := flag.Bool("latency", false, "measure per-iteration latency distributions instead of throughput")
+	pipeline := flag.Bool("pipeline", false, "benchmark the pipelined wire codec against an in-process server instead of Table 1")
+	depthsFlag := flag.String("depths", "1,8,64", "comma-separated pipeline depths used with -pipeline")
 	jsonOut := flag.Bool("json", false, "also write a machine-readable report (see -out)")
 	outPath := flag.String("out", "BENCH_tspbench.json", "report path used with -json")
 	flag.Parse()
@@ -99,6 +109,24 @@ func main() {
 	}
 
 	switch {
+	case *pipeline:
+		report.Mode = "pipeline"
+		var depths []int
+		for _, d := range strings.Split(*depthsFlag, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(d), "%d", &n); err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -depths entry %q\n", d)
+				os.Exit(2)
+			}
+			depths = append(depths, n)
+		}
+		runPipelineMode(depths, *duration, *seed, &report)
+		// Pipeline cells extend the committed report rather than
+		// replacing it: keep every non-pipeline cell already recorded so
+		// the Table-1 baseline survives a bench-pipeline refresh.
+		if *jsonOut {
+			mergeExistingCells(*outPath, &report)
+		}
 	case *latency:
 		runLatencyMode(profs, *duration, *seed, &report)
 	case *runs <= 1:
@@ -113,6 +141,38 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d cells)\n", *outPath, len(report.Cells))
+	}
+}
+
+// mergeExistingCells folds the cells of an existing report at path
+// into report, dropping the stale copies of any profile report
+// regenerated (matched by profile name) and preserving the rest —
+// derived rows included.
+func mergeExistingCells(path string, report *benchReport) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return // nothing to merge
+	}
+	var old benchReport
+	if err := json.Unmarshal(data, &old); err != nil {
+		return // unreadable old report: overwrite
+	}
+	fresh := map[string]bool{}
+	for _, c := range report.Cells {
+		fresh[c.Profile] = true
+	}
+	kept := make([]benchCell, 0, len(old.Cells)+len(report.Cells))
+	for _, c := range old.Cells {
+		if !fresh[c.Profile] {
+			kept = append(kept, c)
+		}
+	}
+	report.Cells = append(kept, report.Cells...)
+	if len(report.Derived) == 0 {
+		report.Derived = old.Derived
+	}
+	if old.Mode != "" && old.Mode != report.Mode {
+		report.Mode = old.Mode + "+" + report.Mode
 	}
 }
 

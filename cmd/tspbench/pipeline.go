@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"tsp/internal/cacheserver"
+	"tsp/internal/proto"
+	"tsp/internal/stats"
+)
+
+// The pipelined wire benchmark: an in-process cache server driven over
+// real TCP by a client that batches N requests per write using the
+// proto package's client-side encoding, at several pipeline depths.
+// Depth 1 is the request/response baseline; deeper cells show how much
+// throughput the codec's batch decoding and single-enqueue group
+// execution recover once clients stop paying one round trip (and the
+// server one read, one enqueue, one write) per command.
+
+// pipelineWorkloads are the benchmarked request shapes. mset8 writes 8
+// pairs per request, so its per-request rate understates ops/s by 8x —
+// it is the batched-mutation shape the shard pipeline amortizes best.
+var pipelineWorkloads = []string{"set", "get", "mset8"}
+
+// pipelineKeys bounds the keyspace so gets hit preloaded keys.
+const pipelineKeys = 8192
+
+// runPipelineMode measures every (workload, depth) cell and appends
+// them to the report under profile "pipeline".
+func runPipelineMode(depths []int, duration time.Duration, seed int64, report *benchReport) {
+	srv, err := cacheserver.New(cacheserver.WithShards(4), cacheserver.WithMaxConns(8))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	fmt.Println("Pipelined wire codec (native protocol over TCP, one in-process server,")
+	fmt.Println("one client connection; depth = requests per write; rate in requests/s)")
+	fmt.Println()
+	tbl := stats.Table{Header: []string{"workload", "depth", "req/s", "p50 us/req", "p99 us/req"}}
+	for _, wl := range pipelineWorkloads {
+		for _, depth := range depths {
+			cell, err := runPipelineCell(addr, wl, depth, duration, seed)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			tbl.AddRow(wl, fmt.Sprintf("%d", depth),
+				fmt.Sprintf("%.0f", cell.BestMIterPerSec*1e6),
+				fmt.Sprintf("%.1f", cell.P50Ns/1e3),
+				fmt.Sprintf("%.1f", cell.P99Ns/1e3))
+			report.Cells = append(report.Cells, cell)
+		}
+	}
+	fmt.Print(tbl.String())
+}
+
+// runPipelineCell drives one (workload, depth) cell over a fresh
+// connection. Latency percentiles are per request: each burst's wall
+// time divided by its depth, so depth-1 p50 is true request RTT and
+// deeper cells show the amortized cost per command.
+func runPipelineCell(addr, workload string, depth int, duration time.Duration, seed int64) (benchCell, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return benchCell{}, err
+	}
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	na := proto.Native{}
+	rng := rand.New(rand.NewSource(seed))
+
+	readLine := func() error {
+		_, err := r.ReadSlice('\n')
+		return err
+	}
+
+	// Preload the keyspace so gets hit and sets overwrite — steady-state
+	// shape, no map growth mid-measurement.
+	buf := make([]byte, 0, 1<<16)
+	req := proto.Request{Cmd: proto.CmdSet}
+	for k := uint64(0); k < pipelineKeys; k++ {
+		req.KV = append(req.KV[:0], k, k)
+		buf = na.AppendRequest(buf, &req)
+		if len(buf) >= 32<<10 || k == pipelineKeys-1 {
+			if _, err := conn.Write(buf); err != nil {
+				return benchCell{}, err
+			}
+			buf = buf[:0]
+		}
+	}
+	for k := 0; k < pipelineKeys; k++ {
+		if err := readLine(); err != nil {
+			return benchCell{}, fmt.Errorf("preload reply %d: %w", k, err)
+		}
+	}
+
+	// Build one burst of `depth` requests, write it, read `depth`
+	// single-line replies. Every benchmarked workload answers exactly
+	// one line per request.
+	appendReq := func(dst []byte) []byte {
+		switch workload {
+		case "set":
+			req.Cmd = proto.CmdSet
+			req.KV = append(req.KV[:0], rng.Uint64()%pipelineKeys, rng.Uint64()%1000)
+		case "get":
+			req.Cmd = proto.CmdGet
+			req.KV = append(req.KV[:0], rng.Uint64()%pipelineKeys)
+		default: // mset8
+			req.Cmd = proto.CmdMSet
+			req.KV = req.KV[:0]
+			for i := 0; i < 8; i++ {
+				req.KV = append(req.KV, rng.Uint64()%pipelineKeys, rng.Uint64()%1000)
+			}
+		}
+		return na.AppendRequest(dst, &req)
+	}
+
+	var bursts []time.Duration
+	requests := 0
+	deadline := time.Now().Add(duration)
+	for time.Now().Before(deadline) {
+		buf = buf[:0]
+		for i := 0; i < depth; i++ {
+			buf = appendReq(buf)
+		}
+		t0 := time.Now()
+		if _, err := conn.Write(buf); err != nil {
+			return benchCell{}, err
+		}
+		for i := 0; i < depth; i++ {
+			if err := readLine(); err != nil {
+				return benchCell{}, fmt.Errorf("%s depth %d reply: %w", workload, depth, err)
+			}
+		}
+		bursts = append(bursts, time.Since(t0))
+		requests += depth
+	}
+
+	var total time.Duration
+	for _, d := range bursts {
+		total += d
+	}
+	perReq := func(q float64) float64 {
+		if len(bursts) == 0 {
+			return 0
+		}
+		sorted := append([]time.Duration(nil), bursts...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		idx := int(q * float64(len(sorted)-1))
+		return float64(sorted[idx]) / float64(depth)
+	}
+	cell := benchCell{
+		Profile:    "pipeline",
+		Variant:    fmt.Sprintf("%s_depth%d", workload, depth),
+		Threads:    1,
+		Runs:       1,
+		Iterations: uint64(requests),
+		P50Ns:      perReq(0.50),
+		P99Ns:      perReq(0.99),
+	}
+	if total > 0 {
+		cell.BestMIterPerSec = float64(requests) / total.Seconds() / 1e6
+		cell.MeanMIterPerSec = cell.BestMIterPerSec
+	}
+	return cell, nil
+}

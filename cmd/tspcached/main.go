@@ -26,11 +26,27 @@
 //	$ tspcached -metrics-addr 127.0.0.1:9090 &
 //	$ curl -s http://127.0.0.1:9090/metrics | grep tsp_nvm_flushes
 //
+// The server also speaks RESP2 (the redis wire protocol): by default
+// each connection's protocol is sniffed from its first byte, so
+// redis-cli and redis-benchmark work against the same listener with no
+// configuration — non-numeric keys and values hash into the integer
+// keyspace:
+//
+//	$ redis-cli -p 11222 set 1 42
+//	OK
+//	$ redis-benchmark -p 11222 -t set,get -P 8
+//
+// -proto pins a listener to one protocol instead of sniffing;
+// -max-request-bytes bounds a single request's wire size (oversized
+// requests are answered with an error — the native protocol then
+// resynchronizes at the next newline, RESP tears the connection down).
+//
 // Usage:
 //
 //	tspcached [-addr 127.0.0.1:11222] [-mode tsp|nontsp|off] [-shards 4]
 //	          [-conns 16] [-words 1048576] [-metrics-addr host:port]
 //	          [-batch-max 64] [-queue-depth 256] [-optimistic-reads=true]
+//	          [-proto auto|native|resp] [-max-request-bytes 1048576]
 //	          [-repl-listen host:port | -replica-of host:port]
 //	          [-repl-window 4096]
 //
@@ -84,6 +100,8 @@ func main() {
 	batchMax := flag.Int("batch-max", 64, "max ops per batched critical section; 0 disables batching")
 	queueDepth := flag.Int("queue-depth", 256, "per-shard pending-request queue bound")
 	optimisticReads := flag.Bool("optimistic-reads", true, "serve pure reads on the lock-free seqlock path (no Atlas mutex, no batching)")
+	protoFlag := flag.String("proto", "auto", "wire protocol: auto (sniff per connection), native (text), resp (RESP2)")
+	maxRequestBytes := flag.Int("max-request-bytes", 1<<20, "single-request wire-size ceiling; oversized requests are answered with an error")
 	replListen := flag.String("repl-listen", "", "replication listen address: stream committed batches to followers (primary role); empty disables")
 	replicaOf := flag.String("replica-of", "", "primary's replication address: apply its stream read-only until promoted (follower role); empty disables")
 	replWindow := flag.Int("repl-window", 4096, "committed groups the replication log retains; reconnects beyond it trigger a snapshot transfer")
@@ -112,6 +130,8 @@ func main() {
 		cacheserver.WithBatchMax(*batchMax),
 		cacheserver.WithQueueDepth(*queueDepth),
 		cacheserver.WithOptimisticReads(*optimisticReads),
+		cacheserver.WithProto(*protoFlag),
+		cacheserver.WithMaxRequestBytes(*maxRequestBytes),
 		cacheserver.WithReplListen(*replListen),
 		cacheserver.WithReplicaOf(*replicaOf),
 		cacheserver.WithReplWindow(*replWindow),

@@ -91,10 +91,14 @@ func TestBatchDisabledServesSynchronously(t *testing.T) {
 	}
 }
 
-// TestOversizedGroupFallsBackSync: a group larger than batchMax is not
-// split across sections (that would break the one-OCS-per-group crash
-// contract); it degrades to the synchronous path and is counted.
-func TestOversizedGroupFallsBackSync(t *testing.T) {
+// TestOversizedGroupChunksThroughPipeline: a group larger than
+// batchMax is never executed in one section (that would overrun the
+// undo-log ring the bound sizes); it is split into batchMax-sized
+// chunks that each ride the pipeline — paying the per-batch
+// amortization instead of degrading to the per-op synchronous path,
+// which matters once pipelined clients present hundreds of ops in one
+// decoded group.
+func TestOversizedGroupChunksThroughPipeline(t *testing.T) {
 	s := startServer(t, WithShards(1), WithBatchMax(4))
 	c := dial(t, s.Addr().String())
 	sh := s.shards[0]
@@ -102,12 +106,14 @@ func TestOversizedGroupFallsBackSync(t *testing.T) {
 	if got := c.cmd(t, "mset 1 1 2 2 3 3 4 4 5 5 6 6 7 7 8 8"); got != "STORED 8" {
 		t.Fatalf("oversized mset: %q", got)
 	}
-	if got := sh.tel.Server.BatchFallbacks.Load(); got != 1 {
-		t.Fatalf("fallbacks = %d, want 1", got)
+	if got := sh.tel.Server.BatchFallbacks.Load(); got != 0 {
+		t.Fatalf("fallbacks = %d, want 0 (oversized groups chunk, not degrade)", got)
 	}
-	// The synchronous path still records per-op latency.
-	if got := sh.tel.OpLatency.Snapshot().Count(); got < 8 {
-		t.Fatalf("op latency observations = %d, want >= 8", got)
+	if got := sh.tel.Server.Batches.Load(); got != 2 {
+		t.Fatalf("batches = %d, want 2 (8 ops / batchMax 4)", got)
+	}
+	if got := sh.tel.Server.BatchedOps.Load(); got != 8 {
+		t.Fatalf("batched ops = %d, want 8", got)
 	}
 	out := c.lines(t, "mget 1 2 3 4 5 6 7 8")
 	for i := 0; i < 8; i++ {

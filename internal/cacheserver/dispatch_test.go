@@ -1,0 +1,30 @@
+package cacheserver
+
+import (
+	"bytes"
+	"strings"
+
+	"tsp/internal/proto"
+)
+
+// dispatch is a test-only compatibility shim for the pre-codec
+// line-at-a-time API: it parses one native-protocol line, serves it as
+// a single-request batch, and returns the rendered reply without the
+// trailing CRLF — exactly what the old production dispatch returned.
+// Benchmarks use it to drive the exec machinery without a socket.
+func (s *Server) dispatch(cs *connState, line string) string {
+	var na proto.Native
+	var req proto.Request
+	n, err := na.Parse([]byte(line+"\r\n"), &req)
+	if err != nil || n == 0 {
+		return "ERROR unparseable line"
+	}
+	if req.Cmd == proto.CmdNone {
+		return "ERROR empty command"
+	}
+	var buf bytes.Buffer
+	enc := proto.NewEncoder(&buf, na, 0)
+	s.serveBatch(cs, enc, []proto.Request{req})
+	enc.Flush()
+	return strings.TrimSuffix(buf.String(), "\r\n")
+}

@@ -1,14 +1,17 @@
 package cacheserver
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
+
+	"tsp/internal/proto"
 )
 
-// newDispatchServer builds a small server for driving dispatch
-// directly, without going through TCP: the parser and execution paths
+// newDispatchServer builds a small server for driving the codec loop
+// directly, without going through TCP: the parsers and execution paths
 // are what is under test, not the socket loop.
 func newDispatchServer(tb testing.TB) (*Server, *connState) {
 	tb.Helper()
@@ -20,13 +23,46 @@ func newDispatchServer(tb testing.TB) (*Server, *connState) {
 	return s, s.newConnState()
 }
 
-// FuzzDispatch throws arbitrary command lines at the dispatcher. The
-// invariants are liveness ones: dispatch must return (no panic, no
-// deadlock against the batch workers), must answer something, and must
-// not leave a request stranded in any shard queue — a leaked future
-// would wedge the worker's next drain accounting and, on a real
-// connection, hang the client forever.
-func FuzzDispatch(f *testing.F) {
+// serveInput drives the full codec loop — Decoder → serveBatch →
+// Encoder — over in-memory bytes: the socketless analogue of handle,
+// one simulated connection per call.
+func serveInput(s *Server, cs *connState, ad proto.Adapter, input []byte) string {
+	dec := proto.NewDecoder(bytes.NewReader(input), ad, s.cfg.maxRequestBytes)
+	var out bytes.Buffer
+	enc := proto.NewEncoder(&out, ad, s.cfg.writeBuf)
+	for {
+		batch, err := dec.Next()
+		if len(batch) > 0 {
+			quit := s.serveBatch(cs, enc, batch)
+			enc.Flush()
+			if quit {
+				return out.String()
+			}
+		}
+		if err != nil {
+			enc.Flush()
+			return out.String()
+		}
+	}
+}
+
+// checkQueuesDrained fails if any shard queue still holds a request —
+// a leaked future would wedge the worker's next drain accounting and,
+// on a real connection, hang the client forever.
+func checkQueuesDrained(t *testing.T, s *Server, ctx string) {
+	t.Helper()
+	for _, sh := range s.shards {
+		if sh.queue != nil && len(sh.queue) != 0 {
+			t.Fatalf("shard %d queue holds %d stranded requests after %s", sh.idx, len(sh.queue), ctx)
+		}
+	}
+}
+
+// FuzzNativeLoop throws arbitrary bytes at the native-protocol codec
+// loop. The invariants are liveness ones: the loop must return (no
+// panic, no deadlock against the batch workers, no infinite decode
+// loop) and must not leave a request stranded in any shard queue.
+func FuzzNativeLoop(f *testing.F) {
 	for _, seed := range []string{
 		"get 1", "set 1 2", "incr 1 2", "delete 1",
 		"mget 1 2 3", "mset 1 2 3 4",
@@ -36,39 +72,73 @@ func FuzzDispatch(f *testing.F) {
 		"crash 99", "crash -1", "crash 0 0",
 		"", "   ", "\t", "set", "set 1", "set a b", "mset 1",
 		"get 18446744073709551615", "get 18446744073709551616",
-		"GET 1", "Set 1 2", "frobnicate",
+		"GET 1", "Set 1 2", "frobnicate", "quit", "ping",
 		"get \x00", "set \xff\xfe 1", "incr 1 ☃",
+		"set 1 2\r\nget 1\r\nmget 1 2\r\nquit",
+		"set 1 2\nset 3",
 	} {
-		f.Add(seed)
+		f.Add([]byte(seed + "\r\n"))
 	}
 	s, cs := newDispatchServer(f)
-	f.Fuzz(func(t *testing.T, line string) {
-		resp := s.dispatch(cs, line)
-		if resp == "" {
-			t.Errorf("empty response for %q", line)
-		}
-		for _, sh := range s.shards {
-			if sh.queue != nil && len(sh.queue) != 0 {
-				t.Fatalf("shard %d queue holds %d stranded requests after %q", sh.idx, len(sh.queue), line)
-			}
-		}
+	f.Fuzz(func(t *testing.T, input []byte) {
+		serveInput(s, cs, proto.Native{}, input)
+		checkQueuesDrained(t, s, fmt.Sprintf("%q", input))
 	})
 }
 
-// TestDispatchRandomLines is the deterministic slice of the fuzz
+// FuzzRESPLoop is the same campaign against the RESP adapter: valid
+// arrays, inline commands, torn frames, lying length headers, and raw
+// garbage must never panic, hang, or strand a queue entry — at worst
+// the codec answers an error and tears the connection down.
+func FuzzRESPLoop(f *testing.F) {
+	for _, seed := range []string{
+		"*2\r\n$3\r\nGET\r\n$1\r\n1\r\n",
+		"*3\r\n$3\r\nSET\r\n$1\r\n1\r\n$1\r\n2\r\n",
+		"*3\r\n$3\r\nSET\r\n$3\r\nfoo\r\n$3\r\nbar\r\n",
+		"*2\r\n$3\r\nGET\r\n$3\r\nfoo\r\n",
+		"*1\r\n$4\r\nPING\r\n",
+		"*1\r\n$4\r\nINFO\r\n",
+		"*1\r\n$4\r\nQUIT\r\n",
+		"*3\r\n$6\r\nINCRBY\r\n$1\r\n1\r\n$1\r\n5\r\n",
+		"*3\r\n$4\r\nMSET\r\n$1\r\n1\r\n$1\r\n2\r\n",
+		"*2\r\n$4\r\nMGET\r\n$1\r\n1\r\n",
+		"*2\r\n$3\r\nDEL\r\n$1\r\n1\r\n",
+		"PING\r\n",
+		"GET 1\r\n",
+		"*0\r\n",
+		"*1\r\n$3\r\nGET\r\n",   // arity error
+		"*2\r\n$3\r\nGET\r\n",   // torn frame
+		"*2\r\n$300\r\nGET\r\n", // lying bulk length
+		"*-1\r\n",
+		"*999999999999999999\r\n",
+		"$5\r\nhello\r\n", // bulk outside array
+		"\x00\x01\x02",
+		"*2\r\n$3\r\nGET\r\n$1\r\n1\r\n*1\r\n$4\r\nPING\r\n", // pipelined
+	} {
+		f.Add([]byte(seed))
+	}
+	s, cs := newDispatchServer(f)
+	f.Fuzz(func(t *testing.T, input []byte) {
+		serveInput(s, cs, proto.RESP{}, input)
+		checkQueuesDrained(t, s, fmt.Sprintf("%q", input))
+	})
+}
+
+// TestRandomLinesBothAdapters is the deterministic slice of the fuzz
 // campaign, run on every test invocation: thousands of seeded-random
 // token soups — including valid commands, torn fragments, and real
 // crash commands interleaved with mutations — must never panic,
-// deadlock, or corrupt the store. Afterwards the server must still
-// serve correctly and verify clean.
-func TestDispatchRandomLines(t *testing.T) {
+// deadlock, or corrupt the store, on either adapter. Afterwards the
+// server must still serve correctly and verify clean.
+func TestRandomLinesBothAdapters(t *testing.T) {
 	s, cs := newDispatchServer(t)
 	rng := rand.New(rand.NewSource(42))
 	tokens := []string{
 		"get", "set", "incr", "delete", "mget", "mset", "stats", "shards",
-		"reset", "crash", "quit", "frobnicate",
+		"reset", "crash", "quit", "frobnicate", "ping",
 		"0", "1", "2", "7", "99", "-1", "0x10", "18446744073709551615",
 		"18446744073709551616", "abc", "", " ",
+		"*2", "$3", "\r", "*", "$",
 	}
 	for i := 0; i < 3000; i++ {
 		n := rng.Intn(6)
@@ -76,15 +146,13 @@ func TestDispatchRandomLines(t *testing.T) {
 		for j := range parts {
 			parts[j] = tokens[rng.Intn(len(tokens))]
 		}
-		line := strings.Join(parts, " ")
-		if resp := s.dispatch(cs, line); resp == "" {
-			t.Fatalf("iteration %d: empty response for %q", i, line)
+		line := strings.Join(parts, " ") + "\r\n"
+		ad := proto.Adapter(proto.Native{})
+		if i%2 == 1 {
+			ad = proto.RESP{}
 		}
-		for _, sh := range s.shards {
-			if sh.queue != nil && len(sh.queue) != 0 {
-				t.Fatalf("iteration %d: stranded request after %q", i, line)
-			}
-		}
+		serveInput(s, cs, ad, []byte(line))
+		checkQueuesDrained(t, s, fmt.Sprintf("iteration %d %q", i, line))
 	}
 	if got := s.dispatch(cs, "set 12345 678"); got != "STORED" {
 		t.Fatalf("set after soup: %q", got)
@@ -99,10 +167,10 @@ func TestDispatchRandomLines(t *testing.T) {
 
 // TestInterleavedPipelinedConnections drives several connections that
 // each write bursts of pipelined commands (some malformed, some wide
-// enough to take the sync fallback) and checks every connection gets
-// exactly one in-order response per command — the per-connection FIFO
-// the batch pipeline must preserve while coalescing across
-// connections.
+// enough to be chunked through the pipeline) and checks every
+// connection gets exactly one in-order response per command — the
+// per-connection FIFO the batch pipeline must preserve while
+// coalescing across connections.
 func TestInterleavedPipelinedConnections(t *testing.T) {
 	s := startServer(t, WithShards(2), WithBatchMax(4), WithQueueDepth(2))
 	const clients, bursts = 4, 20

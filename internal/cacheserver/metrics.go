@@ -86,6 +86,42 @@ func (s *Server) renderMetrics() string {
 		writeSummary(fmt.Sprintf("cmd_%s_latency_seconds", c), v.cmdLat[c])
 	}
 
+	// Per-protocol command latency: same histograms as above, protocol
+	// dimension unmerged, as one labeled family.
+	if hasProtoCmd(v) {
+		b.WriteString("# TYPE tsp_cmd_latency_by_proto_seconds summary\n")
+		for _, p := range telemetry.Protocols() {
+			for _, c := range telemetry.Commands() {
+				snap := v.cmdProto[p][c]
+				if snap.Count() == 0 {
+					continue
+				}
+				for _, q := range []float64{0.5, 0.95, 0.99} {
+					fmt.Fprintf(&b, "tsp_cmd_latency_by_proto_seconds{proto=%q,cmd=%q,quantile=\"%g\"} %g\n",
+						p.String(), c.String(), q, snap.Quantile(q).Seconds())
+				}
+				fmt.Fprintf(&b, "tsp_cmd_latency_by_proto_seconds_count{proto=%q,cmd=%q} %d\n",
+					p.String(), c.String(), snap.Count())
+			}
+		}
+	}
+
+	// Decoded batch sizes per protocol: how many requests each socket
+	// read surfaced — the pipelining depth clients actually present.
+	b.WriteString("# TYPE tsp_decoded_batch_requests summary\n")
+	for _, p := range telemetry.Protocols() {
+		db := s.decodedBatch[p].Snapshot()
+		if db.Count() == 0 {
+			continue
+		}
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(&b, "tsp_decoded_batch_requests{proto=%q,quantile=\"%g\"} %d\n",
+				p.String(), q, uint64(db.Quantile(q)))
+		}
+		fmt.Fprintf(&b, "tsp_decoded_batch_requests_sum{proto=%q} %d\n", p.String(), db.Sum)
+		fmt.Fprintf(&b, "tsp_decoded_batch_requests_count{proto=%q} %d\n", p.String(), db.Count())
+	}
+
 	// Batch sizes are plain counts, not durations: render the summary
 	// in ops.
 	b.WriteString("# TYPE tsp_batch_size_ops summary\n")
@@ -114,4 +150,17 @@ func (s *Server) renderMetrics() string {
 	}
 
 	return b.String()
+}
+
+// hasProtoCmd reports whether any protocol × command histogram has
+// observations, gating the labeled family's TYPE header.
+func hasProtoCmd(v serverView) bool {
+	for p := range v.cmdProto {
+		for c := range v.cmdProto[p] {
+			if v.cmdProto[p][c].Count() > 0 {
+				return true
+			}
+		}
+	}
+	return false
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tsp/internal/atlas"
+	"tsp/internal/proto"
 )
 
 // config is the resolved server configuration. It is built from
@@ -29,8 +30,17 @@ type config struct {
 	replicaOf   string // primary's replication address (follower role); "" = disabled
 	replWindow  int    // committed groups the replication log retains
 
-	optimisticReads bool // serve pure reads on the lock-free seqlock path
+	proto           string // wire protocol: "auto" (sniff), "native", "resp"
+	maxRequestBytes int    // single-request wire-size ceiling
+	optimisticReads bool   // serve pure reads on the lock-free seqlock path
 }
+
+// Wire protocol selections for config.proto / WithProto.
+const (
+	protoAuto   = "auto"
+	protoNative = "native"
+	protoRESP   = "resp"
+)
 
 func defaultConfig() config {
 	return config{
@@ -46,6 +56,8 @@ func defaultConfig() config {
 		queueDepth:  256,
 		replWindow:  4096,
 
+		proto:           protoAuto,
+		maxRequestBytes: proto.DefaultMaxRequest,
 		optimisticReads: true,
 	}
 }
@@ -74,6 +86,14 @@ func (c config) validate() error {
 	}
 	if (c.replListen != "" || c.replicaOf != "") && c.replWindow < 1 {
 		return fmt.Errorf("cacheserver: repl window must be >= 1, got %d", c.replWindow)
+	}
+	switch c.proto {
+	case protoAuto, protoNative, protoRESP:
+	default:
+		return fmt.Errorf("cacheserver: unknown protocol %q (want auto, native, or resp)", c.proto)
+	}
+	if c.maxRequestBytes < 64 {
+		return fmt.Errorf("cacheserver: max request bytes %d too small", c.maxRequestBytes)
 	}
 	return nil
 }
@@ -187,6 +207,27 @@ func WithReplicaOf(addr string) Option {
 // disabling the option only removes the fast path, never behavior.
 func WithOptimisticReads(on bool) Option {
 	return func(c *config) { c.optimisticReads = on }
+}
+
+// WithProto pins the listener's wire protocol: "native" (the
+// line-oriented text protocol), "resp" (RESP2, what redis-cli and
+// redis-benchmark speak), or "auto" (the default — each connection is
+// sniffed from its first byte; RESP framing always leads with '*',
+// which no native command starts with).
+func WithProto(p string) Option {
+	return func(c *config) { c.proto = p }
+}
+
+// WithMaxRequestBytes bounds the wire size of a single request
+// (default proto.DefaultMaxRequest, 1 MiB). An oversized request is
+// answered with a "request too large" error instead of being buffered:
+// on the native protocol the connection then resynchronizes at the
+// next newline and keeps serving; RESP frames cannot be skipped
+// without trusting the oversized header, so the connection is closed
+// after the error is written. The old bufio.Scanner handler silently
+// dropped the connection at 64 KiB with no error at all.
+func WithMaxRequestBytes(n int) Option {
+	return func(c *config) { c.maxRequestBytes = n }
 }
 
 // WithReplWindow bounds how many committed groups the primary's

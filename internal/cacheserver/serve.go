@@ -1,0 +1,380 @@
+package cacheserver
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"tsp/internal/proto"
+	"tsp/internal/telemetry"
+)
+
+// The pipelined serving path. A connection's bytes flow through a
+// proto.Decoder that surfaces every buffered request as ONE batch, the
+// batch's data commands coalesce into ONE combined op group fed to the
+// shard pipeline as a single enqueue, and the replies stage in a
+// proto.Encoder that answers the whole batch with ONE write. The
+// protocol itself — framing, spellings, error texts — lives entirely
+// behind the proto.Adapter seam, so this file never touches wire
+// bytes.
+
+// readOnlyMsg is the mutation-rejection text a replicating follower
+// answers until promoted.
+const readOnlyMsg = "read-only replica (promote to enable writes)"
+
+// protoLabel maps a wire adapter to its telemetry protocol label.
+func protoLabel(a proto.Adapter) telemetry.Protocol {
+	if a.Name() == "resp" {
+		return telemetry.ProtoRESP
+	}
+	return telemetry.ProtoNative
+}
+
+// handle runs one connection's request loop: decode a batch, serve it,
+// flush one write. The protocol is fixed per listener config or
+// sniffed from the first byte — RESP framing always leads with '*',
+// which no native command starts with.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := proto.NewDecoder(conn, proto.Native{}, s.cfg.maxRequestBytes)
+	var ad proto.Adapter
+	switch s.cfg.proto {
+	case protoNative:
+		ad = proto.Native{}
+	case protoRESP:
+		ad = proto.RESP{}
+	default: // protoAuto
+		b, err := dec.Peek()
+		if err != nil {
+			return
+		}
+		if b == '*' {
+			ad = proto.RESP{}
+		} else {
+			ad = proto.Native{}
+		}
+	}
+	dec.Use(ad)
+	enc := proto.NewEncoder(conn, ad, s.cfg.writeBuf)
+	defer enc.Flush()
+
+	cs := s.newConnState()
+	cs.ptel = protoLabel(ad)
+	defer s.releaseConn(cs)
+
+	for {
+		batch, err := dec.Next()
+		if len(batch) > 0 {
+			s.decodedBatch[cs.ptel].ObserveValue(uint64(len(batch)))
+			quit := s.serveBatch(cs, enc, batch)
+			if ferr := enc.Flush(); ferr != nil || quit {
+				return
+			}
+		}
+		if err != nil {
+			// ErrDesync and I/O errors alike: any error reply explaining
+			// the teardown was already staged and flushed above.
+			return
+		}
+	}
+}
+
+// cmdTag maps one request's slice of the combined op group back to the
+// reply that answers it: ops[start:start+n] belong to req.
+type cmdTag struct {
+	cmd   telemetry.Command
+	req   *proto.Request
+	start int
+	n     int
+}
+
+// cmdTelemetry maps a data command to its latency-histogram key.
+func cmdTelemetry(c proto.Cmd) telemetry.Command {
+	switch c {
+	case proto.CmdGet:
+		return telemetry.CmdGet
+	case proto.CmdSet:
+		return telemetry.CmdSet
+	case proto.CmdIncr:
+		return telemetry.CmdIncr
+	case proto.CmdDelete:
+		return telemetry.CmdDelete
+	case proto.CmdMGet:
+		return telemetry.CmdMGet
+	default:
+		return telemetry.CmdMSet
+	}
+}
+
+// mutates reports whether a data command writes.
+func mutates(c proto.Cmd) bool {
+	return c != proto.CmdGet && c != proto.CmdMGet
+}
+
+// appendOps translates one decoded request into batch pipeline ops.
+func appendOps(ops []batchOp, req *proto.Request) []batchOp {
+	switch req.Cmd {
+	case proto.CmdGet:
+		return append(ops, batchOp{kind: opGet, key: req.KV[0]})
+	case proto.CmdSet:
+		return append(ops, batchOp{kind: opSet, key: req.KV[0], arg: req.KV[1]})
+	case proto.CmdIncr:
+		return append(ops, batchOp{kind: opIncr, key: req.KV[0], arg: req.KV[1]})
+	case proto.CmdDelete:
+		for _, k := range req.KV {
+			ops = append(ops, batchOp{kind: opDelete, key: k})
+		}
+		return ops
+	case proto.CmdMGet:
+		for _, k := range req.KV {
+			ops = append(ops, batchOp{kind: opGet, key: k})
+		}
+		return ops
+	default: // CmdMSet
+		for i := 0; i+1 < len(req.KV); i += 2 {
+			ops = append(ops, batchOp{kind: opSet, key: req.KV[i], arg: req.KV[i+1]})
+		}
+		return ops
+	}
+}
+
+// serveBatch executes one decoded batch and stages every reply, in
+// request order. Consecutive data commands coalesce into one combined
+// op group — the decoded group becomes the batch pipeline's group, so
+// a pipelined burst pays one enqueue and one Atlas critical section
+// per shard rather than one per command. Admin commands (and malformed
+// requests) are sequence points: the pending group executes first,
+// because a crash or stats must observe every earlier command's
+// effects. Returns true when the client asked to quit; requests after
+// the quit are not executed (the old per-line handler stopped at quit
+// the same way).
+func (s *Server) serveBatch(cs *connState, enc *proto.Encoder, batch []proto.Request) (quit bool) {
+	ops := cs.ops[:0]
+	tags := cs.tags[:0]
+	defer func() { cs.ops, cs.tags = ops, tags }()
+
+	flushData := func() {
+		if len(tags) == 0 {
+			return
+		}
+		s.runDataGroup(cs, ops, tags)
+		for ti := range tags {
+			rep := s.buildDataReply(cs, &tags[ti], ops)
+			enc.Stage(&rep)
+		}
+		ops, tags = ops[:0], tags[:0]
+	}
+
+	for i := range batch {
+		req := &batch[i]
+		switch req.Cmd {
+		case proto.CmdGet, proto.CmdSet, proto.CmdIncr, proto.CmdDelete,
+			proto.CmdMGet, proto.CmdMSet:
+			if s.readOnly.Load() && mutates(req.Cmd) {
+				flushData()
+				rep := proto.Reply{Kind: proto.KErrServer, Msg: readOnlyMsg}
+				enc.Stage(&rep)
+				continue
+			}
+			start := len(ops)
+			ops = appendOps(ops, req)
+			tags = append(tags, cmdTag{cmd: cmdTelemetry(req.Cmd), req: req, start: start, n: len(ops) - start})
+		case proto.CmdQuit:
+			flushData()
+			rep := proto.Reply{Kind: proto.KQuit}
+			enc.Stage(&rep)
+			return true
+		default:
+			flushData()
+			rep := s.serveAdmin(req)
+			enc.Stage(&rep)
+		}
+	}
+	flushData()
+	return false
+}
+
+// runDataGroup executes one coalesced op group and attributes latency
+// per command tag. A group of pure reads tries the lock-free seqlock
+// path first (key by key; the contended minority re-runs through the
+// pipeline); any mutation in the group forces the whole group through
+// exec in arrival order, which is what preserves read-your-writes
+// inside a pipelined burst. Every tag observes the group's end-to-end
+// time: replies flush together, so the group completion IS each
+// command's service time.
+func (s *Server) runDataGroup(cs *connState, ops []batchOp, tags []cmdTag) {
+	start := time.Now()
+	allGets := true
+	for i := range ops {
+		if ops[i].kind != opGet {
+			allGets = false
+			break
+		}
+	}
+	if s.cfg.optimisticReads && allGets {
+		pending := s.readOptimistic(ops)
+		if pending == nil {
+			el := time.Since(start)
+			for ti := range tags {
+				sh := s.shardOf(ops[tags[ti].start].key)
+				sh.tel.ReadLatency.Observe(el)
+				sh.tel.CmdLatency.ObserveProto(cs.ptel, tags[ti].cmd, el)
+			}
+			return
+		}
+		sub := make([]batchOp, len(pending))
+		for j, i := range pending {
+			sub[j] = ops[i]
+		}
+		s.execGroup(cs, sub)
+		for j, i := range pending {
+			ops[i] = sub[j]
+		}
+	} else {
+		s.execGroup(cs, ops)
+	}
+	el := time.Since(start)
+	for ti := range tags {
+		sh := s.shardOf(ops[tags[ti].start].key)
+		sh.tel.CmdLatency.ObserveProto(cs.ptel, tags[ti].cmd, el)
+	}
+}
+
+// buildDataReply shapes one command's reply from its resolved op span.
+// Item slices alias the connection's scratch arena, valid until the
+// next buildDataReply call — the caller stages (encodes) each reply
+// before building the next.
+func (s *Server) buildDataReply(cs *connState, tg *cmdTag, ops []batchOp) proto.Reply {
+	span := ops[tg.start : tg.start+tg.n]
+	switch tg.req.Cmd {
+	case proto.CmdGet:
+		op := &span[0]
+		switch {
+		case op.err != nil:
+			return proto.Reply{Kind: proto.KErrServer, Msg: op.err.Error()}
+		case !op.ok:
+			return proto.Reply{Kind: proto.KNotFound}
+		}
+		return proto.Reply{Kind: proto.KValue, Key: op.key, Val: op.val}
+	case proto.CmdSet:
+		if err := span[0].err; err != nil {
+			return proto.Reply{Kind: proto.KErrServer, Msg: err.Error()}
+		}
+		return proto.Reply{Kind: proto.KStored}
+	case proto.CmdIncr:
+		op := &span[0]
+		if op.err != nil {
+			return proto.Reply{Kind: proto.KErrServer, Msg: op.err.Error()}
+		}
+		return proto.Reply{Kind: proto.KInt, Val: op.val}
+	case proto.CmdDelete:
+		if err := spanErr(span); err != nil {
+			return proto.Reply{Kind: proto.KErrServer, Msg: err.Error()}
+		}
+		items := cs.items[:0]
+		for i := range span {
+			items = append(items, proto.Item{Key: span[i].key, Found: span[i].ok})
+		}
+		cs.items = items
+		return proto.Reply{Kind: proto.KDelete, Items: items}
+	case proto.CmdMGet:
+		if err := spanErr(span); err != nil {
+			return proto.Reply{Kind: proto.KErrServer, Msg: err.Error()}
+		}
+		items := cs.items[:0]
+		for i := range span {
+			items = append(items, proto.Item{Key: span[i].key, Val: span[i].val, Found: span[i].ok})
+		}
+		cs.items = items
+		return proto.Reply{Kind: proto.KMGet, Items: items}
+	default: // CmdMSet
+		if err := spanErr(span); err != nil {
+			return proto.Reply{Kind: proto.KErrServer, Msg: err.Error()}
+		}
+		return proto.Reply{Kind: proto.KStoredN, N: tg.n}
+	}
+}
+
+// spanErr joins a span's per-op errors (nil when every op succeeded).
+func spanErr(span []batchOp) error {
+	var errs []error
+	for i := range span {
+		if span[i].err != nil {
+			errs = append(errs, span[i].err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// serveAdmin executes one non-data request and returns its reply.
+func (s *Server) serveAdmin(req *proto.Request) proto.Reply {
+	switch req.Cmd {
+	case proto.CmdBad:
+		return proto.Reply{Kind: req.Bad, Msg: req.BadMsg}
+
+	case proto.CmdStats:
+		switch req.Stats {
+		case proto.StatsShards:
+			return proto.Reply{Kind: proto.KRaw, Msg: s.statsShards()}
+		case proto.StatsReset:
+			return proto.Reply{Kind: proto.KRaw, Msg: s.statsReset()}
+		default:
+			return proto.Reply{Kind: proto.KRaw, Msg: s.statsAggregate()}
+		}
+
+	case proto.CmdCrash:
+		// Crash takes shard write locks itself; the pending data group
+		// was flushed before we got here.
+		if s.readOnly.Load() {
+			return proto.Reply{Kind: proto.KErrServer, Msg: readOnlyMsg}
+		}
+		if req.HasShard {
+			if req.Shard < 0 || req.Shard >= len(s.shards) {
+				return proto.Reply{Kind: proto.KErrClient,
+					Msg: fmt.Sprintf("shard index out of range [0,%d)", len(s.shards))}
+			}
+			if err := s.shards[req.Shard].crashAndRecover(); err != nil {
+				return proto.Reply{Kind: proto.KErrServer, Msg: fmt.Sprintf("recovery failed: %v", err)}
+			}
+			return proto.Reply{Kind: proto.KRaw, Msg: fmt.Sprintf("OK RECOVERED SHARD %d", req.Shard)}
+		}
+		if err := s.crashAll(); err != nil {
+			return proto.Reply{Kind: proto.KErrServer, Msg: fmt.Sprintf("recovery failed: %v", err)}
+		}
+		return proto.Reply{Kind: proto.KRaw, Msg: "OK RECOVERED"}
+
+	case proto.CmdPromote:
+		if s.replFollower == nil {
+			return proto.Reply{Kind: proto.KErrClient, Msg: "not a replica"}
+		}
+		s.replFollower.Stop()
+		s.readOnly.Store(false)
+		return proto.Reply{Kind: proto.KRaw, Msg: "OK PROMOTED"}
+
+	case proto.CmdPing:
+		return proto.Reply{Kind: proto.KPong}
+
+	case proto.CmdInfo:
+		return proto.Reply{Kind: proto.KRaw, Msg: s.infoText()}
+
+	case proto.CmdCommand:
+		return proto.Reply{Kind: proto.KEmpty}
+
+	default:
+		return proto.Reply{Kind: proto.KErrProto, Msg: "unknown command"}
+	}
+}
+
+// infoText renders the RESP INFO reply: a small redis-shaped section
+// so redis-cli's `info` and monitoring probes get something useful.
+func (s *Server) infoText() string {
+	role := s.replRole()
+	if role == "" {
+		role = "master"
+	}
+	v := s.aggregateViews()
+	return fmt.Sprintf(
+		"# Server\r\nserver:tspcached\r\nmode:%v\r\nshards:%d\r\n\r\n# Keyspace\r\nitems:%d\r\n\r\n# Replication\r\nrole:%s\r\n",
+		s.cfg.mode, len(s.shards), v.items, role)
+}

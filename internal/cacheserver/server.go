@@ -11,8 +11,9 @@
 // of them) while the rest keep serving, and recovery re-verifies the
 // shard's integrity invariants before it rejoins.
 //
-// The protocol is a line-oriented subset of memcached's text protocol
-// over integer keys and values:
+// The wire protocol lives behind internal/proto's Adapter seam. The
+// native protocol is a line-oriented subset of memcached's text
+// protocol over integer keys and values:
 //
 //	set <key> <value>        -> STORED
 //	get <key>                -> VALUE <key> <value> | NOT_FOUND
@@ -26,7 +27,24 @@
 //	crash                    -> power-fails and recovers every shard; OK RECOVERED
 //	crash <shard>            -> power-fails and recovers one shard; OK RECOVERED SHARD <n>
 //	promote                  -> severs replication on a follower; OK PROMOTED
+//	ping                     -> PONG
 //	quit                     -> closes the connection
+//
+// The same commands are also served over RESP2 (GET/SET/INCRBY/DEL/
+// MGET/MSET/PING/INFO and friends), so redis-cli and redis-benchmark
+// can drive the server directly; non-numeric keys and values hash to
+// the integer keyspace. By default each connection's protocol is
+// sniffed from its first byte (RESP framing always leads with '*');
+// WithProto pins a listener to one protocol.
+//
+// Requests decode in pipelined batches (see serve.go and
+// internal/proto): one socket read surfaces every buffered request as
+// one batch, the batch's data commands coalesce into one combined op
+// group handed to the shard pipeline as a single enqueue, and every
+// reply flushes in one write. A client that pipelines N commands pays
+// the protocol and persistence machinery once per burst, not once per
+// command — the paper's procrastinated-persistence shape applied to
+// the network layer.
 //
 // A server can additionally run as a replication primary (streaming
 // every committed batch group to followers) or as a read-only follower
@@ -45,18 +63,17 @@
 package cacheserver
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"net"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tsp/internal/atlas"
+	"tsp/internal/proto"
 	"tsp/internal/repl"
 	"tsp/internal/telemetry"
 )
@@ -93,6 +110,12 @@ type Server struct {
 	replCS       *connState
 	replTel      *telemetry.ReplStats
 	readOnly     atomic.Bool
+
+	// decodedBatch records, per wire protocol, how many requests each
+	// decoder batch carried — the direct measure of how much pipelining
+	// clients actually present and hence how much work each protocol
+	// amortizes per socket read.
+	decodedBatch [telemetry.NumProtocols]telemetry.Histogram
 }
 
 // New builds the sharded storage stacks and starts listening. Call
@@ -255,8 +278,21 @@ func (s *Server) Close() error {
 // connState is one connection's registration with the shards: one lazy
 // Atlas thread per shard, tagged with the shard generation it was
 // registered under so a crash-rebuilt shard triggers re-registration.
+// It also carries the connection's telemetry protocol label and the
+// per-connection scratch arenas the batch-serving path reuses.
 type connState struct {
 	shards []connShard
+
+	// ptel labels this connection's command latency by wire protocol;
+	// the zero value (ProtoInternal) covers non-wire callers such as
+	// the replication applier.
+	ptel telemetry.Protocol
+
+	// Scratch reused across serveBatch calls: the coalesced op group,
+	// the request→span tags, and the reply item arena.
+	ops   []batchOp
+	tags  []cmdTag
+	items []proto.Item
 }
 
 type connShard struct {
@@ -274,32 +310,6 @@ func (s *Server) releaseConn(cs *connState) {
 		if sl.th != nil {
 			s.shards[i].releaseThread(cs)
 		}
-	}
-}
-
-// handle runs one connection's request loop. Responses go through a
-// bounded write buffer: anything beyond the bound spills to the socket
-// as it is produced, so a slow reader stalls only its own handler.
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	r := bufio.NewScanner(conn)
-	w := bufio.NewWriterSize(conn, s.cfg.writeBuf)
-	defer w.Flush()
-
-	cs := s.newConnState()
-	defer s.releaseConn(cs)
-
-	for r.Scan() {
-		line := strings.TrimSpace(r.Text())
-		if line == "" {
-			continue
-		}
-		if strings.EqualFold(line, "quit") {
-			return
-		}
-		w.WriteString(s.dispatch(cs, line))
-		w.WriteString("\r\n")
-		w.Flush()
 	}
 }
 
@@ -347,20 +357,31 @@ func (s *Server) execSync(cs *connState, sh *shard, ops []batchOp) {
 	}
 }
 
-// exec routes ops to their shards and blocks until every result is in:
-// ops are grouped by shard, each group goes to its shard's batch
-// pipeline when it has something to amortize — more than one op, or a
-// drain already in flight to coalesce with — and otherwise runs inline
-// on the synchronous path (flush-on-idle: a lone op on an idle shard
-// pays no goroutine handoff). Groups on distinct shards proceed
-// concurrently — the pipelining the old per-command fan-out provided,
-// now through the shared worker queues.
-// Results land in ops in place. Each touched shard observes the
-// command's end-to-end service time (queueing included) into its
-// per-command latency histogram.
+// exec runs one command's ops through execGroup and observes the
+// command's end-to-end service time (queueing included) into the first
+// touched shard's per-command histogram, labeled with the connection's
+// wire protocol. One observation per command: concurrent shard groups
+// finish together, so elapsed time after the barrier IS the service
+// time on the slowest shard; hosting it on one shard keeps aggregate
+// counts right (a merged view does not care which shard held it).
 func (s *Server) exec(cs *connState, cmd telemetry.Command, ops []batchOp) {
 	start := time.Now()
+	s.execGroup(cs, ops)
+	s.shardOf(ops[0].key).tel.CmdLatency.ObserveProto(cs.ptel, cmd, time.Since(start))
+}
 
+// execGroup routes ops to their shards and blocks until every result
+// is in: ops are grouped by shard, each group goes to its shard's
+// batch pipeline when it has something to amortize — more than one op,
+// or a drain already in flight to coalesce with — and otherwise runs
+// inline on the synchronous path (flush-on-idle: a lone op on an idle
+// shard pays no goroutine handoff). Groups on distinct shards proceed
+// concurrently — the pipelining the old per-command fan-out provided,
+// now through the shared worker queues. A group deeper than one batch
+// may hold (a deeply pipelined burst) is chunked through the pipeline
+// batchMax ops at a time rather than degrading to the per-op
+// synchronous path. Results land in ops in place.
+func (s *Server) execGroup(cs *connState, ops []batchOp) {
 	// On a replicating primary every mutating group must be serialized
 	// through its shard's drain lock — the synchronous path would commit
 	// outside the replication log's order (and never append to it). The
@@ -387,33 +408,16 @@ func (s *Server) exec(cs *connState, cmd telemetry.Command, ops []batchOp) {
 		}
 	}
 	if !multi {
-		var req *batchReq
-		if force || len(ops) > 1 || oneShard.pipelineActive() {
-			req = s.tryEnqueue(oneShard, ops)
-		}
-		switch {
-		case req != nil:
-			// Combining first: if the drain lock is free this goroutine
-			// executes its own batch (plus anything queued alongside)
-			// with no handoff; only a contended drain wakes the worker.
-			if !oneShard.combine(req) {
-				oneShard.ringDoorbell()
-				<-req.done
-			}
-		case force:
-			s.runGroupDirect(oneShard, ops)
-		default:
-			s.execSync(cs, oneShard, ops)
-		}
-		oneShard.tel.CmdLatency.Observe(cmd, time.Since(start))
+		s.execShardChunked(cs, oneShard, ops, force)
 		return
 	}
 
 	type group struct {
-		sh   *shard
-		idxs []int
-		ops  []batchOp
-		req  *batchReq
+		sh    *shard
+		idxs  []int
+		ops   []batchOp
+		req   *batchReq
+		chunk bool
 	}
 	byShard := make([][]int, len(s.shards))
 	for i := range ops {
@@ -430,7 +434,8 @@ func (s *Server) exec(cs *connState, cmd telemetry.Command, ops []batchOp) {
 		for j, i := range idxs {
 			g.ops[j] = ops[i]
 		}
-		if force || len(g.ops) > 1 || g.sh.pipelineActive() {
+		g.chunk = !force && s.cfg.batchMax > 0 && len(g.ops) > s.cfg.batchMax
+		if !g.chunk && (force || len(g.ops) > 1 || g.sh.pipelineActive()) {
 			g.req = s.tryEnqueue(g.sh, g.ops)
 		}
 		if g.req == nil {
@@ -438,18 +443,22 @@ func (s *Server) exec(cs *connState, cmd telemetry.Command, ops []batchOp) {
 		}
 		groups = append(groups, g)
 	}
-	// Synchronous groups run one goroutine per shard, like the old
-	// fan-out; distinct shards mean distinct connState slots, so the
-	// goroutines share nothing mutable. Forced groups the pipeline
-	// rejected keep the drain-lock ordering via runGroupDirect.
+	// Groups the pipeline did not take in one piece run one goroutine
+	// per shard, like the old fan-out; distinct shards mean distinct
+	// connState slots, so the goroutines share nothing mutable. Forced
+	// groups the pipeline rejected keep the drain-lock ordering via
+	// runGroupDirect; oversized groups chunk through the pipeline.
 	var wg sync.WaitGroup
 	for _, g := range syncGroups {
 		wg.Add(1)
 		go func(g *group) {
 			defer wg.Done()
-			if force {
+			switch {
+			case force:
 				s.runGroupDirect(g.sh, g.ops)
-			} else {
+			case g.chunk:
+				s.execShardChunked(cs, g.sh, g.ops, false)
+			default:
 				s.execSync(cs, g.sh, g.ops)
 			}
 		}(g)
@@ -474,42 +483,49 @@ func (s *Server) exec(cs *connState, cmd telemetry.Command, ops []batchOp) {
 			ops[i] = g.ops[j]
 		}
 	}
-	// One observation per command, not per touched shard: the groups ran
-	// concurrently, so the elapsed time measured after the barrier IS the
-	// service time on the slowest shard. (Per-shard op latency still
-	// lands in each shard's OpLatency above.) Hosting it on the first
-	// touched shard keeps aggregate counts right; a merged view does not
-	// care which shard held it.
-	groups[0].sh.tel.CmdLatency.Observe(cmd, time.Since(start))
 }
 
-// execOne runs a single-key command through the batch pipeline and
-// returns its result.
-func (s *Server) execOne(cs *connState, cmd telemetry.Command, op batchOp) batchOp {
-	ops := []batchOp{op}
-	s.exec(cs, cmd, ops)
-	return ops[0]
+// execShardChunked runs one shard's op group, splitting a group deeper
+// than the pipeline's batch cap into batchMax-sized chunks that each
+// ride the pipeline — sequential per shard, so results resolve in op
+// order. The pre-pipeline fallback ran such groups op by op under the
+// shard lock; with pipelined clients routinely presenting hundreds of
+// ops at once, chunking keeps the per-batch persistence amortization.
+func (s *Server) execShardChunked(cs *connState, sh *shard, ops []batchOp, force bool) {
+	max := s.cfg.batchMax
+	if force || max <= 0 || len(ops) <= max {
+		s.execShardGroup(cs, sh, ops, force)
+		return
+	}
+	for off := 0; off < len(ops); off += max {
+		end := off + max
+		if end > len(ops) {
+			end = len(ops)
+		}
+		s.execShardGroup(cs, sh, ops[off:end], false)
+	}
 }
 
-// getOptimistic serves a single get entirely on the lock-free path:
-// no Atlas mutex, no batch pipeline, no connState thread. It reports
-// served=false when the read's retry budget was exhausted (a writer
-// kept the stripe hot) and the caller must fall back to execOne — the
-// locked path is the fair queue under sustained writes.
-func (s *Server) getOptimistic(key uint64) (resp string, served bool) {
-	start := time.Now()
-	sh := s.shardOf(key)
-	val, ok, valid := sh.getOptimistic(key)
-	if !valid {
-		return "", false
+// execShardGroup runs one pipeline-sized op group on one shard.
+func (s *Server) execShardGroup(cs *connState, sh *shard, ops []batchOp, force bool) {
+	var req *batchReq
+	if force || len(ops) > 1 || sh.pipelineActive() {
+		req = s.tryEnqueue(sh, ops)
 	}
-	el := time.Since(start)
-	sh.tel.ReadLatency.Observe(el)
-	sh.tel.CmdLatency.Observe(telemetry.CmdGet, el)
-	if !ok {
-		return "NOT_FOUND", true
+	switch {
+	case req != nil:
+		// Combining first: if the drain lock is free this goroutine
+		// executes its own batch (plus anything queued alongside)
+		// with no handoff; only a contended drain wakes the worker.
+		if !sh.combine(req) {
+			sh.ringDoorbell()
+			<-req.done
+		}
+	case force:
+		s.runGroupDirect(sh, ops)
+	default:
+		s.execSync(cs, sh, ops)
 	}
-	return fmt.Sprintf("VALUE %d %d", key, val), true
 }
 
 // readOptimistic attempts to serve every (pure-get) op on the lock-free
@@ -527,249 +543,6 @@ func (s *Server) readOptimistic(ops []batchOp) (pending []int) {
 		ops[i].val, ops[i].ok = val, ok
 	}
 	return pending
-}
-
-// dispatch executes one command line and returns the response (possibly
-// multi-line, CRLF-separated; the caller appends the final CRLF).
-func (s *Server) dispatch(cs *connState, line string) string {
-	fields := strings.Fields(line)
-	if len(fields) == 0 {
-		return "ERROR empty command"
-	}
-	cmd := strings.ToLower(fields[0])
-	args := fields[1:]
-
-	parse := func(a string) (uint64, error) { return strconv.ParseUint(a, 10, 64) }
-
-	// A replicating follower serves reads only: client mutations would
-	// diverge the copy from the primary's stream, and a local crash
-	// would shed replicated-but-buffered state while the follower's
-	// stream position says it was applied. Promote severs the stream
-	// and lifts the gate.
-	if s.readOnly.Load() {
-		switch cmd {
-		case "set", "incr", "delete", "mset", "crash":
-			return "SERVER_ERROR read-only replica (promote to enable writes)"
-		}
-	}
-
-	switch cmd {
-	case "promote":
-		if s.replFollower == nil {
-			return "CLIENT_ERROR not a replica"
-		}
-		s.replFollower.Stop()
-		s.readOnly.Store(false)
-		return "OK PROMOTED"
-
-	case "crash":
-		// Crash takes shard write locks itself and must not run under a
-		// read lock.
-		switch {
-		case len(args) == 0:
-			if err := s.crashAll(); err != nil {
-				return fmt.Sprintf("SERVER_ERROR recovery failed: %v", err)
-			}
-			return "OK RECOVERED"
-		case len(args) == 1:
-			idx, err := strconv.Atoi(args[0])
-			if err != nil || idx < 0 || idx >= len(s.shards) {
-				return fmt.Sprintf("CLIENT_ERROR shard index out of range [0,%d)", len(s.shards))
-			}
-			if err := s.shards[idx].crashAndRecover(); err != nil {
-				return fmt.Sprintf("SERVER_ERROR recovery failed: %v", err)
-			}
-			return fmt.Sprintf("OK RECOVERED SHARD %d", idx)
-		default:
-			return "CLIENT_ERROR usage: crash [shard]"
-		}
-
-	case "set":
-		if len(args) != 2 {
-			return "CLIENT_ERROR usage: set <key> <value>"
-		}
-		k, err1 := parse(args[0])
-		v, err2 := parse(args[1])
-		if err1 != nil || err2 != nil {
-			return "CLIENT_ERROR keys and values are unsigned integers"
-		}
-		op := s.execOne(cs, telemetry.CmdSet, batchOp{kind: opSet, key: k, arg: v})
-		if op.err != nil {
-			return fmt.Sprintf("SERVER_ERROR %v", op.err)
-		}
-		return "STORED"
-
-	case "get":
-		if len(args) != 1 {
-			return "CLIENT_ERROR usage: get <key>"
-		}
-		k, err := parse(args[0])
-		if err != nil {
-			return "CLIENT_ERROR bad key"
-		}
-		if s.cfg.optimisticReads {
-			if resp, served := s.getOptimistic(k); served {
-				return resp
-			}
-		}
-		op := s.execOne(cs, telemetry.CmdGet, batchOp{kind: opGet, key: k})
-		switch {
-		case op.err != nil:
-			return fmt.Sprintf("SERVER_ERROR %v", op.err)
-		case !op.ok:
-			return "NOT_FOUND"
-		}
-		return fmt.Sprintf("VALUE %d %d", k, op.val)
-
-	case "incr":
-		if len(args) != 2 {
-			return "CLIENT_ERROR usage: incr <key> <delta>"
-		}
-		k, err1 := parse(args[0])
-		d, err2 := parse(args[1])
-		if err1 != nil || err2 != nil {
-			return "CLIENT_ERROR bad arguments"
-		}
-		op := s.execOne(cs, telemetry.CmdIncr, batchOp{kind: opIncr, key: k, arg: d})
-		if op.err != nil {
-			return fmt.Sprintf("SERVER_ERROR %v", op.err)
-		}
-		return strconv.FormatUint(op.val, 10)
-
-	case "delete":
-		if len(args) != 1 {
-			return "CLIENT_ERROR usage: delete <key>"
-		}
-		k, err := parse(args[0])
-		if err != nil {
-			return "CLIENT_ERROR bad key"
-		}
-		op := s.execOne(cs, telemetry.CmdDelete, batchOp{kind: opDelete, key: k})
-		switch {
-		case op.err != nil:
-			return fmt.Sprintf("SERVER_ERROR %v", op.err)
-		case !op.ok:
-			return "NOT_FOUND"
-		}
-		return "DELETED"
-
-	case "mget":
-		if len(args) == 0 {
-			return "CLIENT_ERROR usage: mget <key> ..."
-		}
-		keys := make([]uint64, len(args))
-		for i, a := range args {
-			k, err := parse(a)
-			if err != nil {
-				return "CLIENT_ERROR bad key"
-			}
-			keys[i] = k
-		}
-		return s.mget(cs, keys)
-
-	case "mset":
-		if len(args) == 0 || len(args)%2 != 0 {
-			return "CLIENT_ERROR usage: mset <key> <value> ..."
-		}
-		kv := make([]uint64, len(args))
-		for i, a := range args {
-			n, err := parse(a)
-			if err != nil {
-				return "CLIENT_ERROR keys and values are unsigned integers"
-			}
-			kv[i] = n
-		}
-		return s.mset(cs, kv)
-
-	case "stats":
-		if len(args) == 1 {
-			switch {
-			case strings.EqualFold(args[0], "shards"):
-				return s.statsShards()
-			case strings.EqualFold(args[0], "reset"):
-				return s.statsReset()
-			}
-		}
-		return s.statsAggregate()
-
-	default:
-		return "ERROR unknown command"
-	}
-}
-
-// mget runs a multi-key read and reports results in request order. With
-// optimistic reads on, every key is first attempted on the lock-free
-// path; only the keys whose snapshots kept failing validation re-run
-// through the batch pipeline (a mixed-dispatch command stays exact: the
-// fallback subset takes the same exec machinery as before).
-func (s *Server) mget(cs *connState, keys []uint64) string {
-	start := time.Now()
-	ops := make([]batchOp, len(keys))
-	for i, k := range keys {
-		ops[i] = batchOp{kind: opGet, key: k}
-	}
-	if s.cfg.optimisticReads {
-		pending := s.readOptimistic(ops)
-		if pending == nil {
-			// The whole command completed without a lock: charge its
-			// service time to the lock-free distributions (hosted on the
-			// first key's shard; merged views don't care which).
-			el := time.Since(start)
-			sh := s.shardOf(keys[0])
-			sh.tel.ReadLatency.Observe(el)
-			sh.tel.CmdLatency.Observe(telemetry.CmdMGet, el)
-			return renderMget(ops)
-		}
-		sub := make([]batchOp, len(pending))
-		for j, i := range pending {
-			sub[j] = ops[i]
-		}
-		s.exec(cs, telemetry.CmdMGet, sub)
-		for j, i := range pending {
-			ops[i] = sub[j]
-		}
-		return renderMget(ops)
-	}
-	s.exec(cs, telemetry.CmdMGet, ops)
-	return renderMget(ops)
-}
-
-// renderMget renders an mget response from resolved ops.
-func renderMget(ops []batchOp) string {
-	lines := make([]string, len(ops)+1)
-	for i := range ops {
-		op := &ops[i]
-		switch {
-		case op.err != nil:
-			lines[i] = fmt.Sprintf("SERVER_ERROR %v", op.err)
-		case op.ok:
-			lines[i] = fmt.Sprintf("VALUE %d %d", op.key, op.val)
-		default:
-			lines[i] = fmt.Sprintf("NOT_FOUND %d", op.key)
-		}
-	}
-	lines[len(ops)] = "END"
-	return strings.Join(lines, "\r\n")
-}
-
-// mset runs a multi-key write through the batch pipeline. On success
-// it reports the number of keys stored; any per-key failure is
-// reported instead.
-func (s *Server) mset(cs *connState, kv []uint64) string {
-	n := len(kv) / 2
-	ops := make([]batchOp, n)
-	for i := 0; i < n; i++ {
-		ops[i] = batchOp{kind: opSet, key: kv[2*i], arg: kv[2*i+1]}
-	}
-	s.exec(cs, telemetry.CmdMSet, ops)
-	errs := make([]error, n)
-	for i := range ops {
-		errs[i] = ops[i].err
-	}
-	if err := errors.Join(errs...); err != nil {
-		return fmt.Sprintf("SERVER_ERROR %v", err)
-	}
-	return fmt.Sprintf("STORED %d", n)
 }
 
 // crashAll power-fails and recovers every shard concurrently — the
@@ -796,6 +569,7 @@ type serverView struct {
 	recLat    telemetry.HistogramSnapshot
 	readLat   telemetry.HistogramSnapshot
 	cmdLat    telemetry.CommandLatencySnapshot
+	cmdProto  [telemetry.NumProtocols]telemetry.CommandLatencySnapshot
 	batchSize telemetry.HistogramSnapshot
 }
 
@@ -810,6 +584,9 @@ func (s *Server) aggregateViews() serverView {
 		v.recLat.Merge(sv.recLat)
 		v.readLat.Merge(sv.readLat)
 		v.cmdLat.Merge(sv.cmdLat)
+		for p := range sv.cmdProto {
+			v.cmdProto[p].Merge(sv.cmdProto[p])
+		}
 		v.batchSize.Merge(sv.batchSize)
 	}
 	return v
@@ -822,6 +599,9 @@ func (s *Server) aggregateViews() serverView {
 func (s *Server) statsReset() string {
 	for _, sh := range s.shards {
 		sh.tel.Reset()
+	}
+	for p := range s.decodedBatch {
+		s.decodedBatch[p].Reset()
 	}
 	s.replTel.Reset()
 	return "RESET"
@@ -872,6 +652,25 @@ func (s *Server) statsAggregate() string {
 		fmt.Fprintf(&b, "STAT cmd_%s_count %d\r\n", c, cl.Count())
 		fmt.Fprintf(&b, "STAT cmd_%s_p50_us %.1f\r\n", c, us(cl.Quantile(0.50)))
 		fmt.Fprintf(&b, "STAT cmd_%s_p99_us %.1f\r\n", c, us(cl.Quantile(0.99)))
+	}
+	// Per-protocol surfaces: how commands split across wire codecs, and
+	// how many requests each decoded batch carried (the pipelining depth
+	// clients actually present).
+	for _, p := range telemetry.Protocols() {
+		for _, c := range telemetry.Commands() {
+			cl := v.cmdProto[p][c]
+			if cl.Count() == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "STAT proto_%s_cmd_%s_count %d\r\n", p, c, cl.Count())
+		}
+		db := s.decodedBatch[p].Snapshot()
+		if db.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "STAT proto_%s_decoded_batches %d\r\n", p, db.Count())
+		fmt.Fprintf(&b, "STAT proto_%s_decoded_batch_p50 %d\r\n", p, uint64(db.Quantile(0.50)))
+		fmt.Fprintf(&b, "STAT proto_%s_decoded_batch_max %d\r\n", p, uint64(db.Max()))
 	}
 	if role := s.replRole(); role != "" {
 		fmt.Fprintf(&b, "STAT repl_role %s\r\n", role)

@@ -207,6 +207,7 @@ type shardView struct {
 	recLat    telemetry.HistogramSnapshot
 	readLat   telemetry.HistogramSnapshot
 	cmdLat    telemetry.CommandLatencySnapshot
+	cmdProto  [telemetry.NumProtocols]telemetry.CommandLatencySnapshot
 	batchSize telemetry.HistogramSnapshot
 }
 
@@ -222,6 +223,7 @@ func (sh *shard) view() shardView {
 		recLat:    sh.tel.RecoveryLatency.Snapshot(),
 		readLat:   sh.tel.ReadLatency.Snapshot(),
 		cmdLat:    sh.tel.CmdLatency.SnapshotAll(),
+		cmdProto:  sh.tel.CmdLatency.SnapshotAllByProto(),
 		batchSize: sh.tel.BatchSize.Snapshot(),
 	}
 }

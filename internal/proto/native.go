@@ -1,0 +1,375 @@
+package proto
+
+import "bytes"
+
+// Native is the server's original line-oriented text protocol, kept
+// wire-compatible with the pre-codec server: the same commands, the
+// same reply spellings, the same error strings. One request is one
+// CRLF (or LF) terminated line; fields are space/tab separated; keys
+// and values are unsigned decimal integers.
+type Native struct{}
+
+// Name returns the protocol's telemetry label.
+func (Native) Name() string { return "native" }
+
+// nativeSep reports whether c separates fields (the ASCII subset of
+// strings.Fields' separators — the protocol is ASCII).
+func nativeSep(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f'
+}
+
+// fields iterates a line's whitespace-separated tokens without
+// allocating.
+type fields struct{ b []byte }
+
+// next returns the next token, or nil when the line is exhausted.
+func (f *fields) next() []byte {
+	for len(f.b) > 0 && nativeSep(f.b[0]) {
+		f.b = f.b[1:]
+	}
+	if len(f.b) == 0 {
+		return nil
+	}
+	j := 0
+	for j < len(f.b) && !nativeSep(f.b[j]) {
+		j++
+	}
+	t := f.b[:j]
+	f.b = f.b[j:]
+	return t
+}
+
+// reset clears a request slot for reuse, keeping KV's backing array.
+func (r *Request) reset() {
+	r.Cmd = CmdNone
+	r.KV = r.KV[:0]
+	r.Stats = StatsAggregate
+	r.Shard = 0
+	r.HasShard = false
+	r.Bad = KNone
+	r.BadMsg = ""
+}
+
+// bad marks the request malformed with the error reply to answer.
+func (r *Request) bad(kind Kind, msg string) {
+	r.Cmd = CmdBad
+	r.Bad = kind
+	r.BadMsg = msg
+}
+
+// Parse decodes the first complete line in buf. Whitespace-only lines
+// decode as CmdNone (consumed silently, like the old handler's empty-
+// line skip); malformed commands decode as CmdBad carrying the
+// pre-codec error strings.
+func (Native) Parse(buf []byte, req *Request) (int, error) {
+	i := bytes.IndexByte(buf, '\n')
+	if i < 0 {
+		return 0, nil
+	}
+	n := i + 1
+	req.reset()
+	f := fields{b: buf[:i]}
+	cmd := f.next()
+	if cmd == nil {
+		return n, nil
+	}
+	parseNativeCommand(cmd, &f, req)
+	return n, nil
+}
+
+// ParseEOF decodes trailing bytes at EOF as a final unterminated line
+// — the same grace bufio.Scanner extended the old handler.
+func (Native) ParseEOF(buf []byte, req *Request) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	req.reset()
+	f := fields{b: buf}
+	if cmd := f.next(); cmd != nil {
+		parseNativeCommand(cmd, &f, req)
+	}
+	return len(buf), nil
+}
+
+// parseNativeCommand decodes one tokenized command line into req. It
+// is shared with the RESP adapter's inline-command form.
+func parseNativeCommand(cmd []byte, f *fields, req *Request) {
+	switch {
+	case eqFold(cmd, "get"):
+		k := f.next()
+		if k == nil || f.next() != nil {
+			req.bad(KErrClient, "usage: get <key>")
+			return
+		}
+		v, ok := parseUint64(k)
+		if !ok {
+			req.bad(KErrClient, "bad key")
+			return
+		}
+		req.Cmd = CmdGet
+		req.KV = append(req.KV, v)
+
+	case eqFold(cmd, "set"):
+		k, val := f.next(), f.next()
+		if k == nil || val == nil || f.next() != nil {
+			req.bad(KErrClient, "usage: set <key> <value>")
+			return
+		}
+		kn, ok1 := parseUint64(k)
+		vn, ok2 := parseUint64(val)
+		if !ok1 || !ok2 {
+			req.bad(KErrClient, "keys and values are unsigned integers")
+			return
+		}
+		req.Cmd = CmdSet
+		req.KV = append(req.KV, kn, vn)
+
+	case eqFold(cmd, "incr"):
+		k, d := f.next(), f.next()
+		if k == nil || d == nil || f.next() != nil {
+			req.bad(KErrClient, "usage: incr <key> <delta>")
+			return
+		}
+		kn, ok1 := parseUint64(k)
+		dn, ok2 := parseUint64(d)
+		if !ok1 || !ok2 {
+			req.bad(KErrClient, "bad arguments")
+			return
+		}
+		req.Cmd = CmdIncr
+		req.KV = append(req.KV, kn, dn)
+
+	case eqFold(cmd, "delete"):
+		k := f.next()
+		if k == nil || f.next() != nil {
+			req.bad(KErrClient, "usage: delete <key>")
+			return
+		}
+		v, ok := parseUint64(k)
+		if !ok {
+			req.bad(KErrClient, "bad key")
+			return
+		}
+		req.Cmd = CmdDelete
+		req.KV = append(req.KV, v)
+
+	case eqFold(cmd, "mget"):
+		for t := f.next(); t != nil; t = f.next() {
+			v, ok := parseUint64(t)
+			if !ok {
+				req.bad(KErrClient, "bad key")
+				return
+			}
+			req.KV = append(req.KV, v)
+		}
+		if len(req.KV) == 0 {
+			req.bad(KErrClient, "usage: mget <key> ...")
+			return
+		}
+		req.Cmd = CmdMGet
+
+	case eqFold(cmd, "mset"):
+		for t := f.next(); t != nil; t = f.next() {
+			v, ok := parseUint64(t)
+			if !ok {
+				req.bad(KErrClient, "keys and values are unsigned integers")
+				return
+			}
+			req.KV = append(req.KV, v)
+		}
+		if len(req.KV) == 0 || len(req.KV)%2 != 0 {
+			req.bad(KErrClient, "usage: mset <key> <value> ...")
+			return
+		}
+		req.Cmd = CmdMSet
+
+	case eqFold(cmd, "stats"):
+		req.Cmd = CmdStats
+		arg := f.next()
+		if arg != nil && f.next() == nil {
+			switch {
+			case eqFold(arg, "shards"):
+				req.Stats = StatsShards
+			case eqFold(arg, "reset"):
+				req.Stats = StatsReset
+			}
+		}
+
+	case eqFold(cmd, "crash"):
+		arg := f.next()
+		switch {
+		case arg == nil:
+			req.Cmd = CmdCrash
+		case f.next() == nil:
+			req.Cmd = CmdCrash
+			req.HasShard = true
+			req.Shard = parseShard(arg)
+		default:
+			req.bad(KErrClient, "usage: crash [shard]")
+		}
+
+	case eqFold(cmd, "promote"):
+		req.Cmd = CmdPromote
+
+	case eqFold(cmd, "ping"):
+		req.Cmd = CmdPing
+
+	case eqFold(cmd, "quit"):
+		if f.next() != nil {
+			req.bad(KErrProto, "unknown command")
+			return
+		}
+		req.Cmd = CmdQuit
+
+	default:
+		req.bad(KErrProto, "unknown command")
+	}
+}
+
+// parseShard parses a signed shard index; anything unparseable maps to
+// -1, which fails the server's range check with the same error an
+// explicit -1 does (matching the old strconv.Atoi behavior).
+func parseShard(b []byte) int {
+	neg := false
+	if len(b) > 0 && (b[0] == '-' || b[0] == '+') {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	v, ok := parseUint64(b)
+	if !ok || v > 1<<31 {
+		return -1
+	}
+	if neg {
+		return -int(v)
+	}
+	return int(v)
+}
+
+// Encode appends rep's native-text form — one or more CRLF-terminated
+// lines — to dst.
+func (Native) Encode(dst []byte, rep *Reply) []byte {
+	switch rep.Kind {
+	case KNone, KQuit:
+		return dst
+	case KStored:
+		return append(dst, "STORED\r\n"...)
+	case KStoredN:
+		dst = append(dst, "STORED "...)
+		dst = appendUint(dst, uint64(rep.N))
+		return append(dst, '\r', '\n')
+	case KValue:
+		dst = append(dst, "VALUE "...)
+		dst = appendUint(dst, rep.Key)
+		dst = append(dst, ' ')
+		dst = appendUint(dst, rep.Val)
+		return append(dst, '\r', '\n')
+	case KNotFound:
+		return append(dst, "NOT_FOUND\r\n"...)
+	case KInt:
+		dst = appendUint(dst, rep.Val)
+		return append(dst, '\r', '\n')
+	case KDelete:
+		for _, it := range rep.Items {
+			if it.Found {
+				dst = append(dst, "DELETED\r\n"...)
+			} else {
+				dst = append(dst, "NOT_FOUND\r\n"...)
+			}
+		}
+		return dst
+	case KMGet:
+		for _, it := range rep.Items {
+			if it.Found {
+				dst = append(dst, "VALUE "...)
+				dst = appendUint(dst, it.Key)
+				dst = append(dst, ' ')
+				dst = appendUint(dst, it.Val)
+			} else {
+				dst = append(dst, "NOT_FOUND "...)
+				dst = appendUint(dst, it.Key)
+			}
+			dst = append(dst, '\r', '\n')
+		}
+		return append(dst, "END\r\n"...)
+	case KRaw:
+		dst = append(dst, rep.Msg...)
+		return append(dst, '\r', '\n')
+	case KPong:
+		return append(dst, "PONG\r\n"...)
+	case KEmpty:
+		return append(dst, "END\r\n"...)
+	case KErrClient:
+		dst = append(dst, "CLIENT_ERROR "...)
+		dst = append(dst, rep.Msg...)
+		return append(dst, '\r', '\n')
+	case KErrServer:
+		dst = append(dst, "SERVER_ERROR "...)
+		dst = append(dst, rep.Msg...)
+		return append(dst, '\r', '\n')
+	default: // KErrProto and anything unmapped
+		dst = append(dst, "ERROR "...)
+		dst = append(dst, rep.Msg...)
+		return append(dst, '\r', '\n')
+	}
+}
+
+// Resync skips to the next line boundary: everything up to and
+// including the next LF belongs to the abandoned oversized request.
+func (Native) Resync(buf []byte) (int, ResyncState) {
+	if i := bytes.IndexByte(buf, '\n'); i >= 0 {
+		return i + 1, ResyncDone
+	}
+	return len(buf), ResyncMore
+}
+
+// AppendRequest appends req's native wire form (one CRLF-terminated
+// line) to dst — the client side of the protocol, used by benchmarks,
+// examples and round-trip tests. Requests a client cannot express
+// (CmdNone, CmdBad) append nothing.
+func (Native) AppendRequest(dst []byte, req *Request) []byte {
+	var name string
+	switch req.Cmd {
+	case CmdGet:
+		name = "get"
+	case CmdSet:
+		name = "set"
+	case CmdIncr:
+		name = "incr"
+	case CmdDelete:
+		name = "delete"
+	case CmdMGet:
+		name = "mget"
+	case CmdMSet:
+		name = "mset"
+	case CmdStats:
+		name = "stats"
+	case CmdCrash:
+		name = "crash"
+	case CmdPromote:
+		name = "promote"
+	case CmdPing:
+		name = "ping"
+	case CmdQuit:
+		name = "quit"
+	default:
+		return dst
+	}
+	dst = append(dst, name...)
+	for _, v := range req.KV {
+		dst = append(dst, ' ')
+		dst = appendUint(dst, v)
+	}
+	if req.Cmd == CmdStats {
+		switch req.Stats {
+		case StatsShards:
+			dst = append(dst, " shards"...)
+		case StatsReset:
+			dst = append(dst, " reset"...)
+		}
+	}
+	if req.Cmd == CmdCrash && req.HasShard {
+		dst = append(dst, ' ')
+		dst = appendUint(dst, uint64(req.Shard))
+	}
+	return append(dst, '\r', '\n')
+}

@@ -1,0 +1,294 @@
+// Package proto is the cache server's wire codec: a typed
+// request/reply representation, a pipelined Decoder that drains many
+// requests per socket read into one request batch, a staging Encoder
+// that answers a whole decoded batch with one batched write, and an
+// Adapter seam that keeps the framing/syntax of a concrete protocol
+// (the native text protocol, RESP2) out of the server's execution
+// path.
+//
+// The design goal is the same procrastination argument the storage
+// stack is built on, applied to the network layer: persistence cost is
+// cheapest paid in bulk, and so is protocol cost. A client that
+// pipelines N commands into one TCP segment used to be served as N
+// scanner iterations, N string dispatches and N small writes; with
+// this codec the N commands surface as ONE []Request group, execute as
+// ONE enqueue into the shard batch pipeline (bigger flat-combined
+// groups, fewer doorbell wakeups), and answer with ONE write. On the
+// hot path nothing is converted to a string: keys and values are
+// parsed straight from the read buffer into uint64s, and replies are
+// appended to a reusable staging buffer with strconv.Append-style
+// helpers.
+//
+// A Request returned by Decoder.Next is valid until the next call to
+// Next: its KV slice aliases a per-decoder arena that the next decode
+// reuses. Callers that need a request to outlive the batch must copy
+// it.
+package proto
+
+import "errors"
+
+// Cmd identifies a decoded command, independent of which protocol
+// carried it.
+type Cmd uint8
+
+// The command set. Native text and RESP both map into this one enum;
+// commands a protocol does not define simply never decode from it.
+const (
+	// CmdNone marks a consumed-but-empty input (a blank line); the
+	// server skips it without replying.
+	CmdNone Cmd = iota
+	// CmdGet reads one key: KV[0].
+	CmdGet
+	// CmdSet stores KV[1] under KV[0].
+	CmdSet
+	// CmdIncr adds KV[1] to KV[0], creating it at the delta if absent.
+	CmdIncr
+	// CmdDelete removes each key in KV (native carries exactly one;
+	// RESP's DEL accepts several).
+	CmdDelete
+	// CmdMGet reads every key in KV, preserving request order.
+	CmdMGet
+	// CmdMSet stores KV[2i+1] under KV[2i] for each pair.
+	CmdMSet
+	// CmdStats requests the telemetry view selected by Request.Stats.
+	CmdStats
+	// CmdCrash power-fails one shard (Request.HasShard) or all of them.
+	CmdCrash
+	// CmdPromote severs replication on a follower.
+	CmdPromote
+	// CmdPing asks for a liveness reply.
+	CmdPing
+	// CmdInfo asks for the server info text (RESP's INFO).
+	CmdInfo
+	// CmdCommand is RESP's COMMAND introspection; answered with an
+	// empty array so redis-cli connects cleanly.
+	CmdCommand
+	// CmdQuit closes the connection after any staged replies flush.
+	CmdQuit
+	// CmdBad is a recognized-but-malformed request; Bad/BadMsg carry
+	// the error reply the server must answer with.
+	CmdBad
+)
+
+// StatsSub selects a stats variant.
+type StatsSub uint8
+
+// The stats variants of the native protocol.
+const (
+	// StatsAggregate is the whole-server merged view.
+	StatsAggregate StatsSub = iota
+	// StatsShards is the per-shard breakdown.
+	StatsShards
+	// StatsReset zeroes counters and histograms.
+	StatsReset
+)
+
+// Request is one decoded command. It is protocol-neutral: every
+// argument is already parsed to its numeric form, so the execution
+// path never touches wire bytes or allocates per-command strings.
+type Request struct {
+	// Cmd is the decoded command.
+	Cmd Cmd
+
+	// KV holds the numeric arguments in wire order: keys for
+	// Get/MGet/Delete, key/value pairs for Set/MSet, key then delta
+	// for Incr. It aliases the decoder's arena and is only valid until
+	// the next Decoder.Next call.
+	KV []uint64
+
+	// Stats selects the stats variant when Cmd == CmdStats.
+	Stats StatsSub
+
+	// Shard is the crash target when Cmd == CmdCrash and HasShard is
+	// set; an unparseable target decodes as -1 so the server's
+	// range check produces the usual error.
+	Shard int
+
+	// HasShard reports whether a crash request named a shard.
+	HasShard bool
+
+	// Bad is the error class to answer with when Cmd == CmdBad
+	// (KErrClient, KErrServer or KErrProto).
+	Bad Kind
+
+	// BadMsg is the error text to answer with when Cmd == CmdBad.
+	BadMsg string
+}
+
+// Kind classifies a Reply for the adapter that encodes it.
+type Kind uint8
+
+// The reply kinds. Each adapter renders every kind in its own wire
+// syntax; the server never formats protocol text itself.
+const (
+	// KNone encodes nothing (a skipped request).
+	KNone Kind = iota
+	// KStored acknowledges one set.
+	KStored
+	// KStoredN acknowledges a multi-set of Reply.N pairs.
+	KStoredN
+	// KValue is a get hit: Reply.Key holds Reply.Val.
+	KValue
+	// KNotFound is a get miss.
+	KNotFound
+	// KInt is a bare integer result (incr).
+	KInt
+	// KDelete reports per-key delete outcomes in Reply.Items.
+	KDelete
+	// KMGet reports a multi-get's per-key outcomes in Reply.Items.
+	KMGet
+	// KRaw is pre-rendered text (stats, info, admin acknowledgements)
+	// in Reply.Msg; native emits it verbatim, RESP as one bulk string.
+	KRaw
+	// KPong answers a ping.
+	KPong
+	// KEmpty is an empty result set (RESP's COMMAND).
+	KEmpty
+	// KQuit acknowledges a quit; native stays silent, RESP says +OK.
+	KQuit
+	// KErrClient is a malformed-request error (Reply.Msg).
+	KErrClient
+	// KErrServer is an execution error (Reply.Msg).
+	KErrServer
+	// KErrProto is a protocol-level error (Reply.Msg).
+	KErrProto
+)
+
+// Item is one key's outcome inside a multi-key reply.
+type Item struct {
+	// Key is the key the outcome belongs to.
+	Key uint64
+	// Val is the value read (meaningful only when Found).
+	Val uint64
+	// Found reports whether the key existed.
+	Found bool
+}
+
+// Reply is one typed response. The server fills exactly one Reply per
+// Request (KNone for requests that answer nothing) and the connection's
+// adapter encodes it.
+type Reply struct {
+	// Kind selects the encoding.
+	Kind Kind
+	// Key is the key a KValue reply echoes.
+	Key uint64
+	// Val is the value of a KValue or KInt reply.
+	Val uint64
+	// N is the pair count a KStoredN reply reports.
+	N int
+	// Items carries per-key outcomes for KMGet and KDelete.
+	Items []Item
+	// Msg carries the text of KRaw and error replies.
+	Msg string
+}
+
+// ResyncState reports how an adapter's Resync attempt went.
+type ResyncState uint8
+
+// Resync outcomes.
+const (
+	// ResyncMore means the junk continues past the buffer; feed more.
+	ResyncMore ResyncState = iota
+	// ResyncDone means the stream is aligned on a request boundary.
+	ResyncDone
+	// ResyncFatal means the protocol cannot resynchronize; the
+	// connection must close once staged replies have flushed.
+	ResyncFatal
+)
+
+// Adapter is the protocol seam: everything the codec needs to know
+// about one concrete wire protocol. Implementations must be stateless
+// (all parse state lives in the Decoder's buffer), so one value can
+// serve every connection.
+type Adapter interface {
+	// Name is the protocol's telemetry label ("native", "resp").
+	Name() string
+
+	// Parse decodes the first complete request in buf into req and
+	// returns the bytes consumed. n == 0 with a nil error means the
+	// request is incomplete and more bytes are needed. A non-nil error
+	// means the stream is unrecoverably out of sync (the decoder
+	// answers a protocol error and closes). Malformed-but-framed input
+	// must instead decode as CmdBad with the error reply attached, so
+	// the connection survives it.
+	Parse(buf []byte, req *Request) (n int, err error)
+
+	// Encode appends rep's wire form to dst and returns the extended
+	// slice.
+	Encode(dst []byte, rep *Reply) []byte
+
+	// Resync consumes bytes of an abandoned oversized request until
+	// the next request boundary. It returns how many bytes of buf it
+	// consumed and whether the stream is aligned again.
+	Resync(buf []byte) (n int, state ResyncState)
+}
+
+// ErrDesync is returned by Decoder.Next once the stream cannot be
+// parsed further (a RESP framing error, or an oversized request on a
+// protocol that cannot skip it). The error reply explaining why was
+// already delivered in the preceding batch.
+var ErrDesync = errors.New("proto: protocol stream out of sync")
+
+// parseUint64 parses an unsigned decimal from b with overflow
+// checking, allocation-free. ok is false for empty input, a non-digit,
+// or overflow — the same inputs strconv.ParseUint rejects.
+func parseUint64(b []byte) (v uint64, ok bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if v > (1<<64-1)/10 || (v == (1<<64-1)/10 && d > (1<<64-1)%10) {
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	return v, true
+}
+
+// appendUint appends v in decimal to dst without allocating.
+func appendUint(dst []byte, v uint64) []byte {
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(dst, tmp[i:]...)
+}
+
+// eqFold reports whether b equals the ASCII string s ignoring case.
+// s must be lowercase.
+func eqFold(b []byte, s string) bool {
+	if len(b) != len(s) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fnv1a hashes arbitrary key/value bytes to the server's uint64
+// keyspace (the RESP adapter's escape hatch for non-numeric keys).
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,539 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+)
+
+// RESP is a RESP2 adapter: enough of the Redis serialization protocol
+// that redis-cli and redis-benchmark drive the server directly
+// (GET/SET/MGET/MSET/INCR/INCRBY/DEL/PING/INFO/COMMAND/QUIT), plus the
+// server's own admin verbs (STATS/CRASH/PROMOTE) as extensions. The
+// store's keyspace is uint64→uint64, so decimal arguments are used
+// verbatim and anything non-numeric is mapped through FNV-1a — stable,
+// so SET then GET of the same text key round-trips.
+type RESP struct{}
+
+// Name returns the protocol's telemetry label.
+func (RESP) Name() string { return "resp" }
+
+// RESP parse errors; any of them tears the connection down, since a
+// framing error leaves no request boundary to recover to.
+var (
+	errIncomplete  = errors.New("resp: incomplete")
+	errBadHeader   = errors.New("RESP protocol error: bad header")
+	errExpectBulk  = errors.New("RESP protocol error: expected bulk string")
+	errBadBulkLen  = errors.New("RESP protocol error: bad bulk length")
+	errBadBulkTerm = errors.New("RESP protocol error: bad bulk terminator")
+)
+
+// respHeaderMax bounds a "*<n>\r\n" / "$<n>\r\n" header; anything
+// longer without a newline is garbage, not a slow client.
+const respHeaderMax = 32
+
+// respArrayMax caps declared array and bulk lengths — far above any
+// legitimate request, far below an allocation-as-a-service attack.
+const respArrayMax = 1 << 26
+
+// respLen parses a "<type><decimal>\r\n" header at buf[0]. n == 0 with
+// a nil error means more bytes are needed.
+func respLen(buf []byte) (v int, n int, err error) {
+	i := bytes.IndexByte(buf, '\n')
+	if i < 0 {
+		if len(buf) > respHeaderMax {
+			return 0, 0, errBadHeader
+		}
+		return 0, 0, nil
+	}
+	line := buf[1:i]
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	u, ok := parseUint64(line)
+	if !ok || u > respArrayMax {
+		return 0, 0, errBadHeader
+	}
+	return int(u), i + 1, nil
+}
+
+// respBulk parses one "$<len>\r\n<payload>\r\n" element.
+func respBulk(buf []byte) (payload []byte, n int, err error) {
+	if len(buf) == 0 {
+		return nil, 0, errIncomplete
+	}
+	if buf[0] != '$' {
+		return nil, 0, errExpectBulk
+	}
+	ln, hdr, err := respLen(buf)
+	if err != nil {
+		if err == errBadHeader {
+			err = errBadBulkLen
+		}
+		return nil, 0, err
+	}
+	if hdr == 0 {
+		return nil, 0, errIncomplete
+	}
+	total := hdr + ln + 2
+	if len(buf) < total {
+		return nil, 0, errIncomplete
+	}
+	if buf[hdr+ln] != '\r' || buf[hdr+ln+1] != '\n' {
+		return nil, 0, errBadBulkTerm
+	}
+	return buf[hdr : hdr+ln], total, nil
+}
+
+// respArgs streams a request's arguments without materializing an
+// argv slice: array mode walks bulk elements, inline mode walks
+// whitespace tokens.
+type respArgs struct {
+	inline *fields
+	buf    []byte
+	pos    int
+	left   int
+}
+
+// next returns the next argument, nil when exhausted, or an error
+// (errIncomplete when the stream needs more bytes).
+func (a *respArgs) next() ([]byte, error) {
+	if a.inline != nil {
+		return a.inline.next(), nil
+	}
+	if a.left == 0 {
+		return nil, nil
+	}
+	payload, n, err := respBulk(a.buf[a.pos:])
+	if err != nil {
+		return nil, err
+	}
+	a.pos += n
+	a.left--
+	return payload, nil
+}
+
+// drain consumes any remaining arguments so the stream stays aligned
+// after an arity error.
+func (a *respArgs) drain() error {
+	for {
+		t, err := a.next()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			return nil
+		}
+	}
+}
+
+// Parse decodes one RESP request: an array of bulk strings, or an
+// inline command line (redis-cli's fallback syntax, which also lets a
+// RESP listener speak the native command set one line at a time).
+func (r RESP) Parse(buf []byte, req *Request) (int, error) {
+	if len(buf) == 0 {
+		return 0, nil
+	}
+	req.reset()
+	if buf[0] != '*' {
+		i := bytes.IndexByte(buf, '\n')
+		if i < 0 {
+			return 0, nil
+		}
+		n := i + 1
+		f := fields{b: buf[:i]}
+		cmd := f.next()
+		if cmd == nil {
+			return n, nil
+		}
+		st := respArgs{inline: &f}
+		if err := parseRESPCommand(cmd, &st, req); err != nil {
+			return 0, err
+		}
+		return n, nil
+	}
+	count, hdr, err := respLen(buf)
+	if err != nil {
+		return 0, err
+	}
+	if hdr == 0 {
+		return 0, nil
+	}
+	if count == 0 {
+		return hdr, nil // empty array: no-op
+	}
+	st := respArgs{buf: buf, pos: hdr, left: count}
+	cmd, err := st.next()
+	if err != nil {
+		if err == errIncomplete {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if err := parseRESPCommand(cmd, &st, req); err != nil {
+		if err == errIncomplete {
+			return 0, nil
+		}
+		return 0, err
+	}
+	return st.pos, nil
+}
+
+// numOrHash maps an argument to the store's uint64 domain: decimal
+// text is used verbatim, anything else hashes through FNV-1a.
+func numOrHash(b []byte) uint64 {
+	if v, ok := parseUint64(b); ok {
+		return v
+	}
+	return fnv1a(b)
+}
+
+// wrongArgs marks req with redis's arity-error wording after draining
+// the remaining arguments.
+func wrongArgs(st *respArgs, req *Request, name string) error {
+	if err := st.drain(); err != nil {
+		return err
+	}
+	req.bad(KErrClient, "wrong number of arguments for '"+name+"' command")
+	return nil
+}
+
+// parseRESPCommand decodes one command and its streamed arguments.
+func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
+	switch {
+	case eqFold(cmd, "get"):
+		k, err := st.next()
+		if err != nil {
+			return err
+		}
+		if k == nil {
+			return wrongArgs(st, req, "get")
+		}
+		if extra, err := st.next(); err != nil {
+			return err
+		} else if extra != nil {
+			return wrongArgs(st, req, "get")
+		}
+		req.Cmd = CmdGet
+		req.KV = append(req.KV, numOrHash(k))
+
+	case eqFold(cmd, "set"):
+		k, err := st.next()
+		if err != nil {
+			return err
+		}
+		v, err := st.next()
+		if err != nil {
+			return err
+		}
+		if k == nil || v == nil {
+			return wrongArgs(st, req, "set")
+		}
+		if extra, err := st.next(); err != nil {
+			return err
+		} else if extra != nil {
+			return wrongArgs(st, req, "set")
+		}
+		req.Cmd = CmdSet
+		req.KV = append(req.KV, numOrHash(k), numOrHash(v))
+
+	case eqFold(cmd, "incr"):
+		k, err := st.next()
+		if err != nil {
+			return err
+		}
+		if k == nil {
+			return wrongArgs(st, req, "incr")
+		}
+		if extra, err := st.next(); err != nil {
+			return err
+		} else if extra != nil {
+			return wrongArgs(st, req, "incr")
+		}
+		req.Cmd = CmdIncr
+		req.KV = append(req.KV, numOrHash(k), 1)
+
+	case eqFold(cmd, "incrby"):
+		k, err := st.next()
+		if err != nil {
+			return err
+		}
+		d, err := st.next()
+		if err != nil {
+			return err
+		}
+		if k == nil || d == nil {
+			return wrongArgs(st, req, "incrby")
+		}
+		if extra, err := st.next(); err != nil {
+			return err
+		} else if extra != nil {
+			return wrongArgs(st, req, "incrby")
+		}
+		dn, ok := parseUint64(d)
+		if !ok {
+			req.bad(KErrClient, "value is not an integer or out of range")
+			return nil
+		}
+		req.Cmd = CmdIncr
+		req.KV = append(req.KV, numOrHash(k), dn)
+
+	case eqFold(cmd, "del"):
+		for {
+			k, err := st.next()
+			if err != nil {
+				return err
+			}
+			if k == nil {
+				break
+			}
+			req.KV = append(req.KV, numOrHash(k))
+		}
+		if len(req.KV) == 0 {
+			req.bad(KErrClient, "wrong number of arguments for 'del' command")
+			return nil
+		}
+		req.Cmd = CmdDelete
+
+	case eqFold(cmd, "mget"):
+		for {
+			k, err := st.next()
+			if err != nil {
+				return err
+			}
+			if k == nil {
+				break
+			}
+			req.KV = append(req.KV, numOrHash(k))
+		}
+		if len(req.KV) == 0 {
+			req.bad(KErrClient, "wrong number of arguments for 'mget' command")
+			return nil
+		}
+		req.Cmd = CmdMGet
+
+	case eqFold(cmd, "mset"):
+		for {
+			k, err := st.next()
+			if err != nil {
+				return err
+			}
+			if k == nil {
+				break
+			}
+			req.KV = append(req.KV, numOrHash(k))
+		}
+		if len(req.KV) == 0 || len(req.KV)%2 != 0 {
+			req.bad(KErrClient, "wrong number of arguments for 'mset' command")
+			return nil
+		}
+		req.Cmd = CmdMSet
+
+	case eqFold(cmd, "ping"):
+		if err := st.drain(); err != nil {
+			return err
+		}
+		req.Cmd = CmdPing
+
+	case eqFold(cmd, "info"):
+		if err := st.drain(); err != nil {
+			return err
+		}
+		req.Cmd = CmdInfo
+
+	case eqFold(cmd, "command"):
+		if err := st.drain(); err != nil {
+			return err
+		}
+		req.Cmd = CmdCommand
+
+	case eqFold(cmd, "quit"):
+		if err := st.drain(); err != nil {
+			return err
+		}
+		req.Cmd = CmdQuit
+
+	case eqFold(cmd, "stats"):
+		arg, err := st.next()
+		if err != nil {
+			return err
+		}
+		if err := st.drain(); err != nil {
+			return err
+		}
+		req.Cmd = CmdStats
+		if arg != nil {
+			switch {
+			case eqFold(arg, "shards"):
+				req.Stats = StatsShards
+			case eqFold(arg, "reset"):
+				req.Stats = StatsReset
+			}
+		}
+
+	case eqFold(cmd, "crash"):
+		arg, err := st.next()
+		if err != nil {
+			return err
+		}
+		if err := st.drain(); err != nil {
+			return err
+		}
+		req.Cmd = CmdCrash
+		if arg != nil {
+			req.HasShard = true
+			req.Shard = parseShard(arg)
+		}
+
+	case eqFold(cmd, "promote"):
+		if err := st.drain(); err != nil {
+			return err
+		}
+		req.Cmd = CmdPromote
+
+	default:
+		if err := st.drain(); err != nil {
+			return err
+		}
+		req.bad(KErrClient, "unknown command")
+	}
+	return nil
+}
+
+// appendBulkUint appends v as a RESP bulk string of decimal digits.
+func appendBulkUint(dst []byte, v uint64) []byte {
+	var tmp [20]byte
+	s := appendUint(tmp[:0], v)
+	dst = append(dst, '$')
+	dst = appendUint(dst, uint64(len(s)))
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, s...)
+	return append(dst, '\r', '\n')
+}
+
+// appendBulkStr appends s as a RESP bulk string.
+func appendBulkStr(dst []byte, s string) []byte {
+	dst = append(dst, '$')
+	dst = appendUint(dst, uint64(len(s)))
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, s...)
+	return append(dst, '\r', '\n')
+}
+
+// Encode appends rep's RESP2 form to dst.
+func (RESP) Encode(dst []byte, rep *Reply) []byte {
+	switch rep.Kind {
+	case KNone:
+		return dst
+	case KStored, KStoredN, KQuit:
+		return append(dst, "+OK\r\n"...)
+	case KValue:
+		return appendBulkUint(dst, rep.Val)
+	case KNotFound:
+		return append(dst, "$-1\r\n"...)
+	case KInt:
+		dst = append(dst, ':')
+		dst = appendUint(dst, rep.Val)
+		return append(dst, '\r', '\n')
+	case KDelete:
+		n := 0
+		for _, it := range rep.Items {
+			if it.Found {
+				n++
+			}
+		}
+		dst = append(dst, ':')
+		dst = appendUint(dst, uint64(n))
+		return append(dst, '\r', '\n')
+	case KMGet:
+		dst = append(dst, '*')
+		dst = appendUint(dst, uint64(len(rep.Items)))
+		dst = append(dst, '\r', '\n')
+		for _, it := range rep.Items {
+			if it.Found {
+				dst = appendBulkUint(dst, it.Val)
+			} else {
+				dst = append(dst, "$-1\r\n"...)
+			}
+		}
+		return dst
+	case KRaw:
+		return appendBulkStr(dst, rep.Msg)
+	case KPong:
+		return append(dst, "+PONG\r\n"...)
+	case KEmpty:
+		return append(dst, "*0\r\n"...)
+	default: // error kinds
+		dst = append(dst, "-ERR "...)
+		dst = append(dst, rep.Msg...)
+		return append(dst, '\r', '\n')
+	}
+}
+
+// Resync reports the stream unrecoverable: a RESP request abandoned
+// mid-frame leaves no boundary to skip to, so an oversized request
+// costs the connection (its error reply still flushes first).
+func (RESP) Resync(buf []byte) (int, ResyncState) {
+	return 0, ResyncFatal
+}
+
+// AppendRequest appends req as a RESP array of bulk strings — the
+// client side of the protocol, for benchmarks and round-trip tests.
+// Requests a client cannot express append nothing.
+func (RESP) AppendRequest(dst []byte, req *Request) []byte {
+	var name string
+	extra := 0
+	switch req.Cmd {
+	case CmdGet:
+		name = "GET"
+	case CmdSet:
+		name = "SET"
+	case CmdIncr:
+		name = "INCRBY"
+	case CmdDelete:
+		name = "DEL"
+	case CmdMGet:
+		name = "MGET"
+	case CmdMSet:
+		name = "MSET"
+	case CmdPing:
+		name = "PING"
+	case CmdInfo:
+		name = "INFO"
+	case CmdCommand:
+		name = "COMMAND"
+	case CmdQuit:
+		name = "QUIT"
+	case CmdPromote:
+		name = "PROMOTE"
+	case CmdStats:
+		name = "STATS"
+		if req.Stats != StatsAggregate {
+			extra = 1
+		}
+	case CmdCrash:
+		name = "CRASH"
+		if req.HasShard {
+			extra = 1
+		}
+	default:
+		return dst
+	}
+	dst = append(dst, '*')
+	dst = appendUint(dst, uint64(1+len(req.KV)+extra))
+	dst = append(dst, '\r', '\n')
+	dst = appendBulkStr(dst, name)
+	for _, v := range req.KV {
+		dst = appendBulkUint(dst, v)
+	}
+	if req.Cmd == CmdStats && extra == 1 {
+		if req.Stats == StatsShards {
+			dst = appendBulkStr(dst, "shards")
+		} else {
+			dst = appendBulkStr(dst, "reset")
+		}
+	}
+	if req.Cmd == CmdCrash && extra == 1 {
+		dst = appendBulkUint(dst, uint64(req.Shard))
+	}
+	return dst
+}

@@ -55,53 +55,134 @@ func Commands() []Command {
 	return []Command{CmdGet, CmdSet, CmdIncr, CmdDelete, CmdMGet, CmdMSet, CmdRepl}
 }
 
-// CommandLatency is a bundle of per-command latency histograms, one
-// per protocol command. Like every section it is nil-receiver safe:
-// a nil *CommandLatency is "telemetry off".
-type CommandLatency struct {
-	hists [NumCommands]Histogram
+// Protocol labels which wire protocol carried a command — the second
+// dimension of command-latency attribution. The same get executes the
+// same shard code whether it arrived as native text or RESP, but the
+// codec in front of it differs; per-protocol histograms are how an
+// adapter regression shows up without a cross-protocol A/B harness.
+type Protocol uint8
+
+const (
+	// ProtoInternal labels work that arrived on no wire protocol:
+	// replication apply, embedded callers, tests driving exec directly.
+	ProtoInternal Protocol = iota
+	// ProtoNative is the server's line-oriented text protocol.
+	ProtoNative
+	// ProtoRESP is the RESP2 adapter.
+	ProtoRESP
+
+	// NumProtocols bounds the enum.
+	NumProtocols = int(ProtoRESP) + 1
+)
+
+// String returns the protocol's stable telemetry label.
+func (p Protocol) String() string {
+	switch p {
+	case ProtoNative:
+		return "native"
+	case ProtoRESP:
+		return "resp"
+	case ProtoInternal:
+		return "internal"
+	default:
+		return "unknown"
+	}
 }
 
-// Observe records one request's service time under its command.
-// Out-of-range commands are dropped rather than panicking — the
-// histogram is telemetry, not control flow.
+// Protocols lists every protocol in enum order, for deterministic
+// rendering of per-protocol surfaces.
+func Protocols() []Protocol {
+	return []Protocol{ProtoInternal, ProtoNative, ProtoRESP}
+}
+
+// CommandLatency is a bundle of per-protocol, per-command latency
+// histograms. Like every section it is nil-receiver safe: a nil
+// *CommandLatency is "telemetry off".
+type CommandLatency struct {
+	hists [NumProtocols][NumCommands]Histogram
+}
+
+// Observe records one request's service time under its command with no
+// protocol attribution (ProtoInternal) — the pre-seam API, kept for
+// embedded callers.
 func (c *CommandLatency) Observe(cmd Command, d time.Duration) {
-	if c == nil || int(cmd) >= NumCommands {
+	c.ObserveProto(ProtoInternal, cmd, d)
+}
+
+// ObserveProto records one request's service time under its protocol
+// and command. Out-of-range values are dropped rather than panicking —
+// the histogram is telemetry, not control flow.
+func (c *CommandLatency) ObserveProto(p Protocol, cmd Command, d time.Duration) {
+	if c == nil || int(cmd) >= NumCommands || int(p) >= NumProtocols {
 		return
 	}
-	c.hists[cmd].Observe(d)
+	c.hists[p][cmd].Observe(d)
 }
 
-// Snapshot copies one command's histogram (zero value on nil).
+// Snapshot copies one command's histogram merged across protocols
+// (zero value on nil).
 func (c *CommandLatency) Snapshot(cmd Command) HistogramSnapshot {
+	var s HistogramSnapshot
 	if c == nil || int(cmd) >= NumCommands {
+		return s
+	}
+	for p := 0; p < NumProtocols; p++ {
+		s.Merge(c.hists[p][cmd].Snapshot())
+	}
+	return s
+}
+
+// SnapshotProto copies one protocol × command histogram.
+func (c *CommandLatency) SnapshotProto(p Protocol, cmd Command) HistogramSnapshot {
+	if c == nil || int(cmd) >= NumCommands || int(p) >= NumProtocols {
 		return HistogramSnapshot{}
 	}
-	return c.hists[cmd].Snapshot()
+	return c.hists[p][cmd].Snapshot()
 }
 
-// Reset zeroes every command's histogram.
+// Reset zeroes every histogram in the bundle.
 func (c *CommandLatency) Reset() {
 	if c == nil {
 		return
 	}
-	for i := range c.hists {
-		c.hists[i].Reset()
+	for p := range c.hists {
+		for i := range c.hists[p] {
+			c.hists[p][i].Reset()
+		}
 	}
 }
 
-// CommandLatencySnapshot is the point-in-time copy of a whole bundle,
-// and the unit of cross-shard aggregation.
+// CommandLatencySnapshot is the point-in-time copy of one protocol's
+// (or the merged) command histograms, and the unit of cross-shard
+// aggregation.
 type CommandLatencySnapshot [NumCommands]HistogramSnapshot
 
-// SnapshotAll copies every command's histogram at once.
+// SnapshotAll copies every command's histogram merged across protocols
+// — the protocol-blind view the aggregate stats report.
 func (c *CommandLatency) SnapshotAll() CommandLatencySnapshot {
 	var s CommandLatencySnapshot
 	if c == nil {
 		return s
 	}
-	for i := range c.hists {
-		s[i] = c.hists[i].Snapshot()
+	for p := range c.hists {
+		for i := range c.hists[p] {
+			s[i].Merge(c.hists[p][i].Snapshot())
+		}
+	}
+	return s
+}
+
+// SnapshotAllByProto copies every protocol × command histogram at
+// once, protocols unmerged.
+func (c *CommandLatency) SnapshotAllByProto() [NumProtocols]CommandLatencySnapshot {
+	var s [NumProtocols]CommandLatencySnapshot
+	if c == nil {
+		return s
+	}
+	for p := range c.hists {
+		for i := range c.hists[p] {
+			s[p][i] = c.hists[p][i].Snapshot()
+		}
 	}
 	return s
 }

@@ -24,19 +24,19 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race (server + repl + harness + stack + hashmap)"
-go test -race ./internal/cacheserver ./internal/repl ./internal/harness ./internal/stack ./internal/hashmap
+echo "== go test -race (server + proto + repl + harness + stack + hashmap)"
+go test -race ./internal/cacheserver ./internal/proto ./internal/repl ./internal/harness ./internal/stack ./internal/hashmap
 
 echo "== go test ./... (everything else, no race)"
 go test ./...
 
-# The replication package is the repo's only wire protocol and the one
-# other repos would import first: every exported identifier must carry
-# a doc comment. go vet checks comment FORM; this catches absence,
-# which vet does not. Test files are exempt — the gate is about the
-# importable API surface.
-echo "== exported doc comments (internal/repl)"
-undocumented=$(ls internal/repl/*.go | grep -v '_test\.go$' | xargs awk '
+# The replication and wire-codec packages are the repo's protocol
+# surfaces and the ones other repos would import first: every exported
+# identifier must carry a doc comment. go vet checks comment FORM; this
+# catches absence, which vet does not. Test files are exempt — the gate
+# is about the importable API surface.
+echo "== exported doc comments (internal/repl + internal/proto)"
+undocumented=$(ls internal/repl/*.go internal/proto/*.go | grep -v '_test\.go$' | xargs awk '
 	FNR == 1 { prev = "" }
 	/^func [A-Z]/ || /^func \([^)]*\) [A-Z]/ || /^type [A-Z]/ || /^const [A-Z]/ || /^var [A-Z]/ {
 		if (prev !~ /^\/\//) print FILENAME ":" FNR ": " $0
@@ -54,6 +54,11 @@ fi
 # since its whole point is concurrent counting).
 echo "== telemetry coverage (covermode=atomic)"
 go test -covermode=atomic -cover ./internal/telemetry
+
+# The wire codec parses attacker-controlled bytes; keep its branch
+# coverage visible the same way.
+echo "== proto coverage"
+go test -cover ./internal/proto
 
 # Report-only perf gate: diff the working tspbench report (if any)
 # against the committed baseline. Never fails the check — single runs
