@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: build test check bench-shards bench-json bench-telemetry bench-batch bench-diff \
-	bench-repl bench-read bench-pipeline bench-cacheserver-baseline demo-repl
+	bench-repl bench-read bench-pipeline bench-ordered bench-cacheserver-baseline demo-repl
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,12 @@ bench-read:
 # bench-diff's soft gate tracks them like any other throughput cell.
 bench-pipeline:
 	$(GO) run ./cmd/tspbench -pipeline -duration 500ms -depths 1,8,64 -json -out BENCH_tspbench.json
+
+# The ordered-keyspace benchmark: zadd/zrange/mixed traffic against the
+# persistent skip list over the native protocol. Cells merge into
+# BENCH_tspbench.json under profile "ordered".
+bench-ordered:
+	$(GO) run ./cmd/tspbench -ordered -duration 500ms -json -out BENCH_tspbench.json
 
 # Record the cacheserver go-bench baseline that bench-diff compares
 # ns/op against. Commit the refreshed BENCH_cacheserver.txt when the

@@ -81,5 +81,10 @@ func main() {
 			}
 		}
 	}
+	// The multi-engine campaign crashes map and skip-list writers
+	// sharing one heap (see multiengine.go).
+	if !runMultiEngine(*n, *threads, *seed) {
+		exitCode = 1
+	}
 	os.Exit(exitCode)
 }

@@ -16,10 +16,14 @@
 // are merged into the JSON report under profile "pipeline" without
 // disturbing the Table-1 cells already recorded there.
 //
+// With -ordered it benchmarks the ordered keyspace: zadd/zrange/mixed
+// traffic against the persistent skip list, merged into the report
+// under profile "ordered" the same way.
+//
 // Usage:
 //
 //	tspbench [-duration 2s] [-seed 1] [-profiles desktop,server] [-runs 3]
-//	         [-latency] [-pipeline] [-depths 1,8,64]
+//	         [-latency] [-pipeline] [-depths 1,8,64] [-ordered]
 //	         [-json] [-out BENCH_tspbench.json]
 package main
 
@@ -83,6 +87,7 @@ func main() {
 	runs := flag.Int("runs", 1, "repetitions per cell (best run reported, all summarized)")
 	latency := flag.Bool("latency", false, "measure per-iteration latency distributions instead of throughput")
 	pipeline := flag.Bool("pipeline", false, "benchmark the pipelined wire codec against an in-process server instead of Table 1")
+	ordered := flag.Bool("ordered", false, "benchmark the ordered keyspace (zadd/zrange) against an in-process server instead of Table 1")
 	depthsFlag := flag.String("depths", "1,8,64", "comma-separated pipeline depths used with -pipeline")
 	jsonOut := flag.Bool("json", false, "also write a machine-readable report (see -out)")
 	outPath := flag.String("out", "BENCH_tspbench.json", "report path used with -json")
@@ -124,6 +129,14 @@ func main() {
 		// Pipeline cells extend the committed report rather than
 		// replacing it: keep every non-pipeline cell already recorded so
 		// the Table-1 baseline survives a bench-pipeline refresh.
+		if *jsonOut {
+			mergeExistingCells(*outPath, &report)
+		}
+	case *ordered:
+		report.Mode = "ordered"
+		runOrderedMode(*duration, *seed, &report)
+		// Same merge discipline as -pipeline: only the "ordered" profile
+		// cells are refreshed.
 		if *jsonOut {
 			mergeExistingCells(*outPath, &report)
 		}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"tsp/internal/cacheserver"
+	"tsp/internal/proto"
+	"tsp/internal/stats"
+)
+
+// The ordered-keyspace benchmark: an in-process cache server driven
+// over TCP with zadd/zrange traffic. The interesting contrast is the
+// two paths' cost structure — zadd pays the flat-combined Atlas batch
+// like every map write, while zrange traverses the lock-free skip list
+// with no critical section at all — so the mixed cell shows ordered
+// reads riding for (nearly) free beside a write-heavy stream.
+
+// orderedWorkloads are the benchmarked shapes: pure writes, pure
+// bounded scans, and the 90/10 write/scan mix.
+var orderedWorkloads = []string{"zadd", "zrange", "zmix"}
+
+// orderedKeys bounds the ordered keyspace; zrange scans a window of
+// orderedSpan keys capped at orderedLimit results.
+const (
+	orderedKeys  = 8192
+	orderedSpan  = 256
+	orderedLimit = 16
+	orderedDepth = 16
+)
+
+// runOrderedMode measures every ordered workload cell and appends them
+// to the report under profile "ordered".
+func runOrderedMode(duration time.Duration, seed int64, report *benchReport) {
+	srv, err := cacheserver.New(cacheserver.WithShards(4), cacheserver.WithMaxConns(8))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	fmt.Println("Ordered keyspace (persistent skip list over native protocol, one")
+	fmt.Printf("in-process server, one connection, %d requests per write)\n", orderedDepth)
+	fmt.Println()
+	tbl := stats.Table{Header: []string{"workload", "req/s", "p50 us/req", "p99 us/req"}}
+	for _, wl := range orderedWorkloads {
+		cell, err := runOrderedCell(addr, wl, duration, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tbl.AddRow(wl,
+			fmt.Sprintf("%.0f", cell.BestMIterPerSec*1e6),
+			fmt.Sprintf("%.1f", cell.P50Ns/1e3),
+			fmt.Sprintf("%.1f", cell.P99Ns/1e3))
+		report.Cells = append(report.Cells, cell)
+	}
+	fmt.Print(tbl.String())
+}
+
+// runOrderedCell drives one workload cell over a fresh connection.
+// zadd answers one line per request; zrange answers VALUE lines
+// terminated by END, so the reader consumes until the terminator.
+func runOrderedCell(addr, workload string, duration time.Duration, seed int64) (benchCell, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return benchCell{}, err
+	}
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	na := proto.Native{}
+	rng := rand.New(rand.NewSource(seed))
+
+	readLine := func() ([]byte, error) { return r.ReadSlice('\n') }
+	readUntilEnd := func() error {
+		for {
+			line, err := readLine()
+			if err != nil {
+				return err
+			}
+			if bytes.HasPrefix(line, []byte("END")) || bytes.HasPrefix(line, []byte("ERROR")) {
+				return nil
+			}
+		}
+	}
+
+	// Preload so scans hit a populated window.
+	buf := make([]byte, 0, 1<<16)
+	req := proto.Request{Cmd: proto.CmdZAdd}
+	for k := uint64(0); k < orderedKeys; k++ {
+		req.KV = append(req.KV[:0], k, k)
+		buf = na.AppendRequest(buf, &req)
+		if len(buf) >= 32<<10 || k == orderedKeys-1 {
+			if _, err := conn.Write(buf); err != nil {
+				return benchCell{}, err
+			}
+			buf = buf[:0]
+		}
+	}
+	for k := 0; k < orderedKeys; k++ {
+		if _, err := readLine(); err != nil {
+			return benchCell{}, fmt.Errorf("preload reply %d: %w", k, err)
+		}
+	}
+
+	// One burst = orderedDepth requests; kinds records each request's
+	// reply shape so the reader knows single-line vs until-END.
+	kinds := make([]proto.Cmd, 0, orderedDepth)
+	appendReq := func(dst []byte) []byte {
+		cmd := proto.CmdZAdd
+		switch workload {
+		case "zrange":
+			cmd = proto.CmdZRange
+		case "zmix":
+			if rng.Intn(10) == 0 {
+				cmd = proto.CmdZRange
+			}
+		}
+		req.Cmd = cmd
+		if cmd == proto.CmdZRange {
+			lo := rng.Uint64() % orderedKeys
+			req.KV = append(req.KV[:0], lo, lo+orderedSpan, orderedLimit)
+		} else {
+			req.KV = append(req.KV[:0], rng.Uint64()%orderedKeys, rng.Uint64()%1000)
+		}
+		kinds = append(kinds, cmd)
+		return na.AppendRequest(dst, &req)
+	}
+
+	var bursts []time.Duration
+	requests := 0
+	deadline := time.Now().Add(duration)
+	for time.Now().Before(deadline) {
+		buf = buf[:0]
+		kinds = kinds[:0]
+		for i := 0; i < orderedDepth; i++ {
+			buf = appendReq(buf)
+		}
+		t0 := time.Now()
+		if _, err := conn.Write(buf); err != nil {
+			return benchCell{}, err
+		}
+		for _, k := range kinds {
+			if k == proto.CmdZRange {
+				err = readUntilEnd()
+			} else {
+				_, err = readLine()
+			}
+			if err != nil {
+				return benchCell{}, fmt.Errorf("%s reply: %w", workload, err)
+			}
+		}
+		bursts = append(bursts, time.Since(t0))
+		requests += orderedDepth
+	}
+
+	var total time.Duration
+	for _, d := range bursts {
+		total += d
+	}
+	perReq := func(q float64) float64 {
+		if len(bursts) == 0 {
+			return 0
+		}
+		sorted := append([]time.Duration(nil), bursts...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		idx := int(q * float64(len(sorted)-1))
+		return float64(sorted[idx]) / float64(orderedDepth)
+	}
+	cell := benchCell{
+		Profile:    "ordered",
+		Variant:    workload,
+		Threads:    1,
+		Runs:       1,
+		Iterations: uint64(requests),
+		P50Ns:      perReq(0.50),
+		P99Ns:      perReq(0.99),
+	}
+	if total > 0 {
+		cell.BestMIterPerSec = float64(requests) / total.Seconds() / 1e6
+		cell.MeanMIterPerSec = cell.BestMIterPerSec
+	}
+	return cell, nil
+}

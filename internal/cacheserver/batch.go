@@ -53,6 +53,14 @@ const (
 	opSet
 	opIncr
 	opDelete
+	// The opZ* kinds write the ordered keyspace (the shard's skip
+	// list). They ride the same drained batches as map ops — the drain
+	// lock serializes them into commit order, which is what replication
+	// needs — but the skip list itself takes no Atlas measures: its
+	// bottom-level CAS is both linearization and durability point.
+	opZSet
+	opZIncr
+	opZDelete
 )
 
 // batchOp is one key operation plus its result slots. Ops travel by
@@ -232,6 +240,12 @@ func (sh *shard) runBatch(reqs []*batchReq, nops int) {
 	stripes := sh.stripeScratch[:0]
 	for _, r := range reqs {
 		for i := range r.ops {
+			if isZ(r.ops[i].kind) {
+				// Skip-list ops need no stripe mutex: the structure is
+				// lock-free. They still execute inside the section so
+				// the batch stays one commit-ordered unit.
+				continue
+			}
 			stripes = append(stripes, m.StripeOf(r.ops[i].key))
 		}
 	}
@@ -319,8 +333,29 @@ func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
 		if op.err == nil {
 			sh.tel.Server.Deletes.Inc()
 		}
+	case opZSet:
+		_, op.err = sh.stk.List.Put(op.key, op.arg)
+		if op.err == nil {
+			op.ok = true
+			op.val = op.arg
+			sh.tel.Server.ZSets.Inc()
+		}
+	case opZIncr:
+		op.val, op.err = sh.stk.List.Inc(op.key, op.arg)
+		if op.err == nil {
+			op.ok = true
+			sh.tel.Server.ZSets.Inc()
+		}
+	case opZDelete:
+		op.ok, op.err = sh.stk.List.Delete(op.key)
+		if op.err == nil {
+			sh.tel.Server.ZDeletes.Inc()
+		}
 	}
 }
+
+// isZ reports whether an op kind targets the ordered keyspace.
+func isZ(k opKind) bool { return k == opZSet || k == opZIncr || k == opZDelete }
 
 // pipelineActive reports whether the shard's worker has a drain in
 // flight or groups already waiting. A single op arriving now will

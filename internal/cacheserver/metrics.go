@@ -53,6 +53,8 @@ func (s *Server) renderMetrics() string {
 
 	b.WriteString("# TYPE tsp_items gauge\n")
 	fmt.Fprintf(&b, "tsp_items %d\n", v.items)
+	b.WriteString("# TYPE tsp_zitems gauge\n")
+	fmt.Fprintf(&b, "tsp_zitems %d\n", v.zitems)
 
 	// One TYPE header per counter family, then the aggregate and every
 	// shard's value. The registry's Walk order keeps families contiguous.
@@ -130,6 +132,16 @@ func (s *Server) renderMetrics() string {
 	}
 	fmt.Fprintf(&b, "tsp_batch_size_ops_sum %d\n", v.batchSize.Sum)
 	fmt.Fprintf(&b, "tsp_batch_size_ops_count %d\n", v.batchSize.Count())
+
+	// zrange result lengths: plain counts too, in keys per range.
+	if v.rangeLen.Count() > 0 {
+		b.WriteString("# TYPE tsp_zrange_len_keys summary\n")
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(&b, "tsp_zrange_len_keys{quantile=\"%g\"} %d\n", q, uint64(v.rangeLen.Quantile(q)))
+		}
+		fmt.Fprintf(&b, "tsp_zrange_len_keys_sum %d\n", v.rangeLen.Sum)
+		fmt.Fprintf(&b, "tsp_zrange_len_keys_count %d\n", v.rangeLen.Count())
+	}
 
 	// Replication family: server-wide (streams span shards), so no
 	// shard label. The role gauge's value encodes nothing; the label

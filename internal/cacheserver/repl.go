@@ -141,6 +141,12 @@ func (sh *shard) pairs() ([]repl.Pair, error) {
 		out = append(out, repl.Pair{Key: k, Val: v})
 		return true
 	})
+	if sh.stk.List != nil {
+		sh.stk.List.Range(func(k, v uint64) bool {
+			out = append(out, repl.Pair{List: true, Key: k, Val: v})
+			return true
+		})
+	}
 	return out, nil
 }
 
@@ -192,6 +198,15 @@ func (sh *shard) appendRepl(reqs []*batchReq) {
 				if op.ok {
 					rops = append(rops, repl.Op{Del: true, Key: op.key})
 				}
+			case opZSet, opZIncr:
+				// Both replicate as the absolute value they produced, so
+				// suffix replay over a snapshot converges for the ordered
+				// keyspace exactly as for the map.
+				rops = append(rops, repl.Op{List: true, Key: op.key, Val: op.val})
+			case opZDelete:
+				if op.ok {
+					rops = append(rops, repl.Op{Del: true, List: true, Key: op.key})
+				}
 			}
 		}
 	}
@@ -216,9 +231,14 @@ func (a *replApplier) applyOps(rops []repl.Op) error {
 	}
 	ops := make([]batchOp, len(rops))
 	for i, r := range rops {
-		if r.Del {
+		switch {
+		case r.List && r.Del:
+			ops[i] = batchOp{kind: opZDelete, key: r.Key}
+		case r.List:
+			ops[i] = batchOp{kind: opZSet, key: r.Key, arg: r.Val}
+		case r.Del:
 			ops[i] = batchOp{kind: opDelete, key: r.Key}
-		} else {
+		default:
 			ops[i] = batchOp{kind: opSet, key: r.Key, arg: r.Val}
 		}
 	}
@@ -242,7 +262,7 @@ func (a *replApplier) Wipe() error {
 		}
 		dels := make([]repl.Op, len(pairs))
 		for i, p := range pairs {
-			dels[i] = repl.Op{Del: true, Key: p.Key}
+			dels[i] = repl.Op{Del: true, List: p.List, Key: p.Key}
 		}
 		if err := a.applyOps(dels); err != nil {
 			return err
@@ -255,7 +275,7 @@ func (a *replApplier) Wipe() error {
 func (a *replApplier) ApplyPairs(pairs []repl.Pair) error {
 	sets := make([]repl.Op, len(pairs))
 	for i, p := range pairs {
-		sets[i] = repl.Op{Key: p.Key, Val: p.Val}
+		sets[i] = repl.Op{List: p.List, Key: p.Key, Val: p.Val}
 	}
 	return a.applyOps(sets)
 }

@@ -102,6 +102,18 @@ func cmdTelemetry(c proto.Cmd) telemetry.Command {
 		return telemetry.CmdDelete
 	case proto.CmdMGet:
 		return telemetry.CmdMGet
+	case proto.CmdZAdd:
+		return telemetry.CmdZAdd
+	case proto.CmdZGet:
+		return telemetry.CmdZGet
+	case proto.CmdZIncr:
+		return telemetry.CmdZIncr
+	case proto.CmdZDel:
+		return telemetry.CmdZDel
+	case proto.CmdZRange:
+		return telemetry.CmdZRange
+	case proto.CmdZCount:
+		return telemetry.CmdZCount
 	default:
 		return telemetry.CmdMSet
 	}
@@ -109,7 +121,11 @@ func cmdTelemetry(c proto.Cmd) telemetry.Command {
 
 // mutates reports whether a data command writes.
 func mutates(c proto.Cmd) bool {
-	return c != proto.CmdGet && c != proto.CmdMGet
+	switch c {
+	case proto.CmdGet, proto.CmdMGet, proto.CmdZGet, proto.CmdZRange, proto.CmdZCount:
+		return false
+	}
+	return true
 }
 
 // appendOps translates one decoded request into batch pipeline ops.
@@ -131,6 +147,12 @@ func appendOps(ops []batchOp, req *proto.Request) []batchOp {
 			ops = append(ops, batchOp{kind: opGet, key: k})
 		}
 		return ops
+	case proto.CmdZAdd:
+		return append(ops, batchOp{kind: opZSet, key: req.KV[0], arg: req.KV[1]})
+	case proto.CmdZIncr:
+		return append(ops, batchOp{kind: opZIncr, key: req.KV[0], arg: req.KV[1]})
+	case proto.CmdZDel:
+		return append(ops, batchOp{kind: opZDelete, key: req.KV[0]})
 	default: // CmdMSet
 		for i := 0; i+1 < len(req.KV); i += 2 {
 			ops = append(ops, batchOp{kind: opSet, key: req.KV[i], arg: req.KV[i+1]})
@@ -170,7 +192,8 @@ func (s *Server) serveBatch(cs *connState, enc *proto.Encoder, batch []proto.Req
 		req := &batch[i]
 		switch req.Cmd {
 		case proto.CmdGet, proto.CmdSet, proto.CmdIncr, proto.CmdDelete,
-			proto.CmdMGet, proto.CmdMSet:
+			proto.CmdMGet, proto.CmdMSet,
+			proto.CmdZAdd, proto.CmdZIncr, proto.CmdZDel:
 			if s.readOnly.Load() && mutates(req.Cmd) {
 				flushData()
 				rep := proto.Reply{Kind: proto.KErrServer, Msg: readOnlyMsg}
@@ -180,6 +203,13 @@ func (s *Server) serveBatch(cs *connState, enc *proto.Encoder, batch []proto.Req
 			start := len(ops)
 			ops = appendOps(ops, req)
 			tags = append(tags, cmdTag{cmd: cmdTelemetry(req.Cmd), req: req, start: start, n: len(ops) - start})
+		case proto.CmdZGet, proto.CmdZRange, proto.CmdZCount:
+			// Ordered reads run lock-free off the skip list — no Atlas
+			// section, no seqlock — but the pending write group must land
+			// first so a pipelined zadd→zrange sees its own write.
+			flushData()
+			rep := s.serveOrdered(cs, req)
+			enc.Stage(&rep)
 		case proto.CmdQuit:
 			flushData()
 			rep := proto.Reply{Kind: proto.KQuit}
@@ -276,6 +306,25 @@ func (s *Server) buildDataReply(cs *connState, tg *cmdTag, ops []batchOp) proto.
 		for i := range span {
 			items = append(items, proto.Item{Key: span[i].key, Found: span[i].ok})
 		}
+		cs.items = items
+		return proto.Reply{Kind: proto.KDelete, Items: items}
+	case proto.CmdZAdd:
+		if err := span[0].err; err != nil {
+			return proto.Reply{Kind: proto.KErrServer, Msg: err.Error()}
+		}
+		return proto.Reply{Kind: proto.KStored}
+	case proto.CmdZIncr:
+		op := &span[0]
+		if op.err != nil {
+			return proto.Reply{Kind: proto.KErrServer, Msg: op.err.Error()}
+		}
+		return proto.Reply{Kind: proto.KInt, Val: op.val}
+	case proto.CmdZDel:
+		op := &span[0]
+		if op.err != nil {
+			return proto.Reply{Kind: proto.KErrServer, Msg: op.err.Error()}
+		}
+		items := append(cs.items[:0], proto.Item{Key: op.key, Found: op.ok})
 		cs.items = items
 		return proto.Reply{Kind: proto.KDelete, Items: items}
 	case proto.CmdMGet:

@@ -21,6 +21,12 @@
 //	delete <key>             -> DELETED | NOT_FOUND
 //	mget <key> ...           -> per key VALUE <key> <value> | NOT_FOUND <key>, then END
 //	mset <key> <value> ...   -> STORED <count>
+//	zadd <key> <value>       -> STORED (ordered keyspace)
+//	zget <key>               -> VALUE <key> <value> | NOT_FOUND
+//	zincr <key> <delta>      -> <new value> | error
+//	zdel <key>               -> DELETED | NOT_FOUND
+//	zrange <lo> <hi> [limit] -> ascending VALUE lines over [lo,hi), then END
+//	zcount <lo> <hi>         -> count of ordered keys in [lo,hi)
 //	stats                    -> aggregate STAT lines + END
 //	stats shards             -> one STAT line per shard + END
 //	stats reset              -> zeroes counters and histograms; RESET
@@ -36,6 +42,17 @@
 // the integer keyspace. By default each connection's protocol is
 // sniffed from its first byte (RESP framing always leads with '*');
 // WithProto pins a listener to one protocol.
+//
+// The z* commands address the ordered keyspace: a persistent lock-free
+// skip list living beside the hash map under each shard's multi-engine
+// heap root (see internal/stack and internal/skiplist). Ordered writes
+// ride the same flat-combined batches as map writes; ordered reads —
+// zget, zrange, zcount — traverse the skip list with no Atlas critical
+// section and no seqlock, the paper's Section 4.1 argument that a
+// non-blocking structure needs zero crash-consistency measures made
+// visible on the wire. Ranges are half-open [lo, hi). Ordered keys are
+// hash-routed across shards like map keys; zrange merges the per-shard
+// runs (DESIGN.md §10).
 //
 // Requests decode in pipelined batches (see serve.go and
 // internal/proto): one socket read surfaces every buffered request as
@@ -564,6 +581,7 @@ func (s *Server) crashAll() error {
 // serverView is every shard's telemetry merged into one snapshot.
 type serverView struct {
 	items     int
+	zitems    int
 	agg       telemetry.Snapshot
 	opLat     telemetry.HistogramSnapshot
 	recLat    telemetry.HistogramSnapshot
@@ -571,6 +589,7 @@ type serverView struct {
 	cmdLat    telemetry.CommandLatencySnapshot
 	cmdProto  [telemetry.NumProtocols]telemetry.CommandLatencySnapshot
 	batchSize telemetry.HistogramSnapshot
+	rangeLen  telemetry.HistogramSnapshot
 }
 
 // aggregateViews collects and merges every shard's telemetry view.
@@ -579,6 +598,7 @@ func (s *Server) aggregateViews() serverView {
 	for _, sh := range s.shards {
 		sv := sh.view()
 		v.items += sv.items
+		v.zitems += sv.zitems
 		v.agg.Add(sv.counters)
 		v.opLat.Merge(sv.opLat)
 		v.recLat.Merge(sv.recLat)
@@ -588,6 +608,7 @@ func (s *Server) aggregateViews() serverView {
 			v.cmdProto[p].Merge(sv.cmdProto[p])
 		}
 		v.batchSize.Merge(sv.batchSize)
+		v.rangeLen.Merge(sv.rangeLen)
 	}
 	return v
 }
@@ -630,6 +651,10 @@ func (s *Server) statsAggregate() string {
 	fmt.Fprintf(&b, "STAT hit_rate %.4f\r\n", hitRate)
 	fmt.Fprintf(&b, "STAT sets %d\r\n", agg["server_sets"])
 	fmt.Fprintf(&b, "STAT deletes %d\r\n", agg["server_deletes"])
+	fmt.Fprintf(&b, "STAT zitems %d\r\n", v.zitems)
+	fmt.Fprintf(&b, "STAT zgets %d\r\n", agg["server_zgets"])
+	fmt.Fprintf(&b, "STAT zsets %d\r\n", agg["server_zsets"])
+	fmt.Fprintf(&b, "STAT zdeletes %d\r\n", agg["server_zdeletes"])
 	fmt.Fprintf(&b, "STAT crashes_survived %d\r\n", agg["recovery_count"])
 	fmt.Fprintf(&b, "STAT recovery_avg_us %.1f\r\n", us(recLat.Mean()))
 	fmt.Fprintf(&b, "STAT recovery_max_us %.1f\r\n", us(recLat.Max()))
@@ -644,6 +669,11 @@ func (s *Server) statsAggregate() string {
 	fmt.Fprintf(&b, "STAT batch_count %d\r\n", v.batchSize.Count())
 	fmt.Fprintf(&b, "STAT batch_size_p50 %d\r\n", uint64(v.batchSize.Quantile(0.50)))
 	fmt.Fprintf(&b, "STAT batch_size_max %d\r\n", uint64(v.batchSize.Max()))
+	if v.rangeLen.Count() > 0 {
+		fmt.Fprintf(&b, "STAT zrange_count %d\r\n", v.rangeLen.Count())
+		fmt.Fprintf(&b, "STAT zrange_len_p50 %d\r\n", uint64(v.rangeLen.Quantile(0.50)))
+		fmt.Fprintf(&b, "STAT zrange_len_max %d\r\n", uint64(v.rangeLen.Max()))
+	}
 	for _, c := range telemetry.Commands() {
 		cl := v.cmdLat[c]
 		if cl.Count() == 0 {
@@ -720,8 +750,8 @@ func (s *Server) statsShards() string {
 	for _, sh := range s.shards {
 		v := sh.view()
 		c := v.counters
-		fmt.Fprintf(&b, "STAT shard %d items %d gets %d hits %d sets %d deletes %d recoveries %d recovery_avg_us %.1f nvm_stores %d nvm_flushes %d atlas_log_appends %d map_gets %d map_puts %d op_p50_us %.1f op_p99_us %.1f\r\n",
-			sh.idx, v.items, c["server_gets"], c["server_hits"], c["server_sets"], c["server_deletes"],
+		fmt.Fprintf(&b, "STAT shard %d items %d zitems %d gets %d hits %d sets %d deletes %d recoveries %d recovery_avg_us %.1f nvm_stores %d nvm_flushes %d atlas_log_appends %d map_gets %d map_puts %d op_p50_us %.1f op_p99_us %.1f\r\n",
+			sh.idx, v.items, v.zitems, c["server_gets"], c["server_hits"], c["server_sets"], c["server_deletes"],
 			c["recovery_count"], us(v.recLat.Mean()), c["nvm_stores"], c["nvm_flushes"],
 			c["atlas_log_appends"], c["map_gets"], c["map_puts"],
 			us(v.opLat.Quantile(0.50)), us(v.opLat.Quantile(0.99)))

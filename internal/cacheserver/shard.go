@@ -154,6 +154,9 @@ func (sh *shard) crashAndRecover() error {
 	if _, err := ns.Map.Verify(); err != nil {
 		return fmt.Errorf("cacheserver: shard %d verify: %w", sh.idx, err)
 	}
+	if _, err := ns.List.Verify(); err != nil {
+		return fmt.Errorf("cacheserver: shard %d list verify: %w", sh.idx, err)
+	}
 	sh.stk = ns
 	sh.gen.Add(1)
 	sh.tel.RecoveryLatency.Observe(time.Since(start))
@@ -187,12 +190,16 @@ func (sh *shard) getOptimistic(key uint64) (val uint64, ok, valid bool) {
 	return val, ok, valid
 }
 
-// verify re-checks the shard's map invariants on a quiesced shard.
+// verify re-checks the shard's map and skip-list invariants on a
+// quiesced shard.
 func (sh *shard) verify() error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, err := sh.stk.Map.Verify(); err != nil {
 		return fmt.Errorf("cacheserver: shard %d: %w", sh.idx, err)
+	}
+	if _, err := sh.stk.List.Verify(); err != nil {
+		return fmt.Errorf("cacheserver: shard %d list: %w", sh.idx, err)
 	}
 	return nil
 }
@@ -202,6 +209,7 @@ func (sh *shard) verify() error {
 // value the registry cannot know — the map's live item count.
 type shardView struct {
 	items     int
+	zitems    int
 	counters  telemetry.Snapshot
 	opLat     telemetry.HistogramSnapshot
 	recLat    telemetry.HistogramSnapshot
@@ -209,6 +217,7 @@ type shardView struct {
 	cmdLat    telemetry.CommandLatencySnapshot
 	cmdProto  [telemetry.NumProtocols]telemetry.CommandLatencySnapshot
 	batchSize telemetry.HistogramSnapshot
+	rangeLen  telemetry.HistogramSnapshot
 }
 
 // view collects the shard's telemetry under the read lock (Map.Len
@@ -218,6 +227,7 @@ func (sh *shard) view() shardView {
 	defer sh.mu.RUnlock()
 	return shardView{
 		items:     sh.stk.Map.Len(),
+		zitems:    sh.stk.List.Len(),
 		counters:  sh.tel.Counters(),
 		opLat:     sh.tel.OpLatency.Snapshot(),
 		recLat:    sh.tel.RecoveryLatency.Snapshot(),
@@ -225,5 +235,6 @@ func (sh *shard) view() shardView {
 		cmdLat:    sh.tel.CmdLatency.SnapshotAll(),
 		cmdProto:  sh.tel.CmdLatency.SnapshotAllByProto(),
 		batchSize: sh.tel.BatchSize.Snapshot(),
+		rangeLen:  sh.tel.RangeLen.Snapshot(),
 	}
 }

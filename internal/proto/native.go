@@ -183,6 +183,102 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 		}
 		req.Cmd = CmdMSet
 
+	case eqFold(cmd, "zadd"):
+		k, val := f.next(), f.next()
+		if k == nil || val == nil || f.next() != nil {
+			req.bad(KErrClient, "usage: zadd <key> <value>")
+			return
+		}
+		kn, ok1 := parseUint64(k)
+		vn, ok2 := parseUint64(val)
+		if !ok1 || !ok2 {
+			req.bad(KErrClient, "keys and values are unsigned integers")
+			return
+		}
+		req.Cmd = CmdZAdd
+		req.KV = append(req.KV, kn, vn)
+
+	case eqFold(cmd, "zget"):
+		k := f.next()
+		if k == nil || f.next() != nil {
+			req.bad(KErrClient, "usage: zget <key>")
+			return
+		}
+		v, ok := parseUint64(k)
+		if !ok {
+			req.bad(KErrClient, "bad key")
+			return
+		}
+		req.Cmd = CmdZGet
+		req.KV = append(req.KV, v)
+
+	case eqFold(cmd, "zincr"):
+		k, d := f.next(), f.next()
+		if k == nil || d == nil || f.next() != nil {
+			req.bad(KErrClient, "usage: zincr <key> <delta>")
+			return
+		}
+		kn, ok1 := parseUint64(k)
+		dn, ok2 := parseUint64(d)
+		if !ok1 || !ok2 {
+			req.bad(KErrClient, "bad arguments")
+			return
+		}
+		req.Cmd = CmdZIncr
+		req.KV = append(req.KV, kn, dn)
+
+	case eqFold(cmd, "zdel"):
+		k := f.next()
+		if k == nil || f.next() != nil {
+			req.bad(KErrClient, "usage: zdel <key>")
+			return
+		}
+		v, ok := parseUint64(k)
+		if !ok {
+			req.bad(KErrClient, "bad key")
+			return
+		}
+		req.Cmd = CmdZDel
+		req.KV = append(req.KV, v)
+
+	case eqFold(cmd, "zrange"):
+		lo, hi, limit := f.next(), f.next(), f.next()
+		if lo == nil || hi == nil || f.next() != nil {
+			req.bad(KErrClient, "usage: zrange <lo> <hi> [limit]")
+			return
+		}
+		ln, ok1 := parseUint64(lo)
+		hn, ok2 := parseUint64(hi)
+		if !ok1 || !ok2 {
+			req.bad(KErrClient, "bad bounds")
+			return
+		}
+		req.KV = append(req.KV, ln, hn)
+		if limit != nil {
+			mn, ok := parseUint64(limit)
+			if !ok {
+				req.bad(KErrClient, "bad limit")
+				return
+			}
+			req.KV = append(req.KV, mn)
+		}
+		req.Cmd = CmdZRange
+
+	case eqFold(cmd, "zcount"):
+		lo, hi := f.next(), f.next()
+		if lo == nil || hi == nil || f.next() != nil {
+			req.bad(KErrClient, "usage: zcount <lo> <hi>")
+			return
+		}
+		ln, ok1 := parseUint64(lo)
+		hn, ok2 := parseUint64(hi)
+		if !ok1 || !ok2 {
+			req.bad(KErrClient, "bad bounds")
+			return
+		}
+		req.Cmd = CmdZCount
+		req.KV = append(req.KV, ln, hn)
+
 	case eqFold(cmd, "stats"):
 		req.Cmd = CmdStats
 		arg := f.next()
@@ -291,6 +387,15 @@ func (Native) Encode(dst []byte, rep *Reply) []byte {
 			dst = append(dst, '\r', '\n')
 		}
 		return append(dst, "END\r\n"...)
+	case KRange:
+		for _, it := range rep.Items {
+			dst = append(dst, "VALUE "...)
+			dst = appendUint(dst, it.Key)
+			dst = append(dst, ' ')
+			dst = appendUint(dst, it.Val)
+			dst = append(dst, '\r', '\n')
+		}
+		return append(dst, "END\r\n"...)
 	case KRaw:
 		dst = append(dst, rep.Msg...)
 		return append(dst, '\r', '\n')
@@ -341,6 +446,18 @@ func (Native) AppendRequest(dst []byte, req *Request) []byte {
 		name = "mget"
 	case CmdMSet:
 		name = "mset"
+	case CmdZAdd:
+		name = "zadd"
+	case CmdZGet:
+		name = "zget"
+	case CmdZIncr:
+		name = "zincr"
+	case CmdZDel:
+		name = "zdel"
+	case CmdZRange:
+		name = "zrange"
+	case CmdZCount:
+		name = "zcount"
 	case CmdStats:
 		name = "stats"
 	case CmdCrash:

@@ -1,0 +1,184 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+// Round-trip coverage for the ordered-keyspace (z*) commands in both
+// adapters: parse, encode, and client-side AppendRequest.
+
+func TestNativeParseOrdered(t *testing.T) {
+	cases := []struct {
+		in   string
+		cmd  Cmd
+		kv   []uint64
+		bad  string
+		kind Kind
+	}{
+		{"zadd 7 9\r\n", CmdZAdd, []uint64{7, 9}, "", KNone},
+		{"ZADD 7 9\n", CmdZAdd, []uint64{7, 9}, "", KNone},
+		{"zget 7\r\n", CmdZGet, []uint64{7}, "", KNone},
+		{"zincr 3 4\r\n", CmdZIncr, []uint64{3, 4}, "", KNone},
+		{"zdel 9\r\n", CmdZDel, []uint64{9}, "", KNone},
+		{"zrange 10 20\r\n", CmdZRange, []uint64{10, 20}, "", KNone},
+		{"zrange 10 20 5\r\n", CmdZRange, []uint64{10, 20, 5}, "", KNone},
+		{"zcount 10 20\r\n", CmdZCount, []uint64{10, 20}, "", KNone},
+		{"zadd 7\r\n", CmdBad, nil, "usage: zadd <key> <value>", KErrClient},
+		{"zget\r\n", CmdBad, nil, "usage: zget <key>", KErrClient},
+		{"zincr 3\r\n", CmdBad, nil, "usage: zincr <key> <delta>", KErrClient},
+		{"zdel\r\n", CmdBad, nil, "usage: zdel <key>", KErrClient},
+		{"zrange 10\r\n", CmdBad, nil, "usage: zrange <lo> <hi> [limit]", KErrClient},
+		{"zrange a b\r\n", CmdBad, nil, "bad bounds", KErrClient},
+		{"zrange 1 2 x\r\n", CmdBad, nil, "bad limit", KErrClient},
+		{"zcount 1\r\n", CmdBad, nil, "usage: zcount <lo> <hi>", KErrClient},
+	}
+	var na Native
+	for _, tc := range cases {
+		var req Request
+		n, err := na.Parse([]byte(tc.in), &req)
+		if err != nil || n != len(tc.in) {
+			t.Fatalf("Parse(%q) = %d, %v; want %d, nil", tc.in, n, err, len(tc.in))
+		}
+		if req.Cmd != tc.cmd {
+			t.Errorf("Parse(%q).Cmd = %d, want %d", tc.in, req.Cmd, tc.cmd)
+			continue
+		}
+		if tc.cmd == CmdBad {
+			if req.BadMsg != tc.bad || req.Bad != tc.kind {
+				t.Errorf("Parse(%q) bad = %q/%d, want %q/%d", tc.in, req.BadMsg, req.Bad, tc.bad, tc.kind)
+			}
+			continue
+		}
+		if len(req.KV) != len(tc.kv) {
+			t.Errorf("Parse(%q).KV = %v, want %v", tc.in, req.KV, tc.kv)
+			continue
+		}
+		for i := range tc.kv {
+			if req.KV[i] != tc.kv[i] {
+				t.Errorf("Parse(%q).KV = %v, want %v", tc.in, req.KV, tc.kv)
+				break
+			}
+		}
+	}
+}
+
+func TestNativeEncodeRange(t *testing.T) {
+	var na Native
+	rep := Reply{Kind: KRange, Items: []Item{
+		{Key: 1, Val: 10, Found: true},
+		{Key: 3, Val: 30, Found: true},
+	}}
+	want := "VALUE 1 10\r\nVALUE 3 30\r\nEND\r\n"
+	if got := string(na.Encode(nil, &rep)); got != want {
+		t.Fatalf("Encode(KRange) = %q, want %q", got, want)
+	}
+	empty := Reply{Kind: KRange}
+	if got := string(na.Encode(nil, &empty)); got != "END\r\n" {
+		t.Fatalf("Encode(empty KRange) = %q, want END", got)
+	}
+}
+
+func TestRESPParseOrdered(t *testing.T) {
+	var rs RESP
+	var req Request
+	wire := "*3\r\n$4\r\nZADD\r\n$2\r\n42\r\n$1\r\n7\r\n"
+	if n, err := rs.Parse([]byte(wire), &req); err != nil || n != len(wire) ||
+		req.Cmd != CmdZAdd || req.KV[0] != 42 || req.KV[1] != 7 {
+		t.Fatalf("ZADD: n=%d err=%v req=%+v", n, err, req)
+	}
+	if _, err := rs.Parse([]byte("ZGET 42\r\n"), &req); err != nil || req.Cmd != CmdZGet || req.KV[0] != 42 {
+		t.Fatalf("inline ZGET: err=%v req=%+v", err, req)
+	}
+	if _, err := rs.Parse([]byte("ZINCR 3 5\r\n"), &req); err != nil || req.Cmd != CmdZIncr ||
+		req.KV[0] != 3 || req.KV[1] != 5 {
+		t.Fatalf("ZINCR: err=%v req=%+v", err, req)
+	}
+	if _, err := rs.Parse([]byte("ZDEL 9\r\n"), &req); err != nil || req.Cmd != CmdZDel || req.KV[0] != 9 {
+		t.Fatalf("ZDEL: err=%v req=%+v", err, req)
+	}
+	if _, err := rs.Parse([]byte("ZRANGE 10 20\r\n"), &req); err != nil || req.Cmd != CmdZRange ||
+		req.KV[0] != 10 || req.KV[1] != 20 {
+		t.Fatalf("ZRANGE: err=%v req=%+v", err, req)
+	}
+	if _, err := rs.Parse([]byte("ZRANGE 10 20 5\r\n"), &req); err != nil || req.Cmd != CmdZRange ||
+		len(req.KV) != 3 || req.KV[2] != 5 {
+		t.Fatalf("ZRANGE limit: err=%v req=%+v", err, req)
+	}
+	if _, err := rs.Parse([]byte("ZCOUNT 10 20\r\n"), &req); err != nil || req.Cmd != CmdZCount ||
+		req.KV[0] != 10 || req.KV[1] != 20 {
+		t.Fatalf("ZCOUNT: err=%v req=%+v", err, req)
+	}
+	// Bounds are positions, not keys: non-numeric bounds are rejected
+	// rather than hashed.
+	if _, err := rs.Parse([]byte("ZRANGE lo hi\r\n"), &req); err != nil || req.Cmd != CmdBad {
+		t.Fatalf("ZRANGE text bounds should be CmdBad: err=%v req=%+v", err, req)
+	}
+	// ZINCR's delta must be numeric (redis's INCRBY contract).
+	if _, err := rs.Parse([]byte("ZINCR 3 x\r\n"), &req); err != nil || req.Cmd != CmdBad ||
+		!strings.Contains(req.BadMsg, "not an integer") {
+		t.Fatalf("ZINCR text delta: err=%v req=%+v", err, req)
+	}
+}
+
+func TestRESPEncodeRange(t *testing.T) {
+	var rs RESP
+	rep := Reply{Kind: KRange, Items: []Item{
+		{Key: 1, Val: 10, Found: true},
+		{Key: 3, Val: 30, Found: true},
+	}}
+	want := "*4\r\n$1\r\n1\r\n$2\r\n10\r\n$1\r\n3\r\n$2\r\n30\r\n"
+	if got := string(rs.Encode(nil, &rep)); got != want {
+		t.Fatalf("Encode(KRange) = %q, want %q", got, want)
+	}
+	empty := Reply{Kind: KRange}
+	if got := string(rs.Encode(nil, &empty)); got != "*0\r\n" {
+		t.Fatalf("Encode(empty KRange) = %q, want *0", got)
+	}
+}
+
+// TestOrderedAppendRequestRoundTrip drives every z command through each
+// adapter's client-side encoding and back through its parser.
+func TestOrderedAppendRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Cmd: CmdZAdd, KV: []uint64{1, 10}},
+		{Cmd: CmdZGet, KV: []uint64{1}},
+		{Cmd: CmdZIncr, KV: []uint64{2, 5}},
+		{Cmd: CmdZDel, KV: []uint64{3}},
+		{Cmd: CmdZRange, KV: []uint64{0, 100}},
+		{Cmd: CmdZRange, KV: []uint64{0, 100, 7}},
+		{Cmd: CmdZCount, KV: []uint64{0, 100}},
+	}
+	type clientAdapter interface {
+		Adapter
+		AppendRequest([]byte, *Request) []byte
+	}
+	for _, ad := range []clientAdapter{Native{}, RESP{}} {
+		var wire []byte
+		for i := range reqs {
+			wire = ad.AppendRequest(wire, &reqs[i])
+		}
+		for i := range reqs {
+			var got Request
+			n, err := ad.Parse(wire, &got)
+			if err != nil || n == 0 {
+				t.Fatalf("%s: Parse #%d: n=%d err=%v", ad.Name(), i, n, err)
+			}
+			wire = wire[n:]
+			if got.Cmd != reqs[i].Cmd {
+				t.Fatalf("%s: req %d round-tripped to cmd %d, want %d", ad.Name(), i, got.Cmd, reqs[i].Cmd)
+			}
+			if len(got.KV) != len(reqs[i].KV) {
+				t.Fatalf("%s: req %d KV = %v, want %v", ad.Name(), i, got.KV, reqs[i].KV)
+			}
+			for j := range got.KV {
+				if got.KV[j] != reqs[i].KV[j] {
+					t.Fatalf("%s: req %d KV = %v, want %v", ad.Name(), i, got.KV, reqs[i].KV)
+				}
+			}
+		}
+		if len(wire) != 0 {
+			t.Fatalf("%s: %d trailing bytes", ad.Name(), len(wire))
+		}
+	}
+}

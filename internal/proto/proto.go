@@ -50,6 +50,20 @@ const (
 	CmdMGet
 	// CmdMSet stores KV[2i+1] under KV[2i] for each pair.
 	CmdMSet
+	// CmdZAdd stores KV[1] under KV[0] in the ordered keyspace.
+	CmdZAdd
+	// CmdZGet reads KV[0] from the ordered keyspace.
+	CmdZGet
+	// CmdZIncr adds KV[1] to KV[0] in the ordered keyspace, creating it
+	// at the delta if absent.
+	CmdZIncr
+	// CmdZDel removes KV[0] from the ordered keyspace.
+	CmdZDel
+	// CmdZRange scans the ordered keyspace over [KV[0], KV[1]), capped
+	// at KV[2] results when len(KV) == 3.
+	CmdZRange
+	// CmdZCount counts ordered keys in [KV[0], KV[1]).
+	CmdZCount
 	// CmdStats requests the telemetry view selected by Request.Stats.
 	CmdStats
 	// CmdCrash power-fails one shard (Request.HasShard) or all of them.
@@ -137,6 +151,9 @@ const (
 	KDelete
 	// KMGet reports a multi-get's per-key outcomes in Reply.Items.
 	KMGet
+	// KRange reports a zrange result: the ordered key/value pairs in
+	// Reply.Items (every Item Found by construction).
+	KRange
 	// KRaw is pre-rendered text (stats, info, admin acknowledgements)
 	// in Reply.Msg; native emits it verbatim, RESP as one bulk string.
 	KRaw

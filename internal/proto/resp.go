@@ -328,6 +328,152 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		}
 		req.Cmd = CmdMSet
 
+	case eqFold(cmd, "zadd"):
+		k, err := st.next()
+		if err != nil {
+			return err
+		}
+		v, err := st.next()
+		if err != nil {
+			return err
+		}
+		if k == nil || v == nil {
+			return wrongArgs(st, req, "zadd")
+		}
+		if extra, err := st.next(); err != nil {
+			return err
+		} else if extra != nil {
+			return wrongArgs(st, req, "zadd")
+		}
+		req.Cmd = CmdZAdd
+		req.KV = append(req.KV, numOrHash(k), numOrHash(v))
+
+	case eqFold(cmd, "zget"):
+		k, err := st.next()
+		if err != nil {
+			return err
+		}
+		if k == nil {
+			return wrongArgs(st, req, "zget")
+		}
+		if extra, err := st.next(); err != nil {
+			return err
+		} else if extra != nil {
+			return wrongArgs(st, req, "zget")
+		}
+		req.Cmd = CmdZGet
+		req.KV = append(req.KV, numOrHash(k))
+
+	case eqFold(cmd, "zincr"):
+		k, err := st.next()
+		if err != nil {
+			return err
+		}
+		d, err := st.next()
+		if err != nil {
+			return err
+		}
+		if k == nil || d == nil {
+			return wrongArgs(st, req, "zincr")
+		}
+		if extra, err := st.next(); err != nil {
+			return err
+		} else if extra != nil {
+			return wrongArgs(st, req, "zincr")
+		}
+		dn, ok := parseUint64(d)
+		if !ok {
+			req.bad(KErrClient, "value is not an integer or out of range")
+			return nil
+		}
+		req.Cmd = CmdZIncr
+		req.KV = append(req.KV, numOrHash(k), dn)
+
+	case eqFold(cmd, "zdel"):
+		k, err := st.next()
+		if err != nil {
+			return err
+		}
+		if k == nil {
+			return wrongArgs(st, req, "zdel")
+		}
+		if extra, err := st.next(); err != nil {
+			return err
+		} else if extra != nil {
+			return wrongArgs(st, req, "zdel")
+		}
+		req.Cmd = CmdZDel
+		req.KV = append(req.KV, numOrHash(k))
+
+	case eqFold(cmd, "zrange"):
+		lo, err := st.next()
+		if err != nil {
+			return err
+		}
+		hi, err := st.next()
+		if err != nil {
+			return err
+		}
+		if lo == nil || hi == nil {
+			return wrongArgs(st, req, "zrange")
+		}
+		limit, err := st.next()
+		if err != nil {
+			return err
+		}
+		if limit != nil {
+			if extra, err := st.next(); err != nil {
+				return err
+			} else if extra != nil {
+				return wrongArgs(st, req, "zrange")
+			}
+		}
+		// Bounds (and the limit) are positions in the ordered keyspace,
+		// not keys: they must be numeric, there is nothing sensible to
+		// hash.
+		ln, ok1 := parseUint64(lo)
+		hn, ok2 := parseUint64(hi)
+		if !ok1 || !ok2 {
+			req.bad(KErrClient, "value is not an integer or out of range")
+			return nil
+		}
+		req.KV = append(req.KV, ln, hn)
+		if limit != nil {
+			mn, ok := parseUint64(limit)
+			if !ok {
+				req.bad(KErrClient, "value is not an integer or out of range")
+				return nil
+			}
+			req.KV = append(req.KV, mn)
+		}
+		req.Cmd = CmdZRange
+
+	case eqFold(cmd, "zcount"):
+		lo, err := st.next()
+		if err != nil {
+			return err
+		}
+		hi, err := st.next()
+		if err != nil {
+			return err
+		}
+		if lo == nil || hi == nil {
+			return wrongArgs(st, req, "zcount")
+		}
+		if extra, err := st.next(); err != nil {
+			return err
+		} else if extra != nil {
+			return wrongArgs(st, req, "zcount")
+		}
+		ln, ok1 := parseUint64(lo)
+		hn, ok2 := parseUint64(hi)
+		if !ok1 || !ok2 {
+			req.bad(KErrClient, "value is not an integer or out of range")
+			return nil
+		}
+		req.Cmd = CmdZCount
+		req.KV = append(req.KV, ln, hn)
+
 	case eqFold(cmd, "ping"):
 		if err := st.drain(); err != nil {
 			return err
@@ -456,6 +602,17 @@ func (RESP) Encode(dst []byte, rep *Reply) []byte {
 			}
 		}
 		return dst
+	case KRange:
+		// A flat array of key, value, key, value, ... bulk strings —
+		// the shape redis's ZRANGE WITHSCORES uses.
+		dst = append(dst, '*')
+		dst = appendUint(dst, uint64(2*len(rep.Items)))
+		dst = append(dst, '\r', '\n')
+		for _, it := range rep.Items {
+			dst = appendBulkUint(dst, it.Key)
+			dst = appendBulkUint(dst, it.Val)
+		}
+		return dst
 	case KRaw:
 		return appendBulkStr(dst, rep.Msg)
 	case KPong:
@@ -495,6 +652,18 @@ func (RESP) AppendRequest(dst []byte, req *Request) []byte {
 		name = "MGET"
 	case CmdMSet:
 		name = "MSET"
+	case CmdZAdd:
+		name = "ZADD"
+	case CmdZGet:
+		name = "ZGET"
+	case CmdZIncr:
+		name = "ZINCR"
+	case CmdZDel:
+		name = "ZDEL"
+	case CmdZRange:
+		name = "ZRANGE"
+	case CmdZCount:
+		name = "ZCOUNT"
 	case CmdPing:
 		name = "PING"
 	case CmdInfo:

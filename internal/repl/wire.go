@@ -36,7 +36,7 @@ import (
 // ProtocolMagic identifies the replication stream and its version; a
 // hello frame carrying anything else is rejected. Bump the trailing
 // digit on any incompatible framing change.
-const ProtocolMagic uint64 = 0x5453_5052_4550_4C31 // "TSPREPL1"
+const ProtocolMagic uint64 = 0x5453_5052_4550_4C32 // "TSPREPL2"
 
 // Frame types, the first payload byte of every frame.
 const (
@@ -71,6 +71,9 @@ const maxFrame = 1 << 24
 type Op struct {
 	// Del selects delete; otherwise the op is an absolute set.
 	Del bool
+	// List routes the op to the ordered keyspace (the skip list)
+	// instead of the hash map.
+	List bool
 	// Key is the affected key.
 	Key uint64
 	// Val is the value stored (ignored for deletes).
@@ -79,6 +82,8 @@ type Op struct {
 
 // Pair is one key/value pair of a snapshot transfer.
 type Pair struct {
+	// List marks a pair belonging to the ordered keyspace.
+	List bool
 	// Key is the snapshotted key.
 	Key uint64
 	// Val is its value at the snapshot position.
@@ -203,12 +208,25 @@ func decodeSnapshotBegin(payload []byte) (gen, seq uint64, err error) {
 	return gen, seq, f.err
 }
 
-// encodeSnapshotChunk builds one chunk of pairs.
+// Record kind bits shared by group ops and snapshot pairs: bit 0 is
+// delete (ops only), bit 1 routes to the ordered keyspace.
+const (
+	kindDel  = byte(1 << 0)
+	kindList = byte(1 << 1)
+)
+
+// encodeSnapshotChunk builds one chunk of pairs: a count, then one
+// kind byte + key + value per pair (17 bytes each).
 func encodeSnapshotChunk(pairs []Pair) []byte {
-	b := make([]byte, 0, 1+8+16*len(pairs))
+	b := make([]byte, 0, 1+8+17*len(pairs))
 	b = append(b, FrameSnapshotChunk)
 	b = u64(b, uint64(len(pairs)))
 	for _, p := range pairs {
+		kind := byte(0)
+		if p.List {
+			kind |= kindList
+		}
+		b = append(b, kind)
 		b = u64(b, p.Key)
 		b = u64(b, p.Val)
 	}
@@ -222,11 +240,13 @@ func decodeSnapshotChunk(payload []byte) ([]Pair, error) {
 	if f.err != nil {
 		return nil, f.err
 	}
-	if n > uint64(len(payload)/16) {
+	if n > uint64(len(payload)/17) {
 		return nil, fmt.Errorf("repl: chunk count %d exceeds frame", n)
 	}
 	pairs := make([]Pair, n)
 	for i := range pairs {
+		kind := f.byte()
+		pairs[i].List = kind&kindList != 0
 		pairs[i].Key = f.u64()
 		pairs[i].Val = f.u64()
 	}
@@ -242,7 +262,10 @@ func encodeGroup(g Group) []byte {
 	for _, op := range g.Ops {
 		kind := byte(0)
 		if op.Del {
-			kind = 1
+			kind |= kindDel
+		}
+		if op.List {
+			kind |= kindList
 		}
 		b = append(b, kind)
 		b = u64(b, op.Key)
@@ -265,7 +288,9 @@ func decodeGroup(payload []byte) (Group, error) {
 	}
 	g.Ops = make([]Op, n)
 	for i := range g.Ops {
-		g.Ops[i].Del = f.byte() == 1
+		kind := f.byte()
+		g.Ops[i].Del = kind&kindDel != 0
+		g.Ops[i].List = kind&kindList != 0
 		g.Ops[i].Key = f.u64()
 		g.Ops[i].Val = f.u64()
 	}

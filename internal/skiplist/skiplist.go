@@ -470,6 +470,15 @@ func (l *List) RangeBetween(lo, hi uint64, fn func(key, val uint64) bool) {
 	}
 }
 
+// CountBetween counts live keys in [lo, hi). Like RangeBetween the
+// index levels find lo in O(log n); the count itself walks the bottom
+// level, so the cost is O(log n + result).
+func (l *List) CountBetween(lo, hi uint64) int {
+	n := 0
+	l.RangeBetween(lo, hi, func(_, _ uint64) bool { n++; return true })
+	return n
+}
+
 // Min returns the smallest live key, if any.
 func (l *List) Min() (uint64, bool) {
 	for curr := ref(l.next(l.head, 0)); !curr.IsNil(); curr = ref(l.next(curr, 0)) {

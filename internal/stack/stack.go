@@ -31,16 +31,39 @@ import (
 	"tsp/internal/hashmap"
 	"tsp/internal/nvm"
 	"tsp/internal/pheap"
+	"tsp/internal/skiplist"
 	"tsp/internal/telemetry"
 )
 
-// Stack is one assembled storage stack. RT and Map are nil for a
+// Multi-engine root directory layout (payload words). The heap root no
+// longer points at the hash map directly: it points at a tiny directory
+// block naming every engine the stack carries. The magic word is stored
+// last so a directory is only ever observed fully formed, and its value
+// is far outside any device address, so the recovery-time conservative
+// GC never mistakes it for a pointer — while the two engine words keep
+// both trees reachable.
+const (
+	rootMagicWord = 0
+	rootMapWord   = 1
+	rootListWord  = 2
+	rootWords     = 3
+
+	rootMagic = 0x5453_5052_4f4f_5431 // "TSPROOT1"
+)
+
+// Stack is one assembled storage stack. RT, Map and List are nil for a
 // heap-only stack (see HeapOnly).
 type Stack struct {
 	Dev  *nvm.Device
 	Heap *pheap.Heap
 	RT   *atlas.Runtime
 	Map  *hashmap.Map
+
+	// List is the stack's second engine: the persistent lock-free skip
+	// list serving the ordered keyspace. Per Section 4.1 it takes no
+	// crash-consistency measures at all — operations bypass Atlas — so
+	// the directory root is the only coupling between the engines.
+	List *skiplist.List
 
 	// Recovery is the Atlas recovery report when the stack came up via
 	// Reattach (zero value for a fresh stack or a heap-only reattach).
@@ -64,6 +87,7 @@ type config struct {
 	logEveryStore bool
 	buckets       int
 	perMutex      int
+	listLevels    int
 	heapOnly      bool
 	tel           *telemetry.Registry
 	telemetryOff  bool
@@ -76,6 +100,7 @@ func defaults() config {
 		maxThreads: 16,
 		buckets:    4096,
 		perMutex:   256,
+		listLevels: 16,
 	}
 }
 
@@ -130,6 +155,14 @@ func WithBuckets(buckets, perMutex int) Option {
 		c.buckets = buckets
 		c.perMutex = perMutex
 	}
+}
+
+// WithListLevels sets the maximum level of the ordered-keyspace skip
+// list (default 16, capped at skiplist.MaxLevel). Only consulted when a
+// fresh list is created (New, or the legacy-root upgrade in Reattach);
+// a reopened list keeps the level it was built with.
+func WithListLevels(n int) Option {
+	return func(c *config) { c.listLevels = n }
 }
 
 // HeapOnly stops the stack at the persistent heap: no Atlas runtime, no
@@ -233,14 +266,35 @@ func New(opts ...Option) (*Stack, error) {
 	if reg != nil {
 		m.SetTelemetry(reg.Map)
 	}
-	heap.SetRoot(m.Ptr())
+	l, err := skiplist.New(heap, c.listLevels)
+	if err != nil {
+		return nil, fmt.Errorf("stack: skiplist: %w", err)
+	}
+	if err := publishRoot(heap, m.Ptr(), l.Ptr()); err != nil {
+		return nil, err
+	}
 	dev.FlushAll()
 	s.RT = rt
 	s.Map = m
+	s.List = l
 	if reg != nil {
 		reg.Generation.Inc()
 	}
 	return s, nil
+}
+
+// publishRoot allocates a multi-engine directory naming both engines and
+// commits it as the heap root in a single word store.
+func publishRoot(heap *pheap.Heap, mapPtr, listPtr pheap.Ptr) error {
+	dir, err := heap.Alloc(rootWords)
+	if err != nil {
+		return fmt.Errorf("stack: root directory: %w", err)
+	}
+	heap.Store(dir, rootMapWord, uint64(mapPtr))
+	heap.Store(dir, rootListWord, uint64(listPtr))
+	heap.Store(dir, rootMagicWord, rootMagic) // magic last: valid once visible
+	heap.SetRoot(dir)
+	return nil
 }
 
 // Reattach is the recovery path: open the heap of a restarted device,
@@ -282,9 +336,38 @@ func Reattach(dev *nvm.Device, opts ...Option) (*Stack, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stack: atlas runtime: %w", err)
 	}
-	m, err := hashmap.Open(rt, heap.Root())
-	if err != nil {
-		return nil, fmt.Errorf("stack: hashmap reattach: %w", err)
+	root := heap.Root()
+	var m *hashmap.Map
+	var l *skiplist.List
+	if !root.IsNil() && heap.Load(root, rootMagicWord) == rootMagic {
+		// Multi-engine directory root: open both engines from it.
+		m, err = hashmap.Open(rt, pheap.Ptr(heap.Load(root, rootMapWord)))
+		if err != nil {
+			return nil, fmt.Errorf("stack: hashmap reattach: %w", err)
+		}
+		l, err = skiplist.Open(heap, pheap.Ptr(heap.Load(root, rootListWord)))
+		if err != nil {
+			return nil, fmt.Errorf("stack: skiplist reattach: %w", err)
+		}
+	} else {
+		// Legacy single-root heap (the root points at the map descriptor
+		// directly). Upgrade in place: attach the map, create an empty
+		// skip list, and publish a directory over both. The root word
+		// flips atomically, so a crash mid-upgrade leaves the old format
+		// intact and the half-built directory as unreachable garbage for
+		// the next recovery GC.
+		m, err = hashmap.Open(rt, root)
+		if err != nil {
+			return nil, fmt.Errorf("stack: hashmap reattach: %w", err)
+		}
+		l, err = skiplist.New(heap, c.listLevels)
+		if err != nil {
+			return nil, fmt.Errorf("stack: skiplist: %w", err)
+		}
+		if err := publishRoot(heap, m.Ptr(), l.Ptr()); err != nil {
+			return nil, err
+		}
+		dev.FlushAll()
 	}
 	if reg != nil {
 		m.SetTelemetry(reg.Map)
@@ -293,6 +376,7 @@ func Reattach(dev *nvm.Device, opts ...Option) (*Stack, error) {
 	}
 	s.RT = rt
 	s.Map = m
+	s.List = l
 	return s, nil
 }
 

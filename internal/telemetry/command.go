@@ -16,6 +16,15 @@ const (
 	CmdDelete
 	CmdMGet
 	CmdMSet
+	// The z* commands operate on the ordered keyspace (the persistent
+	// skip list): point writes ride the batch pipeline, range reads run
+	// lock-free with no Atlas machinery at all.
+	CmdZAdd
+	CmdZGet
+	CmdZIncr
+	CmdZDel
+	CmdZRange
+	CmdZCount
 	// CmdRepl labels operations a follower applies from its replication
 	// stream — the same exec path as client commands, attributed
 	// separately so replica apply cost never masquerades as client
@@ -42,6 +51,18 @@ func (c Command) String() string {
 		return "mget"
 	case CmdMSet:
 		return "mset"
+	case CmdZAdd:
+		return "zadd"
+	case CmdZGet:
+		return "zget"
+	case CmdZIncr:
+		return "zincr"
+	case CmdZDel:
+		return "zdel"
+	case CmdZRange:
+		return "zrange"
+	case CmdZCount:
+		return "zcount"
 	case CmdRepl:
 		return "repl"
 	default:
@@ -52,7 +73,11 @@ func (c Command) String() string {
 // Commands lists every command in enum order, for deterministic
 // rendering of per-command surfaces.
 func Commands() []Command {
-	return []Command{CmdGet, CmdSet, CmdIncr, CmdDelete, CmdMGet, CmdMSet, CmdRepl}
+	return []Command{
+		CmdGet, CmdSet, CmdIncr, CmdDelete, CmdMGet, CmdMSet,
+		CmdZAdd, CmdZGet, CmdZIncr, CmdZDel, CmdZRange, CmdZCount,
+		CmdRepl,
+	}
 }
 
 // Protocol labels which wire protocol carried a command — the second

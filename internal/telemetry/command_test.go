@@ -6,7 +6,11 @@ import (
 )
 
 func TestCommandStrings(t *testing.T) {
-	want := []string{"get", "set", "incr", "delete", "mget", "mset", "repl"}
+	want := []string{
+		"get", "set", "incr", "delete", "mget", "mset",
+		"zadd", "zget", "zincr", "zdel", "zrange", "zcount",
+		"repl",
+	}
 	cmds := Commands()
 	if len(cmds) != NumCommands {
 		t.Fatalf("Commands() returned %d entries, want %d", len(cmds), NumCommands)

@@ -246,6 +246,15 @@ type ServerStats struct {
 	Sets    Counter
 	Deletes Counter
 
+	// The Z* counters are the ordered keyspace's request counts: reads
+	// (zget/zrange/zcount traversals) and writes against the skip list,
+	// kept apart from the map counters because the two engines have
+	// completely different persistence cost models.
+	ZGets    Counter // zget/zrange/zcount requests served lock-free
+	ZHits    Counter // zget requests that found the key
+	ZSets    Counter // zadd/zincr writes applied
+	ZDeletes Counter // zdel writes applied
+
 	Batches        Counter // drained batch groups executed by the shard worker
 	BatchedOps     Counter // operations executed inside batch groups
 	BatchFallbacks Counter // operations that took the synchronous path (queue full/disabled)
@@ -260,6 +269,10 @@ func (s *ServerStats) Reset() {
 	s.Hits.Reset()
 	s.Sets.Reset()
 	s.Deletes.Reset()
+	s.ZGets.Reset()
+	s.ZHits.Reset()
+	s.ZSets.Reset()
+	s.ZDeletes.Reset()
 	s.Batches.Reset()
 	s.BatchedOps.Reset()
 	s.BatchFallbacks.Reset()
@@ -335,6 +348,11 @@ type Registry struct {
 	// machinery costs a read.
 	ReadLatency *Histogram
 
+	// RangeLen is a value histogram (ObserveValue) of result lengths of
+	// zrange requests — the shape of the ordered workload's scans, and
+	// the denominator for judging whether the range limit is binding.
+	RangeLen *Histogram
+
 	// Generation counts the stack's incarnations: 1 after New, +1 per
 	// reattach. Counters deliberately survive reattach (the registry
 	// outlives the stack it instruments); Generation is how a consumer
@@ -356,6 +374,7 @@ func NewRegistry() *Registry {
 		CmdLatency:      &CommandLatency{},
 		BatchSize:       &Histogram{},
 		ReadLatency:     &Histogram{},
+		RangeLen:        &Histogram{},
 	}
 }
 
@@ -379,6 +398,7 @@ func (r *Registry) Reset() {
 	r.CmdLatency.Reset()
 	r.BatchSize.Reset()
 	r.ReadLatency.Reset()
+	r.RangeLen.Reset()
 }
 
 // Snapshot is a point-in-time copy of a registry's counters, keyed by
@@ -432,6 +452,10 @@ func (r *Registry) Walk(fn func(name string, value uint64)) {
 	fn("server_hits", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Hits }))
 	fn("server_sets", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Sets }))
 	fn("server_deletes", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Deletes }))
+	fn("server_zgets", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.ZGets }))
+	fn("server_zhits", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.ZHits }))
+	fn("server_zsets", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.ZSets }))
+	fn("server_zdeletes", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.ZDeletes }))
 	fn("server_batches", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Batches }))
 	fn("server_batched_ops", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.BatchedOps }))
 	fn("server_batch_fallbacks", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.BatchFallbacks }))
