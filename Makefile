@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: build test check bench-shards bench-json bench-telemetry bench-batch bench-diff \
-	bench-repl bench-read bench-pipeline bench-ordered bench-cacheserver-baseline demo-repl
+	bench-repl bench-read bench-pipeline bench-ordered bench-epoch \
+	bench-cacheserver-baseline demo-repl campaign-durability
 
 build:
 	$(GO) build ./...
@@ -62,6 +63,19 @@ bench-pipeline:
 # BENCH_tspbench.json under profile "ordered".
 bench-ordered:
 	$(GO) run ./cmd/tspbench -ordered -duration 500ms -json -out BENCH_tspbench.json
+
+# The durability-tier benchmark: depth-32 set bursts acked durable vs
+# relaxed vs fire, plus a relaxed burst closed by one wait barrier.
+# Cells merge into BENCH_tspbench.json under profile "epoch".
+bench-epoch:
+	$(GO) run ./cmd/tspbench -epoch -duration 500ms -json -out BENCH_tspbench.json
+
+# The durability-tier crash campaign: a full cache server under mixed
+# durable/relaxed/wait traffic, crashed every cycle; durable and
+# wait-covered writes must always survive, relaxed losses must stay
+# above the receipt's epoch frontier. check.sh runs this 3x under -race.
+campaign-durability:
+	$(GO) run ./cmd/faultinject -durability-only -durability-cycles 10
 
 # Record the cacheserver go-bench baseline that bench-diff compares
 # ns/op against. Commit the refreshed BENCH_cacheserver.txt when the

@@ -10,9 +10,17 @@
 // With -hazard it additionally demonstrates the failure mode the TSP
 // framework predicts: Atlas TSP mode crashed WITHOUT its rescue.
 //
+// The durability-tier campaign (see durability.go) crashes a full cache
+// server under mixed durable/relaxed/wait-barrier traffic and holds each
+// tier to its crash contract: durable and barrier-covered writes always
+// survive, relaxed losses stay above the recovered epoch frontier.
+// -durability-only runs just that campaign (the pre-merge gate's shape);
+// -durability-cycles sets its crash-cycle count.
+//
 // Usage:
 //
 //	faultinject [-n 100] [-threads 8] [-seed 1] [-hazard]
+//	            [-durability-only] [-durability-cycles 10]
 package main
 
 import (
@@ -28,7 +36,16 @@ func main() {
 	threads := flag.Int("threads", 8, "worker threads")
 	seed := flag.Int64("seed", 1, "base seed")
 	hazard := flag.Bool("hazard", false, "also run TSP-mode-without-rescue to demonstrate the hazard")
+	durOnly := flag.Bool("durability-only", false, "run only the durability-tier cache-server campaign")
+	durCycles := flag.Int("durability-cycles", 10, "crash cycles in the durability-tier campaign")
 	flag.Parse()
+
+	if *durOnly {
+		if !runDurability(*durCycles, *threads, *seed) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	type scenario struct {
 		name    string
@@ -84,6 +101,11 @@ func main() {
 	// The multi-engine campaign crashes map and skip-list writers
 	// sharing one heap (see multiengine.go).
 	if !runMultiEngine(*n, *threads, *seed) {
+		exitCode = 1
+	}
+	// The durability-tier campaign crashes the cache server under
+	// mixed-tier wire traffic (see durability.go).
+	if !runDurability(*durCycles, *threads, *seed) {
 		exitCode = 1
 	}
 	os.Exit(exitCode)

@@ -472,7 +472,7 @@ func run() int {
 	// Coda: the promoted copy is a full TSP stack — crash it locally and
 	// re-verify after recovery.
 	resp, err = fw.cmd("crash")
-	if err != nil || resp != "OK RECOVERED" {
+	if err != nil || !strings.HasPrefix(resp, "OK RECOVERED") {
 		fmt.Fprintf(os.Stderr, "crash on promoted copy: %q err=%v\n", resp, err)
 		return 1
 	}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"time"
+
+	"tsp/internal/cacheserver"
+	"tsp/internal/proto"
+	"tsp/internal/stats"
+)
+
+// The durability-tier benchmark: the same in-process server and native
+// wire client as the pipeline mode, but the measured dimension is the
+// per-command durability level. Every cell pipelines epochDepth sets
+// per write — at depth 1 the TCP round trip (~10us on loopback) buries
+// the ack-path cost and every tier measures the same; pipelining
+// amortizes the wire so the server-side difference is what's left.
+// Only the trailing tier token differs between cells:
+//
+//	set_durable — today's behavior: committed through the Atlas critical
+//	              section before the ack. The baseline the relaxed tier
+//	              must not tax.
+//	set_relaxed — acked from the volatile overlay, persisted when the
+//	              epoch closes. The paper's timeliness argument at the
+//	              wire: the client observes commit-free ack latency while
+//	              the loss bound stays one epoch interval.
+//	set_fire    — acked before any state is consulted: the wire + parse
+//	              floor, bounding how much of relaxed's win is left.
+//
+// A fourth cell, set_relaxed_wait, closes each relaxed burst with one
+// `wait` barrier — the group-commit shape: durable semantics for the
+// group at one epoch close per burst.
+
+// epochTiers are the benchmarked (variant, tier-token) cells.
+var epochTiers = []struct {
+	variant string
+	tier    proto.Durability
+}{
+	{"set_durable", proto.DurDurable},
+	{"set_relaxed", proto.DurRelaxed},
+	{"set_fire", proto.DurFire},
+}
+
+const epochKeys = 8192
+
+// epochDepth is the pipelined burst length every cell uses.
+const epochDepth = 32
+
+// runEpochMode measures every tier cell and appends them to the report
+// under profile "epoch".
+func runEpochMode(duration time.Duration, seed int64, report *benchReport) {
+	srv, err := cacheserver.New(
+		cacheserver.WithShards(4),
+		cacheserver.WithMaxConns(8),
+		cacheserver.WithEpochInterval(5*time.Millisecond),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	fmt.Printf("Durability tiers (native protocol over TCP, one in-process server, one\n")
+	fmt.Printf("client connection, depth-%d set bursts; epoch interval 5ms; rate in requests/s)\n", epochDepth)
+	fmt.Println()
+	tbl := stats.Table{Header: []string{"variant", "req/s", "p50 us/req", "p99 us/req"}}
+	addRow := func(cell benchCell) {
+		tbl.AddRow(cell.Variant,
+			fmt.Sprintf("%.0f", cell.BestMIterPerSec*1e6),
+			fmt.Sprintf("%.1f", cell.P50Ns/1e3),
+			fmt.Sprintf("%.1f", cell.P99Ns/1e3))
+		report.Cells = append(report.Cells, cell)
+	}
+	for _, tc := range epochTiers {
+		cell, err := runEpochCell(addr, tc.variant, tc.tier, false, duration, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		addRow(cell)
+	}
+	// The barrier cell: relaxed bursts with one wait each, per-write cost.
+	cell, err := runEpochCell(addr, "set_relaxed_wait", proto.DurRelaxed, true, duration, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	addRow(cell)
+	fmt.Print(tbl.String())
+}
+
+// runEpochCell drives one tier cell over a fresh connection: bursts of
+// epochDepth sets at the given tier, plus — when withWait is set — one
+// trailing `wait` barrier per burst. Percentiles are each burst's wall
+// time divided by its write count, so the barrier's epoch-close stall
+// shows up as amortized per-write cost.
+func runEpochCell(addr, variant string, tier proto.Durability, withWait bool, duration time.Duration, seed int64) (benchCell, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return benchCell{}, err
+	}
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	na := proto.Native{}
+	rng := rand.New(rand.NewSource(seed))
+
+	readLine := func() error {
+		_, err := r.ReadSlice('\n')
+		return err
+	}
+
+	buf := make([]byte, 0, 1<<16)
+	req := proto.Request{Cmd: proto.CmdSet, Dur: tier}
+
+	var bursts []time.Duration
+	requests := 0
+	deadline := time.Now().Add(duration)
+	for time.Now().Before(deadline) {
+		buf = buf[:0]
+		for i := 0; i < epochDepth; i++ {
+			req.Cmd = proto.CmdSet
+			req.Dur = tier
+			req.KV = append(req.KV[:0], rng.Uint64()%epochKeys, rng.Uint64()%1000)
+			buf = na.AppendRequest(buf, &req)
+		}
+		replies := epochDepth
+		if withWait {
+			// wait with no arguments: block until the persistent frontier
+			// covers the epoch current at decode time — everything above.
+			wreq := proto.Request{Cmd: proto.CmdWait}
+			buf = na.AppendRequest(buf, &wreq)
+			replies++
+		}
+		t0 := time.Now()
+		if _, err := conn.Write(buf); err != nil {
+			return benchCell{}, err
+		}
+		for i := 0; i < replies; i++ {
+			if err := readLine(); err != nil {
+				return benchCell{}, fmt.Errorf("%s reply %d: %w", variant, i, err)
+			}
+		}
+		bursts = append(bursts, time.Since(t0))
+		requests += epochDepth
+	}
+
+	var total time.Duration
+	for _, d := range bursts {
+		total += d
+	}
+	perReq := func(q float64) float64 {
+		if len(bursts) == 0 {
+			return 0
+		}
+		sorted := append([]time.Duration(nil), bursts...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		idx := int(q * float64(len(sorted)-1))
+		return float64(sorted[idx]) / float64(epochDepth)
+	}
+	cell := benchCell{
+		Profile:    "epoch",
+		Variant:    variant,
+		Threads:    1,
+		Runs:       1,
+		Iterations: uint64(requests),
+		P50Ns:      perReq(0.50),
+		P99Ns:      perReq(0.99),
+	}
+	if total > 0 {
+		cell.BestMIterPerSec = float64(requests) / total.Seconds() / 1e6
+		cell.MeanMIterPerSec = cell.BestMIterPerSec
+	}
+	return cell, nil
+}

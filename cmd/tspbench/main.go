@@ -20,10 +20,16 @@
 // traffic against the persistent skip list, merged into the report
 // under profile "ordered" the same way.
 //
+// With -epoch it benchmarks the per-command durability tiers: the same
+// set workload acked durable (committed before the ack), relaxed (acked
+// from the volatile overlay, persisted at epoch close), and fire
+// (acked before any state is consulted), plus a relaxed burst closed by
+// one `wait` barrier. Cells merge under profile "epoch".
+//
 // Usage:
 //
 //	tspbench [-duration 2s] [-seed 1] [-profiles desktop,server] [-runs 3]
-//	         [-latency] [-pipeline] [-depths 1,8,64] [-ordered]
+//	         [-latency] [-pipeline] [-depths 1,8,64] [-ordered] [-epoch]
 //	         [-json] [-out BENCH_tspbench.json]
 package main
 
@@ -88,6 +94,7 @@ func main() {
 	latency := flag.Bool("latency", false, "measure per-iteration latency distributions instead of throughput")
 	pipeline := flag.Bool("pipeline", false, "benchmark the pipelined wire codec against an in-process server instead of Table 1")
 	ordered := flag.Bool("ordered", false, "benchmark the ordered keyspace (zadd/zrange) against an in-process server instead of Table 1")
+	epoch := flag.Bool("epoch", false, "benchmark the per-command durability tiers against an in-process server instead of Table 1")
 	depthsFlag := flag.String("depths", "1,8,64", "comma-separated pipeline depths used with -pipeline")
 	jsonOut := flag.Bool("json", false, "also write a machine-readable report (see -out)")
 	outPath := flag.String("out", "BENCH_tspbench.json", "report path used with -json")
@@ -137,6 +144,13 @@ func main() {
 		runOrderedMode(*duration, *seed, &report)
 		// Same merge discipline as -pipeline: only the "ordered" profile
 		// cells are refreshed.
+		if *jsonOut {
+			mergeExistingCells(*outPath, &report)
+		}
+	case *epoch:
+		report.Mode = "epoch"
+		runEpochMode(*duration, *seed, &report)
+		// Same merge discipline: only the "epoch" profile cells refresh.
 		if *jsonOut {
 			mergeExistingCells(*outPath, &report)
 		}

@@ -41,6 +41,26 @@
 // requests are answered with an error — the native protocol then
 // resynchronizes at the next newline, RESP tears the connection down).
 //
+// Every mutating command accepts a trailing durability tier: `durable`
+// (the default — committed before the ack), `relaxed` (acked from a
+// volatile overlay and persisted when the current epoch closes, so a
+// crash loses at most -epoch-interval of relaxed writes; the ack
+// carries an `@<epoch>` receipt redeemable against the crash reply's
+// `OK RECOVERED EPOCH <p>` frontier), or `fire` (acked before any
+// state is consulted). `wait` blocks until the persistent frontier
+// covers the caller's relaxed writes; `wait repl` until followers have
+// acknowledged its durable writes:
+//
+//	$ printf 'set 1 100 relaxed\r\nwait\r\ncrash\r\nget 1\r\nquit\r\n' | nc 127.0.0.1 11222
+//	STORED @3
+//	4
+//	OK RECOVERED EPOCH 4
+//	VALUE 1 100
+//
+// -epoch-interval sets the clock period (and therefore the relaxed
+// tier's loss bound); 0 disables the tiers, degrading relaxed and fire
+// to durable.
+//
 // Usage:
 //
 //	tspcached [-addr 127.0.0.1:11222] [-mode tsp|nontsp|off] [-shards 4]
@@ -48,7 +68,7 @@
 //	          [-batch-max 64] [-queue-depth 256] [-optimistic-reads=true]
 //	          [-proto auto|native|resp] [-max-request-bytes 1048576]
 //	          [-repl-listen host:port | -replica-of host:port]
-//	          [-repl-window 4096]
+//	          [-repl-window 4096] [-epoch-interval 5ms]
 //
 // Each shard batches queued requests — from any connection — into one
 // Atlas critical section per drained group (up to -batch-max ops),
@@ -85,6 +105,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"tsp/internal/atlas"
 	"tsp/internal/cacheserver"
@@ -105,6 +126,7 @@ func main() {
 	replListen := flag.String("repl-listen", "", "replication listen address: stream committed batches to followers (primary role); empty disables")
 	replicaOf := flag.String("replica-of", "", "primary's replication address: apply its stream read-only until promoted (follower role); empty disables")
 	replWindow := flag.Int("repl-window", 4096, "committed groups the replication log retains; reconnects beyond it trigger a snapshot transfer")
+	epochInterval := flag.Duration("epoch-interval", 5*time.Millisecond, "durability epoch clock period — the relaxed tier's crash-loss bound; 0 disables the tiers")
 	flag.Parse()
 
 	var m atlas.Mode
@@ -135,6 +157,7 @@ func main() {
 		cacheserver.WithReplListen(*replListen),
 		cacheserver.WithReplicaOf(*replicaOf),
 		cacheserver.WithReplWindow(*replWindow),
+		cacheserver.WithEpochInterval(*epochInterval),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -61,6 +61,14 @@ const (
 	opZSet
 	opZIncr
 	opZDelete
+	// The opFlush* kinds are the epoch drain's writes (see epoch.go):
+	// each carries the overlay sequence it snapshotted and applies only
+	// if that entry is still pending — a newer relaxed write or a
+	// durable fold between snapshot and apply supersedes it.
+	opFlushSet
+	opFlushDel
+	opFlushZSet
+	opFlushZDel
 )
 
 // batchOp is one key operation plus its result slots. Ops travel by
@@ -70,6 +78,7 @@ type batchOp struct {
 	kind opKind
 	key  uint64
 	arg  uint64 // value for set, delta for incr
+	seq  uint64 // overlay sequence for the opFlush* kinds
 
 	val uint64
 	ok  bool
@@ -78,9 +87,13 @@ type batchOp struct {
 
 // batchReq is one enqueued group: the ops one command contributes to
 // one shard. done is closed after every op's result is filled in.
+// epoch is non-zero only on epoch-drain groups; it stamps the
+// replication log group so followers learn how far the relaxed
+// frontier has propagated.
 type batchReq struct {
-	ops  []batchOp
-	done chan struct{}
+	ops   []batchOp
+	epoch uint64
+	done  chan struct{}
 }
 
 // workerThread returns the drain's Atlas thread on the current stack
@@ -238,6 +251,7 @@ func (sh *shard) runBatch(reqs []*batchReq, nops int) {
 	}
 	m := sh.stk.Map
 	stripes := sh.stripeScratch[:0]
+	hasMut := false
 	for _, r := range reqs {
 		for i := range r.ops {
 			if isZ(r.ops[i].kind) {
@@ -246,21 +260,44 @@ func (sh *shard) runBatch(reqs []*batchReq, nops int) {
 				// the batch stays one commit-ordered unit.
 				continue
 			}
+			if r.ops[i].kind != opGet {
+				hasMut = true
+			}
 			stripes = append(stripes, m.StripeOf(r.ops[i].key))
 		}
 	}
 	sort.Ints(stripes)
 	mus := sh.mutexScratch[:0]
 	last := -1
+	n := 0
 	for _, st := range stripes {
 		if st != last {
 			mus = append(mus, m.StripeMutex(st))
+			stripes[n] = st
+			n++
 			last = st
 		}
 	}
+	uniq := stripes[:n]
 
 	start := time.Now()
 	_ = th.Section(mus, func() error {
+		// Section-wide seqlock bracket: hold every involved stripe odd
+		// for the whole group so optimistic readers can never validate a
+		// half-applied batch. The *Locked map variants do not bump on
+		// their own (see hashmap.BeginStripeWrites) — per-mutation
+		// brackets would leave validatable quiet windows between a
+		// group's mutations, tearing cross-key mget snapshots.
+		if hasMut {
+			for _, st := range uniq {
+				m.BeginStripeWrites(st)
+			}
+			defer func() {
+				for _, st := range uniq {
+					m.EndStripeWrites(st)
+				}
+			}()
+		}
 		for _, r := range reqs {
 			for i := range r.ops {
 				sh.execOp(th, &r.ops[i], true)
@@ -291,12 +328,21 @@ func (sh *shard) runBatch(reqs []*batchReq, nops int) {
 // protocol counters. locked selects the *Locked map variants for the
 // batch path, where the section already holds every stripe mutex the
 // group needs; the synchronous path lets each call take its own.
+//
+// Tier interleaving happens here: reads consult the shard's relaxed
+// overlay first (read-your-writes across tiers), and a durable write
+// to a key with a pending relaxed entry pops that entry — folding it
+// into this critical section, so the durable op's result accounts for
+// the buffered state it supersedes. All overlay touches are gated on
+// the atomic size, so an all-durable workload pays one atomic load.
 func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
 	m := sh.stk.Map
 	switch op.kind {
 	case opGet:
 		sh.tel.Server.Gets.Inc()
-		if locked {
+		if e, hit := sh.ovl.get(op.key, false); hit {
+			op.val, op.ok = e.val, !e.del
+		} else if locked {
 			op.val, op.ok, op.err = m.GetLocked(th, op.key)
 		} else {
 			op.val, op.ok, op.err = m.Get(th, op.key)
@@ -305,6 +351,7 @@ func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
 			sh.tel.Server.Hits.Inc()
 		}
 	case opSet:
+		sh.ovl.take(op.key, false)
 		if locked {
 			op.err = m.PutLocked(th, op.key, op.arg)
 		} else {
@@ -315,6 +362,9 @@ func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
 			sh.tel.Server.Sets.Inc()
 		}
 	case opIncr:
+		if op.err = sh.foldOverlay(th, op.key, false, locked); op.err != nil {
+			return
+		}
 		if locked {
 			op.val, op.err = m.IncLocked(th, op.key, op.arg)
 		} else {
@@ -325,15 +375,22 @@ func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
 			sh.tel.Server.Sets.Inc()
 		}
 	case opDelete:
+		oe, hadOv := sh.ovl.take(op.key, false)
 		if locked {
 			op.ok, op.err = m.DeleteLocked(th, op.key)
 		} else {
 			op.ok, op.err = m.Delete(th, op.key)
 		}
 		if op.err == nil {
+			if hadOv {
+				// The overlay held the key's logical state: present unless
+				// the pending entry was itself a delete.
+				op.ok = !oe.del
+			}
 			sh.tel.Server.Deletes.Inc()
 		}
 	case opZSet:
+		sh.ovl.take(op.key, true)
 		_, op.err = sh.stk.List.Put(op.key, op.arg)
 		if op.err == nil {
 			op.ok = true
@@ -341,21 +398,114 @@ func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
 			sh.tel.Server.ZSets.Inc()
 		}
 	case opZIncr:
+		if op.err = sh.foldOverlay(th, op.key, true, locked); op.err != nil {
+			return
+		}
 		op.val, op.err = sh.stk.List.Inc(op.key, op.arg)
 		if op.err == nil {
 			op.ok = true
 			sh.tel.Server.ZSets.Inc()
 		}
 	case opZDelete:
+		oe, hadOv := sh.ovl.take(op.key, true)
 		op.ok, op.err = sh.stk.List.Delete(op.key)
 		if op.err == nil {
+			if hadOv {
+				op.ok = !oe.del
+			}
 			sh.tel.Server.ZDeletes.Inc()
+		}
+
+	case opFlushSet:
+		if !sh.ovl.stillPending(op.key, false, op.seq) {
+			return
+		}
+		if locked {
+			op.err = m.PutLocked(th, op.key, op.arg)
+		} else {
+			op.err = m.Put(th, op.key, op.arg)
+		}
+		if op.err == nil {
+			op.ok = true
+			op.val = op.arg
+			sh.tel.Server.Sets.Inc()
+			sh.ovl.clearIfSeq(op.key, false, op.seq)
+		}
+	case opFlushDel:
+		if !sh.ovl.stillPending(op.key, false, op.seq) {
+			return
+		}
+		if locked {
+			_, op.err = m.DeleteLocked(th, op.key)
+		} else {
+			_, op.err = m.Delete(th, op.key)
+		}
+		if op.err == nil {
+			op.ok = true
+			sh.tel.Server.Deletes.Inc()
+			sh.ovl.clearIfSeq(op.key, false, op.seq)
+		}
+	case opFlushZSet:
+		if !sh.ovl.stillPending(op.key, true, op.seq) {
+			return
+		}
+		_, op.err = sh.stk.List.Put(op.key, op.arg)
+		if op.err == nil {
+			op.ok = true
+			op.val = op.arg
+			sh.tel.Server.ZSets.Inc()
+			sh.ovl.clearIfSeq(op.key, true, op.seq)
+		}
+	case opFlushZDel:
+		if !sh.ovl.stillPending(op.key, true, op.seq) {
+			return
+		}
+		_, op.err = sh.stk.List.Delete(op.key)
+		if op.err == nil {
+			op.ok = true
+			sh.tel.Server.ZDeletes.Inc()
+			sh.ovl.clearIfSeq(op.key, true, op.seq)
 		}
 	}
 }
 
+// foldOverlay materializes a key's pending relaxed entry into the
+// engine — a put of the buffered value, or a delete for a buffered
+// tombstone — so an arithmetic durable op (incr/zincr) starts from the
+// logical state its connection has already been acked.
+func (sh *shard) foldOverlay(th *atlas.Thread, key uint64, list, locked bool) error {
+	e, ok := sh.ovl.take(key, list)
+	if !ok {
+		return nil
+	}
+	if list {
+		if e.del {
+			_, err := sh.stk.List.Delete(key)
+			return err
+		}
+		_, err := sh.stk.List.Put(key, e.val)
+		return err
+	}
+	m := sh.stk.Map
+	switch {
+	case e.del && locked:
+		_, err := m.DeleteLocked(th, key)
+		return err
+	case e.del:
+		_, err := m.Delete(th, key)
+		return err
+	case locked:
+		return m.PutLocked(th, key, e.val)
+	default:
+		return m.Put(th, key, e.val)
+	}
+}
+
 // isZ reports whether an op kind targets the ordered keyspace.
-func isZ(k opKind) bool { return k == opZSet || k == opZIncr || k == opZDelete }
+func isZ(k opKind) bool {
+	return k == opZSet || k == opZIncr || k == opZDelete ||
+		k == opFlushZSet || k == opFlushZDel
+}
 
 // pipelineActive reports whether the shard's worker has a drain in
 // flight or groups already waiting. A single op arriving now will

@@ -75,7 +75,7 @@ func TestBatchDisabledServesSynchronously(t *testing.T) {
 	if got := c.cmd(t, "incr 1 5"); got != "15" {
 		t.Fatalf("incr: %q", got)
 	}
-	if got := c.cmd(t, "crash"); got != "OK RECOVERED" {
+	if got := c.cmd(t, "crash"); !strings.HasPrefix(got, "OK RECOVERED EPOCH ") {
 		t.Fatalf("crash: %q", got)
 	}
 	if got := c.cmd(t, "get 1"); got != "VALUE 1 15" {
@@ -151,10 +151,15 @@ func TestQueueFullFallsBackToSyncPath(t *testing.T) {
 		readers[i] = bufio.NewReader(conn)
 		fmt.Fprintf(conn, "mset %d %d %d %d\r\n", 2*i, 100+i, 2*i+1, 200+i)
 	}
-	// Let every request reach the shard: up to two groups drained by the
-	// blocked worker, one filling the queue, the rest forced to fall
-	// back.
-	time.Sleep(300 * time.Millisecond)
+	// Every request reaches a routing decision while the shard is
+	// stalled: at most two groups drained by the blocked worker
+	// (batchMax=4), one filling the depth-1 queue, so at least three
+	// must have taken the counted fallback. Fallbacks are counted at the
+	// routing decision, before the op blocks on the shard lock, so the
+	// counter is pollable here.
+	waitFor(t, 10*time.Second, "three sync fallbacks", func() bool {
+		return sh.tel.Server.BatchFallbacks.Load() >= 3
+	})
 	sh.mu.Unlock()
 
 	for i := 0; i < n; i++ {
@@ -388,18 +393,18 @@ func TestCrashMidBatchCampaign(t *testing.T) {
 			admin := dial(t, s.Addr().String())
 			for round := 0; round < 3; round++ {
 				if tc.crashAll {
-					if got := admin.cmd(t, "crash"); got != "OK RECOVERED" {
+					if got := admin.cmd(t, "crash"); !strings.HasPrefix(got, "OK RECOVERED EPOCH ") {
 						t.Fatalf("crash: %q", got)
 					}
 				} else {
 					for i := 0; i < tc.shards; i++ {
-						if got := admin.cmd(t, "crash %d", i); got != fmt.Sprintf("OK RECOVERED SHARD %d", i) {
+						if got := admin.cmd(t, "crash %d", i); !strings.HasPrefix(got, fmt.Sprintf("OK RECOVERED SHARD %d EPOCH ", i)) {
 							t.Fatalf("crash %d: %q", i, got)
 						}
-						time.Sleep(2 * time.Millisecond)
+						waitProgress(t, s, 5)
 					}
 				}
-				time.Sleep(5 * time.Millisecond)
+				waitProgress(t, s, 10)
 			}
 			close(stop)
 			wg.Wait()
@@ -450,7 +455,10 @@ func TestCrashMidBatchCampaign(t *testing.T) {
 // over the wire but keeps stack_generation, which identifies the
 // incarnation rather than the traffic.
 func TestStatsResetCommand(t *testing.T) {
-	s := startServer(t, WithShards(2))
+	// Epoch tiers off: the clock persists the frontier word every tick,
+	// so a tick landing between `stats reset` and the readback would
+	// legitimately make nvm_stores nonzero on a quiescent server.
+	s := startServer(t, WithShards(2), WithEpochInterval(0))
 	c := dial(t, s.Addr().String())
 	c.cmd(t, "set 1 1")
 	// Four keys over two shards: at least one shard receives a multi-op

@@ -1,0 +1,558 @@
+package cacheserver
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsp/internal/proto"
+	"tsp/internal/telemetry"
+)
+
+// Per-operation durability tiers on an epoch clock — the paper's
+// "timeliness requirement" made a per-command knob. The TSP planner's
+// verdict for a power failure is that persistence need only be TIMELY:
+// data must be durable by the time the failure's consequences are
+// observable, not at every store. The durable tier keeps today's
+// contract (the command's effects are committed to fortified state
+// before the ack). The relaxed tier procrastinates harder: the write
+// lands in a volatile per-shard overlay — plain Go memory, no Atlas
+// machinery, no device stores — and is acknowledged immediately,
+// stamped with the current epoch. A background clock closes an epoch
+// every epochInterval by draining every shard's overlay through the
+// normal batch pipeline (one Atlas critical section per drained chunk)
+// and then advancing a persistent frontier word on each shard's heap.
+// A crash therefore loses at most one epoch interval of relaxed writes
+// — a bounded, configured, and *purchasable* loss window, which is
+// exactly the paper's Figure-1 argument that the cost of persistence
+// should be priced per requirement, not paid maximally everywhere.
+// The fire tier acks without even consulting current state.
+//
+// Epoch stamps are crash-scoped receipts. An ack `STORED @e` promises:
+// if the server has not crashed since, the write is durable once the
+// persistent frontier reaches e (observable via `wait`). A crash reply
+// carries the recovered frontier (`OK RECOVERED EPOCH <p>`); acks with
+// epoch <= p are guaranteed to have survived, acks above it may be
+// gone. The frontier never advances past an epoch whose drain raced a
+// crash (closeEpoch re-checks every shard generation before
+// persisting), so the receipt can never overpromise.
+//
+// Read-your-writes holds across tiers without waiting: every read path
+// — batched gets, optimistic seqlock gets, ordered-keyspace reads —
+// consults the overlay first, and a durable write to a key with a
+// pending relaxed entry folds that entry into its critical section
+// before applying (so a relaxed set followed by a durable incr
+// increments the relaxed value, then commits durably).
+
+// ovKey addresses one overlay entry: a key in either the hash-map or
+// the ordered (skip-list) keyspace.
+type ovKey struct {
+	key  uint64
+	list bool
+}
+
+// ovEntry is one acked-but-unflushed relaxed write. seq orders entries
+// per overlay so an epoch drain applies an entry only if it is still
+// the newest write to its key (apply-if-still-pending); del marks a
+// buffered delete (a tombstone reads must honor).
+type ovEntry struct {
+	val uint64
+	seq uint64
+	del bool
+}
+
+// overlay is a shard's volatile relaxed-write buffer. It is exactly
+// the state a crash is allowed to lose: crashAndRecover discards it
+// wholesale. size mirrors len(m) atomically so the hot read and
+// durable-write paths can skip the mutex when no relaxed write is
+// pending — the common case on an all-durable workload, which must not
+// pay for a feature it does not use.
+type overlay struct {
+	mu   sync.Mutex
+	m    map[ovKey]ovEntry
+	size atomic.Int64
+	seq  uint64
+}
+
+// put inserts or replaces the entry for (key, list) and returns its
+// sequence stamp.
+func (o *overlay) put(key uint64, list, del bool, val uint64) uint64 {
+	o.mu.Lock()
+	if o.m == nil {
+		o.m = make(map[ovKey]ovEntry)
+	}
+	k := ovKey{key: key, list: list}
+	if _, ok := o.m[k]; !ok {
+		o.size.Add(1)
+	}
+	o.seq++
+	seq := o.seq
+	o.m[k] = ovEntry{val: val, seq: seq, del: del}
+	o.mu.Unlock()
+	return seq
+}
+
+// get returns the pending entry for (key, list), if any. Callers on
+// hot paths should gate on size.Load() != 0 first.
+func (o *overlay) get(key uint64, list bool) (ovEntry, bool) {
+	if o.size.Load() == 0 {
+		return ovEntry{}, false
+	}
+	o.mu.Lock()
+	e, ok := o.m[ovKey{key: key, list: list}]
+	o.mu.Unlock()
+	return e, ok
+}
+
+// stillPending reports whether the entry at (key, list) still carries
+// seq — i.e. no newer relaxed write and no durable fold superseded it
+// since the epoch drain snapshotted it.
+func (o *overlay) stillPending(key uint64, list bool, seq uint64) bool {
+	o.mu.Lock()
+	e, ok := o.m[ovKey{key: key, list: list}]
+	o.mu.Unlock()
+	return ok && e.seq == seq
+}
+
+// clearIfSeq removes the entry at (key, list) if it still carries seq.
+func (o *overlay) clearIfSeq(key uint64, list bool, seq uint64) {
+	o.mu.Lock()
+	k := ovKey{key: key, list: list}
+	if e, ok := o.m[k]; ok && e.seq == seq {
+		delete(o.m, k)
+		o.size.Add(-1)
+	}
+	o.mu.Unlock()
+}
+
+// take pops and returns the pending entry for (key, list) — the
+// durable-write fold: a durable op on the key supersedes (and must
+// account for) the buffered relaxed state. The size fast path keeps an
+// all-durable workload at one atomic load per op; a relaxed put racing
+// past it serializes after the durable op, a legal order for
+// concurrent commands.
+func (o *overlay) take(key uint64, list bool) (ovEntry, bool) {
+	if o.size.Load() == 0 {
+		return ovEntry{}, false
+	}
+	o.mu.Lock()
+	k := ovKey{key: key, list: list}
+	e, ok := o.m[k]
+	if ok {
+		delete(o.m, k)
+		o.size.Add(-1)
+	}
+	o.mu.Unlock()
+	return e, ok
+}
+
+// discard drops every pending entry — the crash path. The entries were
+// acked with epochs above the persistent frontier, so dropping them is
+// precisely the loss the relaxed tier's contract allows.
+func (o *overlay) discard() {
+	o.mu.Lock()
+	if n := int64(len(o.m)); n > 0 {
+		o.m = make(map[ovKey]ovEntry)
+		o.size.Add(-n)
+	}
+	o.mu.Unlock()
+}
+
+// pendingOps snapshots every pending entry as a flush op for the epoch
+// drain. Each op carries the entry's seq so execOp applies it only if
+// still pending (a newer relaxed write or a durable fold may land
+// between snapshot and apply).
+func (o *overlay) pendingOps(out []batchOp) []batchOp {
+	if o.size.Load() == 0 {
+		return out
+	}
+	o.mu.Lock()
+	for k, e := range o.m {
+		kind := opFlushSet
+		switch {
+		case k.list && e.del:
+			kind = opFlushZDel
+		case k.list:
+			kind = opFlushZSet
+		case e.del:
+			kind = opFlushDel
+		}
+		out = append(out, batchOp{kind: kind, key: k.key, arg: e.val, seq: e.seq})
+	}
+	o.mu.Unlock()
+	return out
+}
+
+// rangeList visits every pending ordered-keyspace entry with key in
+// [lo, hi) under the overlay lock — the ordered read path's merge
+// source. f must not call back into the overlay.
+func (o *overlay) rangeList(lo, hi uint64, f func(key uint64, e ovEntry)) {
+	if o.size.Load() == 0 {
+		return
+	}
+	o.mu.Lock()
+	for k, e := range o.m {
+		if k.list && k.key >= lo && k.key < hi {
+			f(k.key, e)
+		}
+	}
+	o.mu.Unlock()
+}
+
+// epochEnabled reports whether the durability tiers are live. When
+// false, relaxed and fire degrade to durable and epoch waits return
+// immediately.
+func (s *Server) epochEnabled() bool { return s.cfg.epochInterval > 0 }
+
+// broadcastWake publishes a wakeup to every waiter parked on p by
+// swapping in a fresh channel and closing the old one — a one-shot
+// broadcast with no waiter registry and no lock.
+func broadcastWake(p *atomic.Pointer[chan struct{}]) {
+	next := make(chan struct{})
+	old := p.Swap(&next)
+	close(*old)
+}
+
+// startEpochClock initializes the epoch state and, when the tiers are
+// enabled, starts the clock goroutine. Epochs start at 1 so an epoch
+// stamp of 0 can mean "absent" on the wire.
+func (s *Server) startEpochClock() {
+	s.curEpoch.Store(1)
+	ch1 := make(chan struct{})
+	s.epochWake.Store(&ch1)
+	ch2 := make(chan struct{})
+	s.ackWake.Store(&ch2)
+	if !s.epochEnabled() {
+		return
+	}
+	s.epochStop = make(chan struct{})
+	s.epochDone = make(chan struct{})
+	go s.epochLoop()
+}
+
+// stopEpochClock runs one final epoch close (draining every overlay —
+// relaxed writes acked before a clean shutdown are NOT allowed to be
+// lost by it; only crashes get that license) and stops the clock.
+func (s *Server) stopEpochClock() {
+	if s.epochStop == nil {
+		return
+	}
+	close(s.epochStop)
+	<-s.epochDone
+}
+
+// epochLoop is the clock: one closeEpoch per tick, one final close on
+// stop.
+func (s *Server) epochLoop() {
+	defer close(s.epochDone)
+	t := time.NewTicker(s.cfg.epochInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.closeEpoch()
+		case <-s.epochStop:
+			s.closeEpoch()
+			return
+		}
+	}
+}
+
+// closeEpoch closes the current epoch e: open e+1, drain every shard's
+// overlay into fortified state through the batch pipeline, and — if no
+// shard crashed during the drain — persist e as every shard's durable
+// frontier and advance the volatile frontier waiters watch.
+//
+// Ordering is what makes the ack sound: curEpoch moves to e+1 BEFORE
+// the overlays are snapshotted, and a relaxed writer inserts its
+// overlay entry BEFORE reading curEpoch for its ack stamp (both sides
+// ordered by the overlay mutex). So any entry the snapshot misses was
+// inserted after the snapshot, and its writer must have read e+1 —
+// every write acked with stamp <= e is in this (or an earlier) drain.
+//
+// A shard generation changing across the drain means a crash landed
+// somewhere inside it: some flushed chunks may have committed, but the
+// crashed shard's overlay (and possibly its un-rescued commits) are
+// gone, so the frontier must NOT advance to e — the receipts for epoch
+// e would overpromise. The entries that did survive re-flush is not
+// needed (they committed); the lost ones were acked above the frontier
+// and are legal losses. The next tick simply tries the next epoch.
+func (s *Server) closeEpoch() {
+	e := s.curEpoch.Load()
+	s.curEpoch.Store(e + 1)
+
+	gens := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		gens[i] = sh.gen.Load()
+	}
+	for _, sh := range s.shards {
+		sh.flushOverlay(s)
+	}
+	stable := true
+	for i, sh := range s.shards {
+		if sh.gen.Load() != gens[i] {
+			stable = false
+			break
+		}
+	}
+	tel := s.shards[0].tel.Server
+	if stable {
+		for _, sh := range s.shards {
+			sh.setDurableEpoch(e)
+		}
+		s.perEpoch.Store(e)
+	} else {
+		tel.EpochSkipped.Inc()
+	}
+	tel.EpochCloses.Inc()
+	// Wake waiters unconditionally: on an advance they observe the new
+	// frontier; on a skip (or shutdown) they re-check closing state
+	// instead of parking forever.
+	broadcastWake(&s.epochWake)
+}
+
+// flushOverlay drains this shard's pending relaxed writes into
+// fortified state through the drain lock (one OCS and one replication
+// group per batchMax-sized chunk), stamping the epoch being closed on
+// the replicated groups.
+func (sh *shard) flushOverlay(s *Server) {
+	ops := sh.ovl.pendingOps(nil)
+	if len(ops) == 0 {
+		return
+	}
+	start := time.Now()
+	s.runGroupDirect(sh, ops, s.curEpoch.Load()-1)
+	sh.tel.EpochFlushLatency.Observe(time.Since(start))
+	applied := uint64(0)
+	for i := range ops {
+		if ops[i].ok {
+			applied++
+		}
+	}
+	sh.tel.Server.EpochFlushed.Add(applied)
+}
+
+// setDurableEpoch persists e as the shard's epoch frontier, under the
+// read lock so it cannot race the crash command's stack swap.
+func (sh *shard) setDurableEpoch(e uint64) {
+	sh.mu.RLock()
+	sh.stk.SetDurableEpoch(e)
+	sh.mu.RUnlock()
+}
+
+// waitEpoch blocks until the persistent frontier reaches target, the
+// timeout (0 = none) passes, or the server closes. Returns whether the
+// frontier got there.
+func (s *Server) waitEpoch(target uint64, timeout time.Duration) bool {
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		if s.perEpoch.Load() >= target {
+			return true
+		}
+		if s.closing.Load() {
+			return false
+		}
+		ch := *s.epochWake.Load()
+		// Re-check between arming and parking: the broadcast may have
+		// happened after the first check but before the channel load.
+		if s.perEpoch.Load() >= target {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-deadline:
+			return s.perEpoch.Load() >= target
+		}
+	}
+}
+
+// waitRepl blocks until need followers have acknowledged (gen, seq),
+// the timeout (0 = none) passes, or the server closes. Returns the
+// achieved count and whether the target was met.
+func (s *Server) waitRepl(gen, seq uint64, need int, timeout time.Duration) (int, bool) {
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		if got := s.replPrimary.AckedCount(gen, seq); got >= need {
+			return got, true
+		}
+		if s.closing.Load() {
+			return s.replPrimary.AckedCount(gen, seq), false
+		}
+		ch := *s.ackWake.Load()
+		if got := s.replPrimary.AckedCount(gen, seq); got >= need {
+			return got, true
+		}
+		select {
+		case <-ch:
+		case <-deadline:
+			got := s.replPrimary.AckedCount(gen, seq)
+			return got, got >= need
+		}
+	}
+}
+
+// serveWait answers one wait barrier. Called from serveBatch AFTER the
+// pending data group flushed, so the barrier covers every write this
+// connection pipelined before it. Two forms:
+//
+//   - epoch barrier (WaitRepl false): block until the persistent epoch
+//     frontier reaches KV[0] (0 = the current epoch, which covers every
+//     relaxed ack this connection has received). Replies the reached
+//     frontier; a native-protocol timeout is an error, a RESP timeout
+//     returns the frontier anyway (RESP WAIT has no error form).
+//   - replication barrier (WaitRepl true): block until KV[0] followers
+//     have acknowledged the replication log position captured now.
+//     Replies the achieved count. Relaxed writes replicate at epoch
+//     close, so a relaxed writer that needs follower coverage should
+//     issue an epoch wait first.
+func (s *Server) serveWait(cs *connState, req *proto.Request) proto.Reply {
+	start := time.Now()
+	tel := s.shards[0].tel
+	tel.Server.Waits.Inc()
+	defer func() {
+		tel.CmdLatency.ObserveProto(cs.ptel, telemetry.CmdWait, time.Since(start))
+	}()
+	timeout := time.Duration(req.KV[1]) * time.Millisecond
+
+	if req.WaitRepl {
+		need := int(req.KV[0])
+		if s.replPrimary == nil {
+			if cs.ptel == telemetry.ProtoRESP {
+				return proto.Reply{Kind: proto.KInt, Val: 0}
+			}
+			return proto.Reply{Kind: proto.KErrClient, Msg: "not a replication primary"}
+		}
+		gen, seq := s.replLog.Position()
+		got, met := s.waitRepl(gen, seq, need, timeout)
+		if !met && cs.ptel != telemetry.ProtoRESP {
+			return proto.Reply{Kind: proto.KErrServer, Msg: "wait timeout"}
+		}
+		return proto.Reply{Kind: proto.KInt, Val: uint64(got)}
+	}
+
+	if !s.epochEnabled() {
+		// Tiers off: nothing is ever buffered, so every ack was durable
+		// and the barrier is trivially met.
+		return proto.Reply{Kind: proto.KInt, Val: s.perEpoch.Load()}
+	}
+	target := req.KV[0]
+	cur := s.curEpoch.Load()
+	if target == 0 {
+		target = cur
+	} else if target > cur {
+		// Epochs are only ever learned from acks, which never exceed the
+		// current epoch — a future target is a confused client, and with
+		// no timeout it would park the connection until the clock crawled
+		// there. Reject instead of blocking unboundedly.
+		return proto.Reply{Kind: proto.KErrClient, Msg: "wait epoch beyond current"}
+	}
+	if !s.waitEpoch(target, timeout) && cs.ptel != telemetry.ProtoRESP {
+		return proto.Reply{Kind: proto.KErrServer, Msg: "wait timeout"}
+	}
+	return proto.Reply{Kind: proto.KInt, Val: s.perEpoch.Load()}
+}
+
+// serveRelaxed executes one relaxed- or fire-tier mutation: buffer the
+// effects in the target shards' overlays and ack immediately with the
+// current epoch stamp. Called from serveBatch as a sequence point (the
+// pending durable group flushed first), so tiers interleave in program
+// order on a connection.
+func (s *Server) serveRelaxed(cs *connState, req *proto.Request) proto.Reply {
+	start := time.Now()
+	fire := req.Dur == proto.DurFire
+	sh0 := s.shardOf(req.KV[0])
+	if fire {
+		sh0.tel.Server.FireOps.Inc()
+	} else {
+		sh0.tel.Server.RelaxedOps.Inc()
+	}
+	var rep proto.Reply
+	switch req.Cmd {
+	case proto.CmdSet:
+		sh := s.shardOf(req.KV[0])
+		sh.ovl.put(req.KV[0], false, false, req.KV[1])
+		rep = proto.Reply{Kind: proto.KStored, Epoch: s.curEpoch.Load()}
+	case proto.CmdZAdd:
+		sh := s.shardOf(req.KV[0])
+		sh.ovl.put(req.KV[0], true, false, req.KV[1])
+		rep = proto.Reply{Kind: proto.KStored, Epoch: s.curEpoch.Load()}
+	case proto.CmdMSet:
+		n := 0
+		for i := 0; i+1 < len(req.KV); i += 2 {
+			s.shardOf(req.KV[i]).ovl.put(req.KV[i], false, false, req.KV[i+1])
+			n++
+		}
+		rep = proto.Reply{Kind: proto.KStoredN, N: n, Epoch: s.curEpoch.Load()}
+	case proto.CmdIncr, proto.CmdZIncr:
+		list := req.Cmd == proto.CmdZIncr
+		sh := s.shardOf(req.KV[0])
+		base, _, err := s.peekVal(cs, sh, req.KV[0], list)
+		if err != nil {
+			return proto.Reply{Kind: proto.KErrServer, Msg: err.Error()}
+		}
+		nv := base + req.KV[1]
+		sh.ovl.put(req.KV[0], list, false, nv)
+		rep = proto.Reply{Kind: proto.KInt, Val: nv, Epoch: s.curEpoch.Load()}
+	default: // CmdDelete, CmdZDel
+		list := req.Cmd == proto.CmdZDel
+		items := cs.items[:0]
+		for _, k := range req.KV {
+			sh := s.shardOf(k)
+			found := true
+			if !fire {
+				// The fire tier acks without consulting state; relaxed
+				// reports presence as of the ack.
+				var err error
+				_, found, err = s.peekVal(cs, sh, k, list)
+				if err != nil {
+					return proto.Reply{Kind: proto.KErrServer, Msg: err.Error()}
+				}
+			}
+			sh.ovl.put(k, list, true, 0)
+			items = append(items, proto.Item{Key: k, Found: found})
+		}
+		cs.items = items
+		rep = proto.Reply{Kind: proto.KDelete, Items: items, Epoch: s.curEpoch.Load()}
+	}
+	sh0.tel.CmdLatency.ObserveProto(cs.ptel, cmdTelemetry(req.Cmd), time.Since(start))
+	return rep
+}
+
+// peekVal reads a key's current logical value for the relaxed paths:
+// the pending overlay entry if one exists, else the underlying engine
+// (optimistic first for the map, falling back to the locked path; the
+// skip list read is already lock-free). A missing key reads as (0,
+// false, nil) — the base an incr on an absent key starts from.
+func (s *Server) peekVal(cs *connState, sh *shard, key uint64, list bool) (uint64, bool, error) {
+	if e, ok := sh.ovl.get(key, list); ok {
+		if e.del {
+			return 0, false, nil
+		}
+		return e.val, true, nil
+	}
+	if list {
+		sh.mu.RLock()
+		v, ok := sh.stk.List.Get(key)
+		sh.mu.RUnlock()
+		return v, ok, nil
+	}
+	sh.mu.RLock()
+	v, ok, valid := sh.stk.Map.GetOptimistic(key)
+	sh.mu.RUnlock()
+	if valid {
+		return v, ok, nil
+	}
+	ops := []batchOp{{kind: opGet, key: key}}
+	s.execSync(cs, sh, ops)
+	return ops[0].val, ops[0].ok, ops[0].err
+}

@@ -6,16 +6,22 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"tsp/internal/proto"
 )
 
 // newDispatchServer builds a small server for driving the codec loop
 // directly, without going through TCP: the parsers and execution paths
-// are what is under test, not the socket loop.
+// are what is under test, not the socket loop. The epoch clock runs at
+// 1ms so the durability-tier grammar (relaxed/fire suffixes, wait)
+// reaches the overlay and barrier paths instead of degrading to
+// durable; every wait the soup can express is bounded by the clock, so
+// the liveness invariant holds.
 func newDispatchServer(tb testing.TB) (*Server, *connState) {
 	tb.Helper()
-	s, err := New(WithShards(2), WithBatchMax(4), WithQueueDepth(2), WithDeviceWords(1<<16))
+	s, err := New(WithShards(2), WithBatchMax(4), WithQueueDepth(2), WithDeviceWords(1<<16),
+		WithEpochInterval(time.Millisecond))
 	if err != nil {
 		tb.Fatalf("New: %v", err)
 	}
@@ -76,6 +82,18 @@ func FuzzNativeLoop(f *testing.F) {
 		"get \x00", "set \xff\xfe 1", "incr 1 ☃",
 		"set 1 2\r\nget 1\r\nmget 1 2\r\nquit",
 		"set 1 2\nset 3",
+		// Durability-tier grammar: valid suffixes, suffixes on commands
+		// that take none, and the wait barrier's whole argument space.
+		"set 1 2 relaxed", "set 1 2 fire", "set 1 2 durable",
+		"incr 1 2 relaxed", "delete 1 fire", "mset 1 2 3 4 relaxed",
+		"zadd 1 2 relaxed", "zincr 1 2 fire", "zdel 1 relaxed",
+		"get 1 relaxed", "set 1 2 bogus", "set 1 relaxed",
+		"wait", "wait 0", "wait 1", "wait 1 5", "wait 0 0",
+		"wait 18446744073709551615", "wait 99 1",
+		"wait repl", "wait repl 5", "wait repl 0", "wait -1",
+		"wait relaxed", "wait 1 2 3",
+		"set 1 2 relaxed\r\nwait\r\nget 1",
+		"set 1 2 relaxed\r\ncrash\r\nget 1",
 	} {
 		f.Add([]byte(seed + "\r\n"))
 	}
@@ -114,6 +132,16 @@ func FuzzRESPLoop(f *testing.F) {
 		"$5\r\nhello\r\n", // bulk outside array
 		"\x00\x01\x02",
 		"*2\r\n$3\r\nGET\r\n$1\r\n1\r\n*1\r\n$4\r\nPING\r\n", // pipelined
+		// Durability tiers and WAIT in RESP: trailing tier bulk on SET,
+		// WAIT numreplicas timeout (0 = epoch barrier, >0 = repl acks).
+		"*4\r\n$3\r\nSET\r\n$1\r\n1\r\n$1\r\n2\r\n$7\r\nrelaxed\r\n",
+		"*4\r\n$3\r\nSET\r\n$1\r\n1\r\n$1\r\n2\r\n$4\r\nfire\r\n",
+		"*4\r\n$3\r\nSET\r\n$1\r\n1\r\n$1\r\n2\r\n$5\r\nbogus\r\n",
+		"*3\r\n$4\r\nWAIT\r\n$1\r\n0\r\n$1\r\n5\r\n",
+		"*3\r\n$4\r\nWAIT\r\n$1\r\n2\r\n$1\r\n1\r\n",
+		"*3\r\n$4\r\nWAIT\r\n$2\r\n-1\r\n$1\r\n0\r\n",
+		"*1\r\n$4\r\nWAIT\r\n",
+		"*2\r\n$4\r\nWAIT\r\n$1\r\n0\r\n",
 	} {
 		f.Add([]byte(seed))
 	}
@@ -136,6 +164,7 @@ func TestRandomLinesBothAdapters(t *testing.T) {
 	tokens := []string{
 		"get", "set", "incr", "delete", "mget", "mset", "stats", "shards",
 		"reset", "crash", "quit", "frobnicate", "ping",
+		"relaxed", "durable", "fire", "wait", "repl",
 		"0", "1", "2", "7", "99", "-1", "0x10", "18446744073709551615",
 		"18446744073709551616", "abc", "", " ",
 		"*2", "$3", "\r", "*", "$",

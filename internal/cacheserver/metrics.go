@@ -143,6 +143,20 @@ func (s *Server) renderMetrics() string {
 		fmt.Fprintf(&b, "tsp_zrange_len_keys_count %d\n", v.rangeLen.Count())
 	}
 
+	// Durability-tier family: the epoch clock's two frontiers as gauges
+	// (their gap, in epochs, is how much acked-but-volatile state a
+	// crash would shed) and the cost of closing an epoch as a summary.
+	// Server-wide: the clock spans shards.
+	if s.epochEnabled() {
+		b.WriteString("# TYPE tsp_epoch_current gauge\n")
+		fmt.Fprintf(&b, "tsp_epoch_current %d\n", s.curEpoch.Load())
+		b.WriteString("# TYPE tsp_epoch_persisted gauge\n")
+		fmt.Fprintf(&b, "tsp_epoch_persisted %d\n", s.perEpoch.Load())
+		if v.epochFlush.Count() > 0 {
+			writeSummary("epoch_flush_latency_seconds", v.epochFlush)
+		}
+	}
+
 	// Replication family: server-wide (streams span shards), so no
 	// shard label. The role gauge's value encodes nothing; the label
 	// carries the information, Prometheus-info-metric style.

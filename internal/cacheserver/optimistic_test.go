@@ -295,9 +295,21 @@ func TestCrashCampaignWithOptimisticReaders(t *testing.T) {
 
 	// Crash injector: whole-server power failures while everything runs.
 	cc := dial(t, addr)
+	writersDone := make(chan struct{})
+	go func() { wg.Wait(); close(writersDone) }()
 	for i := 0; i < crashes; i++ {
-		time.Sleep(30 * time.Millisecond)
-		if got := cc.cmd(t, "crash"); got != "OK RECOVERED" {
+		// Pace each kill on actual write progress (or writer completion,
+		// whichever first) so a crash always lands on live traffic.
+		start := totalSets(s)
+		waitFor(t, 10*time.Second, "write progress before crash", func() bool {
+			select {
+			case <-writersDone:
+				return true
+			default:
+			}
+			return totalSets(s)-start >= 50
+		})
+		if got := cc.cmd(t, "crash"); !strings.HasPrefix(got, "OK RECOVERED EPOCH ") {
 			t.Fatalf("crash %d: %q", i, got)
 		}
 	}
@@ -348,6 +360,159 @@ func TestCrashCampaignWithOptimisticReaders(t *testing.T) {
 	}
 	if got := statValue(t, stats, "recovery_count"); got < crashes {
 		t.Fatalf("recovery_count = %d, want >= %d", got, crashes)
+	}
+}
+
+// TestMGetSnapshotConsistency: an optimistic mget must be a cross-key
+// SNAPSHOT, not merely a set of individually-valid reads. A writer
+// loops msets that rewrite every key to one common value; a reader that
+// catches key A from mset v and key B from mset v+1 has observed a
+// mixture no locked reader could — per-key seqlock validation alone
+// admits exactly that interleaving (read A, mset commits, read B). The
+// group-level protections this test witnesses end to end: runBatch
+// holds every stripe of an mset odd for its whole section, and
+// readOptimistic's capture-all/revalidate-all protocol rejects any
+// mget whose stripes moved between its first and last read.
+func TestMGetSnapshotConsistency(t *testing.T) {
+	s := startServer(t, WithShards(1))
+	addr := s.Addr().String()
+
+	// Enough keys that the walk from the mget's first read to its last
+	// is a real window for a concurrent mset to land in.
+	keys := make([]uint64, 32)
+	for i := range keys {
+		keys[i] = uint64(i*97 + 3)
+	}
+	mset := func(v uint64) string {
+		var sb strings.Builder
+		sb.WriteString("mset")
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " %d %d", k, v)
+		}
+		return sb.String()
+	}
+	mgetCmd := func() string {
+		var sb strings.Builder
+		sb.WriteString("mget")
+		for _, k := range keys {
+			fmt.Fprintf(&sb, " %d", k)
+		}
+		return sb.String()
+	}()
+
+	wc := dial(t, addr)
+	stored := fmt.Sprintf("STORED %d", len(keys))
+	if got := wc.cmd(t, "%s", mset(0)); got != stored {
+		t.Fatalf("seed mset: %q", got)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	const writers = 4
+	for w := 0; w < writers; w++ {
+		c := dial(t, addr)
+		wg.Add(1)
+		go func(w int, c *client) {
+			defer wg.Done()
+			for v := uint64(w*1_000_000 + 1); ; v++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got := c.cmd(t, "%s", mset(v)); got != stored {
+					t.Errorf("mset: %q", got)
+					return
+				}
+			}
+		}(w, c)
+	}
+
+	const readers = 3
+	const reads = 800
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rc := dial(t, addr)
+		rg.Add(1)
+		go func(rc *client) {
+			defer rg.Done()
+			for i := 0; i < reads; i++ {
+				lines := rc.lines(t, "%s", mgetCmd)
+				if len(lines) != len(keys)+1 {
+					t.Errorf("mget returned %d lines: %v", len(lines), lines)
+					return
+				}
+				var first uint64
+				for j, k := range keys {
+					want := fmt.Sprintf("VALUE %d ", k)
+					if !strings.HasPrefix(lines[j], want) {
+						t.Errorf("mget line %d: %q", j, lines[j])
+						return
+					}
+					v, err := strconv.ParseUint(strings.TrimPrefix(lines[j], want), 10, 64)
+					if err != nil {
+						t.Errorf("mget value: %v", err)
+						return
+					}
+					if j == 0 {
+						first = v
+					} else if v != first {
+						t.Errorf("torn mget snapshot: key %d = %d but key %d = %d", keys[0], first, k, v)
+						return
+					}
+				}
+			}
+		}(rc)
+	}
+	rg.Wait()
+	close(stop)
+	wg.Wait()
+
+	// The guarantee is only interesting if the lock-free path actually
+	// served reads; an all-fallback run would pass vacuously.
+	stats := wc.lines(t, "stats")
+	if got := statValue(t, stats, "map_opt_gets"); got == 0 {
+		t.Fatal("no mget ever hit the optimistic path")
+	}
+}
+
+// TestMGetRejectsMidGroupCommit lands a full durable mset between two
+// reads of one optimistic mget — deterministically, via the server's
+// optReadHook — and asserts the group validation refuses to serve the
+// result. This is the regression the capture-all/revalidate-all
+// protocol exists for: both reads are INDIVIDUALLY valid (each key held
+// a committed value at its read), but the pair never coexisted, and the
+// old per-key validation would have returned the mixture. The timing
+// race is unreachable on a single-core host, so the hook is what makes
+// the hazard testable at all there.
+func TestMGetRejectsMidGroupCommit(t *testing.T) {
+	s := startServer(t, WithShards(1))
+	wc := dial(t, s.Addr().String())
+	const k1, k2 = 5, 9
+	if got := wc.cmd(t, "mset %d 1 %d 1", k1, k2); got != "STORED 2" {
+		t.Fatalf("seed mset: %q", got)
+	}
+
+	fired := false
+	s.optReadHook = func(i int) {
+		if fired {
+			return
+		}
+		fired = true
+		// A whole mset commits between the mget's two reads.
+		if got := wc.cmd(t, "mset %d 2 %d 2", k1, k2); got != "STORED 2" {
+			t.Errorf("mid-group mset: %q", got)
+		}
+	}
+	defer func() { s.optReadHook = nil }()
+
+	ops := []batchOp{{kind: opGet, key: k1}, {kind: opGet, key: k2}}
+	pending := s.readOptimistic(ops)
+	if !fired {
+		t.Fatal("interleaving hook never fired")
+	}
+	if len(pending) != len(ops) {
+		t.Fatalf("readOptimistic returned pending=%v: a mid-group commit must send the whole group to the locked fallback", pending)
 	}
 }
 

@@ -2,6 +2,7 @@ package cacheserver
 
 import (
 	"fmt"
+	"time"
 
 	"tsp/internal/atlas"
 	"tsp/internal/proto"
@@ -33,6 +34,8 @@ type config struct {
 	proto           string // wire protocol: "auto" (sniff), "native", "resp"
 	maxRequestBytes int    // single-request wire-size ceiling
 	optimisticReads bool   // serve pure reads on the lock-free seqlock path
+
+	epochInterval time.Duration // epoch clock period; <= 0 disables the tiers
 }
 
 // Wire protocol selections for config.proto / WithProto.
@@ -59,6 +62,8 @@ func defaultConfig() config {
 		proto:           protoAuto,
 		maxRequestBytes: proto.DefaultMaxRequest,
 		optimisticReads: true,
+
+		epochInterval: 5 * time.Millisecond,
 	}
 }
 
@@ -236,4 +241,16 @@ func WithMaxRequestBytes(n int) Option {
 // receives a full snapshot transfer instead.
 func WithReplWindow(n int) Option {
 	return func(c *config) { c.replWindow = n }
+}
+
+// WithEpochInterval sets the durability epoch clock's period (default
+// 5ms). Relaxed-tier writes are acknowledged the moment they land in a
+// shard's volatile overlay, stamped with the current epoch, and made
+// persistent when that epoch closes — so the interval IS the loss bound
+// a crash can inflict on the relaxed tier. A non-positive interval
+// disables the epoch clock entirely: relaxed and fire degrade to
+// durable (every write commits before its ack) and epoch waits return
+// immediately.
+func WithEpochInterval(d time.Duration) Option {
+	return func(c *config) { c.epochInterval = d }
 }

@@ -114,7 +114,7 @@ func TestOrderedRESPOverTCP(t *testing.T) {
 		t.Fatalf("ZDEL again: %q", got)
 	}
 	// Crash survivability over RESP: the skip list recovers with the map.
-	if got := c.cmd(t, "CRASH"); got != "$ OK RECOVERED" {
+	if got := c.cmd(t, "CRASH"); !strings.HasPrefix(got, "$ OK RECOVERED EPOCH ") {
 		t.Fatalf("CRASH: %q", got)
 	}
 	if got := c.cmd(t, "ZGET", "10"); got != "$ 105" {
@@ -247,7 +247,7 @@ func TestZRangeDuringZAddLockFree(t *testing.T) {
 
 	// Crash and recover: every acked zadd was persistent at its CAS, so
 	// the whole ordered keyspace must come back.
-	if got := c.cmd(t, "crash"); got != "OK RECOVERED" {
+	if got := c.cmd(t, "crash"); !strings.HasPrefix(got, "OK RECOVERED EPOCH ") {
 		t.Fatalf("crash: %q", got)
 	}
 	check("after crash")
@@ -311,7 +311,7 @@ func TestOrderedReplication(t *testing.T) {
 	if got := fc.cmd(t, "promote"); got != "OK PROMOTED" {
 		t.Fatalf("promote: %q", got)
 	}
-	if got := fc.cmd(t, "crash"); got != "OK RECOVERED" {
+	if got := fc.cmd(t, "crash"); !strings.HasPrefix(got, "OK RECOVERED EPOCH ") {
 		t.Fatalf("crash: %q", got)
 	}
 	if got := fc.cmd(t, "zget 3"); got != "VALUE 3 31" {

@@ -134,7 +134,7 @@ func TestRESPOverTCP(t *testing.T) {
 	}
 	// Crash survivability is protocol-independent: the RESP view of the
 	// store must come back intact.
-	if got := c.cmd(t, "CRASH"); got != "$ OK RECOVERED" {
+	if got := c.cmd(t, "CRASH"); !strings.HasPrefix(got, "$ OK RECOVERED EPOCH ") {
 		t.Fatalf("CRASH: %q", got)
 	}
 	if got := c.cmd(t, "GET", "1"); got != "$ 50" {

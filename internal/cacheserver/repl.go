@@ -69,6 +69,10 @@ func (s *Server) startReplication() error {
 			Log:      s.replLog,
 			Snapshot: s.replSnapshot,
 			Tel:      s.replTel,
+			// Every recorded follower ack re-arms parked `wait repl`
+			// barriers (see epoch.go). The wake pointer is initialized by
+			// startEpochClock, which New runs before replication starts.
+			OnAck: func() { broadcastWake(&s.ackWake) },
 		})
 		if err != nil {
 			s.replLog.Close()
@@ -157,8 +161,10 @@ func (sh *shard) pairs() ([]repl.Pair, error) {
 // only the drain-lock holder has that guarantee. Oversized groups are
 // chunked to the batch bound (each chunk one OCS and one log group) —
 // the same atomicity the synchronous fallback offered, with the bound
-// keeping each section inside the undo-log ring.
-func (s *Server) runGroupDirect(sh *shard, ops []batchOp) {
+// keeping each section inside the undo-log ring. epoch is non-zero
+// only for epoch-drain groups (see shard.flushOverlay); it rides the
+// replication groups so followers track the relaxed frontier.
+func (s *Server) runGroupDirect(sh *shard, ops []batchOp, epoch uint64) {
 	chunk := sh.cfg.batchMax
 	if chunk < 1 {
 		chunk = 64
@@ -170,7 +176,7 @@ func (s *Server) runGroupDirect(sh *shard, ops []batchOp) {
 		if end > len(ops) {
 			end = len(ops)
 		}
-		req := &batchReq{ops: ops[off:end], done: make(chan struct{})}
+		req := &batchReq{ops: ops[off:end], epoch: epoch, done: make(chan struct{})}
 		sh.runBatch([]*batchReq{req}, end-off)
 	}
 	sh.busy.Store(false)
@@ -180,10 +186,16 @@ func (s *Server) runGroupDirect(sh *shard, ops []batchOp) {
 // appendRepl turns one drained batch's committed effects into a
 // replication log group: sets and resolved increments become absolute
 // sets, applied deletes become deletes, failed and read-only ops vanish.
+// Epoch-drain flushes replicate the same way — an applied flush is an
+// absolute write — and stamp the group with the epoch being closed.
 // Caller is runBatch, still under the shard read lock.
 func (sh *shard) appendRepl(reqs []*batchReq) {
 	var rops []repl.Op
+	var epoch uint64
 	for _, r := range reqs {
+		if r.epoch > epoch {
+			epoch = r.epoch
+		}
 		for i := range r.ops {
 			op := &r.ops[i]
 			if op.err != nil {
@@ -207,11 +219,27 @@ func (sh *shard) appendRepl(reqs []*batchReq) {
 				if op.ok {
 					rops = append(rops, repl.Op{Del: true, List: true, Key: op.key})
 				}
+			case opFlushSet:
+				if op.ok {
+					rops = append(rops, repl.Op{Key: op.key, Val: op.arg})
+				}
+			case opFlushDel:
+				if op.ok {
+					rops = append(rops, repl.Op{Del: true, Key: op.key})
+				}
+			case opFlushZSet:
+				if op.ok {
+					rops = append(rops, repl.Op{List: true, Key: op.key, Val: op.val})
+				}
+			case opFlushZDel:
+				if op.ok {
+					rops = append(rops, repl.Op{Del: true, List: true, Key: op.key})
+				}
 			}
 		}
 	}
 	if len(rops) > 0 {
-		sh.replLog.Append(rops)
+		sh.replLog.Append(rops, epoch)
 	}
 }
 

@@ -200,6 +200,19 @@ func (s *Server) serveBatch(cs *connState, enc *proto.Encoder, batch []proto.Req
 				enc.Stage(&rep)
 				continue
 			}
+			if mutates(req.Cmd) {
+				if req.Dur != proto.DurDurable && s.epochEnabled() {
+					// Relaxed/fire tier: a sequence point — the pending
+					// durable group lands first so tiers interleave in
+					// program order on this connection — then the write is
+					// buffered and acked with its epoch receipt.
+					flushData()
+					rep := s.serveRelaxed(cs, req)
+					enc.Stage(&rep)
+					continue
+				}
+				s.shardOf(req.KV[0]).tel.Server.DurableOps.Inc()
+			}
 			start := len(ops)
 			ops = appendOps(ops, req)
 			tags = append(tags, cmdTag{cmd: cmdTelemetry(req.Cmd), req: req, start: start, n: len(ops) - start})
@@ -209,6 +222,12 @@ func (s *Server) serveBatch(cs *connState, enc *proto.Encoder, batch []proto.Req
 			// first so a pipelined zadd→zrange sees its own write.
 			flushData()
 			rep := s.serveOrdered(cs, req)
+			enc.Stage(&rep)
+		case proto.CmdWait:
+			// The barrier must cover every write this connection
+			// pipelined before it, so the pending group flushes first.
+			flushData()
+			rep := s.serveWait(cs, req)
 			enc.Stage(&rep)
 		case proto.CmdQuit:
 			flushData()
@@ -378,6 +397,16 @@ func (s *Server) serveAdmin(req *proto.Request) proto.Reply {
 		if s.readOnly.Load() {
 			return proto.Reply{Kind: proto.KErrServer, Msg: readOnlyMsg}
 		}
+		// The trailing EPOCH on the recovery reply is the crash receipt's
+		// redemption value: relaxed acks stamped <= this frontier survived;
+		// later ones may be gone (they are the bounded loss). The frontier
+		// must be captured BEFORE the crash sheds the overlays — the epoch
+		// clock keeps ticking through recovery, and once the volatile
+		// entries are discarded every subsequent close advances the
+		// frontier over writes it never persisted. Capturing early only
+		// ever under-reports (a close completing in between made more
+		// stamps durable), which is the safe direction for a receipt.
+		frontier := s.perEpoch.Load()
 		if req.HasShard {
 			if req.Shard < 0 || req.Shard >= len(s.shards) {
 				return proto.Reply{Kind: proto.KErrClient,
@@ -386,12 +415,14 @@ func (s *Server) serveAdmin(req *proto.Request) proto.Reply {
 			if err := s.shards[req.Shard].crashAndRecover(); err != nil {
 				return proto.Reply{Kind: proto.KErrServer, Msg: fmt.Sprintf("recovery failed: %v", err)}
 			}
-			return proto.Reply{Kind: proto.KRaw, Msg: fmt.Sprintf("OK RECOVERED SHARD %d", req.Shard)}
+			return proto.Reply{Kind: proto.KRaw,
+				Msg: fmt.Sprintf("OK RECOVERED SHARD %d EPOCH %d", req.Shard, frontier)}
 		}
 		if err := s.crashAll(); err != nil {
 			return proto.Reply{Kind: proto.KErrServer, Msg: fmt.Sprintf("recovery failed: %v", err)}
 		}
-		return proto.Reply{Kind: proto.KRaw, Msg: "OK RECOVERED"}
+		return proto.Reply{Kind: proto.KRaw,
+			Msg: fmt.Sprintf("OK RECOVERED EPOCH %d", frontier)}
 
 	case proto.CmdPromote:
 		if s.replFollower == nil {

@@ -30,11 +30,25 @@
 //	stats                    -> aggregate STAT lines + END
 //	stats shards             -> one STAT line per shard + END
 //	stats reset              -> zeroes counters and histograms; RESET
-//	crash                    -> power-fails and recovers every shard; OK RECOVERED
-//	crash <shard>            -> power-fails and recovers one shard; OK RECOVERED SHARD <n>
+//	crash                    -> power-fails and recovers every shard; OK RECOVERED EPOCH <p>
+//	crash <shard>            -> power-fails and recovers one shard; OK RECOVERED SHARD <n> EPOCH <p>
 //	promote                  -> severs replication on a follower; OK PROMOTED
 //	ping                     -> PONG
 //	quit                     -> closes the connection
+//
+// Every mutating command additionally accepts a trailing durability
+// tier — `durable` (the default: effects are committed to fortified
+// state before the ack), `relaxed` (acked from a volatile overlay,
+// persisted when the current epoch closes; the ack carries `@<epoch>`,
+// a receipt redeemable against the crash reply's recovered frontier),
+// or `fire` (acked before any state is consulted). The companion
+// barrier:
+//
+//	wait [epoch [timeout-ms]] -> persisted frontier once it covers <epoch> (default: now)
+//	wait repl [timeout-ms]    -> follower ack count for this connection's writes
+//
+// See epoch.go for the tier machinery and DESIGN.md §11 for the
+// crash-loss contract.
 //
 // The same commands are also served over RESP2 (GET/SET/INCRBY/DEL/
 // MGET/MSET/PING/INFO and friends), so redis-cli and redis-benchmark
@@ -133,6 +147,26 @@ type Server struct {
 	// clients actually present and hence how much work each protocol
 	// amortizes per socket read.
 	decodedBatch [telemetry.NumProtocols]telemetry.Histogram
+
+	// Durability-tier state (see epoch.go). curEpoch is the open epoch
+	// relaxed acks are stamped with; perEpoch is the persistent frontier
+	// — the highest epoch whose relaxed writes are known durable.
+	// epochWake re-arms epoch-barrier waiters on every epoch close;
+	// ackWake re-arms replication-barrier waiters on every follower ack.
+	curEpoch  atomic.Uint64
+	perEpoch  atomic.Uint64
+	epochWake atomic.Pointer[chan struct{}]
+	ackWake   atomic.Pointer[chan struct{}]
+	epochStop chan struct{}
+	epochDone chan struct{}
+
+	// optReadHook is a test-only interleaving hook, called after each
+	// validated read of a multi-key optimistic group with the op index
+	// just served. Cross-key tearing is a timing race (a group commit
+	// landing between two reads of one mget) that a single-core box may
+	// never produce naturally; the hook lets a test land one there
+	// deterministically. Nil outside tests.
+	optReadHook func(i int)
 }
 
 // New builds the sharded storage stacks and starts listening. Call
@@ -159,12 +193,18 @@ func New(opts ...Option) (*Server, error) {
 		}
 		s.shards[i] = sh
 	}
+	// The epoch clock starts before replication: a follower's first ack
+	// can arrive the moment the primary listener opens, and its OnAck
+	// hook touches the wake pointer the clock state initializes.
+	s.startEpochClock()
 	if err := s.startReplication(); err != nil {
+		s.stopEpochClock()
 		return nil, err
 	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		s.closeReplication()
+		s.stopEpochClock()
 		return nil, fmt.Errorf("cacheserver: %w", err)
 	}
 	s.ln = ln
@@ -173,6 +213,7 @@ func New(opts ...Option) (*Server, error) {
 		if err != nil {
 			ln.Close()
 			s.closeReplication()
+			s.stopEpochClock()
 			return nil, err
 		}
 		s.metrics = m
@@ -279,7 +320,17 @@ func (s *Server) Close() error {
 		conn.Close()
 	}
 	s.connMu.Unlock()
+	// Wake every parked wait barrier: their handlers re-check the
+	// closing flag and exit, which is what lets wg.Wait finish when a
+	// client was blocked in `wait` with no timeout at shutdown.
+	broadcastWake(&s.epochWake)
+	broadcastWake(&s.ackWake)
 	s.wg.Wait()
+	// One final epoch close (the clock's stop path) drains every
+	// overlay: relaxed writes acked before a clean shutdown persist —
+	// only a crash is licensed to lose them. Runs before replication
+	// stops so the final drain still replicates.
+	s.stopEpochClock()
 	// The follower's applier and the primary's snapshot callback both
 	// execute through the shards, so replication must stop while the
 	// pipelines are still alive.
@@ -472,7 +523,7 @@ func (s *Server) execGroup(cs *connState, ops []batchOp) {
 			defer wg.Done()
 			switch {
 			case force:
-				s.runGroupDirect(g.sh, g.ops)
+				s.runGroupDirect(g.sh, g.ops, 0)
 			case g.chunk:
 				s.execShardChunked(cs, g.sh, g.ops, false)
 			default:
@@ -539,7 +590,7 @@ func (s *Server) execShardGroup(cs *connState, sh *shard, ops []batchOp, force b
 			<-req.done
 		}
 	case force:
-		s.runGroupDirect(sh, ops)
+		s.runGroupDirect(sh, ops, 0)
 	default:
 		s.execSync(cs, sh, ops)
 	}
@@ -547,19 +598,69 @@ func (s *Server) execShardGroup(cs *connState, sh *shard, ops []batchOp, force b
 
 // readOptimistic attempts to serve every (pure-get) op on the lock-free
 // path, filling results in place, and returns the indexes it could not
-// validate. Those — typically a contended minority — must re-run through
-// exec; nil means the whole command was served without a lock.
+// validate. Those must re-run through exec; nil means the whole command
+// was served without a lock.
+//
+// A single-key command uses the per-key validated path. A multi-key
+// group additionally needs CROSS-key consistency — per-key validation
+// alone could read key A before a concurrent mset commits and key B
+// after, both individually valid, and return a mixture no locked reader
+// could ever observe. Multi-key groups therefore run a snapshot
+// protocol: capture every key's stripe version (and shard generation,
+// guarding crash rebuilds) before the first read, read each key on the
+// per-key path, and revalidate every capture after the last read. Each
+// key's stripe is then provably quiescent from its capture through its
+// revalidate, and since every capture precedes every read precedes
+// every revalidate, all values coexisted at the last capture point. Any
+// mismatch sends the WHOLE group to the locked fallback — and because
+// runBatch holds all of a batch's stripes odd for its entire section
+// (see hashmap.BeginStripeWrites), a half-applied mset can never
+// revalidate here. Overlay-served relaxed state is exempt: the overlay
+// is per-key newest-state by design, and the snapshot guarantee targets
+// the durable map.
 func (s *Server) readOptimistic(ops []batchOp) (pending []int) {
-	for i := range ops {
-		sh := s.shardOf(ops[i].key)
-		val, ok, valid := sh.getOptimistic(ops[i].key)
+	if len(ops) == 1 {
+		sh := s.shardOf(ops[0].key)
+		val, ok, valid := sh.getOptimistic(ops[0].key)
 		if !valid {
-			pending = append(pending, i)
-			continue
+			return []int{0}
+		}
+		ops[0].val, ops[0].ok = val, ok
+		return nil
+	}
+	all := func() []int {
+		pending = make([]int, len(ops))
+		for i := range ops {
+			pending[i] = i
+		}
+		return pending
+	}
+	gens := make([]uint64, len(ops))
+	vers := make([]uint64, len(ops))
+	for i := range ops {
+		gen, ver, even := s.shardOf(ops[i].key).captureVersion(ops[i].key)
+		if !even {
+			return all()
+		}
+		gens[i], vers[i] = gen, ver
+	}
+	for i := range ops {
+		val, ok, valid := s.shardOf(ops[i].key).getOptimistic(ops[i].key)
+		if !valid {
+			return all()
 		}
 		ops[i].val, ops[i].ok = val, ok
+		if s.optReadHook != nil {
+			s.optReadHook(i)
+		}
 	}
-	return pending
+	for i := range ops {
+		gen, ver, even := s.shardOf(ops[i].key).captureVersion(ops[i].key)
+		if !even || gen != gens[i] || ver != vers[i] {
+			return all()
+		}
+	}
+	return nil
 }
 
 // crashAll power-fails and recovers every shard concurrently — the
@@ -580,16 +681,17 @@ func (s *Server) crashAll() error {
 
 // serverView is every shard's telemetry merged into one snapshot.
 type serverView struct {
-	items     int
-	zitems    int
-	agg       telemetry.Snapshot
-	opLat     telemetry.HistogramSnapshot
-	recLat    telemetry.HistogramSnapshot
-	readLat   telemetry.HistogramSnapshot
-	cmdLat    telemetry.CommandLatencySnapshot
-	cmdProto  [telemetry.NumProtocols]telemetry.CommandLatencySnapshot
-	batchSize telemetry.HistogramSnapshot
-	rangeLen  telemetry.HistogramSnapshot
+	items      int
+	zitems     int
+	agg        telemetry.Snapshot
+	opLat      telemetry.HistogramSnapshot
+	recLat     telemetry.HistogramSnapshot
+	readLat    telemetry.HistogramSnapshot
+	cmdLat     telemetry.CommandLatencySnapshot
+	cmdProto   [telemetry.NumProtocols]telemetry.CommandLatencySnapshot
+	batchSize  telemetry.HistogramSnapshot
+	rangeLen   telemetry.HistogramSnapshot
+	epochFlush telemetry.HistogramSnapshot
 }
 
 // aggregateViews collects and merges every shard's telemetry view.
@@ -609,6 +711,7 @@ func (s *Server) aggregateViews() serverView {
 		}
 		v.batchSize.Merge(sv.batchSize)
 		v.rangeLen.Merge(sv.rangeLen)
+		v.epochFlush.Merge(sv.epochFlush)
 	}
 	return v
 }
@@ -701,6 +804,18 @@ func (s *Server) statsAggregate() string {
 		fmt.Fprintf(&b, "STAT proto_%s_decoded_batches %d\r\n", p, db.Count())
 		fmt.Fprintf(&b, "STAT proto_%s_decoded_batch_p50 %d\r\n", p, uint64(db.Quantile(0.50)))
 		fmt.Fprintf(&b, "STAT proto_%s_decoded_batch_max %d\r\n", p, uint64(db.Max()))
+	}
+	// Durability-tier surface: where the epoch clock stands, how far the
+	// persistent frontier trails it, and what closing an epoch costs.
+	if s.epochEnabled() {
+		fmt.Fprintf(&b, "STAT epoch_current %d\r\n", s.curEpoch.Load())
+		fmt.Fprintf(&b, "STAT epoch_persisted %d\r\n", s.perEpoch.Load())
+		fmt.Fprintf(&b, "STAT epoch_interval_us %.1f\r\n", us(s.cfg.epochInterval))
+		if ef := v.epochFlush; ef.Count() > 0 {
+			fmt.Fprintf(&b, "STAT epoch_flush_count %d\r\n", ef.Count())
+			fmt.Fprintf(&b, "STAT epoch_flush_p50_us %.1f\r\n", us(ef.Quantile(0.50)))
+			fmt.Fprintf(&b, "STAT epoch_flush_p99_us %.1f\r\n", us(ef.Quantile(0.99)))
+		}
 	}
 	if role := s.replRole(); role != "" {
 		fmt.Fprintf(&b, "STAT repl_role %s\r\n", role)

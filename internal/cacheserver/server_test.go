@@ -61,6 +61,28 @@ func (c *client) lines(t *testing.T, format string, args ...interface{}) []strin
 	}
 }
 
+// totalSets sums the mutation counter across shards — the progress
+// signal crash-under-load tests poll between kills.
+func totalSets(s *Server) uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.tel.Server.Sets.Load()
+	}
+	return n
+}
+
+// waitProgress polls until the server has applied n more mutations than
+// when it was called: crash-under-load pacing that guarantees the next
+// kill lands on a store that has actually resumed traffic, where a
+// fixed sleep may cover zero requests on a slow or single-core box.
+func waitProgress(t *testing.T, s *Server, n uint64) {
+	t.Helper()
+	start := totalSets(s)
+	waitFor(t, 10*time.Second, "write progress between crashes", func() bool {
+		return totalSets(s)-start >= n
+	})
+}
+
 func startServer(t *testing.T, opts ...Option) *Server {
 	t.Helper()
 	s, err := New(opts...)
@@ -175,7 +197,7 @@ func TestCrashCommandPreservesData(t *testing.T) {
 			t.Fatalf("set %d: %q", k, got)
 		}
 	}
-	if got := c.cmd(t, "crash"); got != "OK RECOVERED" {
+	if got := c.cmd(t, "crash"); !strings.HasPrefix(got, "OK RECOVERED EPOCH ") {
 		t.Fatalf("crash: %q", got)
 	}
 	// Same connection keeps working against the recovered stacks.
@@ -197,7 +219,7 @@ func TestCrashSingleShardLeavesOthersServing(t *testing.T) {
 	for k := 0; k < 40; k++ {
 		c.cmd(t, "set %d %d", k, k+1)
 	}
-	if got := c.cmd(t, "crash 2"); got != "OK RECOVERED SHARD 2" {
+	if got := c.cmd(t, "crash 2"); !strings.HasPrefix(got, "OK RECOVERED SHARD 2 EPOCH ") {
 		t.Fatalf("crash 2: %q", got)
 	}
 	for k := 0; k < 40; k++ {
@@ -226,7 +248,7 @@ func TestCrashVisibleAcrossConnections(t *testing.T) {
 	c2 := dial(t, s.Addr().String())
 
 	c1.cmd(t, "set 5 55")
-	if got := c2.cmd(t, "crash"); got != "OK RECOVERED" {
+	if got := c2.cmd(t, "crash"); !strings.HasPrefix(got, "OK RECOVERED EPOCH ") {
 		t.Fatalf("crash from c2: %q", got)
 	}
 	// c1's thread registrations are stale; its next request must be
@@ -397,12 +419,12 @@ func TestCrashDuringLoad(t *testing.T) {
 	// load runs.
 	admin := dial(t, s.Addr().String())
 	for i := 0; i < nShards; i++ {
-		if got := admin.cmd(t, "crash %d", i); got != fmt.Sprintf("OK RECOVERED SHARD %d", i) {
+		if got := admin.cmd(t, "crash %d", i); !strings.HasPrefix(got, fmt.Sprintf("OK RECOVERED SHARD %d EPOCH ", i)) {
 			t.Fatalf("crash %d: %q", i, got)
 		}
-		time.Sleep(5 * time.Millisecond)
+		waitProgress(t, s, 10)
 	}
-	if got := admin.cmd(t, "crash"); got != "OK RECOVERED" {
+	if got := admin.cmd(t, "crash"); !strings.HasPrefix(got, "OK RECOVERED EPOCH ") {
 		t.Fatalf("crash all: %q", got)
 	}
 	close(stop)

@@ -68,6 +68,11 @@ type shard struct {
 	// commit from its log entry. Written once before traffic (see
 	// Server.startReplication).
 	replLog *repl.Log
+
+	// ovl buffers this shard's acked-but-unflushed relaxed-tier writes
+	// (see epoch.go). It is volatile by design — a crash discards it;
+	// that is the relaxed tier's bounded loss.
+	ovl overlay
 }
 
 func newShard(idx int, c config) (*shard, error) {
@@ -159,6 +164,11 @@ func (sh *shard) crashAndRecover() error {
 	}
 	sh.stk = ns
 	sh.gen.Add(1)
+	// The overlay is what the power failure erases: writes acked with
+	// epochs above the persistent frontier. Discarding it here — under
+	// the same write lock the rebuild held — is the relaxed tier's loss
+	// event, bounded by the epoch interval.
+	sh.ovl.discard()
 	sh.tel.RecoveryLatency.Observe(time.Since(start))
 	// The rebuilt state shed whatever the crash caught un-persisted, so
 	// "snapshot + suffix of the replication log" no longer describes
@@ -180,6 +190,15 @@ func (sh *shard) crashAndRecover() error {
 func (sh *shard) getOptimistic(key uint64) (val uint64, ok, valid bool) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
+	// The relaxed overlay is this key's newest logical state when an
+	// entry is pending; one atomic load when none is.
+	if e, hit := sh.ovl.get(key, false); hit {
+		sh.tel.Server.Gets.Inc()
+		if !e.del {
+			sh.tel.Server.Hits.Inc()
+		}
+		return e.val, !e.del, true
+	}
 	val, ok, valid = sh.stk.Map.GetOptimistic(key)
 	if valid {
 		sh.tel.Server.Gets.Inc()
@@ -188,6 +207,20 @@ func (sh *shard) getOptimistic(key uint64) (val uint64, ok, valid bool) {
 		}
 	}
 	return val, ok, valid
+}
+
+// captureVersion snapshots the shard generation and the seqlock version
+// of the stripe covering key — the cross-key consistency witness for
+// multi-key optimistic reads (see Server.readOptimistic). even is false
+// when the stripe is mid-write; the caller should fall back to the
+// locked path.
+func (sh *shard) captureVersion(key uint64) (gen, ver uint64, even bool) {
+	sh.mu.RLock()
+	m := sh.stk.Map
+	ver = m.StripeVersion(m.StripeOf(key))
+	gen = sh.gen.Load()
+	sh.mu.RUnlock()
+	return gen, ver, ver%2 == 0
 }
 
 // verify re-checks the shard's map and skip-list invariants on a
@@ -208,16 +241,17 @@ func (sh *shard) verify() error {
 // and the metrics endpoint: the full registry snapshot plus the only
 // value the registry cannot know — the map's live item count.
 type shardView struct {
-	items     int
-	zitems    int
-	counters  telemetry.Snapshot
-	opLat     telemetry.HistogramSnapshot
-	recLat    telemetry.HistogramSnapshot
-	readLat   telemetry.HistogramSnapshot
-	cmdLat    telemetry.CommandLatencySnapshot
-	cmdProto  [telemetry.NumProtocols]telemetry.CommandLatencySnapshot
-	batchSize telemetry.HistogramSnapshot
-	rangeLen  telemetry.HistogramSnapshot
+	items      int
+	zitems     int
+	counters   telemetry.Snapshot
+	opLat      telemetry.HistogramSnapshot
+	recLat     telemetry.HistogramSnapshot
+	readLat    telemetry.HistogramSnapshot
+	cmdLat     telemetry.CommandLatencySnapshot
+	cmdProto   [telemetry.NumProtocols]telemetry.CommandLatencySnapshot
+	batchSize  telemetry.HistogramSnapshot
+	rangeLen   telemetry.HistogramSnapshot
+	epochFlush telemetry.HistogramSnapshot
 }
 
 // view collects the shard's telemetry under the read lock (Map.Len
@@ -226,15 +260,16 @@ func (sh *shard) view() shardView {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	return shardView{
-		items:     sh.stk.Map.Len(),
-		zitems:    sh.stk.List.Len(),
-		counters:  sh.tel.Counters(),
-		opLat:     sh.tel.OpLatency.Snapshot(),
-		recLat:    sh.tel.RecoveryLatency.Snapshot(),
-		readLat:   sh.tel.ReadLatency.Snapshot(),
-		cmdLat:    sh.tel.CmdLatency.SnapshotAll(),
-		cmdProto:  sh.tel.CmdLatency.SnapshotAllByProto(),
-		batchSize: sh.tel.BatchSize.Snapshot(),
-		rangeLen:  sh.tel.RangeLen.Snapshot(),
+		items:      sh.stk.Map.Len(),
+		zitems:     sh.stk.List.Len(),
+		counters:   sh.tel.Counters(),
+		opLat:      sh.tel.OpLatency.Snapshot(),
+		recLat:     sh.tel.RecoveryLatency.Snapshot(),
+		readLat:    sh.tel.ReadLatency.Snapshot(),
+		cmdLat:     sh.tel.CmdLatency.SnapshotAll(),
+		cmdProto:   sh.tel.CmdLatency.SnapshotAllByProto(),
+		batchSize:  sh.tel.BatchSize.Snapshot(),
+		rangeLen:   sh.tel.RangeLen.Snapshot(),
+		epochFlush: sh.tel.EpochFlushLatency.Snapshot(),
 	}
 }

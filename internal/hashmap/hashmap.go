@@ -176,6 +176,28 @@ func (m *Map) writeBegin(b int) { atomic.AddUint64(&m.seqs[b/m.stride].v, 1) }
 
 func (m *Map) writeEnd(b int) { atomic.AddUint64(&m.seqs[b/m.stride].v, 1) }
 
+// StripeVersion returns stripe i's current sequence value — the
+// optimistic readers' consistency witness, exported so multi-key
+// readers can implement snapshot validation across keys: capture every
+// involved stripe's version before the first read, revalidate all of
+// them after the last, and an unchanged even set proves the values
+// coexisted. A single-key reader gets this for free inside
+// GetOptimistic; only cross-key consistency needs the raw witness.
+func (m *Map) StripeVersion(i int) uint64 { return atomic.LoadUint64(&m.seqs[i].v) }
+
+// BeginStripeWrites flips stripe i's sequence odd: the opening bracket
+// a multi-key section owner places around ALL its stripes before its
+// first *Locked mutation. Holding every involved stripe odd for the
+// whole section is what makes the section atomic to optimistic readers
+// — with per-mutation brackets alone, the quiet window between two
+// mutations of one section validates, and a cross-key reader could see
+// half an mset. The caller must hold stripe i's mutex.
+func (m *Map) BeginStripeWrites(i int) { atomic.AddUint64(&m.seqs[i].v, 1) }
+
+// EndStripeWrites flips stripe i's sequence even again: the closing
+// bracket, after the section's last mutation.
+func (m *Map) EndStripeWrites(i int) { atomic.AddUint64(&m.seqs[i].v, 1) }
+
 // Ptr returns the descriptor pointer for linking into root structures.
 func (m *Map) Ptr() pheap.Ptr { return m.desc }
 
@@ -216,17 +238,25 @@ func (m *Map) Put(t *atlas.Thread, key, value uint64) error {
 	mu := m.mutexFor(b)
 	t.Lock(mu)
 	defer t.Unlock(mu)
-	return m.putLocked(t, b, key, value)
+	return m.putLocked(t, b, key, value, true)
 }
 
-func (m *Map) putLocked(t *atlas.Thread, b int, key, value uint64) error {
+// putLocked is the shared body of Put and PutLocked. bump selects
+// per-mutation seqlock bracketing (the single-op paths); the *Locked
+// variants pass false because their caller brackets every involved
+// stripe for its whole multi-key section.
+func (m *Map) putLocked(t *atlas.Thread, b int, key, value uint64, bump bool) error {
 	if n, _ := m.findLocked(t, b, key); !n.IsNil() {
 		// The two-store update whose intermediate state is the
 		// mutex-based hazard: value first, integrity word second.
-		m.writeBegin(b)
+		if bump {
+			m.writeBegin(b)
+		}
 		t.Store(n.Addr()+nodeValue, value)
 		t.Store(n.Addr()+nodeCheck, checkWord(key, value))
-		m.writeEnd(b)
+		if bump {
+			m.writeEnd(b)
+		}
 		return nil
 	}
 	n, err := m.heap.Alloc(nodeWords)
@@ -240,9 +270,13 @@ func (m *Map) putLocked(t *atlas.Thread, b int, key, value uint64) error {
 	// Only the head store publishes the (fully initialized) node, but the
 	// bump keeps the reader protocol uniform: any mutation of reachable
 	// state invalidates concurrent snapshots.
-	m.writeBegin(b)
+	if bump {
+		m.writeBegin(b)
+	}
 	t.Store(m.bucketAddr(b), uint64(n))
-	m.writeEnd(b)
+	if bump {
+		m.writeEnd(b)
+	}
 	return nil
 }
 
@@ -277,20 +311,27 @@ func (m *Map) Inc(t *atlas.Thread, key, delta uint64) (uint64, error) {
 	mu := m.mutexFor(b)
 	t.Lock(mu)
 	defer t.Unlock(mu)
-	return m.incLocked(t, b, key, delta)
+	return m.incLocked(t, b, key, delta, true)
 }
 
-func (m *Map) incLocked(t *atlas.Thread, b int, key, delta uint64) (uint64, error) {
+// incLocked is the shared body of Inc and IncLocked; bump as in
+// putLocked.
+func (m *Map) incLocked(t *atlas.Thread, b int, key, delta uint64, bump bool) (uint64, error) {
 	if n, _ := m.findLocked(t, b, key); !n.IsNil() {
 		v := t.Load(n.Addr()+nodeValue) + delta
-		m.writeBegin(b)
+		if bump {
+			m.writeBegin(b)
+		}
 		t.Store(n.Addr()+nodeValue, v)
 		t.Store(n.Addr()+nodeCheck, checkWord(key, v))
-		m.writeEnd(b)
+		if bump {
+			m.writeEnd(b)
+		}
 		return v, nil
 	}
-	// Absent key: the insert path (and its seqlock bump) is putLocked's.
-	if err := m.putLocked(t, b, key, delta); err != nil {
+	// Absent key: the insert path (and its seqlock bracketing) is
+	// putLocked's.
+	if err := m.putLocked(t, b, key, delta, bump); err != nil {
 		return 0, err
 	}
 	return delta, nil
@@ -310,37 +351,49 @@ func (m *Map) Delete(t *atlas.Thread, key uint64) (bool, error) {
 	mu := m.mutexFor(b)
 	t.Lock(mu)
 	defer t.Unlock(mu)
-	return m.deleteLocked(t, b, key)
+	return m.deleteLocked(t, b, key, true)
 }
 
 // deleteLocked is the shared unlink body of Delete and DeleteLocked. The
-// seqlock bump brackets the unlink store, so an optimistic reader that
-// could otherwise chase the dead node's pointers is forced to retry; the
-// deferred free then guarantees the block survives untouched until a full
-// log-ring lap later, long after every such snapshot has been voided.
-func (m *Map) deleteLocked(t *atlas.Thread, b int, key uint64) (bool, error) {
+// seqlock bracket (per-mutation here, or the caller's section-wide one)
+// covers the unlink store, so an optimistic reader that could otherwise
+// chase the dead node's pointers is forced to retry; the deferred free
+// then guarantees the block survives untouched until a full log-ring lap
+// later, long after every such snapshot has been voided.
+func (m *Map) deleteLocked(t *atlas.Thread, b int, key uint64, bump bool) (bool, error) {
 	n, prev := m.findLocked(t, b, key)
 	if n.IsNil() {
 		return false, nil
 	}
 	next := t.Load(n.Addr() + nodeNext)
-	m.writeBegin(b)
+	if bump {
+		m.writeBegin(b)
+	}
 	if prev.IsNil() {
 		t.Store(m.bucketAddr(b), next)
 	} else {
 		t.Store(prev.Addr()+nodeNext, next)
 	}
-	m.writeEnd(b)
+	if bump {
+		m.writeEnd(b)
+	}
 	if err := t.FreeDeferred(n); err != nil {
 		return false, err
 	}
 	return true, nil
 }
 
-// Stripe-level access, for layers (such as txkv) that implement
-// multi-key operations by taking several stripe locks themselves. The
-// *Locked methods require the caller's thread to hold the stripe mutex
-// covering the key — they perform no locking of their own.
+// Stripe-level access, for layers (such as txkv and the cache server's
+// batch pipeline) that implement multi-key operations by taking several
+// stripe locks themselves. The *Locked methods require the caller's
+// thread to hold the stripe mutex covering the key — they perform no
+// locking of their own, and no seqlock bumping either: the section
+// owner brackets every stripe its group touches with BeginStripeWrites
+// before the first mutation and EndStripeWrites after the last, which
+// holds the stripes odd for the whole section and makes the group
+// atomic to optimistic readers (per-mutation brackets would leave the
+// quiet windows between a group's mutations individually validatable —
+// a cross-key reader could see half an mset).
 
 // StripeOf returns the stripe-lock index covering key.
 func (m *Map) StripeOf(key uint64) int { return m.bucketOf(key) / m.stride }
@@ -361,34 +414,36 @@ func (m *Map) GetLocked(t *atlas.Thread, key uint64) (uint64, bool, error) {
 	return t.Load(n.Addr() + nodeValue), true, nil
 }
 
-// PutLocked writes key under a caller-held stripe lock.
+// PutLocked writes key under a caller-held stripe lock and
+// caller-owned seqlock bracket (see BeginStripeWrites).
 func (m *Map) PutLocked(t *atlas.Thread, key, value uint64) error {
 	if t == nil {
 		return ErrNoThread
 	}
 	m.tel.IncPut()
-	return m.putLocked(t, m.bucketOf(key), key, value)
+	return m.putLocked(t, m.bucketOf(key), key, value, false)
 }
 
 // IncLocked adds delta to key's value (inserting delta if absent) under
-// a caller-held stripe lock, returning the new value — Inc's body for
-// layers that batch several operations into one critical section.
+// a caller-held stripe lock and seqlock bracket, returning the new
+// value — Inc's body for layers that batch several operations into one
+// critical section.
 func (m *Map) IncLocked(t *atlas.Thread, key, delta uint64) (uint64, error) {
 	if t == nil {
 		return 0, ErrNoThread
 	}
 	m.tel.IncInc()
-	return m.incLocked(t, m.bucketOf(key), key, delta)
+	return m.incLocked(t, m.bucketOf(key), key, delta, false)
 }
 
-// DeleteLocked unlinks key under a caller-held stripe lock, with the
-// same deferred reclamation as Delete.
+// DeleteLocked unlinks key under a caller-held stripe lock and seqlock
+// bracket, with the same deferred reclamation as Delete.
 func (m *Map) DeleteLocked(t *atlas.Thread, key uint64) (bool, error) {
 	if t == nil {
 		return false, ErrNoThread
 	}
 	m.tel.IncDelete()
-	return m.deleteLocked(t, m.bucketOf(key), key)
+	return m.deleteLocked(t, m.bucketOf(key), key, false)
 }
 
 // TornUpdate is a fault-injection hook: it begins the critical section

@@ -367,7 +367,7 @@ func TestRolledBackInsertLeavesNoGhostEntry(t *testing.T) {
 	b := e.m.bucketOf(55)
 	mu := e.m.mutexFor(b)
 	th.Lock(mu)
-	if err := e.m.putLocked(th, b, 55, 555); err != nil {
+	if err := e.m.putLocked(th, b, 55, 555, true); err != nil {
 		t.Fatalf("putLocked: %v", err)
 	}
 	// crash before Unlock

@@ -62,6 +62,65 @@ func TestMGetOptimistic(t *testing.T) {
 	}
 }
 
+// TestSectionBracketAtomicToOptimisticReaders pins the *Locked seqlock
+// contract: the section owner's BeginStripeWrites/EndStripeWrites hold
+// the stripe odd across EVERY mutation of the section, and the *Locked
+// variants themselves never bump. The failure mode this closes is the
+// quiet window: if each PutLocked bracketed itself, the stripe would
+// read even between two writes of one mset, and an optimistic reader
+// validating there would see the first write without the second.
+func TestSectionBracketAtomicToOptimisticReaders(t *testing.T) {
+	e := newEnv(t, atlas.ModeTSP, 8, 8) // one stripe covers both keys
+	th := e.thread(t)
+	const k1, k2 = 1, 2
+	if err := e.m.Put(th, k1, 10); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := e.m.Put(th, k2, 20); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	st := e.m.StripeOf(k1)
+	if got := e.m.StripeOf(k2); got != st {
+		t.Fatalf("keys on different stripes (%d, %d); the env should have one", st, got)
+	}
+	start := e.m.StripeVersion(st)
+	if start%2 != 0 {
+		t.Fatalf("quiescent stripe version %d is odd", start)
+	}
+
+	mu := e.m.StripeMutex(st)
+	th.Lock(mu)
+	e.m.BeginStripeWrites(st)
+	if err := e.m.PutLocked(th, k1, 11); err != nil {
+		t.Fatalf("PutLocked: %v", err)
+	}
+	// The instant between the section's two writes — exactly where a
+	// self-bracketing PutLocked would have left the stripe readable.
+	if _, _, valid := e.m.GetOptimistic(k2); valid {
+		t.Fatal("optimistic read validated mid-section")
+	}
+	if v := e.m.StripeVersion(st); v%2 == 0 {
+		t.Fatalf("stripe version %d even mid-section", v)
+	}
+	if err := e.m.PutLocked(th, k2, 21); err != nil {
+		t.Fatalf("PutLocked: %v", err)
+	}
+	e.m.EndStripeWrites(st)
+	th.Unlock(mu)
+
+	// One bracket for the whole section: exactly one odd/even cycle, not
+	// one per mutation.
+	if got := e.m.StripeVersion(st); got != start+2 {
+		t.Fatalf("stripe version advanced %d->%d across one section, want +2", start, got)
+	}
+	for k, want := range map[uint64]uint64{k1: 11, k2: 21} {
+		v, ok, valid := e.m.GetOptimistic(k)
+		if !valid || !ok || v != want {
+			t.Fatalf("GetOptimistic(%d) = %d,%v,%v after section, want %d", k, v, ok, valid, want)
+		}
+	}
+}
+
 // TestOptimisticMonotonicSingleWriter is the torn/stale-read property
 // test: with one writer incrementing a counter key, every validated
 // optimistic read is linearizable inside its snapshot window, so a

@@ -48,6 +48,8 @@ func (r *Request) reset() {
 	r.HasShard = false
 	r.Bad = KNone
 	r.BadMsg = ""
+	r.Dur = DurDurable
+	r.WaitRepl = false
 }
 
 // bad marks the request malformed with the error reply to answer.
@@ -91,6 +93,40 @@ func (Native) ParseEOF(buf []byte, req *Request) (int, error) {
 	return len(buf), nil
 }
 
+// parseDur recognizes a durability-tier token. Mutating commands accept
+// one as an optional trailing argument in both adapters.
+func parseDur(t []byte) (Durability, bool) {
+	switch {
+	case eqFold(t, "durable"):
+		return DurDurable, true
+	case eqFold(t, "relaxed"):
+		return DurRelaxed, true
+	case eqFold(t, "fire"):
+		return DurFire, true
+	}
+	return DurDurable, false
+}
+
+// badDurMsg is the error text for an unrecognized durability tier.
+const badDurMsg = "bad durability (durable|relaxed|fire)"
+
+// parseTrailingDur consumes an optional trailing tier token plus
+// end-of-line, reporting false (with the request marked bad) on
+// anything else.
+func parseTrailingDur(f *fields, req *Request) bool {
+	t := f.next()
+	if t == nil {
+		return true
+	}
+	d, ok := parseDur(t)
+	if !ok || f.next() != nil {
+		req.bad(KErrClient, badDurMsg)
+		return false
+	}
+	req.Dur = d
+	return true
+}
+
 // parseNativeCommand decodes one tokenized command line into req. It
 // is shared with the RESP adapter's inline-command form.
 func parseNativeCommand(cmd []byte, f *fields, req *Request) {
@@ -111,8 +147,11 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 
 	case eqFold(cmd, "set"):
 		k, val := f.next(), f.next()
-		if k == nil || val == nil || f.next() != nil {
+		if k == nil || val == nil {
 			req.bad(KErrClient, "usage: set <key> <value>")
+			return
+		}
+		if !parseTrailingDur(f, req) {
 			return
 		}
 		kn, ok1 := parseUint64(k)
@@ -126,8 +165,11 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 
 	case eqFold(cmd, "incr"):
 		k, d := f.next(), f.next()
-		if k == nil || d == nil || f.next() != nil {
+		if k == nil || d == nil {
 			req.bad(KErrClient, "usage: incr <key> <delta>")
+			return
+		}
+		if !parseTrailingDur(f, req) {
 			return
 		}
 		kn, ok1 := parseUint64(k)
@@ -141,8 +183,11 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 
 	case eqFold(cmd, "delete"):
 		k := f.next()
-		if k == nil || f.next() != nil {
+		if k == nil {
 			req.bad(KErrClient, "usage: delete <key>")
+			return
+		}
+		if !parseTrailingDur(f, req) {
 			return
 		}
 		v, ok := parseUint64(k)
@@ -172,6 +217,11 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 		for t := f.next(); t != nil; t = f.next() {
 			v, ok := parseUint64(t)
 			if !ok {
+				// A non-numeric final token may be the durability tier.
+				if d, okd := parseDur(t); okd && f.next() == nil {
+					req.Dur = d
+					break
+				}
 				req.bad(KErrClient, "keys and values are unsigned integers")
 				return
 			}
@@ -185,8 +235,11 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 
 	case eqFold(cmd, "zadd"):
 		k, val := f.next(), f.next()
-		if k == nil || val == nil || f.next() != nil {
+		if k == nil || val == nil {
 			req.bad(KErrClient, "usage: zadd <key> <value>")
+			return
+		}
+		if !parseTrailingDur(f, req) {
 			return
 		}
 		kn, ok1 := parseUint64(k)
@@ -214,8 +267,11 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 
 	case eqFold(cmd, "zincr"):
 		k, d := f.next(), f.next()
-		if k == nil || d == nil || f.next() != nil {
+		if k == nil || d == nil {
 			req.bad(KErrClient, "usage: zincr <key> <delta>")
+			return
+		}
+		if !parseTrailingDur(f, req) {
 			return
 		}
 		kn, ok1 := parseUint64(k)
@@ -229,8 +285,11 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 
 	case eqFold(cmd, "zdel"):
 		k := f.next()
-		if k == nil || f.next() != nil {
+		if k == nil {
 			req.bad(KErrClient, "usage: zdel <key>")
+			return
+		}
+		if !parseTrailingDur(f, req) {
 			return
 		}
 		v, ok := parseUint64(k)
@@ -278,6 +337,45 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 		}
 		req.Cmd = CmdZCount
 		req.KV = append(req.KV, ln, hn)
+
+	case eqFold(cmd, "wait"):
+		// wait [epoch [timeout-ms]] blocks on the persistent epoch
+		// frontier (epoch 0 or none = the epoch current at execution);
+		// wait repl [timeout-ms] blocks on one follower ack instead.
+		const waitUsage = "usage: wait [epoch [timeout-ms]] | wait repl [timeout-ms]"
+		var target, timeout uint64
+		a := f.next()
+		switch {
+		case a == nil:
+		case eqFold(a, "repl"):
+			req.WaitRepl = true
+			target = 1
+			if t := f.next(); t != nil {
+				tn, ok := parseUint64(t)
+				if !ok || f.next() != nil {
+					req.bad(KErrClient, waitUsage)
+					return
+				}
+				timeout = tn
+			}
+		default:
+			en, ok := parseUint64(a)
+			if !ok {
+				req.bad(KErrClient, waitUsage)
+				return
+			}
+			target = en
+			if t := f.next(); t != nil {
+				tn, ok := parseUint64(t)
+				if !ok || f.next() != nil {
+					req.bad(KErrClient, waitUsage)
+					return
+				}
+				timeout = tn
+			}
+		}
+		req.Cmd = CmdWait
+		req.KV = append(req.KV, target, timeout)
 
 	case eqFold(cmd, "stats"):
 		req.Cmd = CmdStats
@@ -348,10 +446,13 @@ func (Native) Encode(dst []byte, rep *Reply) []byte {
 	case KNone, KQuit:
 		return dst
 	case KStored:
-		return append(dst, "STORED\r\n"...)
+		dst = append(dst, "STORED"...)
+		dst = appendEpoch(dst, rep.Epoch)
+		return append(dst, '\r', '\n')
 	case KStoredN:
 		dst = append(dst, "STORED "...)
 		dst = appendUint(dst, uint64(rep.N))
+		dst = appendEpoch(dst, rep.Epoch)
 		return append(dst, '\r', '\n')
 	case KValue:
 		dst = append(dst, "VALUE "...)
@@ -363,6 +464,7 @@ func (Native) Encode(dst []byte, rep *Reply) []byte {
 		return append(dst, "NOT_FOUND\r\n"...)
 	case KInt:
 		dst = appendUint(dst, rep.Val)
+		dst = appendEpoch(dst, rep.Epoch)
 		return append(dst, '\r', '\n')
 	case KDelete:
 		for _, it := range rep.Items {
@@ -418,6 +520,16 @@ func (Native) Encode(dst []byte, rep *Reply) []byte {
 	}
 }
 
+// appendEpoch appends the " @<epoch>" durability-receipt suffix when a
+// reply carries an epoch stamp (relaxed/fire acknowledgements).
+func appendEpoch(dst []byte, epoch uint64) []byte {
+	if epoch == 0 {
+		return dst
+	}
+	dst = append(dst, " @"...)
+	return appendUint(dst, epoch)
+}
+
 // Resync skips to the next line boundary: everything up to and
 // including the next LF belongs to the abandoned oversized request.
 func (Native) Resync(buf []byte) (int, ResyncState) {
@@ -458,6 +570,23 @@ func (Native) AppendRequest(dst []byte, req *Request) []byte {
 		name = "zrange"
 	case CmdZCount:
 		name = "zcount"
+	case CmdWait:
+		dst = append(dst, "wait"...)
+		if req.WaitRepl {
+			dst = append(dst, " repl"...)
+			if len(req.KV) > 1 && req.KV[1] != 0 {
+				dst = append(dst, ' ')
+				dst = appendUint(dst, req.KV[1])
+			}
+		} else if len(req.KV) > 0 {
+			dst = append(dst, ' ')
+			dst = appendUint(dst, req.KV[0])
+			if len(req.KV) > 1 && req.KV[1] != 0 {
+				dst = append(dst, ' ')
+				dst = appendUint(dst, req.KV[1])
+			}
+		}
+		return append(dst, '\r', '\n')
 	case CmdStats:
 		name = "stats"
 	case CmdCrash:
@@ -475,6 +604,13 @@ func (Native) AppendRequest(dst []byte, req *Request) []byte {
 	for _, v := range req.KV {
 		dst = append(dst, ' ')
 		dst = appendUint(dst, v)
+	}
+	if req.Dur != DurDurable {
+		switch req.Cmd {
+		case CmdSet, CmdIncr, CmdDelete, CmdMSet, CmdZAdd, CmdZIncr, CmdZDel:
+			dst = append(dst, ' ')
+			dst = append(dst, req.Dur.String()...)
+		}
 	}
 	if req.Cmd == CmdStats {
 		switch req.Stats {

@@ -64,6 +64,13 @@ const (
 	CmdZRange
 	// CmdZCount counts ordered keys in [KV[0], KV[1]).
 	CmdZCount
+	// CmdWait blocks until durability covers the caller's writes. With
+	// Request.WaitRepl false it is an epoch barrier: KV[0] is the target
+	// epoch (0 = the epoch current when the wait executes) and KV[1] a
+	// timeout in milliseconds (0 = no timeout). With WaitRepl true it is
+	// a replication barrier: KV[0] is the follower-ack count required
+	// and KV[1] the timeout, RESP WAIT style.
+	CmdWait
 	// CmdStats requests the telemetry view selected by Request.Stats.
 	CmdStats
 	// CmdCrash power-fails one shard (Request.HasShard) or all of them.
@@ -83,6 +90,38 @@ const (
 	// the error reply the server must answer with.
 	CmdBad
 )
+
+// Durability is a mutation's requested persistence tier — the
+// Montage-style spectrum ROADMAP item 1 exposes per command. The zero
+// value is full durability, so protocols that say nothing get today's
+// behavior.
+type Durability uint8
+
+// The durability tiers, strongest first.
+const (
+	// DurDurable acknowledges after the write's Atlas critical section
+	// committed: the pre-tier behavior, loss bound zero.
+	DurDurable Durability = iota
+	// DurRelaxed acknowledges on commit to the volatile overlay and
+	// persists at the next epoch close: loss bounded by one epoch
+	// interval.
+	DurRelaxed
+	// DurFire acknowledges before commit (fire-and-forget): the reply
+	// carries no outcome and the loss bound is DurRelaxed's.
+	DurFire
+)
+
+// String returns the tier's wire spelling.
+func (d Durability) String() string {
+	switch d {
+	case DurRelaxed:
+		return "relaxed"
+	case DurFire:
+		return "fire"
+	default:
+		return "durable"
+	}
+}
 
 // StatsSub selects a stats variant.
 type StatsSub uint8
@@ -120,6 +159,14 @@ type Request struct {
 
 	// HasShard reports whether a crash request named a shard.
 	HasShard bool
+
+	// Dur is the durability tier a mutation requested; the zero value
+	// (DurDurable) is the pre-tier behavior.
+	Dur Durability
+
+	// WaitRepl selects the replication-barrier form of CmdWait (wait
+	// for follower acks) over the epoch-barrier form.
+	WaitRepl bool
 
 	// Bad is the error class to answer with when Cmd == CmdBad
 	// (KErrClient, KErrServer or KErrProto).
@@ -197,6 +244,11 @@ type Reply struct {
 	Items []Item
 	// Msg carries the text of KRaw and error replies.
 	Msg string
+	// Epoch, when nonzero, is the epoch a relaxed/fire mutation was
+	// acknowledged under (epochs start at 1, so 0 means "no stamp").
+	// The native adapter renders it as an " @<epoch>" suffix on
+	// KStored/KStoredN/KInt; RESP ignores it for client compatibility.
+	Epoch uint64
 }
 
 // ResyncState reports how an adapter's Resync attempt went.

@@ -197,6 +197,30 @@ func wrongArgs(st *respArgs, req *Request, name string) error {
 	return nil
 }
 
+// respTrailingDur consumes an optional trailing durability-tier token
+// plus end-of-arguments. It reports done=false (request marked bad, or
+// err set) when the caller must return.
+func respTrailingDur(st *respArgs, req *Request, name string) (done bool, err error) {
+	t, err := st.next()
+	if err != nil {
+		return false, err
+	}
+	if t == nil {
+		return true, nil
+	}
+	d, ok := parseDur(t)
+	if !ok {
+		return false, wrongArgs(st, req, name)
+	}
+	if extra, err := st.next(); err != nil {
+		return false, err
+	} else if extra != nil {
+		return false, wrongArgs(st, req, name)
+	}
+	req.Dur = d
+	return true, nil
+}
+
 // parseRESPCommand decodes one command and its streamed arguments.
 func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 	switch {
@@ -228,10 +252,8 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		if k == nil || v == nil {
 			return wrongArgs(st, req, "set")
 		}
-		if extra, err := st.next(); err != nil {
+		if done, err := respTrailingDur(st, req, "set"); !done {
 			return err
-		} else if extra != nil {
-			return wrongArgs(st, req, "set")
 		}
 		req.Cmd = CmdSet
 		req.KV = append(req.KV, numOrHash(k), numOrHash(v))
@@ -244,10 +266,8 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		if k == nil {
 			return wrongArgs(st, req, "incr")
 		}
-		if extra, err := st.next(); err != nil {
+		if done, err := respTrailingDur(st, req, "incr"); !done {
 			return err
-		} else if extra != nil {
-			return wrongArgs(st, req, "incr")
 		}
 		req.Cmd = CmdIncr
 		req.KV = append(req.KV, numOrHash(k), 1)
@@ -264,10 +284,8 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		if k == nil || d == nil {
 			return wrongArgs(st, req, "incrby")
 		}
-		if extra, err := st.next(); err != nil {
+		if done, err := respTrailingDur(st, req, "incrby"); !done {
 			return err
-		} else if extra != nil {
-			return wrongArgs(st, req, "incrby")
 		}
 		dn, ok := parseUint64(d)
 		if !ok {
@@ -278,6 +296,10 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		req.KV = append(req.KV, numOrHash(k), dn)
 
 	case eqFold(cmd, "del"):
+		// Variadic keys with an optional trailing tier token: each token
+		// is held back one step so a final "relaxed"/"fire"/"durable" is
+		// recognized as the tier instead of hashing to a key.
+		var last []byte
 		for {
 			k, err := st.next()
 			if err != nil {
@@ -286,7 +308,17 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 			if k == nil {
 				break
 			}
-			req.KV = append(req.KV, numOrHash(k))
+			if last != nil {
+				req.KV = append(req.KV, numOrHash(last))
+			}
+			last = k
+		}
+		if last != nil {
+			if d, ok := parseDur(last); ok {
+				req.Dur = d
+			} else {
+				req.KV = append(req.KV, numOrHash(last))
+			}
 		}
 		if len(req.KV) == 0 {
 			req.bad(KErrClient, "wrong number of arguments for 'del' command")
@@ -312,6 +344,9 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		req.Cmd = CmdMGet
 
 	case eqFold(cmd, "mset"):
+		// Same held-back-token trick as DEL for the optional trailing
+		// tier.
+		var last []byte
 		for {
 			k, err := st.next()
 			if err != nil {
@@ -320,7 +355,17 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 			if k == nil {
 				break
 			}
-			req.KV = append(req.KV, numOrHash(k))
+			if last != nil {
+				req.KV = append(req.KV, numOrHash(last))
+			}
+			last = k
+		}
+		if last != nil {
+			if d, ok := parseDur(last); ok {
+				req.Dur = d
+			} else {
+				req.KV = append(req.KV, numOrHash(last))
+			}
 		}
 		if len(req.KV) == 0 || len(req.KV)%2 != 0 {
 			req.bad(KErrClient, "wrong number of arguments for 'mset' command")
@@ -340,10 +385,8 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		if k == nil || v == nil {
 			return wrongArgs(st, req, "zadd")
 		}
-		if extra, err := st.next(); err != nil {
+		if done, err := respTrailingDur(st, req, "zadd"); !done {
 			return err
-		} else if extra != nil {
-			return wrongArgs(st, req, "zadd")
 		}
 		req.Cmd = CmdZAdd
 		req.KV = append(req.KV, numOrHash(k), numOrHash(v))
@@ -376,10 +419,8 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		if k == nil || d == nil {
 			return wrongArgs(st, req, "zincr")
 		}
-		if extra, err := st.next(); err != nil {
+		if done, err := respTrailingDur(st, req, "zincr"); !done {
 			return err
-		} else if extra != nil {
-			return wrongArgs(st, req, "zincr")
 		}
 		dn, ok := parseUint64(d)
 		if !ok {
@@ -397,10 +438,8 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		if k == nil {
 			return wrongArgs(st, req, "zdel")
 		}
-		if extra, err := st.next(); err != nil {
+		if done, err := respTrailingDur(st, req, "zdel"); !done {
 			return err
-		} else if extra != nil {
-			return wrongArgs(st, req, "zdel")
 		}
 		req.Cmd = CmdZDel
 		req.KV = append(req.KV, numOrHash(k))
@@ -473,6 +512,41 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		}
 		req.Cmd = CmdZCount
 		req.KV = append(req.KV, ln, hn)
+
+	case eqFold(cmd, "wait"):
+		// Redis-shaped WAIT <numreplicas> <timeout-ms>: numreplicas 0
+		// waits on the local persistent epoch frontier (the epoch
+		// current when the wait executes), numreplicas > 0 waits for
+		// that many follower acks.
+		nrep, err := st.next()
+		if err != nil {
+			return err
+		}
+		tmo, err := st.next()
+		if err != nil {
+			return err
+		}
+		if nrep == nil || tmo == nil {
+			return wrongArgs(st, req, "wait")
+		}
+		if extra, err := st.next(); err != nil {
+			return err
+		} else if extra != nil {
+			return wrongArgs(st, req, "wait")
+		}
+		nn, ok1 := parseUint64(nrep)
+		tn, ok2 := parseUint64(tmo)
+		if !ok1 || !ok2 {
+			req.bad(KErrClient, "value is not an integer or out of range")
+			return nil
+		}
+		req.Cmd = CmdWait
+		req.WaitRepl = nn > 0
+		if req.WaitRepl {
+			req.KV = append(req.KV, nn, tn)
+		} else {
+			req.KV = append(req.KV, 0, tn)
+		}
 
 	case eqFold(cmd, "ping"):
 		if err := st.drain(); err != nil {
@@ -664,6 +738,10 @@ func (RESP) AppendRequest(dst []byte, req *Request) []byte {
 		name = "ZRANGE"
 	case CmdZCount:
 		name = "ZCOUNT"
+	case CmdWait:
+		// Only the two-integer WAIT form exists on this wire; a native
+		// epoch target beyond "current" cannot be expressed in RESP.
+		name = "WAIT"
 	case CmdPing:
 		name = "PING"
 	case CmdInfo:
@@ -687,12 +765,24 @@ func (RESP) AppendRequest(dst []byte, req *Request) []byte {
 	default:
 		return dst
 	}
+	tier := req.Dur != DurDurable
+	if tier {
+		switch req.Cmd {
+		case CmdSet, CmdIncr, CmdDelete, CmdMSet, CmdZAdd, CmdZIncr, CmdZDel:
+			extra++
+		default:
+			tier = false
+		}
+	}
 	dst = append(dst, '*')
 	dst = appendUint(dst, uint64(1+len(req.KV)+extra))
 	dst = append(dst, '\r', '\n')
 	dst = appendBulkStr(dst, name)
 	for _, v := range req.KV {
 		dst = appendBulkUint(dst, v)
+	}
+	if tier {
+		dst = appendBulkStr(dst, req.Dur.String())
 	}
 	if req.Cmd == CmdStats && extra == 1 {
 		if req.Stats == StatsShards {

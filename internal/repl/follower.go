@@ -49,10 +49,11 @@ type Follower struct {
 	wg      sync.WaitGroup
 	stopped atomic.Bool
 
-	mu   sync.Mutex
-	conn net.Conn
-	gen  uint64 // position applied through; 0 ⇒ needs snapshot
-	seq  uint64
+	mu    sync.Mutex
+	conn  net.Conn
+	gen   uint64 // position applied through; 0 ⇒ needs snapshot
+	seq   uint64
+	epoch uint64 // highest durability epoch seen on an applied group
 }
 
 // StartFollower begins replicating from the primary at cfg.Addr.
@@ -76,6 +77,16 @@ func (f *Follower) Position() (gen, seq uint64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.gen, f.seq
+}
+
+// LastEpoch returns the highest durability epoch stamped on any group
+// this follower has applied (0 before the first epoch-stamped group).
+// After promotion it tells an operator how far the primary's relaxed
+// frontier had propagated here.
+func (f *Follower) LastEpoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
 }
 
 // Stop severs the connection and waits for the replication goroutine
@@ -199,7 +210,7 @@ func (f *Follower) stream(conn net.Conn) error {
 		case FrameSnapshotEnd:
 			f.setPosition(pendGen, pendSeq)
 			f.cfg.Tel.SnapshotsLoaded.Inc()
-			if err := f.ack(w, pendSeq); err != nil {
+			if err := f.ack(w, pendGen, pendSeq); err != nil {
 				return err
 			}
 		case FrameGroup:
@@ -217,8 +228,12 @@ func (f *Follower) stream(conn net.Conn) error {
 			f.cfg.Tel.OpsApplied.Add(uint64(len(g.Ops)))
 			f.mu.Lock()
 			f.seq = g.Seq
+			ackGen := f.gen
+			if g.Epoch > f.epoch {
+				f.epoch = g.Epoch
+			}
 			f.mu.Unlock()
-			if err := f.ack(w, g.Seq); err != nil {
+			if err := f.ack(w, ackGen, g.Seq); err != nil {
 				return err
 			}
 		default:
@@ -234,8 +249,8 @@ func (f *Follower) setPosition(gen, seq uint64) {
 	f.mu.Unlock()
 }
 
-func (f *Follower) ack(w *bufio.Writer, seq uint64) error {
-	if err := writeFrame(w, encodeAck(seq)); err != nil {
+func (f *Follower) ack(w *bufio.Writer, gen, seq uint64) error {
+	if err := writeFrame(w, encodeAck(gen, seq)); err != nil {
 		return err
 	}
 	return w.Flush()

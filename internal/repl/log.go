@@ -54,6 +54,7 @@ type Log struct {
 	first  uint64 // seq of the oldest retained entry; first > last means empty
 	next   uint64 // seq the next appended group will receive
 	closed bool
+	nWait  int // Next callers parked in cond.Wait (see waiting)
 }
 
 // NewLog returns an empty log retaining at most window groups.
@@ -100,9 +101,11 @@ func (l *Log) First() uint64 {
 
 // Append assigns the next sequence number to ops, retains the group in
 // the window (evicting the oldest group if full), and wakes blocked
-// readers. It returns the assigned sequence. Appending an empty group
-// is a no-op returning the last assigned sequence.
-func (l *Log) Append(ops []Op) uint64 {
+// readers. It returns the assigned sequence. The epoch stamps the
+// group's durability epoch on the wire (0 when the group carries only
+// durable-tier effects). Appending an empty group is a no-op returning
+// the last assigned sequence.
+func (l *Log) Append(ops []Op, epoch uint64) uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if len(ops) == 0 || l.closed {
@@ -110,7 +113,7 @@ func (l *Log) Append(ops []Op) uint64 {
 	}
 	seq := l.next
 	l.next++
-	e := entry{group: Group{Seq: seq, Ops: ops}, at: time.Now()}
+	e := entry{group: Group{Seq: seq, Epoch: epoch, Ops: ops}, at: time.Now()}
 	if len(l.ring) < cap(l.ring) {
 		l.ring = append(l.ring, e)
 	} else {
@@ -176,8 +179,19 @@ func (l *Log) Next(gen, seq uint64, cancelled func() bool) (Group, NextStatus) {
 		if want < l.next {
 			return l.entryAt(want).group, NextOK
 		}
+		l.nWait++
 		l.cond.Wait()
+		l.nWait--
 	}
+}
+
+// waiting reports how many Next callers are currently parked — the
+// condition blocking-handoff tests poll for instead of sleeping a fixed
+// interval and hoping the reader got there.
+func (l *Log) waiting() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nWait
 }
 
 // Bump discards the retained window and moves to the next generation,

@@ -31,8 +31,19 @@ type PrimaryConfig struct {
 	// Tel receives the replication counters and lag histogram. Optional
 	// (nil-safe).
 	Tel *telemetry.ReplStats
+	// OnAck, when set, is invoked after every follower acknowledgement
+	// is recorded — the hook `wait repl` barriers hang off: the server
+	// parks waiters on a broadcast channel and OnAck re-arms the
+	// AckedCount check. Called from ack-reader goroutines; must be cheap
+	// and must not call back into the Primary's ack surface. Optional.
+	OnAck func()
 	// Logf, when set, receives human-readable connection events.
 	Logf func(format string, args ...any)
+}
+
+// ackPos is one follower's cumulative acknowledged position.
+type ackPos struct {
+	gen, seq uint64
 }
 
 // Primary accepts follower connections and streams the replication log
@@ -48,6 +59,12 @@ type Primary struct {
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
+
+	// acked holds each connected follower's last acknowledged position,
+	// keyed by connection; entries die with the connection, so a
+	// follower that vanishes stops counting toward barriers.
+	ackMu sync.Mutex
+	acked map[net.Conn]ackPos
 }
 
 // ListenPrimary starts accepting followers on addr (":0" picks a port).
@@ -62,7 +79,12 @@ func ListenPrimary(addr string, cfg PrimaryConfig) (*Primary, error) {
 	if cfg.Tel == nil {
 		cfg.Tel = telemetry.NewReplStats()
 	}
-	p := &Primary{cfg: cfg, ln: ln, conns: make(map[net.Conn]struct{})}
+	p := &Primary{
+		cfg:   cfg,
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		acked: make(map[net.Conn]ackPos),
+	}
 	p.wg.Add(1)
 	go p.acceptLoop()
 	return p, nil
@@ -73,6 +95,22 @@ func (p *Primary) Addr() string { return p.ln.Addr().String() }
 
 // Followers returns the number of currently connected followers.
 func (p *Primary) Followers() int { return int(p.followers.Load()) }
+
+// AckedCount returns how many currently connected followers have
+// acknowledged sequence seq or later in generation gen — the predicate
+// a `wait repl` barrier polls (re-armed by OnAck) until it reaches the
+// required replica count.
+func (p *Primary) AckedCount(gen, seq uint64) int {
+	p.ackMu.Lock()
+	defer p.ackMu.Unlock()
+	n := 0
+	for _, a := range p.acked {
+		if a.gen == gen && a.seq >= seq {
+			n++
+		}
+	}
+	return n
+}
 
 // Close stops accepting, severs follower connections, and waits for the
 // per-connection goroutines to drain. It does not close the Log; the
@@ -150,7 +188,7 @@ func (p *Primary) serveFollower(conn net.Conn) {
 	// Close the connection before waiting so the ack reader's blocked
 	// read is severed when the streamer exits first (e.g. log closed).
 	ackDone := make(chan struct{})
-	go p.readAcks(r, ackDone)
+	go p.readAcks(conn, r, ackDone)
 	defer func() {
 		conn.Close()
 		<-ackDone
@@ -219,10 +257,26 @@ func (p *Primary) sendSnapshot(w *bufio.Writer) (gen, seq uint64, err error) {
 	return gen, seq, nil
 }
 
-// readAcks drains the follower's cumulative acks, converting each into
-// a replication-lag sample when the acked group is still retained.
-func (p *Primary) readAcks(r io.Reader, done chan<- struct{}) {
+// readAcks drains the follower's cumulative acks, recording each as the
+// connection's acknowledged position (the substrate of AckedCount),
+// converting it into a lag sample when the acked group is still
+// retained, and firing the OnAck hook so parked barriers re-check.
+func (p *Primary) readAcks(conn net.Conn, r io.Reader, done chan<- struct{}) {
 	defer close(done)
+	defer func() {
+		// The ack stream died, so this follower can never ack again:
+		// drop its entry immediately (the streamer may stay parked in
+		// Log.Next long after the connection is gone) and wake waiters —
+		// a departed follower only lowers AckedCount, but barriers that
+		// can no longer be met should time out against live state, not a
+		// ghost.
+		p.ackMu.Lock()
+		delete(p.acked, conn)
+		p.ackMu.Unlock()
+		if p.cfg.OnAck != nil {
+			p.cfg.OnAck()
+		}
+	}()
 	for {
 		payload, err := readFrame(r)
 		if err != nil {
@@ -231,13 +285,19 @@ func (p *Primary) readAcks(r io.Reader, done chan<- struct{}) {
 		if len(payload) == 0 || payload[0] != FrameAck {
 			return
 		}
-		seq, err := decodeAck(payload)
+		gen, seq, err := decodeAck(payload)
 		if err != nil {
 			return
 		}
+		p.ackMu.Lock()
+		p.acked[conn] = ackPos{gen: gen, seq: seq}
+		p.ackMu.Unlock()
 		p.cfg.Tel.AcksReceived.Inc()
-		if at, ok := p.cfg.Log.AppendTime(p.cfg.Log.Gen(), seq); ok {
+		if at, ok := p.cfg.Log.AppendTime(gen, seq); ok {
 			p.cfg.Tel.Lag.ObserveValue(uint64(time.Since(at).Nanoseconds()))
+		}
+		if p.cfg.OnAck != nil {
+			p.cfg.OnAck()
 		}
 	}
 }

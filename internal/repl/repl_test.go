@@ -33,7 +33,7 @@ func (s *source) apply(ops ...Op) {
 		}
 	}
 	s.mu.Unlock()
-	s.log.Append(ops)
+	s.log.Append(ops, 0)
 }
 
 // snapshot emits the current state, as the primary's Snapshot callback.
@@ -377,7 +377,7 @@ func TestLogWindow(t *testing.T) {
 	defer l.Close()
 	gen := l.Gen()
 	for i := uint64(1); i <= 10; i++ {
-		if seq := l.Append([]Op{{Key: i}}); seq != i {
+		if seq := l.Append([]Op{{Key: i}}, i); seq != i {
 			t.Fatalf("append %d assigned seq %d", i, seq)
 		}
 	}
@@ -412,7 +412,7 @@ func TestLogWindow(t *testing.T) {
 	if l.First() != 0 {
 		t.Fatalf("Bump: First() = %d, want 0 (empty window)", l.First())
 	}
-	if seq := l.Append([]Op{{Key: 1}}); seq != 1 {
+	if seq := l.Append([]Op{{Key: 1}}, 0); seq != 1 {
 		t.Fatalf("post-bump append assigned seq %d, want 1", seq)
 	}
 }
@@ -428,8 +428,8 @@ func TestLogNextBlocksAndCloseUnblocks(t *testing.T) {
 			got <- g
 		}
 	}()
-	time.Sleep(10 * time.Millisecond)
-	l.Append([]Op{{Key: 42, Val: 1}})
+	waitFor(t, "reader parked in Next", func() bool { return l.waiting() == 1 })
+	l.Append([]Op{{Key: 42, Val: 1}}, 0)
 	select {
 	case g := <-got:
 		if g.Seq != 1 || g.Ops[0].Key != 42 {
@@ -444,7 +444,7 @@ func TestLogNextBlocksAndCloseUnblocks(t *testing.T) {
 		_, st := l.Next(gen, 1, nil)
 		closed <- st
 	}()
-	time.Sleep(10 * time.Millisecond)
+	waitFor(t, "reader parked in Next", func() bool { return l.waiting() == 1 })
 	l.Close()
 	select {
 	case st := <-closed:
@@ -458,9 +458,9 @@ func TestLogNextBlocksAndCloseUnblocks(t *testing.T) {
 
 // TestWireRoundTrip round-trips every frame type through the codec.
 func TestWireRoundTrip(t *testing.T) {
-	g := Group{Seq: 99, Ops: []Op{{Key: 1, Val: 2}, {Del: true, Key: 3}}}
+	g := Group{Seq: 99, Epoch: 41, Ops: []Op{{Key: 1, Val: 2}, {Del: true, Key: 3}}}
 	dg, err := decodeGroup(encodeGroup(g))
-	if err != nil || dg.Seq != 99 || len(dg.Ops) != 2 || dg.Ops[1].Del != true || dg.Ops[0].Val != 2 {
+	if err != nil || dg.Seq != 99 || dg.Epoch != 41 || len(dg.Ops) != 2 || dg.Ops[1].Del != true || dg.Ops[0].Val != 2 {
 		t.Fatalf("group round-trip: %+v err=%v", dg, err)
 	}
 	hg, hs, err := decodeHello(encodeHello(5, 6))
@@ -474,8 +474,71 @@ func TestWireRoundTrip(t *testing.T) {
 	if err != nil || len(pairs) != 1 || pairs[0].Val != 9 {
 		t.Fatalf("chunk round-trip: %+v err=%v", pairs, err)
 	}
-	seq, err := decodeAck(encodeAck(1234))
-	if err != nil || seq != 1234 {
-		t.Fatalf("ack round-trip: %d err=%v", seq, err)
+	agen, seq, err := decodeAck(encodeAck(77, 1234))
+	if err != nil || agen != 77 || seq != 1234 {
+		t.Fatalf("ack round-trip: %d %d err=%v", agen, seq, err)
 	}
+}
+
+// TestAckTrackingAndEpochPropagation pins the barrier substrate: the
+// primary's per-follower acked positions (AckedCount), the OnAck wakeup
+// hook, and the epoch stamp riding group frames into the follower's
+// LastEpoch.
+func TestAckTrackingAndEpochPropagation(t *testing.T) {
+	src := newSource(1024)
+	var acks atomic.Int64
+	p, err := ListenPrimary("127.0.0.1:0", PrimaryConfig{
+		Log:      src.log,
+		Snapshot: src.snapshot,
+		OnAck:    func() { acks.Add(1) },
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("ListenPrimary: %v", err)
+	}
+	defer p.Close()
+	defer src.log.Close()
+
+	app := newFakeApplier()
+	f := startFollower(t, p.Addr(), app, nil)
+	defer f.Stop()
+
+	// Wait out the initial snapshot handshake: its ack (position seq 0)
+	// proves the follower is live, and only groups appended after it
+	// travel as FrameGroup — the path that carries the epoch stamp.
+	gen := src.log.Gen()
+	waitFor(t, "initial snapshot ack", func() bool {
+		return p.AckedCount(gen, 0) == 1
+	})
+
+	// Stamp an epoch on the group the source appends.
+	src.mu.Lock()
+	src.m[1] = 10
+	src.mu.Unlock()
+	seq := src.log.Append([]Op{{Key: 1, Val: 10}}, 42)
+
+	waitFor(t, "follower ack of seq", func() bool {
+		return p.AckedCount(gen, seq) == 1
+	})
+	if got := f.LastEpoch(); got != 42 {
+		t.Fatalf("follower LastEpoch = %d, want 42", got)
+	}
+	if acks.Load() == 0 {
+		t.Fatal("OnAck hook never fired")
+	}
+	// A sequence beyond anything appended counts no followers; a foreign
+	// generation counts none either.
+	if got := p.AckedCount(gen, seq+1); got != 0 {
+		t.Fatalf("AckedCount beyond frontier = %d, want 0", got)
+	}
+	if got := p.AckedCount(gen+1, seq); got != 0 {
+		t.Fatalf("AckedCount foreign gen = %d, want 0", got)
+	}
+
+	// Stopping the follower must remove its entry: a departed replica
+	// stops counting toward barriers.
+	f.Stop()
+	waitFor(t, "acked entry removal", func() bool {
+		return p.AckedCount(gen, seq) == 0
+	})
 }

@@ -36,7 +36,7 @@ import (
 // ProtocolMagic identifies the replication stream and its version; a
 // hello frame carrying anything else is rejected. Bump the trailing
 // digit on any incompatible framing change.
-const ProtocolMagic uint64 = 0x5453_5052_4550_4C32 // "TSPREPL2"
+const ProtocolMagic uint64 = 0x5453_5052_4550_4C33 // "TSPREPL3"
 
 // Frame types, the first payload byte of every frame.
 const (
@@ -96,6 +96,12 @@ type Group struct {
 	// Seq is the group's position in the primary's log; consecutive
 	// groups have consecutive sequence numbers within a generation.
 	Seq uint64
+	// Epoch is the durability epoch the primary stamped on the group's
+	// relaxed-tier writes when it committed them (0 when the group
+	// carried only durable-tier effects, or the epoch clock is off). A
+	// follower records the highest epoch it has applied so a promoted
+	// replica can report how far the relaxed frontier had propagated.
+	Epoch uint64
 	// Ops are the group's resolved effects in commit order.
 	Ops []Op
 }
@@ -255,9 +261,10 @@ func decodeSnapshotChunk(payload []byte) ([]Pair, error) {
 
 // encodeGroup builds one group frame.
 func encodeGroup(g Group) []byte {
-	b := make([]byte, 0, 1+16+17*len(g.Ops))
+	b := make([]byte, 0, 1+24+17*len(g.Ops))
 	b = append(b, FrameGroup)
 	b = u64(b, g.Seq)
+	b = u64(b, g.Epoch)
 	b = u64(b, uint64(len(g.Ops)))
 	for _, op := range g.Ops {
 		kind := byte(0)
@@ -279,6 +286,7 @@ func decodeGroup(payload []byte) (Group, error) {
 	f := &frameReader{b: payload, off: 1}
 	var g Group
 	g.Seq = f.u64()
+	g.Epoch = f.u64()
 	n := f.u64()
 	if f.err != nil {
 		return g, f.err
@@ -297,17 +305,24 @@ func decodeGroup(payload []byte) (Group, error) {
 	return g, f.err
 }
 
-// encodeAck builds the follower's cumulative acknowledgement.
-func encodeAck(seq uint64) []byte {
-	b := make([]byte, 0, 1+8)
+// encodeAck builds the follower's cumulative acknowledgement: the
+// generation the follower is positioned on plus the sequence it has
+// applied through. The generation makes acks unambiguous across a
+// re-snapshot — a primary counting acks toward a `wait repl` barrier
+// must not credit a stale-generation ack against a current-generation
+// sequence.
+func encodeAck(gen, seq uint64) []byte {
+	b := make([]byte, 0, 1+16)
 	b = append(b, FrameAck)
+	b = u64(b, gen)
 	b = u64(b, seq)
 	return b
 }
 
 // decodeAck parses an ack payload.
-func decodeAck(payload []byte) (uint64, error) {
+func decodeAck(payload []byte) (gen, seq uint64, err error) {
 	f := &frameReader{b: payload, off: 1}
-	seq := f.u64()
-	return seq, f.err
+	gen = f.u64()
+	seq = f.u64()
+	return gen, seq, f.err
 }

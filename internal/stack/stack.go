@@ -51,6 +51,15 @@ const (
 	rootMagic = 0x5453_5052_4f4f_5431 // "TSPROOT1"
 )
 
+// auxEpochSlot is the heap auxiliary-root slot anchoring the durable
+// epoch frontier: a one-word heap block holding the highest epoch whose
+// relaxed-tier writes are known persistent. It lives in an allocated
+// block (not a raw value in the Aux slot) because the recovery-time GC
+// treats every Aux slot as a block pointer root — a bare counter there
+// would be chased as an address. Slot 0 belongs to the Atlas log
+// directory (atlas.AuxLogDir).
+const auxEpochSlot = 1
+
 // Stack is one assembled storage stack. RT, Map and List are nil for a
 // heap-only stack (see HeapOnly).
 type Stack struct {
@@ -75,6 +84,10 @@ type Stack struct {
 	// same registry to the recovered stack, so counters accumulate across
 	// crashes (Generation tells incarnations apart).
 	Tel *telemetry.Registry
+
+	// epochPtr is the one-word heap block behind DurableEpoch, anchored
+	// at Aux slot auxEpochSlot. Nil on heap-only stacks.
+	epochPtr pheap.Ptr
 
 	cfg config // retained so CrashReattach can rebuild identically
 }
@@ -273,6 +286,11 @@ func New(opts ...Option) (*Stack, error) {
 	if err := publishRoot(heap, m.Ptr(), l.Ptr()); err != nil {
 		return nil, err
 	}
+	ep, _, err := ensureEpochAnchor(heap)
+	if err != nil {
+		return nil, err
+	}
+	s.epochPtr = ep
 	dev.FlushAll()
 	s.RT = rt
 	s.Map = m
@@ -281,6 +299,47 @@ func New(opts ...Option) (*Stack, error) {
 		reg.Generation.Inc()
 	}
 	return s, nil
+}
+
+// ensureEpochAnchor returns the epoch-frontier block, allocating and
+// anchoring one when the heap predates the epoch clock (fresh heaps and
+// the legacy-upgrade path both land here). The second result reports
+// whether an allocation happened, so Reattach knows to flush the new
+// anchor; New's setup FlushAll covers it for free.
+func ensureEpochAnchor(heap *pheap.Heap) (pheap.Ptr, bool, error) {
+	if p := heap.Aux(auxEpochSlot); !p.IsNil() {
+		return p, false, nil
+	}
+	p, err := heap.Alloc(1)
+	if err != nil {
+		return pheap.Nil, false, fmt.Errorf("stack: epoch anchor: %w", err)
+	}
+	heap.Store(p, 0, 0)
+	heap.SetAux(auxEpochSlot, p)
+	return p, true, nil
+}
+
+// SetDurableEpoch publishes e as the persistent epoch frontier: every
+// relaxed-tier write acknowledged with an epoch stamp ≤ e has been
+// drained into fortified state and flushed. The store is made durable
+// immediately (one word, one flush) — the frontier is only useful if it
+// never runs ahead of the data it vouches for, so the caller must flush
+// that data before advancing it. No-op on heap-only stacks.
+func (s *Stack) SetDurableEpoch(e uint64) {
+	if s.epochPtr.IsNil() {
+		return
+	}
+	s.Dev.Store(s.epochPtr.Addr(), e)
+	s.Dev.FlushWord(s.epochPtr.Addr())
+}
+
+// DurableEpoch reads back the persistent epoch frontier (0 when no
+// epoch has ever closed, or on heap-only stacks).
+func (s *Stack) DurableEpoch() uint64 {
+	if s.epochPtr.IsNil() {
+		return 0
+	}
+	return s.Dev.Load(s.epochPtr.Addr())
 }
 
 // publishRoot allocates a multi-engine directory naming both engines and
@@ -369,6 +428,18 @@ func Reattach(dev *nvm.Device, opts ...Option) (*Stack, error) {
 		}
 		dev.FlushAll()
 	}
+	ep, fresh, err := ensureEpochAnchor(heap)
+	if err != nil {
+		return nil, err
+	}
+	if fresh {
+		// Lazy upgrade of a pre-epoch heap: make the anchor durable now so
+		// a later SetDurableEpoch never races a crash that would lose the
+		// Aux slot itself. FlushAll (not two FlushWords) because SetAux
+		// wrote a header word whose address the heap does not expose.
+		dev.FlushAll()
+	}
+	s.epochPtr = ep
 	if reg != nil {
 		m.SetTelemetry(reg.Map)
 		reg.Generation.Inc()

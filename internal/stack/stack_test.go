@@ -177,3 +177,50 @@ func TestReattachWithoutRecoverFailsInsideAtlas(t *testing.T) {
 		t.Fatal("unreachable")
 	}
 }
+
+// TestDurableEpochSurvivesCrash pins the epoch-frontier contract: the
+// frontier is durable the moment SetDurableEpoch returns, with no
+// rescue required (RescueFraction 0), because the store is flushed
+// eagerly. It must also survive repeated crash cycles and never move
+// backwards.
+func TestDurableEpochSurvivesCrash(t *testing.T) {
+	s, err := New(WithDeviceWords(1 << 18))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := s.DurableEpoch(); got != 0 {
+		t.Fatalf("fresh DurableEpoch = %d, want 0", got)
+	}
+	s.SetDurableEpoch(7)
+	if got := s.DurableEpoch(); got != 7 {
+		t.Fatalf("DurableEpoch = %d, want 7", got)
+	}
+	s2, err := s.CrashReattach(nvm.CrashOptions{RescueFraction: 0})
+	if err != nil {
+		t.Fatalf("CrashReattach: %v", err)
+	}
+	if got := s2.DurableEpoch(); got != 7 {
+		t.Fatalf("DurableEpoch after crash = %d, want 7", got)
+	}
+	s2.SetDurableEpoch(19)
+	s3, err := s2.CrashReattach(nvm.CrashOptions{RescueFraction: 1})
+	if err != nil {
+		t.Fatalf("second CrashReattach: %v", err)
+	}
+	if got := s3.DurableEpoch(); got != 19 {
+		t.Fatalf("DurableEpoch after second crash = %d, want 19", got)
+	}
+}
+
+// TestDurableEpochHeapOnlyNoop pins the heap-only degradation: no
+// anchor, reads return 0, writes are dropped rather than panicking.
+func TestDurableEpochHeapOnlyNoop(t *testing.T) {
+	s, err := New(HeapOnly(), WithDeviceWords(1<<16))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.SetDurableEpoch(5) // must not panic
+	if got := s.DurableEpoch(); got != 0 {
+		t.Fatalf("heap-only DurableEpoch = %d, want 0", got)
+	}
+}

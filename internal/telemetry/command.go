@@ -25,6 +25,10 @@ const (
 	CmdZDel
 	CmdZRange
 	CmdZCount
+	// CmdWait labels durability-barrier requests: epoch waits and
+	// replication-ack waits both land here, so barrier latency (which
+	// includes the block time) never pollutes mutation histograms.
+	CmdWait
 	// CmdRepl labels operations a follower applies from its replication
 	// stream — the same exec path as client commands, attributed
 	// separately so replica apply cost never masquerades as client
@@ -63,6 +67,8 @@ func (c Command) String() string {
 		return "zrange"
 	case CmdZCount:
 		return "zcount"
+	case CmdWait:
+		return "wait"
 	case CmdRepl:
 		return "repl"
 	default:
@@ -76,7 +82,7 @@ func Commands() []Command {
 	return []Command{
 		CmdGet, CmdSet, CmdIncr, CmdDelete, CmdMGet, CmdMSet,
 		CmdZAdd, CmdZGet, CmdZIncr, CmdZDel, CmdZRange, CmdZCount,
-		CmdRepl,
+		CmdWait, CmdRepl,
 	}
 }
 

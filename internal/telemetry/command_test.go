@@ -9,7 +9,7 @@ func TestCommandStrings(t *testing.T) {
 	want := []string{
 		"get", "set", "incr", "delete", "mget", "mset",
 		"zadd", "zget", "zincr", "zdel", "zrange", "zcount",
-		"repl",
+		"wait", "repl",
 	}
 	cmds := Commands()
 	if len(cmds) != NumCommands {

@@ -258,6 +258,20 @@ type ServerStats struct {
 	Batches        Counter // drained batch groups executed by the shard worker
 	BatchedOps     Counter // operations executed inside batch groups
 	BatchFallbacks Counter // operations that took the synchronous path (queue full/disabled)
+
+	// The epoch-durability counters instrument the per-operation
+	// durability tiers: how many mutations deferred their persistence
+	// to an epoch close (RelaxedOps/FireOps vs DurableOps), how many
+	// epoch closes ran, how many overlay entries they flushed into
+	// Atlas sections, and how many closes skipped the frontier advance
+	// because a crash raced the drain.
+	DurableOps   Counter // mutations served at the durable tier
+	RelaxedOps   Counter // mutations acknowledged at the relaxed tier
+	FireOps      Counter // mutations acknowledged fire-and-forget
+	EpochCloses  Counter // epoch-close cycles completed
+	EpochFlushed Counter // overlay entries drained into Atlas at epoch close
+	EpochSkipped Counter // epoch closes that withheld the frontier (crash raced)
+	Waits        Counter // wait barrier requests served
 }
 
 // Reset zeroes the section.
@@ -276,6 +290,13 @@ func (s *ServerStats) Reset() {
 	s.Batches.Reset()
 	s.BatchedOps.Reset()
 	s.BatchFallbacks.Reset()
+	s.DurableOps.Reset()
+	s.RelaxedOps.Reset()
+	s.FireOps.Reset()
+	s.EpochCloses.Reset()
+	s.EpochFlushed.Reset()
+	s.EpochSkipped.Reset()
+	s.Waits.Reset()
 }
 
 // RecoveryStats accumulates crash/recovery outcomes across a stack's
@@ -353,6 +374,13 @@ type Registry struct {
 	// the denominator for judging whether the range limit is binding.
 	RangeLen *Histogram
 
+	// EpochFlushLatency is the epoch-close drain distribution: one
+	// observation per close that flushed this shard's relaxed overlay,
+	// measuring how long the deferred persistence actually takes — the
+	// tail a relaxed writer's loss window adds to, and the cost the
+	// durable tier avoids paying inline.
+	EpochFlushLatency *Histogram
+
 	// Generation counts the stack's incarnations: 1 after New, +1 per
 	// reattach. Counters deliberately survive reattach (the registry
 	// outlives the stack it instruments); Generation is how a consumer
@@ -363,18 +391,19 @@ type Registry struct {
 // NewRegistry returns a registry with every section live.
 func NewRegistry() *Registry {
 	return &Registry{
-		Device:          &DeviceStats{},
-		Atlas:           &AtlasStats{},
-		Heap:            &HeapStats{},
-		Map:             &MapStats{},
-		Server:          &ServerStats{},
-		Recovery:        &RecoveryStats{},
-		OpLatency:       &Histogram{},
-		RecoveryLatency: &Histogram{},
-		CmdLatency:      &CommandLatency{},
-		BatchSize:       &Histogram{},
-		ReadLatency:     &Histogram{},
-		RangeLen:        &Histogram{},
+		Device:            &DeviceStats{},
+		Atlas:             &AtlasStats{},
+		Heap:              &HeapStats{},
+		Map:               &MapStats{},
+		Server:            &ServerStats{},
+		Recovery:          &RecoveryStats{},
+		OpLatency:         &Histogram{},
+		RecoveryLatency:   &Histogram{},
+		CmdLatency:        &CommandLatency{},
+		BatchSize:         &Histogram{},
+		ReadLatency:       &Histogram{},
+		RangeLen:          &Histogram{},
+		EpochFlushLatency: &Histogram{},
 	}
 }
 
@@ -399,6 +428,7 @@ func (r *Registry) Reset() {
 	r.BatchSize.Reset()
 	r.ReadLatency.Reset()
 	r.RangeLen.Reset()
+	r.EpochFlushLatency.Reset()
 }
 
 // Snapshot is a point-in-time copy of a registry's counters, keyed by
@@ -459,6 +489,13 @@ func (r *Registry) Walk(fn func(name string, value uint64)) {
 	fn("server_batches", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Batches }))
 	fn("server_batched_ops", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.BatchedOps }))
 	fn("server_batch_fallbacks", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.BatchFallbacks }))
+	fn("server_durable_ops", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.DurableOps }))
+	fn("server_relaxed_ops", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.RelaxedOps }))
+	fn("server_fire_ops", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.FireOps }))
+	fn("server_epoch_closes", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.EpochCloses }))
+	fn("server_epoch_flushed", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.EpochFlushed }))
+	fn("server_epoch_skipped", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.EpochSkipped }))
+	fn("server_waits", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Waits }))
 	fn("recovery_count", fieldLoad(rec, func(r *RecoveryStats) *Counter { return &r.Recoveries }))
 	fn("recovery_entries_scanned", fieldLoad(rec, func(r *RecoveryStats) *Counter { return &r.EntriesScanned }))
 	fn("recovery_ocses", fieldLoad(rec, func(r *RecoveryStats) *Counter { return &r.OCSes }))

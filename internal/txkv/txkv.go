@@ -186,7 +186,22 @@ func (s *Store) Update(t *atlas.Thread, keys []uint64, fn func(tx *Txn) error) e
 			return err // nothing applied; locks release with no stores made
 		}
 		tx.done = true
-		// Apply the write set inside the OCS, in deterministic order.
+		// Apply the write set inside the OCS, in deterministic order,
+		// holding every involved stripe's seqlock odd for the whole
+		// apply phase: the *Locked variants do not bump on their own, and
+		// a transaction must be atomic to optimistic readers too — a
+		// per-write bracket would let a cross-key reader validate between
+		// two writes of one transaction.
+		if len(tx.order) > 0 {
+			for _, st := range order {
+				s.m.BeginStripeWrites(st)
+			}
+			defer func() {
+				for _, st := range order {
+					s.m.EndStripeWrites(st)
+				}
+			}()
+		}
 		for _, k := range tx.order {
 			op := tx.writes[k]
 			if op.del {

@@ -60,6 +60,27 @@ go test -covermode=atomic -cover ./internal/telemetry
 echo "== proto coverage"
 go test -cover ./internal/proto
 
+# The durability-tier surface (epoch clock, overlay, wait barrier) is
+# the newest crash-contract machinery: keep the cacheserver package's
+# coverage visible so the epoch paths don't silently rot untested.
+# Floor chosen below the current figure but high enough that dropping
+# the epoch suite would trip it.
+echo "== cacheserver coverage (floor 80%)"
+cover=$(go test -cover ./internal/cacheserver | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*')
+echo "coverage: ${cover}%"
+if awk "BEGIN{exit !($cover < 80)}"; then
+	echo "cacheserver coverage ${cover}% below 80% floor" >&2
+	exit 1
+fi
+
+# The durability-tier crash campaign, three seeds under the race
+# detector: durable and wait-covered writes must always survive a
+# crash, relaxed losses must stay above the receipt's epoch frontier.
+echo "== durability-tier crash campaign (3x, -race)"
+for s in 1 2 3; do
+	go run -race ./cmd/faultinject -durability-only -durability-cycles 5 -seed "$s"
+done
+
 # Report-only perf gate: diff the working tspbench report (if any)
 # against the committed baseline. Never fails the check — single runs
 # are too noisy — but a regression prints loudly.
