@@ -1,8 +1,9 @@
 GO ?= go
 
 .PHONY: build test check bench-shards bench-json bench-telemetry bench-batch bench-diff \
-	bench-repl bench-read bench-pipeline bench-ordered bench-epoch \
-	bench-cacheserver-baseline demo-repl campaign-durability
+	bench-repl bench-read bench-pipeline bench-ordered bench-epoch bench-session \
+	bench-cacheserver-baseline demo-repl campaign-durability campaign-exactly-once \
+	check-docs
 
 build:
 	$(GO) build ./...
@@ -76,6 +77,25 @@ bench-epoch:
 # above the receipt's epoch frontier. check.sh runs this 3x under -race.
 campaign-durability:
 	$(GO) run ./cmd/faultinject -durability-only -durability-cycles 10
+
+# The exactly-once retry campaign: a replicated pair under a sessioned
+# retry storm (every mutation resent as a lost-ack duplicate), with a
+# power failure mid-storm and a follower promotion per cycle; no
+# duplicate may ever apply twice. check.sh runs this 3x under -race.
+campaign-exactly-once:
+	$(GO) run ./cmd/faultinject -exactly-once -exactly-once-cycles 4
+
+# The exactly-once session benchmark: seq-tagged increments vs the plain
+# baseline, durable and relaxed, plus the pure duplicate-replay rate.
+# Cells merge into BENCH_tspbench.json under profile "session".
+bench-session:
+	$(GO) run ./cmd/tspbench -session -duration 500ms -json -out BENCH_tspbench.json
+
+# The doc-drift gate: the flag tables in README.md and docs/PROTOCOL.md
+# must list exactly the live `tspcached -help` flags, and the command
+# tables in docs/PROTOCOL.md must cover both adapters' command sets.
+check-docs:
+	sh scripts/check_docs.sh
 
 # Record the cacheserver go-bench baseline that bench-diff compares
 # ns/op against. Commit the refreshed BENCH_cacheserver.txt when the

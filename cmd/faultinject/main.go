@@ -17,10 +17,19 @@
 // -durability-only runs just that campaign (the pre-merge gate's shape);
 // -durability-cycles sets its crash-cycle count.
 //
+// The exactly-once campaign (see exactlyonce.go) runs a replicated
+// primary/follower pair under a sessioned retry storm — every mutation
+// resent as a lost-ack duplicate — with a mid-storm power failure and an
+// end-of-cycle follower promotion, holding the seq=<n> dedup window to
+// the detectable-operation contract: no duplicate ever applies twice,
+// on the recovered primary or the promoted follower. -exactly-once runs
+// just that campaign; -exactly-once-cycles sets its cycle count.
+//
 // Usage:
 //
 //	faultinject [-n 100] [-threads 8] [-seed 1] [-hazard]
 //	            [-durability-only] [-durability-cycles 10]
+//	            [-exactly-once] [-exactly-once-cycles 4]
 package main
 
 import (
@@ -38,10 +47,18 @@ func main() {
 	hazard := flag.Bool("hazard", false, "also run TSP-mode-without-rescue to demonstrate the hazard")
 	durOnly := flag.Bool("durability-only", false, "run only the durability-tier cache-server campaign")
 	durCycles := flag.Int("durability-cycles", 10, "crash cycles in the durability-tier campaign")
+	eoOnly := flag.Bool("exactly-once", false, "run only the exactly-once retry campaign (replicated pair, crash + promote)")
+	eoCycles := flag.Int("exactly-once-cycles", 4, "crash+promote cycles in the exactly-once campaign")
 	flag.Parse()
 
 	if *durOnly {
 		if !runDurability(*durCycles, *threads, *seed) {
+			os.Exit(1)
+		}
+		return
+	}
+	if *eoOnly {
+		if !runExactlyOnce(*eoCycles, *threads, *seed) {
 			os.Exit(1)
 		}
 		return
@@ -106,6 +123,11 @@ func main() {
 	// The durability-tier campaign crashes the cache server under
 	// mixed-tier wire traffic (see durability.go).
 	if !runDurability(*durCycles, *threads, *seed) {
+		exitCode = 1
+	}
+	// The exactly-once campaign holds the session dedup window to its
+	// retry contract across crash and promotion (see exactlyonce.go).
+	if !runExactlyOnce(*eoCycles, *threads, *seed) {
 		exitCode = 1
 	}
 	os.Exit(exitCode)

@@ -26,11 +26,16 @@
 // (acked before any state is consulted), plus a relaxed burst closed by
 // one `wait` barrier. Cells merge under profile "epoch".
 //
+// With -session it benchmarks the exactly-once machinery: sessioned
+// seq-tagged increments against the plain baseline, on the durable and
+// relaxed tiers, plus a pure duplicate-replay cell. Cells merge under
+// profile "session".
+//
 // Usage:
 //
 //	tspbench [-duration 2s] [-seed 1] [-profiles desktop,server] [-runs 3]
 //	         [-latency] [-pipeline] [-depths 1,8,64] [-ordered] [-epoch]
-//	         [-json] [-out BENCH_tspbench.json]
+//	         [-session] [-json] [-out BENCH_tspbench.json]
 package main
 
 import (
@@ -95,6 +100,7 @@ func main() {
 	pipeline := flag.Bool("pipeline", false, "benchmark the pipelined wire codec against an in-process server instead of Table 1")
 	ordered := flag.Bool("ordered", false, "benchmark the ordered keyspace (zadd/zrange) against an in-process server instead of Table 1")
 	epoch := flag.Bool("epoch", false, "benchmark the per-command durability tiers against an in-process server instead of Table 1")
+	session := flag.Bool("session", false, "benchmark the exactly-once session dedup window against an in-process server instead of Table 1")
 	depthsFlag := flag.String("depths", "1,8,64", "comma-separated pipeline depths used with -pipeline")
 	jsonOut := flag.Bool("json", false, "also write a machine-readable report (see -out)")
 	outPath := flag.String("out", "BENCH_tspbench.json", "report path used with -json")
@@ -151,6 +157,13 @@ func main() {
 		report.Mode = "epoch"
 		runEpochMode(*duration, *seed, &report)
 		// Same merge discipline: only the "epoch" profile cells refresh.
+		if *jsonOut {
+			mergeExistingCells(*outPath, &report)
+		}
+	case *session:
+		report.Mode = "session"
+		runSessionMode(*duration, *seed, &report)
+		// Same merge discipline: only the "session" profile cells refresh.
 		if *jsonOut {
 			mergeExistingCells(*outPath, &report)
 		}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"tsp/internal/cacheserver"
+	"tsp/internal/proto"
+	"tsp/internal/stats"
+)
+
+// The session benchmark prices the exactly-once machinery: the same
+// depth-32 pipelined increment bursts as the epoch mode, with the
+// measured dimension being the seq=<n> dedup window. Increments are
+// used (not sets) because they are the op the window exists for — a
+// retried set is idempotent, a retried incr is not.
+//
+//	incr_durable     — no session, no seq: the baseline an undetectable
+//	                   operation pays today.
+//	incr_seq_durable — fresh seq per request: the committed path plus one
+//	                   dedup-record store inside the same Atlas section.
+//	                   The gap to the baseline is the exactly-once tax.
+//	incr_seq_relaxed — fresh seq on the relaxed tier: the record rides
+//	                   the overlay and persists at epoch close, so the
+//	                   ack path stays commit-free.
+//	incr_seq_dup     — every burst resends one seq 32 times: 1 fresh
+//	                   application + 31 replayed acks, the pure
+//	                   dup-suppression rate (no map mutation at all).
+
+// sessionDepth is the pipelined burst length every cell uses.
+const sessionDepth = 32
+
+// runSessionMode measures every dedup-window cell and appends them to
+// the report under profile "session".
+func runSessionMode(duration time.Duration, seed int64, report *benchReport) {
+	srv, err := cacheserver.New(
+		cacheserver.WithShards(4),
+		cacheserver.WithMaxConns(8),
+		cacheserver.WithEpochInterval(5*time.Millisecond),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	addr := srv.Addr().String()
+
+	fmt.Printf("Exactly-once sessions (native protocol over TCP, one in-process server, one\n")
+	fmt.Printf("client connection, depth-%d incr bursts; rate in requests/s)\n", sessionDepth)
+	fmt.Println()
+	tbl := stats.Table{Header: []string{"variant", "req/s", "p50 us/req", "p99 us/req"}}
+	cells := []struct {
+		variant string
+		seq     bool
+		dup     bool
+		tier    proto.Durability
+	}{
+		{"incr_durable", false, false, proto.DurDurable},
+		{"incr_seq_durable", true, false, proto.DurDurable},
+		{"incr_seq_relaxed", true, false, proto.DurRelaxed},
+		{"incr_seq_dup", true, true, proto.DurDurable},
+	}
+	for i, tc := range cells {
+		cell, err := runSessionCell(addr, tc.variant, uint64(i+1), tc.seq, tc.dup, tc.tier, duration, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tbl.AddRow(cell.Variant,
+			fmt.Sprintf("%.0f", cell.BestMIterPerSec*1e6),
+			fmt.Sprintf("%.1f", cell.P50Ns/1e3),
+			fmt.Sprintf("%.1f", cell.P99Ns/1e3))
+		report.Cells = append(report.Cells, cell)
+	}
+	fmt.Print(tbl.String())
+}
+
+// runSessionCell drives one cell over a fresh connection: bursts of
+// sessionDepth increments to one private key. Sessioned cells bind the
+// session first; the dup cell advances seq once per burst and resends
+// it sessionDepth times, so all but the first reply are replayed acks.
+func runSessionCell(addr, variant string, key uint64, withSeq, dup bool, tier proto.Durability, duration time.Duration, seed int64) (benchCell, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return benchCell{}, err
+	}
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	na := proto.Native{}
+
+	readLine := func() (string, error) {
+		line, err := r.ReadString('\n')
+		return strings.TrimRight(line, "\r\n"), err
+	}
+
+	buf := make([]byte, 0, 1<<16)
+	if withSeq {
+		sreq := proto.Request{Cmd: proto.CmdSession, KV: []uint64{key}}
+		buf = na.AppendRequest(buf, &sreq)
+		if _, err := conn.Write(buf); err != nil {
+			return benchCell{}, err
+		}
+		rep, err := readLine()
+		if err != nil || !strings.HasPrefix(rep, "OK SESSION") {
+			return benchCell{}, fmt.Errorf("%s handshake: %q, %v", variant, rep, err)
+		}
+	}
+
+	var seq uint64
+	var bursts []time.Duration
+	requests := 0
+	deadline := time.Now().Add(duration)
+	for time.Now().Before(deadline) {
+		buf = buf[:0]
+		if dup {
+			seq++ // one fresh seq, resent sessionDepth times
+		}
+		for i := 0; i < sessionDepth; i++ {
+			if withSeq && !dup {
+				seq++
+			}
+			req := proto.Request{Cmd: proto.CmdIncr, Dur: tier,
+				KV: []uint64{key + 100, 1}, Seq: seq, HasSeq: withSeq}
+			buf = na.AppendRequest(buf, &req)
+		}
+		t0 := time.Now()
+		if _, err := conn.Write(buf); err != nil {
+			return benchCell{}, err
+		}
+		for i := 0; i < sessionDepth; i++ {
+			rep, err := readLine()
+			if err != nil {
+				return benchCell{}, fmt.Errorf("%s reply %d: %w", variant, i, err)
+			}
+			if strings.HasPrefix(rep, "CLIENT_ERROR") || strings.HasPrefix(rep, "SERVER_ERROR") {
+				return benchCell{}, fmt.Errorf("%s reply %d: %s", variant, i, rep)
+			}
+		}
+		bursts = append(bursts, time.Since(t0))
+		requests += sessionDepth
+	}
+
+	var total time.Duration
+	for _, d := range bursts {
+		total += d
+	}
+	perReq := func(q float64) float64 {
+		if len(bursts) == 0 {
+			return 0
+		}
+		sorted := append([]time.Duration(nil), bursts...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		idx := int(q * float64(len(sorted)-1))
+		return float64(sorted[idx]) / float64(sessionDepth)
+	}
+	cell := benchCell{
+		Profile:    "session",
+		Variant:    variant,
+		Threads:    1,
+		Runs:       1,
+		Iterations: uint64(requests),
+		P50Ns:      perReq(0.50),
+		P99Ns:      perReq(0.99),
+	}
+	if total > 0 {
+		cell.BestMIterPerSec = float64(requests) / total.Seconds() / 1e6
+		cell.MeanMIterPerSec = cell.BestMIterPerSec
+	}
+	return cell, nil
+}

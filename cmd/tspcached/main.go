@@ -61,6 +61,14 @@
 // tier's loss bound); 0 disables the tiers, degrading relaxed and fire
 // to durable.
 //
+// Exactly-once retries: `session <id>` binds the connection to a client
+// session, and a `seq=<n>` option on a mutating command makes it a
+// detectable operation — the per-shard dedup window (sized by
+// -session-window) recognizes a duplicate retry and replays the
+// recorded ack instead of re-applying, across crash recovery and
+// follower promotion alike. docs/PROTOCOL.md is the canonical wire
+// reference for the session grammar and its error strings.
+//
 // Usage:
 //
 //	tspcached [-addr 127.0.0.1:11222] [-mode tsp|nontsp|off] [-shards 4]
@@ -69,6 +77,7 @@
 //	          [-proto auto|native|resp] [-max-request-bytes 1048576]
 //	          [-repl-listen host:port | -replica-of host:port]
 //	          [-repl-window 4096] [-epoch-interval 5ms]
+//	          [-session-window 256]
 //
 // Each shard batches queued requests — from any connection — into one
 // Atlas critical section per drained group (up to -batch-max ops),
@@ -127,6 +136,7 @@ func main() {
 	replicaOf := flag.String("replica-of", "", "primary's replication address: apply its stream read-only until promoted (follower role); empty disables")
 	replWindow := flag.Int("repl-window", 4096, "committed groups the replication log retains; reconnects beyond it trigger a snapshot transfer")
 	epochInterval := flag.Duration("epoch-interval", 5*time.Millisecond, "durability epoch clock period — the relaxed tier's crash-loss bound; 0 disables the tiers")
+	sessionWindow := flag.Int("session-window", 256, "per-shard session dedup records for exactly-once retries; the oldest is evicted when full")
 	flag.Parse()
 
 	var m atlas.Mode
@@ -158,6 +168,7 @@ func main() {
 		cacheserver.WithReplicaOf(*replicaOf),
 		cacheserver.WithReplWindow(*replWindow),
 		cacheserver.WithEpochInterval(*epochInterval),
+		cacheserver.WithSessionWindow(*sessionWindow),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

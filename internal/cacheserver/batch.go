@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"tsp/internal/atlas"
+	"tsp/internal/proto"
+	"tsp/internal/repl"
 )
 
 // The batch pipeline: each shard owns a bounded request queue, a drain
@@ -80,6 +82,13 @@ type batchOp struct {
 	arg  uint64 // value for set, delta for incr
 	seq  uint64 // overlay sequence for the opFlush* kinds
 
+	// The sess* fields ride only on opFlush* ops whose overlay entry
+	// was a sessioned relaxed write: on a successful apply the entry's
+	// dedup record persists inside the same section (see sessPersist).
+	sess uint64
+	sseq uint64
+	spay uint64
+
 	val uint64
 	ok  bool
 	err error
@@ -90,10 +99,29 @@ type batchOp struct {
 // epoch is non-zero only on epoch-drain groups; it stamps the
 // replication log group so followers learn how far the relaxed
 // frontier has propagated.
+//
+// A request with sess != 0 is a sessioned group (see session.go): the
+// drain re-checks the dedup window, applies the ops, and commits the
+// session record inside the one section — sessDup/sessOld/sessPay
+// carry the verdict back. marks and floor ride only on follower-apply
+// groups: replicated session records (and the primary's eviction
+// floor) that must commit atomically with the group's ops.
 type batchReq struct {
 	ops   []batchOp
 	epoch uint64
-	done  chan struct{}
+
+	sess    uint64
+	sseq    uint64
+	wkey    uint64
+	sessCmd proto.Cmd
+	sessDup bool
+	sessOld bool
+	sessPay uint64
+
+	marks []repl.SessRec
+	floor uint64
+
+	done chan struct{}
 }
 
 // workerThread returns the drain's Atlas thread on the current stack
@@ -299,8 +327,22 @@ func (sh *shard) runBatch(reqs []*batchReq, nops int) {
 			}()
 		}
 		for _, r := range reqs {
+			if r.sess != 0 {
+				// Sessioned group: window check, effects, and dedup
+				// record in this one section (see session.go).
+				sh.runSessReq(th, r)
+				continue
+			}
 			for i := range r.ops {
 				sh.execOp(th, &r.ops[i], true)
+			}
+			// Follower-apply groups carry the primary's session records
+			// (and floor), committed with the ops they witnessed.
+			for _, mk := range r.marks {
+				sh.sessPersist(th, mk.Sess, mk.Seq, mk.Payload, mk.Key)
+			}
+			if r.floor > 0 {
+				sh.sessRaiseFloor(th, r.floor)
 			}
 		}
 		return nil
@@ -351,7 +393,7 @@ func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
 			sh.tel.Server.Hits.Inc()
 		}
 	case opSet:
-		sh.ovl.take(op.key, false)
+		sh.takeFold(th, op.key, false, locked)
 		if locked {
 			op.err = m.PutLocked(th, op.key, op.arg)
 		} else {
@@ -375,7 +417,7 @@ func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
 			sh.tel.Server.Sets.Inc()
 		}
 	case opDelete:
-		oe, hadOv := sh.ovl.take(op.key, false)
+		oe, hadOv := sh.takeFold(th, op.key, false, locked)
 		if locked {
 			op.ok, op.err = m.DeleteLocked(th, op.key)
 		} else {
@@ -390,7 +432,7 @@ func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
 			sh.tel.Server.Deletes.Inc()
 		}
 	case opZSet:
-		sh.ovl.take(op.key, true)
+		sh.takeFold(th, op.key, true, locked)
 		_, op.err = sh.stk.List.Put(op.key, op.arg)
 		if op.err == nil {
 			op.ok = true
@@ -407,7 +449,7 @@ func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
 			sh.tel.Server.ZSets.Inc()
 		}
 	case opZDelete:
-		oe, hadOv := sh.ovl.take(op.key, true)
+		oe, hadOv := sh.takeFold(th, op.key, true, locked)
 		op.ok, op.err = sh.stk.List.Delete(op.key)
 		if op.err == nil {
 			if hadOv {
@@ -430,6 +472,7 @@ func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
 			op.val = op.arg
 			sh.tel.Server.Sets.Inc()
 			sh.ovl.clearIfSeq(op.key, false, op.seq)
+			sh.flushSess(th, op, locked)
 		}
 	case opFlushDel:
 		if !sh.ovl.stillPending(op.key, false, op.seq) {
@@ -444,6 +487,7 @@ func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
 			op.ok = true
 			sh.tel.Server.Deletes.Inc()
 			sh.ovl.clearIfSeq(op.key, false, op.seq)
+			sh.flushSess(th, op, locked)
 		}
 	case opFlushZSet:
 		if !sh.ovl.stillPending(op.key, true, op.seq) {
@@ -455,6 +499,7 @@ func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
 			op.val = op.arg
 			sh.tel.Server.ZSets.Inc()
 			sh.ovl.clearIfSeq(op.key, true, op.seq)
+			sh.flushSess(th, op, locked)
 		}
 	case opFlushZDel:
 		if !sh.ovl.stillPending(op.key, true, op.seq) {
@@ -465,8 +510,38 @@ func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
 			op.ok = true
 			sh.tel.Server.ZDeletes.Inc()
 			sh.ovl.clearIfSeq(op.key, true, op.seq)
+			sh.flushSess(th, op, locked)
 		}
 	}
+}
+
+// flushSess persists the dedup record a sessioned relaxed write
+// buffered beside its value, inside the flush's section — value and
+// record become durable together, completing the relaxed tier's
+// exactly-once story (see session.go). Flush ops always run on the
+// locked drain path; the guard is belt and suspenders.
+func (sh *shard) flushSess(th *atlas.Thread, op *batchOp, locked bool) {
+	if locked && op.sess != 0 {
+		sh.sessPersist(th, op.sess, op.sseq, op.spay, op.key)
+	}
+}
+
+// takeFold pops the key's pending overlay entry (the durable-write
+// fold) and, when the entry was a sessioned relaxed write taken on the
+// locked drain path, persists its dedup record inside the open section
+// — the fold is making the buffered value durable, so its record must
+// become durable with it or a crash between the two would let the
+// session's retry apply a second time. An unlocked (synchronous-path)
+// fold has no section open at this scope and skips the record; the
+// volatile mirror still suppresses retries until a crash, and a
+// replicating primary never folds on the synchronous path (DESIGN.md
+// §12 documents the residual non-replicated case).
+func (sh *shard) takeFold(th *atlas.Thread, key uint64, list, locked bool) (ovEntry, bool) {
+	e, ok := sh.ovl.take(key, list)
+	if ok && locked && e.sess != 0 {
+		sh.sessPersist(th, e.sess, e.sseq, e.spay, key)
+	}
+	return e, ok
 }
 
 // foldOverlay materializes a key's pending relaxed entry into the
@@ -474,7 +549,7 @@ func (sh *shard) execOp(th *atlas.Thread, op *batchOp, locked bool) {
 // tombstone — so an arithmetic durable op (incr/zincr) starts from the
 // logical state its connection has already been acked.
 func (sh *shard) foldOverlay(th *atlas.Thread, key uint64, list, locked bool) error {
-	e, ok := sh.ovl.take(key, list)
+	e, ok := sh.takeFold(th, key, list, locked)
 	if !ok {
 		return nil
 	}

@@ -54,11 +54,18 @@ type ovKey struct {
 // ovEntry is one acked-but-unflushed relaxed write. seq orders entries
 // per overlay so an epoch drain applies an entry only if it is still
 // the newest write to its key (apply-if-still-pending); del marks a
-// buffered delete (a tombstone reads must honor).
+// buffered delete (a tombstone reads must honor). A sessioned relaxed
+// write (sess != 0) additionally buffers its dedup record fields —
+// sseq and spay — beside the value, so the record persists in the same
+// section that makes the value durable (see session.go).
 type ovEntry struct {
 	val uint64
 	seq uint64
 	del bool
+
+	sess uint64
+	sseq uint64
+	spay uint64
 }
 
 // overlay is a shard's volatile relaxed-write buffer. It is exactly
@@ -77,6 +84,13 @@ type overlay struct {
 // put inserts or replaces the entry for (key, list) and returns its
 // sequence stamp.
 func (o *overlay) put(key uint64, list, del bool, val uint64) uint64 {
+	return o.putSess(key, list, del, val, 0, 0, 0)
+}
+
+// putSess is put carrying a sessioned write's dedup-record fields
+// (sess == 0 degrades to a plain put). The record rides the entry so
+// the epoch flush persists value and record in one section.
+func (o *overlay) putSess(key uint64, list, del bool, val, sess, sseq, spay uint64) uint64 {
 	o.mu.Lock()
 	if o.m == nil {
 		o.m = make(map[ovKey]ovEntry)
@@ -87,7 +101,7 @@ func (o *overlay) put(key uint64, list, del bool, val uint64) uint64 {
 	}
 	o.seq++
 	seq := o.seq
-	o.m[k] = ovEntry{val: val, seq: seq, del: del}
+	o.m[k] = ovEntry{val: val, seq: seq, del: del, sess: sess, sseq: sseq, spay: spay}
 	o.mu.Unlock()
 	return seq
 }
@@ -177,7 +191,10 @@ func (o *overlay) pendingOps(out []batchOp) []batchOp {
 		case e.del:
 			kind = opFlushDel
 		}
-		out = append(out, batchOp{kind: kind, key: k.key, arg: e.val, seq: e.seq})
+		out = append(out, batchOp{
+			kind: kind, key: k.key, arg: e.val, seq: e.seq,
+			sess: e.sess, sseq: e.sseq, spay: e.spay,
+		})
 	}
 	o.mu.Unlock()
 	return out

@@ -36,6 +36,8 @@ type config struct {
 	optimisticReads bool   // serve pure reads on the lock-free seqlock path
 
 	epochInterval time.Duration // epoch clock period; <= 0 disables the tiers
+
+	sessSlots int // per-shard persistent session dedup records
 }
 
 // Wire protocol selections for config.proto / WithProto.
@@ -64,6 +66,8 @@ func defaultConfig() config {
 		optimisticReads: true,
 
 		epochInterval: 5 * time.Millisecond,
+
+		sessSlots: 256,
 	}
 }
 
@@ -99,6 +103,9 @@ func (c config) validate() error {
 	}
 	if c.maxRequestBytes < 64 {
 		return fmt.Errorf("cacheserver: max request bytes %d too small", c.maxRequestBytes)
+	}
+	if c.sessSlots < 1 {
+		return fmt.Errorf("cacheserver: session window must be >= 1, got %d", c.sessSlots)
 	}
 	return nil
 }
@@ -241,6 +248,17 @@ func WithMaxRequestBytes(n int) Option {
 // receives a full snapshot transfer instead.
 func WithReplWindow(n int) Option {
 	return func(c *config) { c.replWindow = n }
+}
+
+// WithSessionWindow sizes each shard's persistent session dedup window
+// (default 256 records). One record tracks one client session's highest
+// applied seq on that shard; when every slot is taken a round-robin
+// victim is evicted and the shard's floor rises to the victim's seq, so
+// a retry of any evicted-or-earlier seq is refused with "seq too old"
+// rather than risked as a re-application. Size it to the number of
+// concurrently retrying sessions, not to total sessions ever seen.
+func WithSessionWindow(n int) Option {
+	return func(c *config) { c.sessSlots = n }
 }
 
 // WithEpochInterval sets the durability epoch clock's period (default

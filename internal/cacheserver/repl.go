@@ -68,6 +68,7 @@ func (s *Server) startReplication() error {
 		p, err := repl.ListenPrimary(s.cfg.replListen, repl.PrimaryConfig{
 			Log:      s.replLog,
 			Snapshot: s.replSnapshot,
+			Sessions: s.replSessions,
 			Tel:      s.replTel,
 			// Every recorded follower ack re-arms parked `wait repl`
 			// barriers (see epoch.go). The wake pointer is initialized by
@@ -154,6 +155,24 @@ func (sh *shard) pairs() ([]repl.Pair, error) {
 	return out, nil
 }
 
+// replSessions streams every shard's PERSISTENT session dedup records
+// (and eviction floor) to a catching-up follower, after the keyspace
+// snapshot. Volatile-only records guard overlay values the snapshot
+// cannot see either; both sides of that pair are lost together on a
+// promote, which is the relaxed tier's normal loss shape.
+func (s *Server) replSessions(emit func([]repl.SessRec, uint64) error) error {
+	for _, sh := range s.shards {
+		recs, floor := sh.sessSnapshot()
+		if len(recs) == 0 && floor == 0 {
+			continue
+		}
+		if err := emit(recs, floor); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runGroupDirect executes a mutating group under the shard's drain
 // lock when the pipeline could not take it (disabled, oversized group,
 // or full queue). On a replicating primary this replaces the
@@ -192,6 +211,15 @@ func (s *Server) runGroupDirect(sh *shard, ops []batchOp, epoch uint64) {
 func (sh *shard) appendRepl(reqs []*batchReq) {
 	var rops []repl.Op
 	var epoch uint64
+	// Session records persisted during this batch (sessPersist fills
+	// markScratch only on a primary) ride the same log group as the ops
+	// they witnessed, so a follower commits both in one section. The
+	// slice must be copied: the log ring retains what it is handed.
+	var marks []repl.SessRec
+	if len(sh.markScratch) > 0 {
+		marks = append(marks, sh.markScratch...)
+		sh.markScratch = sh.markScratch[:0]
+	}
 	for _, r := range reqs {
 		if r.epoch > epoch {
 			epoch = r.epoch
@@ -238,9 +266,41 @@ func (sh *shard) appendRepl(reqs []*batchReq) {
 			}
 		}
 	}
-	if len(rops) > 0 {
-		sh.replLog.Append(rops, epoch)
+	if len(rops) > 0 || len(marks) > 0 {
+		sh.replLog.Append(rops, epoch, marks)
 	}
+}
+
+// runGroupMarks executes a follower-apply group under the shard's
+// drain lock: the replicated ops plus the session records (and floor)
+// that must commit in the same section as the last chunk. Works with
+// zero ops — a marks-only group still opens one section, exactly like
+// a skip-list-only batch.
+func (s *Server) runGroupMarks(sh *shard, ops []batchOp, marks []repl.SessRec, floor uint64) {
+	chunk := sh.cfg.batchMax
+	if chunk < 1 {
+		chunk = 64
+	}
+	sh.combineMu.Lock()
+	sh.busy.Store(true)
+	off := 0
+	for {
+		end := off + chunk
+		if end > len(ops) {
+			end = len(ops)
+		}
+		req := &batchReq{ops: ops[off:end], done: make(chan struct{})}
+		if end == len(ops) {
+			req.marks, req.floor = marks, floor
+		}
+		sh.runBatch([]*batchReq{req}, end-off)
+		if end == len(ops) {
+			break
+		}
+		off = end
+	}
+	sh.busy.Store(false)
+	sh.combineMu.Unlock()
 }
 
 // replApplier applies the replication stream through the server's own
@@ -308,7 +368,82 @@ func (a *replApplier) ApplyPairs(pairs []repl.Pair) error {
 	return a.applyOps(sets)
 }
 
-// ApplyGroup applies one committed group in commit order.
-func (a *replApplier) ApplyGroup(ops []repl.Op) error {
-	return a.applyOps(ops)
+// ApplySessions merges one snapshot session-window chunk: records
+// routed to their keys' shards, the chunk's floor raised on every
+// shard. The floor must land everywhere because the follower's shard
+// map need not mirror the primary's — raising it too broadly only
+// turns some replayable retries into "seq too old", never into a
+// duplicate application, which is the safe direction.
+func (a *replApplier) ApplySessions(recs []repl.SessRec, floor uint64) error {
+	byShard := make(map[*shard][]repl.SessRec)
+	for _, m := range recs {
+		sh := a.s.shardOf(m.Key)
+		byShard[sh] = append(byShard[sh], m)
+	}
+	for _, sh := range a.s.shards {
+		ms := byShard[sh]
+		if len(ms) == 0 && floor == 0 {
+			continue
+		}
+		a.s.runGroupMarks(sh, nil, ms, floor)
+	}
+	return nil
+}
+
+// ApplyGroup applies one committed group in commit order. Groups that
+// carry session records route ops AND marks by shard so each shard
+// commits its ops and the records that witnessed them in one section —
+// a promoted follower then answers the primary's in-flight retries
+// exactly as the primary would have.
+func (a *replApplier) ApplyGroup(rops []repl.Op, marks []repl.SessRec) error {
+	if len(marks) == 0 {
+		return a.applyOps(rops)
+	}
+	type part struct {
+		ops   []batchOp
+		marks []repl.SessRec
+	}
+	parts := make(map[*shard]*part)
+	at := func(key uint64) *part {
+		sh := a.s.shardOf(key)
+		p := parts[sh]
+		if p == nil {
+			p = &part{}
+			parts[sh] = p
+		}
+		return p
+	}
+	for _, r := range rops {
+		var op batchOp
+		switch {
+		case r.List && r.Del:
+			op = batchOp{kind: opZDelete, key: r.Key}
+		case r.List:
+			op = batchOp{kind: opZSet, key: r.Key, arg: r.Val}
+		case r.Del:
+			op = batchOp{kind: opDelete, key: r.Key}
+		default:
+			op = batchOp{kind: opSet, key: r.Key, arg: r.Val}
+		}
+		p := at(r.Key)
+		p.ops = append(p.ops, op)
+	}
+	for _, m := range marks {
+		p := at(m.Key)
+		p.marks = append(p.marks, m)
+	}
+	var errs []error
+	for _, sh := range a.s.shards {
+		p := parts[sh]
+		if p == nil {
+			continue
+		}
+		a.s.runGroupMarks(sh, p.ops, p.marks, 0)
+		for i := range p.ops {
+			if p.ops[i].err != nil {
+				errs = append(errs, p.ops[i].err)
+			}
+		}
+	}
+	return errors.Join(errs...)
 }

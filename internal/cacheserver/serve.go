@@ -200,6 +200,16 @@ func (s *Server) serveBatch(cs *connState, enc *proto.Encoder, batch []proto.Req
 				enc.Stage(&rep)
 				continue
 			}
+			if req.HasSeq {
+				// A seq-tagged request is a detectable operation: it must
+				// consult (and maybe replay from) the session window, so it
+				// never coalesces into the combined group. Sequence point —
+				// earlier pipelined writes land first, in program order.
+				flushData()
+				rep := s.serveSessioned(cs, req)
+				enc.Stage(&rep)
+				continue
+			}
 			if mutates(req.Cmd) {
 				if req.Dur != proto.DurDurable && s.epochEnabled() {
 					// Relaxed/fire tier: a sequence point — the pending
@@ -222,6 +232,13 @@ func (s *Server) serveBatch(cs *connState, enc *proto.Encoder, batch []proto.Req
 			// first so a pipelined zadd→zrange sees its own write.
 			flushData()
 			rep := s.serveOrdered(cs, req)
+			enc.Stage(&rep)
+		case proto.CmdSession:
+			// The handshake binds this connection to a session id; it is a
+			// sequence point so a rebinding cannot race writes pipelined
+			// under the old id.
+			flushData()
+			rep := s.serveSession(cs, req)
 			enc.Stage(&rep)
 		case proto.CmdWait:
 			// The barrier must cover every write this connection

@@ -50,6 +50,21 @@
 // See epoch.go for the tier machinery and DESIGN.md §11 for the
 // crash-loss contract.
 //
+// Exactly-once retries ride a session handshake plus per-request
+// sequence numbers (detectable operations; see session.go and
+// DESIGN.md §12):
+//
+//	session <id>             -> OK SESSION <id> (binds the connection)
+//	set <k> <v> seq=<n>      -> as set, but duplicate retries of seq n
+//	                            replay the recorded ack instead of
+//	                            re-applying (likewise incr, delete,
+//	                            mset, zadd, zincr, zdel)
+//
+// A seq below the session's record — or below the shard's eviction
+// floor — is refused with "seq too old". docs/PROTOCOL.md is the
+// canonical reference for the full grammar, both protocols' spellings,
+// and every error string.
+//
 // The same commands are also served over RESP2 (GET/SET/INCRBY/DEL/
 // MGET/MSET/PING/INFO and friends), so redis-cli and redis-benchmark
 // can drive the server directly; non-numeric keys and values hash to
@@ -361,6 +376,13 @@ type connState struct {
 	ops   []batchOp
 	tags  []cmdTag
 	items []proto.Item
+
+	// sess is the session id the connection bound with the session
+	// handshake (0 = none); seq-tagged requests dedup against it. sops
+	// is the sessioned path's own op scratch — sessioned groups never
+	// share cs.ops, which the surrounding batch still owns.
+	sess uint64
+	sops []batchOp
 }
 
 type connShard struct {

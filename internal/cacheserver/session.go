@@ -1,0 +1,586 @@
+package cacheserver
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tsp/internal/atlas"
+	"tsp/internal/nvm"
+	"tsp/internal/pheap"
+	"tsp/internal/proto"
+	"tsp/internal/repl"
+	"tsp/internal/stack"
+)
+
+// Exactly-once retries via detectable operations. A client that loses
+// a connection mid-command cannot tell whether its mutation applied —
+// the classic at-most-once/at-least-once dilemma every retry loop
+// faces. The TSP planner's answer is the same as for every other
+// failure class: make the operation DETECTABLE with the minimum
+// persistence that is still timely. Each shard keeps a bounded
+// persistent dedup window — one record per client session holding
+// {session id, highest applied seq, reply payload, witness key} — in
+// the heap beside the epoch frontier, and commits the record INSIDE
+// the same Atlas critical section as the mutation it witnesses. The
+// record and the effect are therefore atomic under power failure: a
+// recovered (or promoted) server either has both — the retry is
+// recognized and answered from the recorded payload without
+// re-applying — or neither, and the retry applies as a fresh request.
+// No command pays an extra flush for this: the record's stores ride
+// the section the mutation already commits.
+//
+// The wire contract (docs/PROTOCOL.md): a client binds its connection
+// with `session <id>` and tags each mutation with a monotonically
+// increasing `seq=<n>`. A seq equal to the session's record replays
+// the recorded reply; a seq below it (or at/below the shard's eviction
+// floor) answers `seq too old` — the bounded window's honesty about
+// what it can no longer dedup; a higher seq applies and advances the
+// record. Clients retry only their most recent request, so one record
+// per session suffices.
+//
+// Scope: seq is honored on set, incr, mset, zadd, zincr, zdel, and
+// single-key delete. A sessioned mset executes its non-witness shards
+// first (absolute sets — idempotent under replay) and its witness
+// shard (the shard of the first key) last, with the record committed
+// in that final section: the record's presence therefore implies every
+// other shard applied. Relaxed-tier sessioned writes keep their fast
+// ack — the record buffers beside the value in the volatile overlay
+// and both persist in the same section at epoch close, so a crash
+// loses value and record together (the relaxed tier's legal loss; the
+// retry simply re-applies). On a replicating primary every persisted
+// record also rides the replication stream as a group mark, so a
+// promoted follower inherits the window and keeps suppressing the same
+// retries (DESIGN.md §12).
+
+// Error texts of the session contract.
+const (
+	noSessionMsg = "seq requires a session (send: session <id> first)"
+	seqScopeMsg  = "seq requires a mutating command"
+	seqDeleteMsg = "seq requires a single-key delete"
+	seqTooOldMsg = "seq too old (behind the session's dedup window)"
+)
+
+// sessVerdict classifies one sessioned request against the window.
+type sessVerdict uint8
+
+const (
+	// sessFresh means the seq is new: apply and record.
+	sessFresh sessVerdict = iota
+	// sessDup means the seq equals the record: replay the payload.
+	sessDup
+	// sessOld means the seq is below the record or the eviction floor.
+	sessOld
+)
+
+// sessRec is the volatile mirror of one session's dedup record. seq,
+// pay and wkey track the newest acknowledged request (possibly still
+// overlay-buffered on the relaxed tier); pseq is the seq the
+// persistent slot currently holds (0 when nothing persisted); slot is
+// the record's slot in the shard's persistent table, -1 while the
+// record is volatile-only.
+type sessRec struct {
+	seq  uint64
+	pay  uint64
+	wkey uint64
+	pseq uint64
+	slot int
+}
+
+// sessTable is a shard's session dedup window: the volatile mirror of
+// the persistent table (rebuilt from the heap on every recovery), the
+// slot-occupancy index, and the eviction floor. The mirror is
+// authoritative for checks — it covers volatile-only relaxed records
+// the heap does not hold yet — and the heap is authoritative across
+// crashes, which is exactly the relaxed tier's loss contract applied
+// to the records themselves.
+type sessTable struct {
+	mu    sync.Mutex
+	m     map[uint64]sessRec
+	slots []uint64 // slot index -> occupying session id (0 = free)
+	floor uint64   // highest evicted seq; seqs at/below it are undecidable
+	cur   int      // round-robin eviction cursor
+}
+
+// sessRebuild (re)builds the volatile mirror from the shard's
+// persistent session table. Called at shard construction and after
+// every crash-reattach, under the shard write lock (or before the
+// shard serves), so no reader races it. Volatile-only records vanish
+// here by design: their values lived in the overlay the same crash
+// discarded.
+func (sh *shard) sessRebuild() {
+	t := &sh.sess
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, slots := sh.stk.SessTable()
+	t.m = make(map[uint64]sessRec)
+	t.slots = make([]uint64, slots)
+	t.cur = 0
+	t.floor = 0
+	if p.IsNil() || slots == 0 {
+		return
+	}
+	h := sh.stk.Heap
+	t.floor = h.Load(p, stack.SessFloorWord)
+	for i := 0; i < slots; i++ {
+		base := stack.SessHdrWords + stack.SessRecWords*i
+		sess := h.Load(p, base+stack.SessRecSess)
+		if sess == 0 {
+			continue
+		}
+		seq := h.Load(p, base+stack.SessRecSeq)
+		t.m[sess] = sessRec{
+			seq:  seq,
+			pay:  h.Load(p, base+stack.SessRecPayload),
+			wkey: h.Load(p, base+stack.SessRecKey),
+			pseq: seq,
+			slot: i,
+		}
+		t.slots[i] = sess
+	}
+}
+
+// sessCheck classifies (sess, seq) against the window. The payload is
+// meaningful only on sessDup.
+func (sh *shard) sessCheck(sess, seq uint64) (sessVerdict, uint64) {
+	t := &sh.sess
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rec, ok := t.m[sess]; ok {
+		switch {
+		case seq == rec.seq:
+			return sessDup, rec.pay
+		case seq < rec.seq:
+			return sessOld, 0
+		}
+		return sessFresh, 0
+	}
+	if seq <= t.floor {
+		return sessOld, 0
+	}
+	return sessFresh, 0
+}
+
+// sessBuffer records a relaxed-tier sessioned ack in the volatile
+// mirror only — the persistent slot (if the session has one) is left
+// at its old seq until the overlay entry's epoch flush calls
+// sessPersist inside the flush section. Between ack and flush the
+// mirror suppresses retries; a crash discards mirror and overlay
+// together, so the retry re-applies against state that equally lost
+// the value.
+func (sh *shard) sessBuffer(sess, seq, pay, wkey uint64) {
+	t := &sh.sess
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.m[sess]
+	if !ok {
+		rec = sessRec{slot: -1}
+	}
+	if seq >= rec.seq {
+		rec.seq, rec.pay, rec.wkey = seq, pay, wkey
+	}
+	t.m[sess] = rec
+}
+
+// sessAddr returns the word address off words into the shard's session
+// table block.
+func sessAddr(p pheap.Ptr, off int) nvm.Addr {
+	return p.Addr() + nvm.Addr(off)
+}
+
+// sessPersist commits (sess, seq, pay, wkey) into the shard's
+// persistent session table. MUST be called inside an open Atlas
+// section on th (the batch drain's section), holding the shard read
+// lock: the record's stores are undo-logged with the mutation they
+// witness, which is the whole point — record and effect commit or
+// roll back together. Persists are seq-guarded (a slot never moves
+// backwards), so out-of-order epoch flushes of two keys written by one
+// session converge. When the table is full the round-robin victim's
+// record is evicted and the floor raised to its seq — in the same
+// section, so the window's honesty survives the crash too. On a
+// replicating primary the persisted record is queued as a group mark
+// for appendRepl (the caller holds the drain lock, which makes
+// markScratch single-writer).
+func (sh *shard) sessPersist(th *atlas.Thread, sess, seq, pay, wkey uint64) {
+	t := &sh.sess
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.m[sess]
+	if ok && rec.pseq >= seq {
+		return
+	}
+	if !ok {
+		rec = sessRec{slot: -1}
+	}
+	p, _ := sh.stk.SessTable()
+	if p.IsNil() || len(t.slots) == 0 {
+		return
+	}
+	slot := rec.slot
+	if slot < 0 {
+		slot = t.freeSlotLocked(sh, th, p)
+	}
+	base := stack.SessHdrWords + stack.SessRecWords*slot
+	th.Store(sessAddr(p, base+stack.SessRecSess), sess)
+	th.Store(sessAddr(p, base+stack.SessRecSeq), seq)
+	th.Store(sessAddr(p, base+stack.SessRecPayload), pay)
+	th.Store(sessAddr(p, base+stack.SessRecKey), wkey)
+	if seq >= rec.seq {
+		rec.seq, rec.pay, rec.wkey = seq, pay, wkey
+	}
+	rec.pseq, rec.slot = seq, slot
+	t.m[sess] = rec
+	t.slots[slot] = sess
+	if sh.replLog != nil {
+		sh.markScratch = append(sh.markScratch,
+			repl.SessRec{Sess: sess, Seq: seq, Payload: pay, Key: wkey})
+	}
+}
+
+// freeSlotLocked returns a free slot in the persistent table, evicting
+// the round-robin victim (and raising the persistent floor to its seq,
+// in-section) when the table is full. Caller holds t.mu and an open
+// section on th.
+func (t *sessTable) freeSlotLocked(sh *shard, th *atlas.Thread, p pheap.Ptr) int {
+	for i := range t.slots {
+		if t.slots[i] == 0 {
+			return i
+		}
+	}
+	v := t.cur
+	t.cur = (t.cur + 1) % len(t.slots)
+	victim := t.slots[v]
+	if vrec, ok := t.m[victim]; ok {
+		if vrec.seq > t.floor {
+			t.floor = vrec.seq
+			th.Store(sessAddr(p, stack.SessFloorWord), t.floor)
+		}
+		delete(t.m, victim)
+	}
+	t.slots[v] = 0
+	sh.tel.Server.SessionEvicted.Inc()
+	return v
+}
+
+// sessRaiseFloor raises the shard's eviction floor to at least floor —
+// the follower-side merge of the primary's floor. Caller requirements
+// match sessPersist.
+func (sh *shard) sessRaiseFloor(th *atlas.Thread, floor uint64) {
+	t := &sh.sess
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if floor <= t.floor {
+		return
+	}
+	p, _ := sh.stk.SessTable()
+	if p.IsNil() {
+		return
+	}
+	t.floor = floor
+	th.Store(sessAddr(p, stack.SessFloorWord), floor)
+}
+
+// sessSnapshot reads the shard's PERSISTENT session window — the slot
+// words, not the volatile mirror — for a replication state transfer.
+// Volatile-only records are deliberately excluded: their values are
+// not in the snapshot's pairs, so shipping the record would suppress a
+// retry whose effect the follower never received. Takes the shard
+// write lock briefly, like pairs().
+func (sh *shard) sessSnapshot() ([]repl.SessRec, uint64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p, slots := sh.stk.SessTable()
+	if p.IsNil() || slots == 0 {
+		return nil, 0
+	}
+	h := sh.stk.Heap
+	floor := h.Load(p, stack.SessFloorWord)
+	var recs []repl.SessRec
+	for i := 0; i < slots; i++ {
+		base := stack.SessHdrWords + stack.SessRecWords*i
+		sess := h.Load(p, base+stack.SessRecSess)
+		if sess == 0 {
+			continue
+		}
+		recs = append(recs, repl.SessRec{
+			Sess:    sess,
+			Seq:     h.Load(p, base+stack.SessRecSeq),
+			Payload: h.Load(p, base+stack.SessRecPayload),
+			Key:     h.Load(p, base+stack.SessRecKey),
+		})
+	}
+	return recs, floor
+}
+
+// sessPayload derives the recorded reply payload from a sessioned
+// request's resolved ops: the new value for arithmetic commands, the
+// found bit for deletes, 0 for sets (whose replies need no state).
+func sessPayload(cmd proto.Cmd, ops []batchOp) uint64 {
+	switch cmd {
+	case proto.CmdIncr, proto.CmdZIncr:
+		return ops[0].val
+	case proto.CmdDelete, proto.CmdZDel:
+		if ops[0].ok {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// runSessReq executes one sessioned request inside the drain's open
+// section: re-check the window (authoritative under the drain lock),
+// apply the ops, and commit the dedup record — all in one OCS. An op
+// error skips the record so the client's retry re-runs rather than
+// being suppressed with a failure it can't see.
+func (sh *shard) runSessReq(th *atlas.Thread, r *batchReq) {
+	v, pay := sh.sessCheck(r.sess, r.sseq)
+	switch v {
+	case sessDup:
+		r.sessDup, r.sessPay = true, pay
+		return
+	case sessOld:
+		r.sessOld = true
+		return
+	}
+	for i := range r.ops {
+		sh.execOp(th, &r.ops[i], true)
+	}
+	for i := range r.ops {
+		if r.ops[i].err != nil {
+			return
+		}
+	}
+	r.sessPay = sessPayload(r.sessCmd, r.ops)
+	sh.sessPersist(th, r.sess, r.sseq, r.sessPay, r.wkey)
+}
+
+// runSessGroup runs one sessioned op group on sh under the drain lock
+// — check, effects and record in one OCS (chunking never splits a
+// sessioned group: serveSessioned keeps witness groups within the
+// batch bound). Returns the completed request carrying the verdict.
+func (s *Server) runSessGroup(sh *shard, ops []batchOp, cmd proto.Cmd, sess, seq, wkey uint64) *batchReq {
+	req := &batchReq{
+		ops: ops, sess: sess, sseq: seq, wkey: wkey, sessCmd: cmd,
+		done: make(chan struct{}),
+	}
+	sh.combineMu.Lock()
+	sh.busy.Store(true)
+	sh.runBatch([]*batchReq{req}, len(ops))
+	sh.busy.Store(false)
+	sh.combineMu.Unlock()
+	return req
+}
+
+// sessReplay shapes the reply a duplicate retry is answered with, from
+// the recorded payload and the (retried) request's own shape. The
+// epoch stamp, when the retry rides a relaxed tier, is the current
+// epoch: the recorded effect is at least that durable.
+func (s *Server) sessReplay(cs *connState, req *proto.Request, pay uint64) proto.Reply {
+	var epoch uint64
+	if req.Dur != proto.DurDurable && s.epochEnabled() {
+		epoch = s.curEpoch.Load()
+	}
+	switch req.Cmd {
+	case proto.CmdIncr, proto.CmdZIncr:
+		return proto.Reply{Kind: proto.KInt, Val: pay, Epoch: epoch}
+	case proto.CmdDelete, proto.CmdZDel:
+		items := append(cs.items[:0], proto.Item{Key: req.KV[0], Found: pay != 0})
+		cs.items = items
+		return proto.Reply{Kind: proto.KDelete, Items: items, Epoch: epoch}
+	case proto.CmdMSet:
+		return proto.Reply{Kind: proto.KStoredN, N: len(req.KV) / 2, Epoch: epoch}
+	default: // CmdSet, CmdZAdd
+		return proto.Reply{Kind: proto.KStored, Epoch: epoch}
+	}
+}
+
+// sessTooOld is the reply for a seq below the window: a client error
+// (native CLIENT_ERROR, RESP -ERR) — the request is well-formed but
+// undecidable, and only the client knows whether it was acked before.
+func sessTooOld() proto.Reply {
+	return proto.Reply{Kind: proto.KErrClient, Msg: seqTooOldMsg}
+}
+
+// serveSessioned serves one seq-tagged mutation with the exactly-once
+// contract. Called from serveBatch as a sequence point (the pending
+// data group flushed first), so sessioned and plain commands interleave
+// in program order on the connection.
+func (s *Server) serveSessioned(cs *connState, req *proto.Request) proto.Reply {
+	start := time.Now()
+	if cs.sess == 0 {
+		return proto.Reply{Kind: proto.KErrClient, Msg: noSessionMsg}
+	}
+	if !mutates(req.Cmd) {
+		return proto.Reply{Kind: proto.KErrClient, Msg: seqScopeMsg}
+	}
+	if req.Cmd == proto.CmdDelete && len(req.KV) != 1 {
+		return proto.Reply{Kind: proto.KErrClient, Msg: seqDeleteMsg}
+	}
+	wkey := req.KV[0]
+	wsh := s.shardOf(wkey)
+	tel := wsh.tel.Server
+	tel.SessionOps.Inc()
+	defer func() {
+		wsh.tel.CmdLatency.ObserveProto(cs.ptel, cmdTelemetry(req.Cmd), time.Since(start))
+	}()
+
+	// Volatile pre-check: answers dups and stale seqs without touching
+	// a section, and keeps a duplicate mset from re-entering its
+	// non-witness shards at all.
+	switch v, pay := wsh.sessCheck(cs.sess, req.Seq); v {
+	case sessDup:
+		tel.SessionDups.Inc()
+		return s.sessReplay(cs, req, pay)
+	case sessOld:
+		tel.SessionTooOld.Inc()
+		return sessTooOld()
+	}
+
+	// Relaxed/fire single-key writes keep their overlay fast path; a
+	// sessioned mset always escalates to durable (its multi-shard
+	// witness ordering needs the section).
+	if req.Dur != proto.DurDurable && s.epochEnabled() && req.Cmd != proto.CmdMSet {
+		return s.serveSessRelaxed(cs, req, wsh)
+	}
+	tel.DurableOps.Inc()
+
+	ops := appendOps(cs.sops[:0], req)
+	cs.sops = ops[:0]
+
+	// A sessioned mset may span shards: execute every non-witness
+	// shard's ops first (absolute sets — replaying them after a crash
+	// that beat the record is idempotent), then the witness shard with
+	// the record in its section. Record present ⇒ everything applied.
+	var witness []batchOp
+	if req.Cmd == proto.CmdMSet {
+		for i := range ops {
+			if s.shardOf(ops[i].key) == wsh {
+				witness = append(witness, ops[i])
+			}
+		}
+		if len(witness) < len(ops) {
+			s.runNonWitness(ops, wsh)
+		}
+	} else {
+		witness = ops
+	}
+
+	// Keep the witness group inside the batch bound (one OCS, one
+	// undo-log-ring's worth): a wide mset's surplus witness-shard sets
+	// run ahead as plain absolute sets — idempotent like the non-witness
+	// legs — with only the final chunk carrying the record.
+	if max := s.cfg.batchMax; max > 0 && len(witness) > max {
+		head := len(witness) - max
+		s.runGroupDirect(wsh, witness[:head], 0)
+		witness = witness[head:]
+	}
+
+	r := s.runSessGroup(wsh, witness, req.Cmd, cs.sess, req.Seq, wkey)
+	switch {
+	case r.sessDup:
+		tel.SessionDups.Inc()
+		return s.sessReplay(cs, req, r.sessPay)
+	case r.sessOld:
+		tel.SessionTooOld.Inc()
+		return sessTooOld()
+	}
+	if err := spanErr(r.ops); err != nil {
+		return proto.Reply{Kind: proto.KErrServer, Msg: err.Error()}
+	}
+	switch req.Cmd {
+	case proto.CmdIncr, proto.CmdZIncr:
+		return proto.Reply{Kind: proto.KInt, Val: r.sessPay}
+	case proto.CmdDelete, proto.CmdZDel:
+		items := append(cs.items[:0], proto.Item{Key: wkey, Found: r.sessPay != 0})
+		cs.items = items
+		return proto.Reply{Kind: proto.KDelete, Items: items}
+	case proto.CmdMSet:
+		return proto.Reply{Kind: proto.KStoredN, N: len(req.KV) / 2}
+	default: // CmdSet, CmdZAdd
+		return proto.Reply{Kind: proto.KStored}
+	}
+}
+
+// runNonWitness runs the non-witness leg of a sessioned mset: each
+// non-witness shard's ops go through that shard's drain lock in turn.
+// Results are not consulted — they are absolute sets, and a retry
+// replays them idempotently when a crash beats the witness record.
+func (s *Server) runNonWitness(ops []batchOp, skip *shard) {
+	byShard := make(map[*shard][]batchOp)
+	for i := range ops {
+		sh := s.shardOf(ops[i].key)
+		if sh == skip {
+			continue
+		}
+		byShard[sh] = append(byShard[sh], ops[i])
+	}
+	for sh, group := range byShard {
+		s.runGroupDirect(sh, group, 0)
+	}
+}
+
+// serveSessRelaxed buffers one sessioned relaxed/fire write: value and
+// dedup record land side by side in the overlay and the volatile
+// mirror, ack immediately with the epoch stamp, and both persist in
+// the same section when the epoch closes (or a durable fold takes the
+// entry). A crash before that section loses value and record together
+// — the relaxed tier's loss contract extended to detectability: the
+// retry re-applies precisely because nothing of the first attempt
+// survived.
+func (s *Server) serveSessRelaxed(cs *connState, req *proto.Request, sh *shard) proto.Reply {
+	tel := sh.tel.Server
+	if req.Dur == proto.DurFire {
+		tel.FireOps.Inc()
+	} else {
+		tel.RelaxedOps.Inc()
+	}
+	key := req.KV[0]
+	sess, seq := cs.sess, req.Seq
+	var pay uint64
+	var rep proto.Reply
+	switch req.Cmd {
+	case proto.CmdSet:
+		sh.ovl.putSess(key, false, false, req.KV[1], sess, seq, 0)
+		rep = proto.Reply{Kind: proto.KStored, Epoch: s.curEpoch.Load()}
+	case proto.CmdZAdd:
+		sh.ovl.putSess(key, true, false, req.KV[1], sess, seq, 0)
+		rep = proto.Reply{Kind: proto.KStored, Epoch: s.curEpoch.Load()}
+	case proto.CmdIncr, proto.CmdZIncr:
+		list := req.Cmd == proto.CmdZIncr
+		base, _, err := s.peekVal(cs, sh, key, list)
+		if err != nil {
+			return proto.Reply{Kind: proto.KErrServer, Msg: err.Error()}
+		}
+		pay = base + req.KV[1]
+		sh.ovl.putSess(key, list, false, pay, sess, seq, pay)
+		rep = proto.Reply{Kind: proto.KInt, Val: pay, Epoch: s.curEpoch.Load()}
+	default: // CmdDelete (single-key), CmdZDel
+		list := req.Cmd == proto.CmdZDel
+		found := true
+		if req.Dur != proto.DurFire {
+			var err error
+			_, found, err = s.peekVal(cs, sh, key, list)
+			if err != nil {
+				return proto.Reply{Kind: proto.KErrServer, Msg: err.Error()}
+			}
+		}
+		if found {
+			pay = 1
+		}
+		sh.ovl.putSess(key, list, true, 0, sess, seq, pay)
+		items := append(cs.items[:0], proto.Item{Key: key, Found: found})
+		cs.items = items
+		rep = proto.Reply{Kind: proto.KDelete, Items: items, Epoch: s.curEpoch.Load()}
+	}
+	sh.sessBuffer(sess, seq, pay, key)
+	return rep
+}
+
+// serveSession binds the connection to a client session for subsequent
+// seq-tagged mutations. Rebinding mid-connection is allowed (a proxy
+// multiplexing several logical clients re-binds per request stream).
+func (s *Server) serveSession(cs *connState, req *proto.Request) proto.Reply {
+	cs.sess = req.KV[0]
+	return proto.Reply{Kind: proto.KRaw, Msg: fmt.Sprintf("OK SESSION %d", req.KV[0])}
+}

@@ -73,6 +73,17 @@ type shard struct {
 	// (see epoch.go). It is volatile by design — a crash discards it;
 	// that is the relaxed tier's bounded loss.
 	ovl overlay
+
+	// sess is the shard's session dedup window (see session.go): the
+	// volatile mirror of the persistent per-session records that make
+	// seq-tagged mutations exactly-once across crash and retry.
+	sess sessTable
+
+	// markScratch accumulates the session records persisted during the
+	// current drained batch; appendRepl drains it into the batch's
+	// replication group so followers inherit the window. Owned by the
+	// drain-lock holder, like the other scratch slices.
+	markScratch []repl.SessRec
 }
 
 func newShard(idx int, c config) (*shard, error) {
@@ -94,12 +105,14 @@ func newShard(idx int, c config) (*shard, error) {
 		stack.WithMaxThreads(c.maxConns+2),
 		stack.WithLogEntries(logEntries),
 		stack.WithBuckets(c.buckets, c.perMutex),
+		stack.WithSessionSlots(c.sessSlots),
 		stack.WithTelemetry(tel),
 	)
 	if err != nil {
 		return nil, fmt.Errorf("cacheserver: shard %d: %w", idx, err)
 	}
 	sh := &shard{idx: idx, cfg: c, tel: tel, stk: stk}
+	sh.sessRebuild()
 	if c.batchMax > 0 {
 		sh.queue = make(chan *batchReq, c.queueDepth)
 		sh.doorbell = make(chan struct{}, 1)
@@ -169,6 +182,11 @@ func (sh *shard) crashAndRecover() error {
 	// the same write lock the rebuild held — is the relaxed tier's loss
 	// event, bounded by the epoch interval.
 	sh.ovl.discard()
+	// Rebuild the session window's volatile mirror from the recovered
+	// heap: records committed in-section with their mutations survived;
+	// volatile-only records died with the overlay values they guarded,
+	// which is exactly why their retries are safe to re-apply.
+	sh.sessRebuild()
 	sh.tel.RecoveryLatency.Observe(time.Since(start))
 	// The rebuilt state shed whatever the crash caught un-persisted, so
 	// "snapshot + suffix of the replication log" no longer describes

@@ -50,6 +50,8 @@ func (r *Request) reset() {
 	r.BadMsg = ""
 	r.Dur = DurDurable
 	r.WaitRepl = false
+	r.Seq = 0
+	r.HasSeq = false
 }
 
 // bad marks the request malformed with the error reply to answer.
@@ -107,23 +109,72 @@ func parseDur(t []byte) (Durability, bool) {
 	return DurDurable, false
 }
 
-// badDurMsg is the error text for an unrecognized durability tier.
-const badDurMsg = "bad durability (durable|relaxed|fire)"
+// badOptMsg is the error text for an unrecognized (or duplicated)
+// trailing option token.
+const badOptMsg = "bad option (durable|relaxed|fire|seq=<n>)"
 
-// parseTrailingDur consumes an optional trailing tier token plus
-// end-of-line, reporting false (with the request marked bad) on
-// anything else.
-func parseTrailingDur(f *fields, req *Request) bool {
-	t := f.next()
-	if t == nil {
-		return true
+// badSeqMsg is the error text for a malformed, zero, or duplicated
+// request sequence number.
+const badSeqMsg = "bad seq (must be an integer >= 1, at most once)"
+
+// seqOpt recognizes a `seq=<n>` trailing token. isSeq reports that the
+// token carried the seq= prefix; ok that its value parsed and n >= 1.
+func seqOpt(t []byte) (n uint64, isSeq, ok bool) {
+	if len(t) < 4 || !eqFold(t[:4], "seq=") {
+		return 0, false, false
 	}
-	d, ok := parseDur(t)
-	if !ok || f.next() != nil {
-		req.bad(KErrClient, badDurMsg)
-		return false
+	v, okv := parseUint64(t[4:])
+	return v, true, okv && v > 0
+}
+
+// applyOpt folds one trailing-option token — a durability tier or a
+// seq=<n> tag — into req. isOpt reports whether t was an option token
+// at all; when it was but its value was bad or duplicated, req is
+// marked bad and ok is false. Both adapters share it.
+func applyOpt(t []byte, req *Request, haveDur, haveSeq *bool) (isOpt, ok bool) {
+	if d, okd := parseDur(t); okd {
+		if *haveDur {
+			req.bad(KErrClient, badOptMsg)
+			return true, false
+		}
+		*haveDur = true
+		req.Dur = d
+		return true, true
 	}
-	req.Dur = d
+	if n, isSeq, oks := seqOpt(t); isSeq {
+		if !oks || *haveSeq {
+			req.bad(KErrClient, badSeqMsg)
+			return true, false
+		}
+		*haveSeq = true
+		req.Seq = n
+		req.HasSeq = true
+		return true, true
+	}
+	return false, false
+}
+
+// parseTrailingOpts consumes a mutating command's optional trailing
+// options — a durability tier and/or a seq=<n> tag, in either order,
+// each at most once — plus end-of-line, reporting false (with the
+// request marked bad) on anything else.
+func parseTrailingOpts(f *fields, req *Request) bool {
+	return parseOptsFrom(f.next(), f, req)
+}
+
+// parseOptsFrom is parseTrailingOpts with the first token already in
+// hand — mset's argument loop stops on the first non-numeric token.
+func parseOptsFrom(t []byte, f *fields, req *Request) bool {
+	var haveDur, haveSeq bool
+	for ; t != nil; t = f.next() {
+		isOpt, ok := applyOpt(t, req, &haveDur, &haveSeq)
+		if !ok {
+			if !isOpt {
+				req.bad(KErrClient, badOptMsg)
+			}
+			return false
+		}
+	}
 	return true
 }
 
@@ -151,7 +202,7 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 			req.bad(KErrClient, "usage: set <key> <value>")
 			return
 		}
-		if !parseTrailingDur(f, req) {
+		if !parseTrailingOpts(f, req) {
 			return
 		}
 		kn, ok1 := parseUint64(k)
@@ -169,7 +220,7 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 			req.bad(KErrClient, "usage: incr <key> <delta>")
 			return
 		}
-		if !parseTrailingDur(f, req) {
+		if !parseTrailingOpts(f, req) {
 			return
 		}
 		kn, ok1 := parseUint64(k)
@@ -187,7 +238,7 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 			req.bad(KErrClient, "usage: delete <key>")
 			return
 		}
-		if !parseTrailingDur(f, req) {
+		if !parseTrailingOpts(f, req) {
 			return
 		}
 		v, ok := parseUint64(k)
@@ -217,13 +268,12 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 		for t := f.next(); t != nil; t = f.next() {
 			v, ok := parseUint64(t)
 			if !ok {
-				// A non-numeric final token may be the durability tier.
-				if d, okd := parseDur(t); okd && f.next() == nil {
-					req.Dur = d
-					break
+				// Non-numeric tokens end the pairs: they are the trailing
+				// options (tier and/or seq=<n>).
+				if !parseOptsFrom(t, f, req) {
+					return
 				}
-				req.bad(KErrClient, "keys and values are unsigned integers")
-				return
+				break
 			}
 			req.KV = append(req.KV, v)
 		}
@@ -239,7 +289,7 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 			req.bad(KErrClient, "usage: zadd <key> <value>")
 			return
 		}
-		if !parseTrailingDur(f, req) {
+		if !parseTrailingOpts(f, req) {
 			return
 		}
 		kn, ok1 := parseUint64(k)
@@ -271,7 +321,7 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 			req.bad(KErrClient, "usage: zincr <key> <delta>")
 			return
 		}
-		if !parseTrailingDur(f, req) {
+		if !parseTrailingOpts(f, req) {
 			return
 		}
 		kn, ok1 := parseUint64(k)
@@ -289,7 +339,7 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 			req.bad(KErrClient, "usage: zdel <key>")
 			return
 		}
-		if !parseTrailingDur(f, req) {
+		if !parseTrailingOpts(f, req) {
 			return
 		}
 		v, ok := parseUint64(k)
@@ -376,6 +426,20 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 		}
 		req.Cmd = CmdWait
 		req.KV = append(req.KV, target, timeout)
+
+	case eqFold(cmd, "session"):
+		id := f.next()
+		if id == nil || f.next() != nil {
+			req.bad(KErrClient, "usage: session <id>")
+			return
+		}
+		v, ok := parseUint64(id)
+		if !ok || v == 0 {
+			req.bad(KErrClient, "bad session id (must be an integer >= 1)")
+			return
+		}
+		req.Cmd = CmdSession
+		req.KV = append(req.KV, v)
 
 	case eqFold(cmd, "stats"):
 		req.Cmd = CmdStats
@@ -587,6 +651,8 @@ func (Native) AppendRequest(dst []byte, req *Request) []byte {
 			}
 		}
 		return append(dst, '\r', '\n')
+	case CmdSession:
+		name = "session"
 	case CmdStats:
 		name = "stats"
 	case CmdCrash:
@@ -610,6 +676,13 @@ func (Native) AppendRequest(dst []byte, req *Request) []byte {
 		case CmdSet, CmdIncr, CmdDelete, CmdMSet, CmdZAdd, CmdZIncr, CmdZDel:
 			dst = append(dst, ' ')
 			dst = append(dst, req.Dur.String()...)
+		}
+	}
+	if req.HasSeq {
+		switch req.Cmd {
+		case CmdSet, CmdIncr, CmdDelete, CmdMSet, CmdZAdd, CmdZIncr, CmdZDel:
+			dst = append(dst, " seq="...)
+			dst = appendUint(dst, req.Seq)
 		}
 	}
 	if req.Cmd == CmdStats {

@@ -71,6 +71,10 @@ const (
 	// a replication barrier: KV[0] is the follower-ack count required
 	// and KV[1] the timeout, RESP WAIT style.
 	CmdWait
+	// CmdSession binds the connection to client session KV[0] (session
+	// ids start at 1). Subsequent mutations tagged seq=<n> are deduped
+	// against the session's persistent window (see docs/PROTOCOL.md).
+	CmdSession
 	// CmdStats requests the telemetry view selected by Request.Stats.
 	CmdStats
 	// CmdCrash power-fails one shard (Request.HasShard) or all of them.
@@ -167,6 +171,16 @@ type Request struct {
 	// WaitRepl selects the replication-barrier form of CmdWait (wait
 	// for follower acks) over the epoch-barrier form.
 	WaitRepl bool
+
+	// Seq is the per-session request sequence number a mutation carried
+	// (native trailing `seq=<n>` token, RESP trailing `seq=<n>` bulk);
+	// meaningful only when HasSeq is set. Sequence numbers start at 1.
+	Seq uint64
+
+	// HasSeq reports whether the request carried a sequence number and
+	// therefore wants exactly-once dedup against the connection's
+	// session window.
+	HasSeq bool
 
 	// Bad is the error class to answer with when Cmd == CmdBad
 	// (KErrClient, KErrServer or KErrProto).

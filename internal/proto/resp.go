@@ -197,28 +197,107 @@ func wrongArgs(st *respArgs, req *Request, name string) error {
 	return nil
 }
 
-// respTrailingDur consumes an optional trailing durability-tier token
-// plus end-of-arguments. It reports done=false (request marked bad, or
-// err set) when the caller must return.
-func respTrailingDur(st *respArgs, req *Request, name string) (done bool, err error) {
-	t, err := st.next()
-	if err != nil {
-		return false, err
-	}
-	if t == nil {
-		return true, nil
-	}
-	d, ok := parseDur(t)
-	if !ok {
+// respTrailingOpts consumes a mutating command's optional trailing
+// options — a durability tier and/or a seq=<n> tag, in either order,
+// each at most once — plus end-of-arguments. It reports done=false
+// (request marked bad, or err set) when the caller must return.
+func respTrailingOpts(st *respArgs, req *Request, name string) (done bool, err error) {
+	var haveDur, haveSeq bool
+	for {
+		t, err := st.next()
+		if err != nil {
+			return false, err
+		}
+		if t == nil {
+			return true, nil
+		}
+		isOpt, ok := applyOpt(t, req, &haveDur, &haveSeq)
+		if ok {
+			continue
+		}
+		if isOpt {
+			// req is already marked bad; realign on the request boundary.
+			return false, st.drain()
+		}
 		return false, wrongArgs(st, req, name)
+	}
+}
+
+// respVariadicTail consumes a variadic key list (DEL, MSET) whose last
+// one or two arguments may be trailing options — a durability tier
+// and/or a seq=<n> tag. The two most recent tokens are held back so
+// trailing option tokens are recognized instead of hashing to keys; a
+// key literally spelled like an option must therefore not be last (the
+// same documented ambiguity the tier token always had). Keys land in
+// req.KV; a malformed option marks req bad.
+func respVariadicTail(st *respArgs, req *Request) error {
+	var newest, older []byte
+	for {
+		k, err := st.next()
+		if err != nil {
+			return err
+		}
+		if k == nil {
+			break
+		}
+		if older != nil {
+			req.KV = append(req.KV, numOrHash(older))
+		}
+		older, newest = newest, k
+	}
+	var haveDur, haveSeq bool
+	if newest != nil {
+		if isOpt, ok := applyOpt(newest, req, &haveDur, &haveSeq); isOpt {
+			if !ok {
+				return nil
+			}
+			newest = nil
+		}
+	}
+	// Only when the final token was an option can the one before it be
+	// one too — options are strictly trailing.
+	if older != nil && newest == nil {
+		if isOpt, ok := applyOpt(older, req, &haveDur, &haveSeq); isOpt {
+			if !ok {
+				return nil
+			}
+			older = nil
+		}
+	}
+	if older != nil {
+		req.KV = append(req.KV, numOrHash(older))
+	}
+	if newest != nil {
+		req.KV = append(req.KV, numOrHash(newest))
+	}
+	return nil
+}
+
+// respSessionArgs decodes the single-argument tail of SESSION <id> /
+// CLIENT SESSION <id>. Non-numeric ids hash through FNV-1a like keys;
+// id 0 (which no hash realistically produces) is reserved as "no
+// session" and rejected.
+func respSessionArgs(st *respArgs, req *Request, name string) error {
+	id, err := st.next()
+	if err != nil {
+		return err
+	}
+	if id == nil {
+		return wrongArgs(st, req, name)
 	}
 	if extra, err := st.next(); err != nil {
-		return false, err
+		return err
 	} else if extra != nil {
-		return false, wrongArgs(st, req, name)
+		return wrongArgs(st, req, name)
 	}
-	req.Dur = d
-	return true, nil
+	v := numOrHash(id)
+	if v == 0 {
+		req.bad(KErrClient, "bad session id (must be >= 1)")
+		return nil
+	}
+	req.Cmd = CmdSession
+	req.KV = append(req.KV, v)
+	return nil
 }
 
 // parseRESPCommand decodes one command and its streamed arguments.
@@ -252,7 +331,7 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		if k == nil || v == nil {
 			return wrongArgs(st, req, "set")
 		}
-		if done, err := respTrailingDur(st, req, "set"); !done {
+		if done, err := respTrailingOpts(st, req, "set"); !done {
 			return err
 		}
 		req.Cmd = CmdSet
@@ -266,7 +345,7 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		if k == nil {
 			return wrongArgs(st, req, "incr")
 		}
-		if done, err := respTrailingDur(st, req, "incr"); !done {
+		if done, err := respTrailingOpts(st, req, "incr"); !done {
 			return err
 		}
 		req.Cmd = CmdIncr
@@ -284,7 +363,7 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		if k == nil || d == nil {
 			return wrongArgs(st, req, "incrby")
 		}
-		if done, err := respTrailingDur(st, req, "incrby"); !done {
+		if done, err := respTrailingOpts(st, req, "incrby"); !done {
 			return err
 		}
 		dn, ok := parseUint64(d)
@@ -296,29 +375,11 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		req.KV = append(req.KV, numOrHash(k), dn)
 
 	case eqFold(cmd, "del"):
-		// Variadic keys with an optional trailing tier token: each token
-		// is held back one step so a final "relaxed"/"fire"/"durable" is
-		// recognized as the tier instead of hashing to a key.
-		var last []byte
-		for {
-			k, err := st.next()
-			if err != nil {
-				return err
-			}
-			if k == nil {
-				break
-			}
-			if last != nil {
-				req.KV = append(req.KV, numOrHash(last))
-			}
-			last = k
+		if err := respVariadicTail(st, req); err != nil {
+			return err
 		}
-		if last != nil {
-			if d, ok := parseDur(last); ok {
-				req.Dur = d
-			} else {
-				req.KV = append(req.KV, numOrHash(last))
-			}
+		if req.Cmd == CmdBad {
+			return nil
 		}
 		if len(req.KV) == 0 {
 			req.bad(KErrClient, "wrong number of arguments for 'del' command")
@@ -344,28 +405,11 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		req.Cmd = CmdMGet
 
 	case eqFold(cmd, "mset"):
-		// Same held-back-token trick as DEL for the optional trailing
-		// tier.
-		var last []byte
-		for {
-			k, err := st.next()
-			if err != nil {
-				return err
-			}
-			if k == nil {
-				break
-			}
-			if last != nil {
-				req.KV = append(req.KV, numOrHash(last))
-			}
-			last = k
+		if err := respVariadicTail(st, req); err != nil {
+			return err
 		}
-		if last != nil {
-			if d, ok := parseDur(last); ok {
-				req.Dur = d
-			} else {
-				req.KV = append(req.KV, numOrHash(last))
-			}
+		if req.Cmd == CmdBad {
+			return nil
 		}
 		if len(req.KV) == 0 || len(req.KV)%2 != 0 {
 			req.bad(KErrClient, "wrong number of arguments for 'mset' command")
@@ -385,7 +429,7 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		if k == nil || v == nil {
 			return wrongArgs(st, req, "zadd")
 		}
-		if done, err := respTrailingDur(st, req, "zadd"); !done {
+		if done, err := respTrailingOpts(st, req, "zadd"); !done {
 			return err
 		}
 		req.Cmd = CmdZAdd
@@ -419,7 +463,7 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		if k == nil || d == nil {
 			return wrongArgs(st, req, "zincr")
 		}
-		if done, err := respTrailingDur(st, req, "zincr"); !done {
+		if done, err := respTrailingOpts(st, req, "zincr"); !done {
 			return err
 		}
 		dn, ok := parseUint64(d)
@@ -438,7 +482,7 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		if k == nil {
 			return wrongArgs(st, req, "zdel")
 		}
-		if done, err := respTrailingDur(st, req, "zdel"); !done {
+		if done, err := respTrailingOpts(st, req, "zdel"); !done {
 			return err
 		}
 		req.Cmd = CmdZDel
@@ -547,6 +591,24 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		} else {
 			req.KV = append(req.KV, 0, tn)
 		}
+
+	case eqFold(cmd, "session"):
+		return respSessionArgs(st, req, "session")
+
+	case eqFold(cmd, "client"):
+		// CLIENT SESSION <id> is the redis-shaped spelling of the native
+		// session handshake; other CLIENT subcommands are not served.
+		sub, err := st.next()
+		if err != nil {
+			return err
+		}
+		if sub != nil && eqFold(sub, "session") {
+			return respSessionArgs(st, req, "client|session")
+		}
+		if err := st.drain(); err != nil {
+			return err
+		}
+		req.bad(KErrClient, "unknown CLIENT subcommand (try CLIENT SESSION <id>)")
 
 	case eqFold(cmd, "ping"):
 		if err := st.drain(); err != nil {
@@ -750,6 +812,8 @@ func (RESP) AppendRequest(dst []byte, req *Request) []byte {
 		name = "COMMAND"
 	case CmdQuit:
 		name = "QUIT"
+	case CmdSession:
+		name = "SESSION"
 	case CmdPromote:
 		name = "PROMOTE"
 	case CmdStats:
@@ -774,6 +838,15 @@ func (RESP) AppendRequest(dst []byte, req *Request) []byte {
 			tier = false
 		}
 	}
+	seq := req.HasSeq
+	if seq {
+		switch req.Cmd {
+		case CmdSet, CmdIncr, CmdDelete, CmdMSet, CmdZAdd, CmdZIncr, CmdZDel:
+			extra++
+		default:
+			seq = false
+		}
+	}
 	dst = append(dst, '*')
 	dst = appendUint(dst, uint64(1+len(req.KV)+extra))
 	dst = append(dst, '\r', '\n')
@@ -783,6 +856,12 @@ func (RESP) AppendRequest(dst []byte, req *Request) []byte {
 	}
 	if tier {
 		dst = appendBulkStr(dst, req.Dur.String())
+	}
+	if seq {
+		var tmp [28]byte
+		t := append(tmp[:0], "seq="...)
+		t = appendUint(t, req.Seq)
+		dst = appendBulkStr(dst, string(t))
 	}
 	if req.Cmd == CmdStats && extra == 1 {
 		if req.Stats == StatsShards {

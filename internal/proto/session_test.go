@@ -1,0 +1,146 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Grammar tests for the exactly-once surface: the session handshake
+// and the seq=<n> request tag, on both wire protocols.
+
+func TestNativeParseSessionAndSeq(t *testing.T) {
+	cases := []struct {
+		in   string
+		cmd  Cmd
+		kv   []uint64
+		seq  uint64
+		dur  Durability
+		bad  string
+		kind Kind
+	}{
+		{"session 7\r\n", CmdSession, []uint64{7}, 0, DurDurable, "", KNone},
+		{"SESSION 7\r\n", CmdSession, []uint64{7}, 0, DurDurable, "", KNone},
+		{"set 1 2 seq=3\r\n", CmdSet, []uint64{1, 2}, 3, DurDurable, "", KNone},
+		{"set 1 2 SEQ=3\r\n", CmdSet, []uint64{1, 2}, 3, DurDurable, "", KNone},
+		{"set 1 2 relaxed seq=3\r\n", CmdSet, []uint64{1, 2}, 3, DurRelaxed, "", KNone},
+		{"set 1 2 seq=3 relaxed\r\n", CmdSet, []uint64{1, 2}, 3, DurRelaxed, "", KNone},
+		{"incr 4 5 seq=9\r\n", CmdIncr, []uint64{4, 5}, 9, DurDurable, "", KNone},
+		{"delete 6 seq=2\r\n", CmdDelete, []uint64{6}, 2, DurDurable, "", KNone},
+		{"mset 1 10 2 20 seq=4\r\n", CmdMSet, []uint64{1, 10, 2, 20}, 4, DurDurable, "", KNone},
+		{"zadd 8 80 seq=1\r\n", CmdZAdd, []uint64{8, 80}, 1, DurDurable, "", KNone},
+		{"zincr 8 1 seq=2 fire\r\n", CmdZIncr, []uint64{8, 1}, 2, DurFire, "", KNone},
+		{"zdel 8 seq=3\r\n", CmdZDel, []uint64{8}, 3, DurDurable, "", KNone},
+
+		{"session\r\n", CmdBad, nil, 0, DurDurable, "usage: session <id>", KErrClient},
+		{"session 0\r\n", CmdBad, nil, 0, DurDurable, "bad session id (must be an integer >= 1)", KErrClient},
+		{"session x\r\n", CmdBad, nil, 0, DurDurable, "bad session id (must be an integer >= 1)", KErrClient},
+		{"session 1 2\r\n", CmdBad, nil, 0, DurDurable, "usage: session <id>", KErrClient},
+		{"set 1 2 seq=0\r\n", CmdBad, nil, 0, DurDurable, badSeqMsg, KErrClient},
+		{"set 1 2 seq=x\r\n", CmdBad, nil, 0, DurDurable, badSeqMsg, KErrClient},
+		{"set 1 2 seq=1 seq=2\r\n", CmdBad, nil, 0, DurDurable, badSeqMsg, KErrClient},
+		{"get 1 seq=1\r\n", CmdBad, nil, 0, DurDurable, "usage: get <key>", KErrClient},
+	}
+	var na Native
+	for _, tc := range cases {
+		var req Request
+		n, err := na.Parse([]byte(tc.in), &req)
+		if err != nil || n != len(tc.in) {
+			t.Fatalf("Parse(%q) = %d, %v", tc.in, n, err)
+		}
+		if req.Cmd != tc.cmd {
+			t.Errorf("Parse(%q).Cmd = %d, want %d", tc.in, req.Cmd, tc.cmd)
+			continue
+		}
+		if tc.cmd == CmdBad {
+			if req.BadMsg != tc.bad || req.Bad != tc.kind {
+				t.Errorf("Parse(%q) bad = %q/%d, want %q/%d", tc.in, req.BadMsg, req.Bad, tc.bad, tc.kind)
+			}
+			continue
+		}
+		wantSeq := tc.seq != 0
+		if req.HasSeq != wantSeq || req.Seq != tc.seq {
+			t.Errorf("Parse(%q) seq = %v/%d, want %v/%d", tc.in, req.HasSeq, req.Seq, wantSeq, tc.seq)
+		}
+		if req.Dur != tc.dur {
+			t.Errorf("Parse(%q) dur = %d, want %d", tc.in, req.Dur, tc.dur)
+		}
+		for i := range tc.kv {
+			if req.KV[i] != tc.kv[i] {
+				t.Errorf("Parse(%q).KV = %v, want %v", tc.in, req.KV, tc.kv)
+				break
+			}
+		}
+	}
+}
+
+func TestRESPParseSessionAndSeq(t *testing.T) {
+	var rs RESP
+	var req Request
+
+	// CLIENT SESSION <id> is the redis-shaped handshake spelling.
+	wire := "*3\r\n$6\r\nCLIENT\r\n$7\r\nSESSION\r\n$2\r\n42\r\n"
+	if _, err := rs.Parse([]byte(wire), &req); err != nil || req.Cmd != CmdSession || req.KV[0] != 42 {
+		t.Fatalf("CLIENT SESSION: err=%v req=%+v", err, req)
+	}
+	// The native spelling works over RESP too.
+	if _, err := rs.Parse([]byte("*2\r\n$7\r\nSESSION\r\n$1\r\n9\r\n"), &req); err != nil || req.Cmd != CmdSession || req.KV[0] != 9 {
+		t.Fatalf("SESSION: err=%v req=%+v", err, req)
+	}
+	// seq rides mutating commands as a trailing token, composable with
+	// the tier token in either order.
+	if _, err := rs.Parse([]byte("*4\r\n$3\r\nSET\r\n$1\r\n1\r\n$1\r\n2\r\n$5\r\nseq=3\r\n"), &req); err != nil ||
+		req.Cmd != CmdSet || !req.HasSeq || req.Seq != 3 {
+		t.Fatalf("SET seq: err=%v req=%+v", err, req)
+	}
+	if _, err := rs.Parse([]byte("*5\r\n$3\r\nSET\r\n$1\r\n1\r\n$1\r\n2\r\n$5\r\nseq=3\r\n$7\r\nrelaxed\r\n"), &req); err != nil ||
+		req.Cmd != CmdSet || !req.HasSeq || req.Seq != 3 || req.Dur != DurRelaxed {
+		t.Fatalf("SET seq relaxed: err=%v req=%+v", err, req)
+	}
+	// seq=0 is refused like the native grammar.
+	if _, err := rs.Parse([]byte("*4\r\n$3\r\nSET\r\n$1\r\n1\r\n$1\r\n2\r\n$5\r\nseq=0\r\n"), &req); err != nil ||
+		req.Cmd != CmdBad || req.BadMsg != badSeqMsg {
+		t.Fatalf("SET seq=0: err=%v req=%+v", err, req)
+	}
+	// A multi-key DEL with seq parses (the serve layer enforces the
+	// single-key restriction with its own error).
+	if _, err := rs.Parse([]byte("*4\r\n$3\r\nDEL\r\n$1\r\n1\r\n$1\r\n2\r\n$5\r\nseq=1\r\n"), &req); err != nil ||
+		req.Cmd != CmdDelete || !req.HasSeq || len(req.KV) != 2 {
+		t.Fatalf("DEL seq: err=%v req=%+v", err, req)
+	}
+}
+
+func TestAppendRequestCarriesSessionAndSeq(t *testing.T) {
+	reqs := []Request{
+		{Cmd: CmdSession, KV: []uint64{5}},
+		{Cmd: CmdSet, KV: []uint64{1, 10}, Seq: 3, HasSeq: true},
+		{Cmd: CmdIncr, KV: []uint64{2, 1}, Seq: 4, HasSeq: true, Dur: DurRelaxed},
+		{Cmd: CmdMSet, KV: []uint64{6, 60, 7, 70}, Seq: 5, HasSeq: true},
+	}
+	type reqAppender interface {
+		Adapter
+		AppendRequest([]byte, *Request) []byte
+	}
+	for _, ad := range []reqAppender{Native{}, RESP{}} {
+		var wire []byte
+		for i := range reqs {
+			wire = ad.AppendRequest(wire, &reqs[i])
+		}
+		d := NewDecoder(bytes.NewReader(wire), ad, 0)
+		got, err := decodeAll(t, d)
+		if err != nil || len(got) != len(reqs) {
+			t.Fatalf("%s decodeAll: %v, %d reqs", ad.Name(), err, len(got))
+		}
+		for i := range reqs {
+			if got[i].Cmd != reqs[i].Cmd {
+				t.Errorf("%s req %d: cmd %d, want %d", ad.Name(), i, got[i].Cmd, reqs[i].Cmd)
+			}
+			if got[i].HasSeq != reqs[i].HasSeq || got[i].Seq != reqs[i].Seq {
+				t.Errorf("%s req %d: seq %v/%d, want %v/%d",
+					ad.Name(), i, got[i].HasSeq, got[i].Seq, reqs[i].HasSeq, reqs[i].Seq)
+			}
+			if got[i].Dur != reqs[i].Dur {
+				t.Errorf("%s req %d: dur %d, want %d", ad.Name(), i, got[i].Dur, reqs[i].Dur)
+			}
+		}
+	}
+}

@@ -18,13 +18,20 @@ import (
 type Applier interface {
 	// Wipe deletes all local pairs; called when a snapshot install
 	// begins so the transferred state replaces, not merges with,
-	// whatever the follower held.
+	// whatever the follower held. Session dedup windows are NOT wiped:
+	// records already inherited must keep suppressing retries across a
+	// re-snapshot (upserts are guarded by sequence, so replaying the
+	// incoming window over them converges).
 	Wipe() error
 	// ApplyPairs installs one snapshot chunk.
 	ApplyPairs(pairs []Pair) error
+	// ApplySessions merges one session-window chunk (records plus the
+	// primary's evicted-seq floor) into the local dedup window.
+	ApplySessions(recs []SessRec, floor uint64) error
 	// ApplyGroup applies one committed group's resolved effects in
-	// order.
-	ApplyGroup(ops []Op) error
+	// order, committing each session mark atomically with the ops on the
+	// mark's shard.
+	ApplyGroup(ops []Op, marks []SessRec) error
 }
 
 // FollowerConfig configures a replication client.
@@ -207,6 +214,14 @@ func (f *Follower) stream(conn net.Conn) error {
 			if err := f.cfg.Applier.ApplyPairs(pairs); err != nil {
 				return err
 			}
+		case FrameSessChunk:
+			recs, floor, err := decodeSessChunk(payload)
+			if err != nil {
+				return err
+			}
+			if err := f.cfg.Applier.ApplySessions(recs, floor); err != nil {
+				return err
+			}
 		case FrameSnapshotEnd:
 			f.setPosition(pendGen, pendSeq)
 			f.cfg.Tel.SnapshotsLoaded.Inc()
@@ -218,7 +233,7 @@ func (f *Follower) stream(conn net.Conn) error {
 			if err != nil {
 				return err
 			}
-			if err := f.cfg.Applier.ApplyGroup(g.Ops); err != nil {
+			if err := f.cfg.Applier.ApplyGroup(g.Ops, g.Marks); err != nil {
 				// Local apply failure means the copy may have diverged;
 				// drop the position so reconnect takes a fresh snapshot.
 				f.setPosition(0, 0)

@@ -103,17 +103,19 @@ func (l *Log) First() uint64 {
 // the window (evicting the oldest group if full), and wakes blocked
 // readers. It returns the assigned sequence. The epoch stamps the
 // group's durability epoch on the wire (0 when the group carries only
-// durable-tier effects). Appending an empty group is a no-op returning
-// the last assigned sequence.
-func (l *Log) Append(ops []Op, epoch uint64) uint64 {
+// durable-tier effects); marks carries the session dedup records the
+// group's sessioned requests committed alongside the ops. Appending a
+// group with neither ops nor marks is a no-op returning the last
+// assigned sequence.
+func (l *Log) Append(ops []Op, epoch uint64, marks []SessRec) uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if len(ops) == 0 || l.closed {
+	if (len(ops) == 0 && len(marks) == 0) || l.closed {
 		return l.next - 1
 	}
 	seq := l.next
 	l.next++
-	e := entry{group: Group{Seq: seq, Epoch: epoch, Ops: ops}, at: time.Now()}
+	e := entry{group: Group{Seq: seq, Epoch: epoch, Ops: ops, Marks: marks}, at: time.Now()}
 	if len(l.ring) < cap(l.ring) {
 		l.ring = append(l.ring, e)
 	} else {

@@ -28,6 +28,11 @@ type PrimaryConfig struct {
 	// committed after that position — replaying them is idempotent.
 	// Required.
 	Snapshot func(emit func([]Pair) error) error
+	// Sessions streams the primary's session dedup window as batches of
+	// records (with the evicted-seq floor) through emit during a state
+	// transfer, so a promoted follower inherits the exactly-once window.
+	// Optional: nil means no session frames are sent.
+	Sessions func(emit func([]SessRec, uint64) error) error
 	// Tel receives the replication counters and lag histogram. Optional
 	// (nil-safe).
 	Tel *telemetry.ReplStats
@@ -245,6 +250,28 @@ func (p *Primary) sendSnapshot(w *bufio.Writer) (gen, seq uint64, err error) {
 	}
 	if err := p.cfg.Snapshot(emit); err != nil {
 		return 0, 0, err
+	}
+	// Session window frames ride inside the transfer (before the end
+	// frame) so the follower commits dedup records and data together: a
+	// transfer severed midway leaves it positionless either way.
+	if p.cfg.Sessions != nil {
+		emitSess := func(recs []SessRec, floor uint64) error {
+			for len(recs) > 0 || floor > 0 {
+				n := len(recs)
+				if n > snapshotChunkPairs {
+					n = snapshotChunkPairs
+				}
+				if err := writeFrame(w, encodeSessChunk(recs[:n], floor)); err != nil {
+					return err
+				}
+				recs = recs[n:]
+				floor = 0
+			}
+			return nil
+		}
+		if err := p.cfg.Sessions(emitSess); err != nil {
+			return 0, 0, err
+		}
 	}
 	if err := writeFrame(w, []byte{FrameSnapshotEnd}); err != nil {
 		return 0, 0, err

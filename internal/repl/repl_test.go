@@ -33,7 +33,7 @@ func (s *source) apply(ops ...Op) {
 		}
 	}
 	s.mu.Unlock()
-	s.log.Append(ops, 0)
+	s.log.Append(ops, 0, nil)
 }
 
 // snapshot emits the current state, as the primary's Snapshot callback.
@@ -63,6 +63,8 @@ func (s *source) copyState() map[uint64]uint64 {
 type fakeApplier struct {
 	mu        sync.Mutex
 	m         map[uint64]uint64
+	sess      map[uint64]uint64 // session id -> highest inherited seq
+	floor     uint64
 	failPairs atomic.Int32
 }
 
@@ -90,13 +92,38 @@ func (a *fakeApplier) ApplyPairs(pairs []Pair) error {
 	return nil
 }
 
-func (a *fakeApplier) ApplyGroup(ops []Op) error {
+func (a *fakeApplier) ApplySessions(recs []SessRec, floor uint64) error {
+	a.mu.Lock()
+	for _, r := range recs {
+		if r.Seq > a.sess[r.Sess] {
+			if a.sess == nil {
+				a.sess = make(map[uint64]uint64)
+			}
+			a.sess[r.Sess] = r.Seq
+		}
+	}
+	if floor > a.floor {
+		a.floor = floor
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+func (a *fakeApplier) ApplyGroup(ops []Op, marks []SessRec) error {
 	a.mu.Lock()
 	for _, op := range ops {
 		if op.Del {
 			delete(a.m, op.Key)
 		} else {
 			a.m[op.Key] = op.Val
+		}
+	}
+	for _, m := range marks {
+		if a.sess == nil {
+			a.sess = make(map[uint64]uint64)
+		}
+		if m.Seq > a.sess[m.Sess] {
+			a.sess[m.Sess] = m.Seq
 		}
 	}
 	a.mu.Unlock()
@@ -377,7 +404,7 @@ func TestLogWindow(t *testing.T) {
 	defer l.Close()
 	gen := l.Gen()
 	for i := uint64(1); i <= 10; i++ {
-		if seq := l.Append([]Op{{Key: i}}, i); seq != i {
+		if seq := l.Append([]Op{{Key: i}}, i, nil); seq != i {
 			t.Fatalf("append %d assigned seq %d", i, seq)
 		}
 	}
@@ -412,7 +439,7 @@ func TestLogWindow(t *testing.T) {
 	if l.First() != 0 {
 		t.Fatalf("Bump: First() = %d, want 0 (empty window)", l.First())
 	}
-	if seq := l.Append([]Op{{Key: 1}}, 0); seq != 1 {
+	if seq := l.Append([]Op{{Key: 1}}, 0, nil); seq != 1 {
 		t.Fatalf("post-bump append assigned seq %d, want 1", seq)
 	}
 }
@@ -429,7 +456,7 @@ func TestLogNextBlocksAndCloseUnblocks(t *testing.T) {
 		}
 	}()
 	waitFor(t, "reader parked in Next", func() bool { return l.waiting() == 1 })
-	l.Append([]Op{{Key: 42, Val: 1}}, 0)
+	l.Append([]Op{{Key: 42, Val: 1}}, 0, nil)
 	select {
 	case g := <-got:
 		if g.Seq != 1 || g.Ops[0].Key != 42 {
@@ -515,7 +542,7 @@ func TestAckTrackingAndEpochPropagation(t *testing.T) {
 	src.mu.Lock()
 	src.m[1] = 10
 	src.mu.Unlock()
-	seq := src.log.Append([]Op{{Key: 1, Val: 10}}, 42)
+	seq := src.log.Append([]Op{{Key: 1, Val: 10}}, 42, nil)
 
 	waitFor(t, "follower ack of seq", func() bool {
 		return p.AckedCount(gen, seq) == 1

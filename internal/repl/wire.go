@@ -36,7 +36,7 @@ import (
 // ProtocolMagic identifies the replication stream and its version; a
 // hello frame carrying anything else is rejected. Bump the trailing
 // digit on any incompatible framing change.
-const ProtocolMagic uint64 = 0x5453_5052_4550_4C33 // "TSPREPL3"
+const ProtocolMagic uint64 = 0x5453_5052_4550_4C34 // "TSPREPL4"
 
 // Frame types, the first payload byte of every frame.
 const (
@@ -57,6 +57,11 @@ const (
 	// FrameAck is the follower's cumulative acknowledgement of the
 	// sequence number it has applied through.
 	FrameAck
+	// FrameSessChunk carries a bounded batch of session dedup records
+	// (plus the primary's evicted-seq floor) during a state transfer, so
+	// a promoted follower inherits the exactly-once window and a client
+	// retrying against it after failover is still suppressed.
+	FrameSessChunk
 )
 
 // maxFrame bounds a frame's payload so a corrupt length prefix cannot
@@ -78,6 +83,25 @@ type Op struct {
 	Key uint64
 	// Val is the value stored (ignored for deletes).
 	Val uint64
+}
+
+// SessRec is one session dedup record on the wire: the highest request
+// sequence the primary applied for the session, the reply payload a
+// retry of that request must be answered with, and the witness key the
+// record is routed by (shardOf(Key) on whichever server holds it — the
+// same place the retried command's dedup check will look). The same
+// shape rides committed groups (as marks witnessing the group's
+// sessioned requests) and snapshot session chunks.
+type SessRec struct {
+	// Sess is the client session id (ids start at 1).
+	Sess uint64
+	// Seq is the highest request sequence applied for the session.
+	Seq uint64
+	// Payload reconstructs the original reply on a suppressed retry
+	// (e.g. an incr's resolved value).
+	Payload uint64
+	// Key is the witness key the record is routed and stored by.
+	Key uint64
 }
 
 // Pair is one key/value pair of a snapshot transfer.
@@ -104,6 +128,11 @@ type Group struct {
 	Epoch uint64
 	// Ops are the group's resolved effects in commit order.
 	Ops []Op
+	// Marks are the session dedup records the group's sessioned requests
+	// (and flushed sessioned relaxed writes) committed alongside Ops. A
+	// follower applies each mark atomically with the group so its dedup
+	// window never trails state it has already applied.
+	Marks []SessRec
 }
 
 // writeFrame emits one length-prefixed frame: a 4-byte little-endian
@@ -259,13 +288,15 @@ func decodeSnapshotChunk(payload []byte) ([]Pair, error) {
 	return pairs, f.err
 }
 
-// encodeGroup builds one group frame.
+// encodeGroup builds one group frame: sequence, epoch, op count, mark
+// count, the 17-byte op records, then the 32-byte mark records.
 func encodeGroup(g Group) []byte {
-	b := make([]byte, 0, 1+24+17*len(g.Ops))
+	b := make([]byte, 0, 1+32+17*len(g.Ops)+32*len(g.Marks))
 	b = append(b, FrameGroup)
 	b = u64(b, g.Seq)
 	b = u64(b, g.Epoch)
 	b = u64(b, uint64(len(g.Ops)))
+	b = u64(b, uint64(len(g.Marks)))
 	for _, op := range g.Ops {
 		kind := byte(0)
 		if op.Del {
@@ -278,6 +309,12 @@ func encodeGroup(g Group) []byte {
 		b = u64(b, op.Key)
 		b = u64(b, op.Val)
 	}
+	for _, m := range g.Marks {
+		b = u64(b, m.Sess)
+		b = u64(b, m.Seq)
+		b = u64(b, m.Payload)
+		b = u64(b, m.Key)
+	}
 	return b
 }
 
@@ -288,11 +325,15 @@ func decodeGroup(payload []byte) (Group, error) {
 	g.Seq = f.u64()
 	g.Epoch = f.u64()
 	n := f.u64()
+	nm := f.u64()
 	if f.err != nil {
 		return g, f.err
 	}
 	if n > uint64(len(payload)/17) {
 		return g, fmt.Errorf("repl: group op count %d exceeds frame", n)
+	}
+	if nm > uint64(len(payload)/32) {
+		return g, fmt.Errorf("repl: group mark count %d exceeds frame", nm)
 	}
 	g.Ops = make([]Op, n)
 	for i := range g.Ops {
@@ -302,7 +343,54 @@ func decodeGroup(payload []byte) (Group, error) {
 		g.Ops[i].Key = f.u64()
 		g.Ops[i].Val = f.u64()
 	}
+	if nm > 0 {
+		g.Marks = make([]SessRec, nm)
+		for i := range g.Marks {
+			g.Marks[i].Sess = f.u64()
+			g.Marks[i].Seq = f.u64()
+			g.Marks[i].Payload = f.u64()
+			g.Marks[i].Key = f.u64()
+		}
+	}
 	return g, f.err
+}
+
+// encodeSessChunk builds one session-window chunk of a state transfer:
+// the primary's evicted-seq floor, a count, then one 32-byte record per
+// session.
+func encodeSessChunk(recs []SessRec, floor uint64) []byte {
+	b := make([]byte, 0, 1+16+32*len(recs))
+	b = append(b, FrameSessChunk)
+	b = u64(b, floor)
+	b = u64(b, uint64(len(recs)))
+	for _, m := range recs {
+		b = u64(b, m.Sess)
+		b = u64(b, m.Seq)
+		b = u64(b, m.Payload)
+		b = u64(b, m.Key)
+	}
+	return b
+}
+
+// decodeSessChunk parses a session-window chunk payload.
+func decodeSessChunk(payload []byte) ([]SessRec, uint64, error) {
+	f := &frameReader{b: payload, off: 1}
+	floor := f.u64()
+	n := f.u64()
+	if f.err != nil {
+		return nil, 0, f.err
+	}
+	if n > uint64(len(payload)/32) {
+		return nil, 0, fmt.Errorf("repl: session chunk count %d exceeds frame", n)
+	}
+	recs := make([]SessRec, n)
+	for i := range recs {
+		recs[i].Sess = f.u64()
+		recs[i].Seq = f.u64()
+		recs[i].Payload = f.u64()
+		recs[i].Key = f.u64()
+	}
+	return recs, floor, f.err
 }
 
 // encodeAck builds the follower's cumulative acknowledgement: the

@@ -60,6 +60,34 @@ const (
 // directory (atlas.AuxLogDir).
 const auxEpochSlot = 1
 
+// auxSessSlot is the heap auxiliary-root slot anchoring the session
+// dedup table: the persistent window behind exactly-once retries (see
+// DESIGN.md §12). Like the epoch frontier it lives in an allocated
+// block because Aux slots are GC roots. The block layout is a two-word
+// header {capacity, eviction floor} followed by capacity four-word
+// records {session id, highest applied seq, reply payload, witness
+// key}; session id 0 marks an empty record. All mutations of record
+// and floor words happen inside the Atlas critical section of the
+// operation they witness (via th.Store), which is exactly what makes a
+// dedup record and its operation's effect atomic across a crash.
+const auxSessSlot = 2
+
+// Session-table word layout. The header's capacity word is read at
+// reattach so a table keeps the size it was built with; the floor word
+// is the highest sequence number ever evicted from the table (the
+// `seq too old` boundary).
+const (
+	SessCapWord   = 0
+	SessFloorWord = 1
+	SessHdrWords  = 2
+
+	SessRecSess    = 0
+	SessRecSeq     = 1
+	SessRecPayload = 2
+	SessRecKey     = 3
+	SessRecWords   = 4
+)
+
 // Stack is one assembled storage stack. RT, Map and List are nil for a
 // heap-only stack (see HeapOnly).
 type Stack struct {
@@ -89,6 +117,13 @@ type Stack struct {
 	// at Aux slot auxEpochSlot. Nil on heap-only stacks.
 	epochPtr pheap.Ptr
 
+	// sessPtr is the session dedup-table block anchored at Aux slot
+	// auxSessSlot (header + records; see the slot's layout comment).
+	// Nil on heap-only stacks. sessCap is the record capacity read from
+	// the header.
+	sessPtr pheap.Ptr
+	sessCap int
+
 	cfg config // retained so CrashReattach can rebuild identically
 }
 
@@ -101,6 +136,7 @@ type config struct {
 	buckets       int
 	perMutex      int
 	listLevels    int
+	sessSlots     int
 	heapOnly      bool
 	tel           *telemetry.Registry
 	telemetryOff  bool
@@ -114,6 +150,7 @@ func defaults() config {
 		buckets:    4096,
 		perMutex:   256,
 		listLevels: 16,
+		sessSlots:  256,
 	}
 }
 
@@ -176,6 +213,13 @@ func WithBuckets(buckets, perMutex int) Option {
 // a reopened list keeps the level it was built with.
 func WithListLevels(n int) Option {
 	return func(c *config) { c.listLevels = n }
+}
+
+// WithSessionSlots sizes the session dedup table (records per stack,
+// default 256, minimum 1). Only consulted when a fresh table is
+// created; a reattached table keeps the capacity in its header.
+func WithSessionSlots(n int) Option {
+	return func(c *config) { c.sessSlots = n }
 }
 
 // HeapOnly stops the stack at the persistent heap: no Atlas runtime, no
@@ -291,6 +335,12 @@ func New(opts ...Option) (*Stack, error) {
 		return nil, err
 	}
 	s.epochPtr = ep
+	sp, _, err := ensureSessAnchor(heap, c.sessSlots)
+	if err != nil {
+		return nil, err
+	}
+	s.sessPtr = sp
+	s.sessCap = int(heap.Load(sp, SessCapWord))
 	dev.FlushAll()
 	s.RT = rt
 	s.Map = m
@@ -318,6 +368,36 @@ func ensureEpochAnchor(heap *pheap.Heap) (pheap.Ptr, bool, error) {
 	heap.SetAux(auxEpochSlot, p)
 	return p, true, nil
 }
+
+// ensureSessAnchor returns the session dedup-table block, allocating
+// and anchoring one when the heap predates detectable operations. Like
+// ensureEpochAnchor, the second result tells Reattach to flush the
+// fresh block. Record words are zeroed (session id 0 = empty), so a
+// fresh table suppresses nothing and rejects nothing.
+func ensureSessAnchor(heap *pheap.Heap, slots int) (pheap.Ptr, bool, error) {
+	if p := heap.Aux(auxSessSlot); !p.IsNil() {
+		return p, false, nil
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	p, err := heap.Alloc(SessHdrWords + SessRecWords*slots)
+	if err != nil {
+		return pheap.Nil, false, fmt.Errorf("stack: session table: %w", err)
+	}
+	heap.Store(p, SessCapWord, uint64(slots))
+	heap.Store(p, SessFloorWord, 0)
+	for w := 0; w < SessRecWords*slots; w++ {
+		heap.Store(p, SessHdrWords+w, 0)
+	}
+	heap.SetAux(auxSessSlot, p)
+	return p, true, nil
+}
+
+// SessTable exposes the persistent session dedup table: the block
+// pointer (layout per the Sess* word constants) and its record
+// capacity. The pointer is nil on heap-only stacks.
+func (s *Stack) SessTable() (pheap.Ptr, int) { return s.sessPtr, s.sessCap }
 
 // SetDurableEpoch publishes e as the persistent epoch frontier: every
 // relaxed-tier write acknowledged with an epoch stamp ≤ e has been
@@ -428,18 +508,25 @@ func Reattach(dev *nvm.Device, opts ...Option) (*Stack, error) {
 		}
 		dev.FlushAll()
 	}
-	ep, fresh, err := ensureEpochAnchor(heap)
+	ep, freshEpoch, err := ensureEpochAnchor(heap)
 	if err != nil {
 		return nil, err
 	}
-	if fresh {
-		// Lazy upgrade of a pre-epoch heap: make the anchor durable now so
-		// a later SetDurableEpoch never races a crash that would lose the
-		// Aux slot itself. FlushAll (not two FlushWords) because SetAux
-		// wrote a header word whose address the heap does not expose.
+	sp, freshSess, err := ensureSessAnchor(heap, c.sessSlots)
+	if err != nil {
+		return nil, err
+	}
+	if freshEpoch || freshSess {
+		// Lazy upgrade of a pre-epoch (or pre-session) heap: make the
+		// anchors durable now so a later frontier/record store never races
+		// a crash that would lose the Aux slot itself. FlushAll (not
+		// per-word flushes) because SetAux wrote a header word whose
+		// address the heap does not expose.
 		dev.FlushAll()
 	}
 	s.epochPtr = ep
+	s.sessPtr = sp
+	s.sessCap = int(heap.Load(sp, SessCapWord))
 	if reg != nil {
 		m.SetTelemetry(reg.Map)
 		reg.Generation.Inc()

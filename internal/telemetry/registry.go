@@ -272,6 +272,16 @@ type ServerStats struct {
 	EpochFlushed Counter // overlay entries drained into Atlas at epoch close
 	EpochSkipped Counter // epoch closes that withheld the frontier (crash raced)
 	Waits        Counter // wait barrier requests served
+
+	// The session counters instrument the exactly-once dedup window:
+	// how many sessioned (seq-tagged) mutations arrived, how many were
+	// suppressed as duplicates of an already-applied request, how many
+	// were rejected as older than the eviction floor, and how many
+	// records the bounded window evicted to make room.
+	SessionOps     Counter // seq-tagged mutations served
+	SessionDups    Counter // duplicate retries suppressed by the window
+	SessionTooOld  Counter // seq-too-old rejections (below record or floor)
+	SessionEvicted Counter // dedup records evicted from the bounded window
 }
 
 // Reset zeroes the section.
@@ -297,6 +307,10 @@ func (s *ServerStats) Reset() {
 	s.EpochFlushed.Reset()
 	s.EpochSkipped.Reset()
 	s.Waits.Reset()
+	s.SessionOps.Reset()
+	s.SessionDups.Reset()
+	s.SessionTooOld.Reset()
+	s.SessionEvicted.Reset()
 }
 
 // RecoveryStats accumulates crash/recovery outcomes across a stack's
@@ -493,6 +507,10 @@ func (r *Registry) Walk(fn func(name string, value uint64)) {
 	fn("server_relaxed_ops", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.RelaxedOps }))
 	fn("server_fire_ops", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.FireOps }))
 	fn("server_epoch_closes", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.EpochCloses }))
+	fn("server_session_ops", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.SessionOps }))
+	fn("server_session_dups", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.SessionDups }))
+	fn("server_session_too_old", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.SessionTooOld }))
+	fn("server_session_evicted", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.SessionEvicted }))
 	fn("server_epoch_flushed", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.EpochFlushed }))
 	fn("server_epoch_skipped", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.EpochSkipped }))
 	fn("server_waits", fieldLoad(sv, func(s *ServerStats) *Counter { return &s.Waits }))

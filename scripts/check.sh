@@ -81,6 +81,20 @@ for s in 1 2 3; do
 	go run -race ./cmd/faultinject -durability-only -durability-cycles 5 -seed "$s"
 done
 
+# The exactly-once retry campaign, three seeds under the race detector:
+# a replicated pair under a sessioned retry storm (every mutation
+# resent as a lost-ack duplicate), a power failure mid-storm and a
+# follower promotion per cycle; no duplicate may ever apply twice.
+echo "== exactly-once retry campaign (3x, -race)"
+for s in 1 2 3; do
+	go run -race ./cmd/faultinject -exactly-once -exactly-once-cycles 2 -seed "$s"
+done
+
+# The doc-drift gate: docs/PROTOCOL.md (the canonical wire reference)
+# must match the live flag set and both adapters' command sets.
+echo "== doc drift (docs/PROTOCOL.md vs tspcached -help + adapters)"
+sh scripts/check_docs.sh
+
 # Report-only perf gate: diff the working tspbench report (if any)
 # against the committed baseline. Never fails the check — single runs
 # are too noisy — but a regression prints loudly.

@@ -1,0 +1,71 @@
+#!/bin/sh
+# check_docs.sh — the doc-drift gate. docs/PROTOCOL.md is the canonical
+# wire and operations reference; this script fails the build when it
+# drifts from the code it documents:
+#
+#   1. The flag table in docs/PROTOCOL.md must list exactly the flags
+#      the live `tspcached -help` prints (names compared both ways).
+#   2. Every command keyword each protocol adapter dispatches on must
+#      appear as a command entry in docs/PROTOCOL.md (native lowercase,
+#      RESP uppercase).
+#   3. README.md must point at docs/PROTOCOL.md, and any flag rows it
+#      still carries must name live flags.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+doc=docs/PROTOCOL.md
+fail=0
+
+# --- 1. flag table vs live -help -------------------------------------
+usage=$(go run ./cmd/tspcached -h 2>&1 || true)
+live=$(printf '%s\n' "$usage" | awk '/^  -/{print $1}' | sort -u)
+if [ -z "$live" ]; then
+	echo "check_docs: could not read flags from 'tspcached -h'" >&2
+	exit 1
+fi
+documented=$(grep '^| `-' "$doc" | sed 's/^| `\(-[a-z-]*\)`.*/\1/' | sort -u)
+if [ "$live" != "$documented" ]; then
+	echo "check_docs: $doc flag table drifted from 'tspcached -h'" >&2
+	echo "--- live flags" >&2
+	printf '%s\n' "$live" >&2
+	echo "--- documented flags" >&2
+	printf '%s\n' "$documented" >&2
+	fail=1
+fi
+
+# --- 2. adapter command sets vs the command tables -------------------
+# The dispatch switches spell every command as eqFold(cmd, "<name>"),
+# which makes the authoritative command list greppable.
+native=$(grep -o 'eqFold(cmd, "[a-z]*")' internal/proto/native.go | sed 's/.*"\(.*\)".*/\1/' | sort -u)
+for c in $native; do
+	if ! grep -q '`'"$c"'[ `]' "$doc"; then
+		echo "check_docs: native command \`$c\` missing from $doc" >&2
+		fail=1
+	fi
+done
+resp=$(grep -o 'eqFold(cmd, "[a-z]*")' internal/proto/resp.go | sed 's/.*"\(.*\)".*/\1/' | tr 'a-z' 'A-Z' | sort -u)
+for c in $resp; do
+	if ! grep -q '`'"$c"'[ `]' "$doc"; then
+		echo "check_docs: RESP command \`$c\` missing from $doc" >&2
+		fail=1
+	fi
+done
+
+# --- 3. README points at the reference and carries no stale flags ----
+if ! grep -q 'docs/PROTOCOL\.md' README.md; then
+	echo "check_docs: README.md does not reference docs/PROTOCOL.md" >&2
+	fail=1
+fi
+readme_flags=$(grep '^| `-' README.md | sed 's/^| `\(-[a-z-]*\)`.*/\1/' | sort -u || true)
+for f in $readme_flags; do
+	if ! printf '%s\n' "$live" | grep -qx -- "$f"; then
+		echo "check_docs: README.md documents flag $f that tspcached does not have" >&2
+		fail=1
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "docs in sync with the code (flags + command tables)"
