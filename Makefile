@@ -3,7 +3,7 @@ GO ?= go
 .PHONY: build test check bench-shards bench-json bench-telemetry bench-batch bench-diff \
 	bench-repl bench-read bench-pipeline bench-ordered bench-epoch bench-session \
 	bench-cacheserver-baseline demo-repl campaign-durability campaign-exactly-once \
-	check-docs
+	campaign-cluster bench-cluster check-docs
 
 build:
 	$(GO) build ./...
@@ -84,6 +84,23 @@ campaign-durability:
 # duplicate may ever apply twice. check.sh runs this 3x under -race.
 campaign-exactly-once:
 	$(GO) run ./cmd/faultinject -exactly-once -exactly-once-cycles 4
+
+# The cluster crash-and-rebalance campaign: three nodes behind the
+# routing proxy under a duplicate-send storm, one owning node crashed
+# mid-storm, then every one of its slots migrated away while traffic
+# continues; zero acked-write loss across the flips, exactly-once
+# replay on the new owners, MOVED correctness on the old one.
+# check.sh runs this 3x under -race.
+campaign-cluster:
+	$(GO) run ./cmd/faultinject -cluster -cluster-cycles 3
+
+# The cluster-tier benchmark: the pipelined mixed workload direct to
+# one node vs through tspproxy over 1/2/4 nodes splitting the slot
+# space. Cells merge into BENCH_tspbench.json under profile "cluster".
+# Single-core hosts understate the proxy cells badly — see the cluster
+# section of EXPERIMENTS.md before reading the ratios.
+bench-cluster:
+	$(GO) run ./cmd/tspbench -cluster -duration 500ms -json -out BENCH_tspbench.json
 
 # The exactly-once session benchmark: seq-tagged increments vs the plain
 # baseline, durable and relaxed, plus the pure duplicate-replay rate.

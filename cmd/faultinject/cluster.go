@@ -1,0 +1,287 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"tsp/internal/cacheserver"
+	"tsp/internal/cluster"
+	"tsp/internal/telemetry"
+)
+
+// The cluster campaign holds the routing tier to the paper's invariants
+// cluster-wide: three cluster nodes (two owning half the slot space
+// each, one empty) behind one routing proxy, stormed by sessioned
+// writers who send every seq-tagged increment twice (the lost-ack
+// retry), through the proxy only — the writers never learn the
+// topology. Mid-storm one owning node is power-failed and recovered
+// (the in-process SIGKILL, as in the durability campaign); then, while
+// the storm is still running, every slot it owns is migrated away
+// through the proxy — half to the other owner, half to the empty node,
+// the rebalance — so live traffic crosses the dual-write window and the
+// ring-epoch flip. The contract:
+//
+//   - zero acked-write loss: a durable writer's every ack must be
+//     exactly the previous ack plus the delta, through the crash AND
+//     through the migration flips — durable state survives both, so any
+//     gap is a lost acked write.
+//   - exactly-once cluster-wide: no retry may ever answer above its
+//     first ack (a double application), and after the storm each
+//     session's replayed last request must answer its recorded ack on
+//     whichever node now owns the key — the dedup window migrates with
+//     the slot.
+//   - redirect correctness: after the rebalance the old owner must
+//     answer MOVED (naming the new owner) for every migrated slot, and
+//     reads through the proxy must still see exactly the last acks.
+//   - Eq 1 & 2: every node's full recovery-integrity verification must
+//     pass once the storm settles.
+
+// clOps is the number of (request, resend) pairs each writer issues per
+// cycle — enough that the storm brackets the crash and the migrations.
+const clOps = 16
+
+// clMoveSlots is how many of the crashed node's slots move to EACH of
+// the two surviving nodes (the rebalance); it owns 2*clMoveSlots slots
+// before, zero after.
+const clMoveSlots = 16
+
+// runClusterCycle boots a fresh three-node cluster plus proxy, storms
+// it with duplicate-send sessioned increments, crashes node A at the
+// halfway mark, rebalances all of A's slots away under load, then
+// settles and verifies the cluster-wide contract.
+func runClusterCycle(cycle, writers int, seed int64) error {
+	node := func(slots string) (*cacheserver.Server, error) {
+		return cacheserver.New(
+			cacheserver.WithShards(2),
+			cacheserver.WithMaxConns(writers+8),
+			cacheserver.WithEpochInterval(durEpochInterval),
+			cacheserver.WithClusterSlots(slots),
+		)
+	}
+	a, err := node("0-31")
+	if err != nil {
+		return fmt.Errorf("node a: %w", err)
+	}
+	go a.Serve()
+	defer a.Close()
+	b, err := node("32-63")
+	if err != nil {
+		return fmt.Errorf("node b: %w", err)
+	}
+	go b.Serve()
+	defer b.Close()
+	c, err := node("none")
+	if err != nil {
+		return fmt.Errorf("node c: %w", err)
+	}
+	go c.Serve()
+	defer c.Close()
+	aAddr, bAddr, cAddr := a.Addr().String(), b.Addr().String(), c.Addr().String()
+
+	proxy, err := cluster.New(cluster.Config{
+		Addr:  "127.0.0.1:0",
+		Nodes: []string{aAddr, bAddr, cAddr},
+		Tel:   &telemetry.RouteStats{},
+	})
+	if err != nil {
+		return fmt.Errorf("proxy: %w", err)
+	}
+	defer proxy.Close()
+
+	// One eoWriter per session, all connected to the PROXY: a third each
+	// durable incr, relaxed incr, and durable zincr. Keys hash across
+	// the whole slot space, so some live on A (crashed + migrated) and
+	// some on B.
+	ws := make([]*eoWriter, writers)
+	for i := range ws {
+		w := &eoWriter{
+			sess: uint64(i + 1),
+			key:  uint64(seed&0xff)<<40 | uint64(cycle)<<32 | uint64(i+1)<<8 | 3,
+			cmd:  "incr", get: "get",
+		}
+		switch i % 3 {
+		case 1:
+			w.tier = " relaxed"
+		case 2:
+			w.cmd, w.get = "zincr", "zget"
+		}
+		conn, err := durDial(proxy.Addr())
+		if err != nil {
+			return err
+		}
+		defer conn.conn.Close()
+		if rep, err := conn.cmd(fmt.Sprintf("session %d", w.sess)); err != nil || !strings.HasPrefix(rep, "OK SESSION") {
+			return fmt.Errorf("proxy session handshake: %q, %v", rep, err)
+		}
+		w.c = conn
+		ws[i] = w
+	}
+
+	// The storm. Durable-tier writers additionally hold the strict
+	// zero-acked-write-loss bound: each ack advances by exactly eoDelta,
+	// across the crash and across the migration flips (durable state
+	// survives both, so any gap is a lost acked write).
+	var half, all sync.WaitGroup
+	errs := make(chan error, writers)
+	half.Add(writers)
+	all.Add(writers)
+	for _, w := range ws {
+		go func(w *eoWriter) {
+			defer all.Done()
+			for op := 0; op < clOps; op++ {
+				if op == clOps/2 {
+					half.Done()
+				}
+				prev, started := w.last, w.seq > 0
+				if err := w.sendTwice(); err != nil {
+					errs <- err
+					if op < clOps/2 {
+						half.Done()
+					}
+					return
+				}
+				if w.tier == "" && started && w.last != prev+eoDelta {
+					errs <- fmt.Errorf("session %d seq %d: durable ack %d, want %d (acked write lost)",
+						w.sess, w.seq, w.last, prev+eoDelta)
+					if op < clOps/2 {
+						half.Done()
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	half.Wait()
+
+	// Power-fail node A mid-storm and let its recovery serve the rest.
+	ctl, err := durDial(aAddr)
+	if err != nil {
+		return err
+	}
+	defer ctl.conn.Close()
+	if rep, err := ctl.cmd("crash"); err != nil || !strings.HasPrefix(rep, "OK RECOVERED EPOCH ") {
+		return fmt.Errorf("crash reply: %q, %v", rep, err)
+	}
+
+	// Rebalance the recovered node out of the cluster while the storm is
+	// still running: its low slots to the empty node, the rest to the
+	// other owner, every migration driven through the proxy (which flips
+	// its own ring on each acknowledgement).
+	mig, err := durDial(proxy.Addr())
+	if err != nil {
+		return err
+	}
+	defer mig.conn.Close()
+	for slot := 0; slot < 2*clMoveSlots; slot++ {
+		target := cAddr
+		if slot >= clMoveSlots {
+			target = bAddr
+		}
+		rep, err := mig.cmd(fmt.Sprintf("migrate %d %s", slot, target))
+		if err != nil {
+			return fmt.Errorf("migrate %d: %w", slot, err)
+		}
+		if !strings.HasPrefix(rep, "OK MIGRATED") {
+			return fmt.Errorf("migrate %d: %q", slot, rep)
+		}
+		campTel.Migrations.Inc()
+	}
+
+	all.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Settle: replay each session's last request through the proxy — the
+	// dedup record migrated with its slot, so whichever node owns the
+	// key now must suppress the duplicate — then barrier and read back
+	// exactly the last ack.
+	for _, w := range ws {
+		v, err := w.replayLast(w.c)
+		if err != nil {
+			return err
+		}
+		if w.tier == "" && v != w.last {
+			return fmt.Errorf("session %d: durable replay answered %d, last ack %d", w.sess, v, w.last)
+		}
+		if v > w.last {
+			return fmt.Errorf("session %d: replay answered %d above last ack %d (double application)", w.sess, v, w.last)
+		}
+		w.last = v
+		if _, err := w.c.cmd("wait"); err != nil {
+			return err
+		}
+		rep, err := w.c.cmd(fmt.Sprintf("%s %d", w.get, w.key))
+		if err != nil {
+			return err
+		}
+		want := fmt.Sprintf("VALUE %d %d", w.key, w.last)
+		if rep != want {
+			return fmt.Errorf("session %d: read %q, want %q", w.sess, rep, want)
+		}
+	}
+
+	// The rebalanced-away node must redirect every migrated slot to its
+	// new owner.
+	for _, w := range ws {
+		slot := cluster.SlotOf(w.key)
+		if slot >= 2*clMoveSlots {
+			continue
+		}
+		target := cAddr
+		if slot >= clMoveSlots {
+			target = bAddr
+		}
+		rep, err := ctl.cmd(fmt.Sprintf("get %d", w.key))
+		if err != nil {
+			return err
+		}
+		if rep != fmt.Sprintf("MOVED %d %s", slot, target) {
+			return fmt.Errorf("old owner answered %q for slot %d, want MOVED to %s", rep, slot, target)
+		}
+	}
+
+	// Eq 1 & 2 on every node.
+	for name, srv := range map[string]*cacheserver.Server{"a": a, "b": b, "c": c} {
+		if err := srv.VerifyAll(); err != nil {
+			return fmt.Errorf("node %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// runCluster runs the campaign: n cycles, each against a fresh
+// three-node cluster and proxy. Reported in the scenario table's
+// format; returns false if any cycle broke the cluster-wide contract.
+func runCluster(n, threads int, seed int64) bool {
+	writers := threads
+	if writers < 6 {
+		writers = 6
+	}
+	consistent := 0
+	var firstErr error
+	for cycle := 0; cycle < n; cycle++ {
+		if err := runClusterCycle(cycle, writers, seed); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		consistent++
+	}
+	campTel.Record(n, consistent)
+	campTel.Crashes.Add(uint64(n))
+	status := "OK"
+	if consistent != n {
+		status = "FAILED"
+	}
+	fmt.Printf("%-55s %3d/%3d consistent  %s\n", "cluster storm + node crash + slot rebalance", consistent, n, status)
+	if firstErr != nil {
+		fmt.Printf("    failure: %v\n", firstErr)
+	}
+	return consistent == n
+}

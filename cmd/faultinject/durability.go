@@ -367,6 +367,8 @@ func runDurability(n, threads int, seed int64) bool {
 	// map and skip-list invariants after the whole crash storm.
 	verifyErr := srv.VerifyAll()
 
+	campTel.Record(n, consistent)
+	campTel.Crashes.Add(uint64(n))
 	status := "OK"
 	if consistent != n || verifyErr != nil {
 		status = "FAILED"

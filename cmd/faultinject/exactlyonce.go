@@ -313,6 +313,8 @@ func runExactlyOnce(n, threads int, seed int64) bool {
 		}
 		consistent++
 	}
+	campTel.Record(n, consistent)
+	campTel.Crashes.Add(uint64(n))
 	status := "OK"
 	if consistent != n {
 		status = "FAILED"

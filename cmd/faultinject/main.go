@@ -25,11 +25,26 @@
 // on the recovered primary or the promoted follower. -exactly-once runs
 // just that campaign; -exactly-once-cycles sets its cycle count.
 //
+// The cluster campaign (see cluster.go) runs a three-node cluster
+// behind a routing proxy under the same duplicate-send storm, crashes
+// one owning node mid-storm, then migrates every one of its slots away
+// while traffic continues — holding the cluster to zero acked-write
+// loss across the migration flips, exactly-once replay on whichever
+// node owns each key afterwards, MOVED correctness on the old owner,
+// and Eq 1 & 2 on every node. -cluster runs just that campaign;
+// -cluster-cycles sets its cycle count.
+//
+// Every campaign also tallies into the telemetry registry's campaign_*
+// vocabulary; the final "STAT campaign_* <n>" lines are the same schema
+// a server's `stats` command speaks, so campaign results aggregate and
+// diff with the shared Snapshot arithmetic.
+//
 // Usage:
 //
 //	faultinject [-n 100] [-threads 8] [-seed 1] [-hazard]
 //	            [-durability-only] [-durability-cycles 10]
 //	            [-exactly-once] [-exactly-once-cycles 4]
+//	            [-cluster] [-cluster-cycles 3]
 package main
 
 import (
@@ -38,7 +53,21 @@ import (
 	"os"
 
 	"tsp/internal/harness"
+	"tsp/internal/telemetry"
 )
+
+// campTel accumulates every campaign's outcome in the telemetry
+// registry's campaign_* vocabulary (see printCampaignStats).
+var campTel = &telemetry.CampaignStats{}
+
+// printCampaignStats renders the accumulated campaign counters in the
+// servers' STAT vocabulary — one schema for campaigns and servers.
+func printCampaignStats() {
+	fmt.Println()
+	campTel.Walk(func(name string, v uint64) {
+		fmt.Printf("STAT %s %d\n", name, v)
+	})
+}
 
 func main() {
 	n := flag.Int("n", 100, "crashes to inject per configuration")
@@ -49,16 +78,30 @@ func main() {
 	durCycles := flag.Int("durability-cycles", 10, "crash cycles in the durability-tier campaign")
 	eoOnly := flag.Bool("exactly-once", false, "run only the exactly-once retry campaign (replicated pair, crash + promote)")
 	eoCycles := flag.Int("exactly-once-cycles", 4, "crash+promote cycles in the exactly-once campaign")
+	clOnly := flag.Bool("cluster", false, "run only the cluster campaign (3 nodes + proxy, crash + slot rebalance)")
+	clCycles := flag.Int("cluster-cycles", 3, "crash+rebalance cycles in the cluster campaign")
 	flag.Parse()
 
 	if *durOnly {
-		if !runDurability(*durCycles, *threads, *seed) {
+		ok := runDurability(*durCycles, *threads, *seed)
+		printCampaignStats()
+		if !ok {
 			os.Exit(1)
 		}
 		return
 	}
 	if *eoOnly {
-		if !runExactlyOnce(*eoCycles, *threads, *seed) {
+		ok := runExactlyOnce(*eoCycles, *threads, *seed)
+		printCampaignStats()
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+	if *clOnly {
+		ok := runCluster(*clCycles, *threads, *seed)
+		printCampaignStats()
+		if !ok {
 			os.Exit(1)
 		}
 		return
@@ -99,6 +142,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", sc.name, err)
 			os.Exit(1)
 		}
+		// The hazard demo is excluded from the shared tally: its failures
+		// are the expected demonstration, not campaign inconsistency.
+		if sc.expect == "all" {
+			campTel.Record(camp.Runs, camp.Consistent)
+			campTel.Crashes.Add(uint64(camp.Runs))
+		}
 		status := "OK"
 		if sc.expect == "all" && !camp.OK() {
 			status = "FAILED"
@@ -130,5 +179,11 @@ func main() {
 	if !runExactlyOnce(*eoCycles, *threads, *seed) {
 		exitCode = 1
 	}
+	// The cluster campaign holds the routing tier to zero acked-write
+	// loss across crash and slot rebalance (see cluster.go).
+	if !runCluster(*clCycles, *threads, *seed) {
+		exitCode = 1
+	}
+	printCampaignStats()
 	os.Exit(exitCode)
 }

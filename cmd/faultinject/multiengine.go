@@ -198,6 +198,8 @@ func runMultiEngine(n, threads int, seed int64) bool {
 			firstErr = res.err
 		}
 	}
+	campTel.Record(n, consistent)
+	campTel.Crashes.Add(uint64(n))
 	status := "OK"
 	if consistent != n {
 		status = "FAILED"

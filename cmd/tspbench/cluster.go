@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsp/internal/cacheserver"
+	"tsp/internal/cluster"
+	"tsp/internal/proto"
+	"tsp/internal/stats"
+	"tsp/internal/telemetry"
+)
+
+// The cluster-tier benchmark: the same pipelined native traffic the
+// -pipeline mode drives, but measured through the routing tier. The
+// baseline is one node addressed directly; the comparison cells route
+// the identical client load through one tspproxy over 1, 2, and 4
+// cluster nodes (slot space split evenly), so the deltas isolate (a)
+// the proxy hop's cost at depth 1 — the latency acceptance — and (b)
+// how aggregate set+get throughput moves as the slot space spreads
+// across nodes — the scaling acceptance. Every frontend connection
+// multiplexes onto one shared pipelined backend connection per node,
+// so the proxy's backend write count stays one per decoded batch.
+//
+// Caveat recorded with the committed numbers: on a single-core host
+// every node, the proxy, and the clients compete for the same CPU, so
+// node-count scaling measures scheduling overlap, not hardware
+// parallelism; see EXPERIMENTS.md.
+
+// clusterNodeCounts are the proxy cell sizes.
+var clusterNodeCounts = []int{1, 2, 4}
+
+// clusterClients is the concurrent frontend connection count per
+// throughput cell.
+const clusterClients = 4
+
+// clusterKeys bounds the keyspace (preloaded, as in -pipeline).
+const clusterKeys = 8192
+
+// clusterDepth is the pipeline depth of the throughput cells.
+const clusterDepth = 64
+
+// runClusterMode measures the direct baseline and the proxy cells and
+// appends them to the report under profile "cluster".
+func runClusterMode(duration time.Duration, seed int64, report *benchReport) {
+	fmt.Println("Cluster tier (native protocol over TCP; mixed 50/50 set+get; aggregate")
+	fmt.Printf("req/s over %d pipelined connections at depth %d; p50 at depth 1)\n", clusterClients, clusterDepth)
+	fmt.Println()
+	tbl := stats.Table{Header: []string{"cell", "req/s", "p50 us/req", "p99 us/req"}}
+
+	addCell := func(name, addr string, clients, depth int) benchCell {
+		cell, err := runClusterCell(name, addr, clients, depth, duration, seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tbl.AddRow(name,
+			fmt.Sprintf("%.0f", cell.BestMIterPerSec*1e6),
+			fmt.Sprintf("%.1f", cell.P50Ns/1e3),
+			fmt.Sprintf("%.1f", cell.P99Ns/1e3))
+		report.Cells = append(report.Cells, cell)
+		return cell
+	}
+
+	// Direct baseline: one plain node, no routing tier in the path.
+	direct, err := cacheserver.New(cacheserver.WithShards(2), cacheserver.WithMaxConns(clusterClients+4))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	go direct.Serve()
+	directThr := addCell("direct_mixed_d64", direct.Addr().String(), clusterClients, clusterDepth)
+	directLat := addCell("direct_mixed_d1", direct.Addr().String(), 1, 1)
+	direct.Close()
+
+	// Proxy cells: n nodes splitting the slot space evenly, one proxy.
+	var proxyThr, proxyLat benchCell
+	for _, n := range clusterNodeCounts {
+		nodes := make([]*cacheserver.Server, n)
+		addrs := make([]string, n)
+		for i := range nodes {
+			lo, hi := i*cluster.NumSlots/n, (i+1)*cluster.NumSlots/n-1
+			// One shard per node: the cluster already partitions the
+			// keyspace by slot, so per-node sharding only multiplies
+			// runnable workers per core.
+			srv, err := cacheserver.New(
+				cacheserver.WithShards(1),
+				cacheserver.WithMaxConns(clusterClients+4),
+				cacheserver.WithClusterSlots(fmt.Sprintf("%d-%d", lo, hi)),
+			)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			go srv.Serve()
+			nodes[i] = srv
+			addrs[i] = srv.Addr().String()
+		}
+		p, err := cluster.New(cluster.Config{Nodes: addrs, Tel: &telemetry.RouteStats{}})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cell := addCell(fmt.Sprintf("proxy%d_mixed_d64", n), p.Addr(), clusterClients, clusterDepth)
+		if n == clusterNodeCounts[len(clusterNodeCounts)-1] {
+			proxyThr = cell
+			proxyLat = addCell(fmt.Sprintf("proxy%d_mixed_d1", n), p.Addr(), 1, 1)
+		}
+		p.Close()
+		for _, srv := range nodes {
+			srv.Close()
+		}
+	}
+	fmt.Print(tbl.String())
+	if directThr.BestMIterPerSec > 0 && directLat.P50Ns > 0 {
+		fmt.Printf("\nproxy%d aggregate vs direct: %.2fx; proxy depth-1 p50 vs direct: %.2fx\n",
+			clusterNodeCounts[len(clusterNodeCounts)-1],
+			proxyThr.BestMIterPerSec/directThr.BestMIterPerSec,
+			proxyLat.P50Ns/directLat.P50Ns)
+	}
+}
+
+// runClusterCell drives one cell: `clients` connections to addr, each
+// pipelining `depth`-request bursts of alternating set/get against a
+// preloaded keyspace. Aggregate rate is total requests over the wall
+// window; latency percentiles are per request (burst wall time divided
+// by depth), as in the pipeline cells.
+func runClusterCell(name, addr string, clients, depth int, duration time.Duration, seed int64) (benchCell, error) {
+	// Preload on one connection so gets hit and sets overwrite.
+	pre, err := net.Dial("tcp", addr)
+	if err != nil {
+		return benchCell{}, err
+	}
+	prer := bufio.NewReaderSize(pre, 1<<16)
+	na := proto.Native{}
+	buf := make([]byte, 0, 1<<16)
+	req := proto.Request{Cmd: proto.CmdSet}
+	sent := 0
+	for k := uint64(0); k < clusterKeys; k++ {
+		req.KV = append(req.KV[:0], k, k)
+		buf = na.AppendRequest(buf, &req)
+		sent++
+		if len(buf) >= 32<<10 || k == clusterKeys-1 {
+			if _, err := pre.Write(buf); err != nil {
+				pre.Close()
+				return benchCell{}, err
+			}
+			for ; sent > 0; sent-- {
+				if _, err := prer.ReadSlice('\n'); err != nil {
+					pre.Close()
+					return benchCell{}, fmt.Errorf("%s preload: %w", name, err)
+				}
+			}
+			buf = buf[:0]
+		}
+	}
+	pre.Close()
+
+	var total atomic.Uint64
+	var mu sync.Mutex
+	var bursts []time.Duration
+	var firstErr error
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer conn.Close()
+			r := bufio.NewReaderSize(conn, 1<<16)
+			rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+			var req proto.Request
+			buf := make([]byte, 0, 1<<15)
+			var local []time.Duration
+			n := uint64(0)
+			for time.Now().Before(deadline) {
+				buf = buf[:0]
+				for i := 0; i < depth; i++ {
+					if i%2 == 0 {
+						req.Cmd = proto.CmdSet
+						req.KV = append(req.KV[:0], rng.Uint64()%clusterKeys, rng.Uint64()%1000)
+					} else {
+						req.Cmd = proto.CmdGet
+						req.KV = append(req.KV[:0], rng.Uint64()%clusterKeys)
+					}
+					buf = na.AppendRequest(buf, &req)
+				}
+				t0 := time.Now()
+				if _, err := conn.Write(buf); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				for i := 0; i < depth; i++ {
+					if _, err := r.ReadSlice('\n'); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("%s reply: %w", name, err)
+						}
+						mu.Unlock()
+						return
+					}
+				}
+				local = append(local, time.Since(t0))
+				n += uint64(depth)
+			}
+			total.Add(n)
+			mu.Lock()
+			bursts = append(bursts, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return benchCell{}, firstErr
+	}
+
+	perReq := func(q float64) float64 {
+		if len(bursts) == 0 {
+			return 0
+		}
+		sorted := append([]time.Duration(nil), bursts...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		idx := int(q * float64(len(sorted)-1))
+		return float64(sorted[idx]) / float64(depth)
+	}
+	cell := benchCell{
+		Profile:    "cluster",
+		Variant:    name,
+		Threads:    clients,
+		Runs:       1,
+		Iterations: total.Load(),
+		P50Ns:      perReq(0.50),
+		P99Ns:      perReq(0.99),
+	}
+	if elapsed > 0 {
+		cell.BestMIterPerSec = float64(total.Load()) / elapsed.Seconds() / 1e6
+		cell.MeanMIterPerSec = cell.BestMIterPerSec
+	}
+	return cell, nil
+}

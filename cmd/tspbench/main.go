@@ -31,11 +31,17 @@
 // relaxed tiers, plus a pure duplicate-replay cell. Cells merge under
 // profile "session".
 //
+// With -cluster it benchmarks the routing tier: mixed pipelined
+// set/get traffic against one directly-addressed node versus the same
+// load through one tspproxy over 1, 2, and 4 cluster nodes, reporting
+// aggregate req/s per cell and the depth-1 p50 cost of the proxy hop.
+// Cells merge under profile "cluster".
+//
 // Usage:
 //
 //	tspbench [-duration 2s] [-seed 1] [-profiles desktop,server] [-runs 3]
 //	         [-latency] [-pipeline] [-depths 1,8,64] [-ordered] [-epoch]
-//	         [-session] [-json] [-out BENCH_tspbench.json]
+//	         [-session] [-cluster] [-json] [-out BENCH_tspbench.json]
 package main
 
 import (
@@ -101,6 +107,7 @@ func main() {
 	ordered := flag.Bool("ordered", false, "benchmark the ordered keyspace (zadd/zrange) against an in-process server instead of Table 1")
 	epoch := flag.Bool("epoch", false, "benchmark the per-command durability tiers against an in-process server instead of Table 1")
 	session := flag.Bool("session", false, "benchmark the exactly-once session dedup window against an in-process server instead of Table 1")
+	clusterMode := flag.Bool("cluster", false, "benchmark the routing tier (tspproxy over 1/2/4 nodes vs one direct node) instead of Table 1")
 	depthsFlag := flag.String("depths", "1,8,64", "comma-separated pipeline depths used with -pipeline")
 	jsonOut := flag.Bool("json", false, "also write a machine-readable report (see -out)")
 	outPath := flag.String("out", "BENCH_tspbench.json", "report path used with -json")
@@ -164,6 +171,13 @@ func main() {
 		report.Mode = "session"
 		runSessionMode(*duration, *seed, &report)
 		// Same merge discipline: only the "session" profile cells refresh.
+		if *jsonOut {
+			mergeExistingCells(*outPath, &report)
+		}
+	case *clusterMode:
+		report.Mode = "cluster"
+		runClusterMode(*duration, *seed, &report)
+		// Same merge discipline: only the "cluster" profile cells refresh.
 		if *jsonOut {
 			mergeExistingCells(*outPath, &report)
 		}

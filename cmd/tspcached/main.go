@@ -77,7 +77,7 @@
 //	          [-proto auto|native|resp] [-max-request-bytes 1048576]
 //	          [-repl-listen host:port | -replica-of host:port]
 //	          [-repl-window 4096] [-epoch-interval 5ms]
-//	          [-session-window 256]
+//	          [-session-window 256] [-cluster-slots 0-31]
 //
 // Each shard batches queued requests — from any connection — into one
 // Atlas critical section per drained group (up to -batch-max ops),
@@ -108,6 +108,13 @@
 //	$ printf 'promote\r\nget 1\r\nquit\r\n' | nc 127.0.0.1 11223
 //	OK PROMOTED
 //	VALUE 1 100
+//
+// Clustering (horizontal scale-out): -cluster-slots makes this process
+// one node of a cluster owning the given hash slots. Keyed requests
+// for other slots are answered with a MOVED redirect, the `migrate`
+// command hands a slot to another node live (data, session windows,
+// and in-flight writes included), and cmd/tspproxy serves the whole
+// cluster behind one address.
 package main
 
 import (
@@ -137,6 +144,7 @@ func main() {
 	replWindow := flag.Int("repl-window", 4096, "committed groups the replication log retains; reconnects beyond it trigger a snapshot transfer")
 	epochInterval := flag.Duration("epoch-interval", 5*time.Millisecond, "durability epoch clock period — the relaxed tier's crash-loss bound; 0 disables the tiers")
 	sessionWindow := flag.Int("session-window", 256, "per-shard session dedup records for exactly-once retries; the oldest is evicted when full")
+	clusterSlots := flag.String("cluster-slots", "", "hash slots this node owns (\"lo-hi,lo\", \"all\", or \"none\"): serve as a cluster node, answering MOVED for other slots; empty disables")
 	flag.Parse()
 
 	var m atlas.Mode
@@ -169,6 +177,7 @@ func main() {
 		cacheserver.WithReplWindow(*replWindow),
 		cacheserver.WithEpochInterval(*epochInterval),
 		cacheserver.WithSessionWindow(*sessionWindow),
+		cacheserver.WithClusterSlots(*clusterSlots),
 	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -184,6 +193,9 @@ func main() {
 	}
 	if *replicaOf != "" {
 		fmt.Printf("replication: following %s (read-only until promote)\n", *replicaOf)
+	}
+	if *clusterSlots != "" {
+		fmt.Printf("cluster: serving slots %s\n", *clusterSlots)
 	}
 	if err := srv.Serve(); err != nil {
 		fmt.Fprintln(os.Stderr, err)

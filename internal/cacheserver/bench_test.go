@@ -206,12 +206,78 @@ func benchmarkMsets(b *testing.B, nShards, batchMax int) {
 	}
 }
 
+// benchmarkMsetsPinned is benchmarkMsets with every request's 8 keys
+// pinned to ONE shard (rotating per request). A pinned group takes the
+// single-shard fast path — one pipeline enqueue, one drain to wait on —
+// where the spread group barriers on every touched shard's drain and
+// so inherits the slowest queue's convoy. The p95 gap between this
+// cell and MsetsBatched at the same shard count is that convoy,
+// isolated; see EXPERIMENTS.md.
+func benchmarkMsetsPinned(b *testing.B, nShards int) {
+	s, err := New(
+		WithShards(nShards),
+		WithBatchMax(64),
+		WithMaxConns(64),
+		WithDeviceWords(1<<22),
+	)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	// Partition the keyspace by owning shard so a request can draw all
+	// 8 keys from a single shard's pool.
+	byShard := make([][]uint64, nShards)
+	for k := uint64(0); k < 1<<16; k++ {
+		idx := s.shardOf(k).idx
+		byShard[idx] = append(byShard[idx], k)
+	}
+
+	var gid atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cs := s.newConnState()
+		defer s.releaseConn(cs)
+		rng := gid.Add(1) * 0x9e3779b97f4a7c15
+		var sb strings.Builder
+		for pb.Next() {
+			rng += 0x9e3779b97f4a7c15
+			x := rng
+			x ^= x >> 30
+			x *= 0xbf58476d1ce4e5b9
+			x ^= x >> 27
+			x *= 0x94d049bb133111eb
+			x ^= x >> 31
+			pool := byShard[x%uint64(nShards)]
+			base := x % uint64(len(pool)-8)
+			sb.Reset()
+			sb.WriteString("mset")
+			for i := uint64(0); i < 8; i++ {
+				fmt.Fprintf(&sb, " %d %d", pool[base+i], rng)
+			}
+			if resp := s.dispatch(cs, sb.String()); resp != "STORED 8" {
+				b.Fatal(resp)
+			}
+		}
+	})
+	b.StopTimer()
+	v := s.aggregateViews()
+	b.ReportMetric(us(v.cmdLat[telemetry.CmdMSet].Quantile(0.50)), "p50_us")
+	b.ReportMetric(us(v.cmdLat[telemetry.CmdMSet].Quantile(0.95)), "p95_us")
+	if n := v.batchSize.Count(); n > 0 {
+		b.ReportMetric(float64(v.batchSize.Sum)/float64(n), "ops/batch")
+	}
+}
+
 func BenchmarkMsetsBatchedShards1(b *testing.B)   { benchmarkMsets(b, 1, 64) }
 func BenchmarkMsetsBatchedShards4(b *testing.B)   { benchmarkMsets(b, 4, 64) }
 func BenchmarkMsetsBatchedShards8(b *testing.B)   { benchmarkMsets(b, 8, 64) }
 func BenchmarkMsetsUnbatchedShards1(b *testing.B) { benchmarkMsets(b, 1, 0) }
 func BenchmarkMsetsUnbatchedShards4(b *testing.B) { benchmarkMsets(b, 4, 0) }
 func BenchmarkMsetsUnbatchedShards8(b *testing.B) { benchmarkMsets(b, 8, 0) }
+
+func BenchmarkMsetsPinnedShards4(b *testing.B) { benchmarkMsetsPinned(b, 4) }
+func BenchmarkMsetsPinnedShards8(b *testing.B) { benchmarkMsetsPinned(b, 8) }
 
 func BenchmarkSetsBatchedShards1(b *testing.B)   { benchmarkMutations(b, 1, 64) }
 func BenchmarkSetsBatchedShards4(b *testing.B)   { benchmarkMutations(b, 4, 64) }

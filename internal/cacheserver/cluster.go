@@ -1,0 +1,547 @@
+package cacheserver
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tsp/internal/cluster"
+	"tsp/internal/proto"
+	"tsp/internal/repl"
+	"tsp/internal/telemetry"
+)
+
+// Cluster-node state: slot ownership, the MOVED gate, and live slot
+// migration (see internal/cluster for the ring/slot scheme and
+// DESIGN.md §13 for the soundness argument).
+//
+// A cluster node owns a subset of the hash slots. Every keyed request
+// is checked against the ownership table under a read lock (the slot
+// gate); a request touching an un-owned slot is answered with a MOVED
+// redirect instead of being executed. Migration moves one slot to
+// another node as "filtered snapshot + filtered log suffix" over the
+// follower wire format: the source streams its current copy of the
+// slot while still serving writes to it (each such write commits
+// locally AND rides the suffix — the dual-write window), then flips
+// ownership under the gate's write lock. The write lock is what makes
+// the flip sound: holding it excludes every in-flight gated request,
+// so the log position captured inside it bounds every write the source
+// ever acknowledged for the slot, and streaming through that position
+// hands the target a superset of everything acked. Relaxed-tier writes
+// are force-flushed inside the same critical section so their overlay
+// entries reach the log before the bound is read — migration is not a
+// crash, so it is not licensed to lose them.
+
+// Slot ownership states (clusterState.state entries).
+const (
+	// slotUnowned: not this node's slot; requests get MOVED with the
+	// last known owner (or "?" when none was ever learned).
+	slotUnowned int32 = iota
+	// slotOwned: served normally.
+	slotOwned
+	// slotImporting: a migration is streaming in; requests get MOVED "?"
+	// (retry shortly) until the transfer commits.
+	slotImporting
+	// slotFrozen: an outbound migration is draining its suffix; requests
+	// get MOVED "?" until the handoff commits (then MOVED <target>) or
+	// rolls back (then served again).
+	slotFrozen
+)
+
+// clusterState is a cluster node's slot table and migration machinery.
+type clusterState struct {
+	// epoch counts ownership flips on this node (starts at 1), the
+	// node-local analogue of the ring epoch.
+	epoch atomic.Uint64
+
+	// gate is the slot gate: every serveBatch holds it shared around
+	// ownership checks and execution; an ownership flip takes it
+	// exclusively, which is the migration flip's write barrier.
+	gate sync.RWMutex
+
+	// state holds each slot's ownership state (slot* constants).
+	state [cluster.NumSlots]atomic.Int32
+
+	// fwdMu guards fwd, the last known owner of each slot this node
+	// does not own — the address MOVED redirects carry.
+	fwdMu sync.Mutex
+	fwd   [cluster.NumSlots]string
+
+	// migMu serializes outbound migrations (one at a time per node).
+	migMu sync.Mutex
+
+	tel *telemetry.ClusterStats
+}
+
+// startCluster initializes cluster mode when WithClusterSlots was
+// given. Called by New after replication starts: cluster nodes need a
+// replication log even without followers — the log is what a migration
+// streams its suffix from, and forcing mutating groups through the
+// drain locks (which exec does whenever replLog is set) is what makes
+// log order match commit order.
+func (s *Server) startCluster() error {
+	if s.cfg.clusterSlots == "" {
+		return nil
+	}
+	slots, err := cluster.ParseSlots(s.cfg.clusterSlots)
+	if err != nil {
+		return fmt.Errorf("cacheserver: %w", err)
+	}
+	st := &clusterState{tel: &telemetry.ClusterStats{}}
+	st.epoch.Store(1)
+	for sl := range slots {
+		st.state[sl].Store(slotOwned)
+	}
+	s.clusterSt = st
+	if s.replLog == nil {
+		s.replLog = repl.NewLog(s.cfg.replWindow)
+		for _, sh := range s.shards {
+			sh.replLog = s.replLog
+		}
+	}
+	return nil
+}
+
+// checkReq checks every key a request addresses against the slot
+// table. It returns the MOVED reply (and true) for the first key in an
+// un-owned slot; zrange/zcount carry range bounds, not keys, and pass
+// unchecked (they answer from local slots only; the routing tier
+// merges across nodes).
+func (st *clusterState) checkReq(req *proto.Request) (proto.Reply, bool) {
+	switch req.Cmd {
+	case proto.CmdGet, proto.CmdSet, proto.CmdIncr,
+		proto.CmdZAdd, proto.CmdZGet, proto.CmdZIncr, proto.CmdZDel:
+		return st.checkKey(req.KV[0])
+	case proto.CmdDelete, proto.CmdMGet:
+		for _, k := range req.KV {
+			if rep, moved := st.checkKey(k); moved {
+				return rep, true
+			}
+		}
+	case proto.CmdMSet:
+		for i := 0; i+1 < len(req.KV); i += 2 {
+			if rep, moved := st.checkKey(req.KV[i]); moved {
+				return rep, true
+			}
+		}
+	}
+	return proto.Reply{}, false
+}
+
+// checkKey resolves one key's slot against the ownership table.
+func (st *clusterState) checkKey(key uint64) (proto.Reply, bool) {
+	slot := cluster.SlotOf(key)
+	switch st.state[slot].Load() {
+	case slotOwned:
+		return proto.Reply{}, false
+	case slotImporting, slotFrozen:
+		st.tel.MovedReplies.Inc()
+		return proto.Reply{Kind: proto.KMoved, N: slot, Msg: "?"}, true
+	default:
+		st.fwdMu.Lock()
+		addr := st.fwd[slot]
+		st.fwdMu.Unlock()
+		if addr == "" {
+			addr = "?"
+		}
+		st.tel.MovedReplies.Inc()
+		return proto.Reply{Kind: proto.KMoved, N: slot, Msg: addr}, true
+	}
+}
+
+// ownedSlots returns the sorted slots currently in state want.
+func (st *clusterState) slotsIn(want int32) []int {
+	var out []int
+	for sl := range st.state {
+		if st.state[sl].Load() == want {
+			out = append(out, sl)
+		}
+	}
+	return out
+}
+
+// serveClusterInfo renders the node's slot table: its epoch, the slots
+// it owns (as "self"), transfer states, and the last known owner of
+// every slot it has handed off.
+func (s *Server) serveClusterInfo() proto.Reply {
+	st := s.clusterSt
+	if st == nil {
+		return proto.Reply{Kind: proto.KErrClient, Msg: notClusterMsg}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "CLUSTER epoch %d\r\n", st.epoch.Load())
+	if spec := cluster.FormatSlots(st.slotsIn(slotOwned)); spec != "" {
+		fmt.Fprintf(&b, "SLOTS %s self\r\n", spec)
+	}
+	if spec := cluster.FormatSlots(st.slotsIn(slotImporting)); spec != "" {
+		fmt.Fprintf(&b, "IMPORTING %s\r\n", spec)
+	}
+	if spec := cluster.FormatSlots(st.slotsIn(slotFrozen)); spec != "" {
+		fmt.Fprintf(&b, "FROZEN %s\r\n", spec)
+	}
+	st.fwdMu.Lock()
+	for sl := 0; sl < cluster.NumSlots; sl++ {
+		if st.fwd[sl] != "" && st.state[sl].Load() == slotUnowned {
+			fmt.Fprintf(&b, "MOVED %d %s\r\n", sl, st.fwd[sl])
+		}
+	}
+	st.fwdMu.Unlock()
+	b.WriteString("END")
+	return proto.Reply{Kind: proto.KRaw, Msg: b.String()}
+}
+
+// notClusterMsg answers cluster commands on a non-cluster server.
+const notClusterMsg = "not a cluster node (start with cluster slots configured)"
+
+// migrateChunk bounds pairs per streamed snapshot frame.
+const migrateChunk = 1024
+
+// migrateLagBound is how close the pre-flip catch-up must get to the
+// log tip before the flip is taken; the remainder streams inside the
+// frozen window.
+const migrateLagBound = 64
+
+// serveMigrate executes `migrate <slot> <addr>`: stream the slot to
+// addr, then hand ownership off. Runs as a serveBatch sequence point
+// with the slot gate NOT held (it takes the gate's write lock itself
+// for the flip). Replies "OK MIGRATED <slot> <addr> pairs <n> groups
+// <m>" on success; on any failure before the handoff commits, the slot
+// rolls back to owned and the error is reported — no acked write has
+// left the source's responsibility until the target acknowledged all
+// of them.
+func (s *Server) serveMigrate(req *proto.Request) proto.Reply {
+	st := s.clusterSt
+	if st == nil {
+		return proto.Reply{Kind: proto.KErrClient, Msg: notClusterMsg}
+	}
+	slot := int(req.KV[0])
+	if slot < 0 || slot >= cluster.NumSlots {
+		return proto.Reply{Kind: proto.KErrClient,
+			Msg: fmt.Sprintf("slot %d outside 0-%d", slot, cluster.NumSlots-1)}
+	}
+	target := req.Addr
+	st.migMu.Lock()
+	defer st.migMu.Unlock()
+	if st.state[slot].Load() != slotOwned {
+		return proto.Reply{Kind: proto.KErrClient,
+			Msg: fmt.Sprintf("slot %d not owned here", slot)}
+	}
+	pairs, groups, err := s.migrateSlot(st, slot, target)
+	if err != nil {
+		st.tel.MigrationAborts.Inc()
+		return proto.Reply{Kind: proto.KErrServer, Msg: "migrate: " + err.Error()}
+	}
+	st.tel.MigrationsOut.Inc()
+	st.tel.MigratedPairs.Add(uint64(pairs))
+	st.tel.MigratedGroups.Add(uint64(groups))
+	return proto.Reply{Kind: proto.KRaw,
+		Msg: fmt.Sprintf("OK MIGRATED %d %s pairs %d groups %d", slot, target, pairs, groups)}
+}
+
+// migrateSlot runs the transfer. Caller holds migMu and has verified
+// the slot is owned.
+func (s *Server) migrateSlot(st *clusterState, slot int, target string) (npairs, ngroups int, err error) {
+	conn, err := net.DialTimeout("tcp", target, 5*time.Second)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	// Handshake: one native command, one OK line. Nothing else is
+	// written until the OK arrives, so the target's request decoder has
+	// no stream bytes buffered when it splices to frame reading.
+	if _, err := fmt.Fprintf(conn, "acceptslot %d\r\n", slot); err != nil {
+		return 0, 0, err
+	}
+	br := bufio.NewReaderSize(conn, 4<<10)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return 0, 0, fmt.Errorf("awaiting accept: %w", err)
+	}
+	if !strings.HasPrefix(line, "OK ACCEPT") {
+		return 0, 0, fmt.Errorf("target refused: %s", strings.TrimSpace(line))
+	}
+
+	mw := repl.NewMigrateWriter(conn)
+	gen0, seq0 := s.replLog.Position()
+	if err := mw.Begin(gen0, seq0); err != nil {
+		return 0, 0, err
+	}
+	// Session dedup windows first (the follower transfer's order): the
+	// records for sessions witnessed by this slot's keys, plus each
+	// shard's eviction floor — a retry refused as too old on the source
+	// must stay refused on the target.
+	for _, sh := range s.shards {
+		recs, floor := sh.sessSnapshot()
+		kept := recs[:0]
+		for _, m := range recs {
+			if cluster.SlotOf(m.Key) == slot {
+				kept = append(kept, m)
+			}
+		}
+		if len(kept) == 0 && floor == 0 {
+			continue
+		}
+		if err := mw.Sessions(kept, floor); err != nil {
+			return 0, 0, err
+		}
+	}
+	// The slot's current pairs, shard by shard. Each shard is copied
+	// under its lock and filtered after, so the pause is the copy.
+	for _, sh := range s.shards {
+		all, err := sh.pairs()
+		if err != nil {
+			return 0, 0, err
+		}
+		kept := all[:0]
+		for _, p := range all {
+			if cluster.SlotOf(p.Key) == slot {
+				kept = append(kept, p)
+			}
+		}
+		for off := 0; off < len(kept); off += migrateChunk {
+			end := off + migrateChunk
+			if end > len(kept) {
+				end = len(kept)
+			}
+			if err := mw.Pairs(kept[off:end]); err != nil {
+				return 0, 0, err
+			}
+			npairs += end - off
+		}
+	}
+	// Pre-flip catch-up: stream the log suffix the snapshot window
+	// accumulated, without blocking writers, until the gap to the tip
+	// is small. Bounded rounds — under a write storm the frozen window
+	// absorbs whatever remains.
+	seq := seq0
+	for round := 0; round < 8; round++ {
+		gen, tip := s.replLog.Position()
+		if gen != gen0 {
+			return npairs, ngroups, fmt.Errorf("log generation changed (crash during migration)")
+		}
+		if tip-seq <= migrateLagBound {
+			break
+		}
+		var n int
+		seq, n, err = s.streamSuffix(mw, slot, gen0, seq, tip)
+		ngroups += n
+		if err != nil {
+			return npairs, ngroups, err
+		}
+	}
+
+	// The flip. Under the gate's write lock no request is between its
+	// ownership check and its commit, so the log tip captured here
+	// bounds every write ever acknowledged for the slot. Relaxed
+	// overlay entries are force-flushed first — inside the lock no new
+	// ones can appear — so the bound covers the relaxed tier too. The
+	// slot leaves the lock frozen (MOVED "?"), not handed off: until
+	// the target acknowledges the complete stream, the source can still
+	// roll back to owned without having lost anything.
+	st.gate.Lock()
+	for _, sh := range s.shards {
+		sh.flushOverlay(s)
+	}
+	gen1, tip := s.replLog.Position()
+	if gen1 != gen0 {
+		st.gate.Unlock()
+		return npairs, ngroups, fmt.Errorf("log generation changed (crash during migration)")
+	}
+	suffix := make([]repl.Group, 0, tip-seq)
+	for q := seq + 1; q <= tip; q++ {
+		g, ok := s.replLog.Get(gen0, q)
+		if !ok {
+			st.gate.Unlock()
+			return npairs, ngroups, fmt.Errorf("migration fell behind the log window")
+		}
+		if fg, any := filterGroup(g, slot); any {
+			suffix = append(suffix, fg)
+		}
+	}
+	st.state[slot].Store(slotFrozen)
+	st.gate.Unlock()
+
+	rollback := func() {
+		st.state[slot].Store(slotOwned)
+	}
+	for _, g := range suffix {
+		if err := mw.Group(g); err != nil {
+			rollback()
+			return npairs, ngroups, err
+		}
+		ngroups++
+	}
+	if err := mw.End(); err != nil {
+		rollback()
+		return npairs, ngroups, err
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+		rollback()
+		return npairs, ngroups, err
+	}
+	if _, _, err := repl.ReadAck(br); err != nil {
+		rollback()
+		return npairs, ngroups, fmt.Errorf("awaiting ack: %w", err)
+	}
+	// Commit: the target applied and acknowledged everything. Publish
+	// the forward address first so no request can observe "unowned, no
+	// forward" and answer "?" when the owner is known.
+	st.fwdMu.Lock()
+	st.fwd[slot] = target
+	st.fwdMu.Unlock()
+	st.state[slot].Store(slotUnowned)
+	st.epoch.Add(1)
+	return npairs, ngroups, nil
+}
+
+// streamSuffix streams log groups (from, tip], filtered to slot,
+// returning the new position and how many groups were sent.
+func (s *Server) streamSuffix(mw *repl.MigrateWriter, slot int, gen, from, tip uint64) (uint64, int, error) {
+	n := 0
+	for q := from + 1; q <= tip; q++ {
+		g, ok := s.replLog.Get(gen, q)
+		if !ok {
+			return q - 1, n, fmt.Errorf("migration fell behind the log window")
+		}
+		if fg, any := filterGroup(g, slot); any {
+			if err := mw.Group(fg); err != nil {
+				return q, n, err
+			}
+			n++
+		}
+	}
+	return tip, n, nil
+}
+
+// filterGroup restricts a log group to ops and marks whose keys hash
+// to slot, reporting whether anything remains. The filtered group
+// copies its slices — the log ring owns the originals.
+func filterGroup(g repl.Group, slot int) (repl.Group, bool) {
+	out := repl.Group{Seq: g.Seq, Epoch: g.Epoch}
+	for _, op := range g.Ops {
+		if cluster.SlotOf(op.Key) == slot {
+			out.Ops = append(out.Ops, op)
+		}
+	}
+	for _, m := range g.Marks {
+		if cluster.SlotOf(m.Key) == slot {
+			out.Marks = append(out.Marks, m)
+		}
+	}
+	return out, len(out.Ops) > 0 || len(out.Marks) > 0
+}
+
+// beginImport validates and opens an inbound migration for
+// `acceptslot <slot>`: the slot flips to importing (requests answer
+// MOVED "?" until the transfer commits). Only an unowned slot can be
+// accepted — an abort deletes the partial copy, which must never be
+// able to destroy a slot this node legitimately serves.
+func (s *Server) beginImport(req *proto.Request) (proto.Reply, bool) {
+	st := s.clusterSt
+	if st == nil {
+		return proto.Reply{Kind: proto.KErrClient, Msg: notClusterMsg}, false
+	}
+	slot := int(req.KV[0])
+	if slot < 0 || slot >= cluster.NumSlots {
+		return proto.Reply{Kind: proto.KErrClient,
+			Msg: fmt.Sprintf("slot %d outside 0-%d", slot, cluster.NumSlots-1)}, false
+	}
+	if !st.state[slot].CompareAndSwap(slotUnowned, slotImporting) {
+		return proto.Reply{Kind: proto.KErrClient,
+			Msg: fmt.Sprintf("slot %d not accepting a transfer here", slot)}, false
+	}
+	return proto.Reply{Kind: proto.KRaw, Msg: fmt.Sprintf("OK ACCEPT %d", slot)}, true
+}
+
+// serveImport runs the receiving side of a migration after the OK
+// ACCEPT reply was flushed: the connection is spliced from the request
+// protocol to the follower wire format and every frame is applied
+// through the server's own exec path (the same stacks, Atlas critical
+// sections, and telemetry as client traffic). Ownership commits at
+// FrameSnapshotEnd; any earlier failure aborts — the slot reverts to
+// unowned and the partial copy is deleted, so a later retry (or a
+// different owner) starts clean.
+func (s *Server) serveImport(conn net.Conn, dec *proto.Decoder, slot int) {
+	st := s.clusterSt
+	ap := &replApplier{s: s, cs: s.newConnState()}
+	defer s.releaseConn(ap.cs)
+	mr := repl.NewMigrateReader(io.MultiReader(bytes.NewReader(dec.Leftover()), conn))
+	committed := false
+	defer func() {
+		if !committed {
+			st.tel.MigrationAborts.Inc()
+			s.abortImport(ap, slot)
+		}
+	}()
+	for {
+		msg, err := mr.Next()
+		if err != nil {
+			return
+		}
+		switch msg.Frame {
+		case repl.FrameSnapshotBegin:
+			// Position is informational here: the source's log positions
+			// mean nothing to this node's log.
+		case repl.FrameSessChunk:
+			if err := ap.ApplySessions(msg.Recs, msg.Floor); err != nil {
+				return
+			}
+		case repl.FrameSnapshotChunk:
+			if err := ap.ApplyPairs(msg.Pairs); err != nil {
+				return
+			}
+			st.tel.ImportedPairs.Add(uint64(len(msg.Pairs)))
+		case repl.FrameGroup:
+			if err := ap.ApplyGroup(msg.Group.Ops, msg.Group.Marks); err != nil {
+				return
+			}
+			st.tel.ImportedGroups.Inc()
+		case repl.FrameSnapshotEnd:
+			// Commit: own the slot, then acknowledge so the source can
+			// publish the handoff. The order matters — once the ack is on
+			// the wire the source stops serving the slot, so this node
+			// must already be answering for it.
+			st.state[slot].Store(slotOwned)
+			st.fwdMu.Lock()
+			st.fwd[slot] = ""
+			st.fwdMu.Unlock()
+			st.epoch.Add(1)
+			st.tel.MigrationsIn.Inc()
+			committed = true
+			repl.WriteAck(conn, 0, 0)
+			return
+		}
+	}
+}
+
+// abortImport reverts a failed inbound migration: the slot returns to
+// unowned and every key of the partial copy is deleted, so no stale
+// value can be resurrected by a later transfer.
+func (s *Server) abortImport(ap *replApplier, slot int) {
+	st := s.clusterSt
+	for _, sh := range s.shards {
+		all, err := sh.pairs()
+		if err != nil {
+			continue
+		}
+		var dels []repl.Op
+		for _, p := range all {
+			if cluster.SlotOf(p.Key) == slot {
+				dels = append(dels, repl.Op{Del: true, List: p.List, Key: p.Key})
+			}
+		}
+		if len(dels) > 0 {
+			ap.applyOps(dels)
+		}
+	}
+	st.state[slot].Store(slotUnowned)
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"tsp/internal/atlas"
+	"tsp/internal/cluster"
 	"tsp/internal/proto"
 )
 
@@ -34,6 +35,8 @@ type config struct {
 	proto           string // wire protocol: "auto" (sniff), "native", "resp"
 	maxRequestBytes int    // single-request wire-size ceiling
 	optimisticReads bool   // serve pure reads on the lock-free seqlock path
+
+	clusterSlots string // owned hash-slot spec ("lo-hi,lo" or "all"); "" = not a cluster node
 
 	epochInterval time.Duration // epoch clock period; <= 0 disables the tiers
 
@@ -106,6 +109,14 @@ func (c config) validate() error {
 	}
 	if c.sessSlots < 1 {
 		return fmt.Errorf("cacheserver: session window must be >= 1, got %d", c.sessSlots)
+	}
+	if c.clusterSlots != "" {
+		if _, err := cluster.ParseSlots(c.clusterSlots); err != nil {
+			return fmt.Errorf("cacheserver: %w", err)
+		}
+		if c.replicaOf != "" {
+			return fmt.Errorf("cacheserver: a cluster node cannot be a replication follower")
+		}
 	}
 	return nil
 }
@@ -259,6 +270,20 @@ func WithReplWindow(n int) Option {
 // concurrently retrying sessions, not to total sessions ever seen.
 func WithSessionWindow(n int) Option {
 	return func(c *config) { c.sessSlots = n }
+}
+
+// WithClusterSlots makes the server a cluster node owning the given
+// hash slots — a "lo-hi,lo" spec over internal/cluster's slot space,
+// "all", or "none" (join empty; slots arrive by migration). Keyed
+// requests for slots outside the set are answered with
+// a MOVED redirect instead of being executed; the `migrate` command
+// hands a slot (with its data, session windows, and in-flight suffix)
+// to another node live. Cluster nodes keep a replication log even
+// without followers: it is what migration streams from. Mutually
+// exclusive with WithReplicaOf (a follower mirrors its primary's
+// keyspace wholesale; slot ownership would fight the stream).
+func WithClusterSlots(spec string) Option {
+	return func(c *config) { c.clusterSlots = spec }
 }
 
 // WithEpochInterval sets the durability epoch clock's period (default

@@ -69,6 +69,12 @@ func (s *Server) handle(conn net.Conn) {
 			s.decodedBatch[cs.ptel].ObserveValue(uint64(len(batch)))
 			quit := s.serveBatch(cs, enc, batch)
 			if ferr := enc.Flush(); ferr != nil || quit {
+				if ferr == nil && cs.importSlot >= 0 {
+					// acceptslot committed this connection to an inbound
+					// migration; its OK reply is on the wire, so splice the
+					// stream onto the frame reader (see cluster.go).
+					s.serveImport(conn, dec, cs.importSlot)
+				}
 				return
 			}
 		}
@@ -176,6 +182,17 @@ func (s *Server) serveBatch(cs *connState, enc *proto.Encoder, batch []proto.Req
 	tags := cs.tags[:0]
 	defer func() { cs.ops, cs.tags = ops, tags }()
 
+	// On a cluster node the whole batch runs under the slot gate's read
+	// lock, so an ownership check and the execution it admitted cannot
+	// straddle a migration flip (which takes the write lock). Parking
+	// commands (wait) and admin sequence points (migrate itself) release
+	// the gate around their work.
+	cl := s.clusterSt
+	if cl != nil {
+		cl.gate.RLock()
+		defer cl.gate.RUnlock()
+	}
+
 	flushData := func() {
 		if len(tags) == 0 {
 			return
@@ -199,6 +216,13 @@ func (s *Server) serveBatch(cs *connState, enc *proto.Encoder, batch []proto.Req
 				rep := proto.Reply{Kind: proto.KErrServer, Msg: readOnlyMsg}
 				enc.Stage(&rep)
 				continue
+			}
+			if cl != nil {
+				if rep, moved := cl.checkReq(req); moved {
+					flushData()
+					enc.Stage(&rep)
+					continue
+				}
 			}
 			if req.HasSeq {
 				// A seq-tagged request is a detectable operation: it must
@@ -231,6 +255,14 @@ func (s *Server) serveBatch(cs *connState, enc *proto.Encoder, batch []proto.Req
 			// section, no seqlock — but the pending write group must land
 			// first so a pipelined zadd→zrange sees its own write.
 			flushData()
+			if cl != nil {
+				// zget is keyed; range reads pass (they answer from local
+				// slots, the routing tier merges across nodes).
+				if rep, moved := cl.checkReq(req); moved {
+					enc.Stage(&rep)
+					continue
+				}
+			}
 			rep := s.serveOrdered(cs, req)
 			enc.Stage(&rep)
 		case proto.CmdSession:
@@ -243,17 +275,48 @@ func (s *Server) serveBatch(cs *connState, enc *proto.Encoder, batch []proto.Req
 		case proto.CmdWait:
 			// The barrier must cover every write this connection
 			// pipelined before it, so the pending group flushes first.
+			// A parked barrier must not hold the slot gate shared — a
+			// migration flip would wait behind it.
 			flushData()
+			if cl != nil {
+				cl.gate.RUnlock()
+			}
 			rep := s.serveWait(cs, req)
+			if cl != nil {
+				cl.gate.RLock()
+			}
 			enc.Stage(&rep)
 		case proto.CmdQuit:
 			flushData()
 			rep := proto.Reply{Kind: proto.KQuit}
 			enc.Stage(&rep)
 			return true
-		default:
+		case proto.CmdAcceptSlot:
+			// Inbound migration handshake: on success the connection
+			// leaves the request protocol — serveBatch returns and handle
+			// splices the byte stream onto the frame reader. Requests
+			// pipelined after acceptslot are not served (the source sends
+			// none until it reads the OK).
 			flushData()
+			rep, ok := s.beginImport(req)
+			enc.Stage(&rep)
+			if ok {
+				cs.importSlot = int(req.KV[0])
+				return true
+			}
+		default:
+			// Admin sequence points run without the slot gate: migrate
+			// takes its write side for the ownership flip, and crash can
+			// quiesce shards for long enough that holding the gate would
+			// stall a concurrent flip.
+			flushData()
+			if cl != nil {
+				cl.gate.RUnlock()
+			}
 			rep := s.serveAdmin(req)
+			if cl != nil {
+				cl.gate.RLock()
+			}
 			enc.Stage(&rep)
 		}
 	}
@@ -448,6 +511,15 @@ func (s *Server) serveAdmin(req *proto.Request) proto.Reply {
 		s.replFollower.Stop()
 		s.readOnly.Store(false)
 		return proto.Reply{Kind: proto.KRaw, Msg: "OK PROMOTED"}
+
+	case proto.CmdCluster:
+		return s.serveClusterInfo()
+
+	case proto.CmdMigrate:
+		if s.readOnly.Load() {
+			return proto.Reply{Kind: proto.KErrServer, Msg: readOnlyMsg}
+		}
+		return s.serveMigrate(req)
 
 	case proto.CmdPing:
 		return proto.Reply{Kind: proto.KPong}

@@ -157,6 +157,11 @@ type Server struct {
 	replTel      *telemetry.ReplStats
 	readOnly     atomic.Bool
 
+	// clusterSt is the slot-ownership table and migration machinery;
+	// non-nil only when WithClusterSlots made this server a cluster
+	// node (see cluster.go).
+	clusterSt *clusterState
+
 	// decodedBatch records, per wire protocol, how many requests each
 	// decoder batch carried — the direct measure of how much pipelining
 	// clients actually present and hence how much work each protocol
@@ -213,6 +218,13 @@ func New(opts ...Option) (*Server, error) {
 	// hook touches the wake pointer the clock state initializes.
 	s.startEpochClock()
 	if err := s.startReplication(); err != nil {
+		s.stopEpochClock()
+		return nil, err
+	}
+	// Cluster mode initializes after replication so it can share the
+	// primary's log (or create a private one) before any traffic.
+	if err := s.startCluster(); err != nil {
+		s.closeReplication()
 		s.stopEpochClock()
 		return nil, err
 	}
@@ -383,6 +395,11 @@ type connState struct {
 	// share cs.ops, which the surrounding batch still owns.
 	sess uint64
 	sops []batchOp
+
+	// importSlot is set (>= 0) when an acceptslot command committed this
+	// connection to an inbound migration: serveBatch returns and handle
+	// splices the connection onto the migration stream reader.
+	importSlot int
 }
 
 type connShard struct {
@@ -391,7 +408,7 @@ type connShard struct {
 }
 
 func (s *Server) newConnState() *connState {
-	return &connState{shards: make([]connShard, len(s.shards))}
+	return &connState{shards: make([]connShard, len(s.shards)), importSlot: -1}
 }
 
 // releaseConn returns every registered thread slot at connection end.
@@ -750,6 +767,9 @@ func (s *Server) statsReset() string {
 		s.decodedBatch[p].Reset()
 	}
 	s.replTel.Reset()
+	if s.clusterSt != nil {
+		s.clusterSt.tel.Reset()
+	}
 	return "RESET"
 }
 
@@ -862,6 +882,15 @@ func (s *Server) statsAggregate() string {
 			fmt.Fprintf(&b, "STAT repl_lag_p95_us %.1f\r\n", us(lag.Quantile(0.95)))
 			fmt.Fprintf(&b, "STAT repl_lag_p99_us %.1f\r\n", us(lag.Quantile(0.99)))
 		}
+	}
+	// Cluster-node surface: ownership epoch, slot count, and the
+	// migration/redirect counters under their canonical names.
+	if st := s.clusterSt; st != nil {
+		fmt.Fprintf(&b, "STAT cluster_epoch %d\r\n", st.epoch.Load())
+		fmt.Fprintf(&b, "STAT cluster_slots_owned %d\r\n", len(st.slotsIn(slotOwned)))
+		st.tel.Walk(func(name string, v uint64) {
+			fmt.Fprintf(&b, "STAT %s %d\r\n", name, v)
+		})
 	}
 	for _, name := range agg.Names() {
 		fmt.Fprintf(&b, "STAT %s %d\r\n", name, agg[name])

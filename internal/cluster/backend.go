@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"tsp/internal/proto"
+	"tsp/internal/telemetry"
+)
+
+// pendCap bounds the replies outstanding on one backend connection.
+// Enqueueing past it blocks the sending frontend (natural
+// backpressure); the reader goroutine is always draining, so the block
+// is bounded by the node's service rate.
+const pendCap = 4096
+
+// fwd is one in-flight forwarded request: what the reply reader needs
+// to frame the reply (cmd, key count), plus a private copy of the
+// request so a redirect can re-send it after the decoder's arena has
+// moved on. A non-zero sess makes appendWire emit a session-rebind
+// command ahead of the request; the reader consumes and drops the
+// rebind's reply to keep the FIFO aligned.
+type fwd struct {
+	cmd      proto.Cmd
+	kv       []uint64
+	dur      proto.Durability
+	seq      uint64
+	hasSeq   bool
+	sess     uint64 // session to rebind before this request (0 = none)
+	addr     string // leg's target node (fanouts), or migrate target
+	waitRepl bool   // CmdWait's replication-barrier form
+
+	ch  chan proto.Reply
+	rep proto.Reply // the settled reply (moved out of ch by the waiter)
+}
+
+// newFwd returns a reusable forward slot with its reply channel.
+func newFwd() *fwd {
+	return &fwd{ch: make(chan proto.Reply, 1)}
+}
+
+// set loads a request copy into the slot for one flight.
+func (f *fwd) set(cmd proto.Cmd, kv []uint64, dur proto.Durability, seq uint64, hasSeq bool, sess uint64) {
+	f.cmd = cmd
+	f.kv = append(f.kv[:0], kv...)
+	f.dur = dur
+	f.seq = seq
+	f.hasSeq = hasSeq
+	f.sess = sess
+	f.addr = ""
+	f.waitRepl = false
+}
+
+// appendWire appends the forward's native wire form (session rebind
+// prefix first when set) to dst.
+func (f *fwd) appendWire(dst []byte) []byte {
+	var req proto.Request
+	if f.sess != 0 {
+		req.Cmd = proto.CmdSession
+		req.KV = []uint64{f.sess}
+		dst = proto.Native{}.AppendRequest(dst, &req)
+		req = proto.Request{}
+	}
+	req.Cmd = f.cmd
+	req.KV = f.kv
+	req.Dur = f.dur
+	req.Seq = f.seq
+	req.HasSeq = f.hasSeq
+	req.WaitRepl = f.waitRepl
+	if f.cmd == proto.CmdMigrate {
+		req.Addr = f.addr
+	}
+	return proto.Native{}.AppendRequest(dst, &req)
+}
+
+// backendConn is one live pipelined connection to a node: a write side
+// serialized by the owning backend's mutex and a reader goroutine that
+// walks the in-flight FIFO, parsing each reply by its request's
+// command.
+type backendConn struct {
+	conn net.Conn
+	w    *bufio.Writer
+	pend chan *fwd
+	dead chan struct{} // closed by the write-side teardown only
+}
+
+// backend is the proxy's view of one node: the current connection (if
+// any) plus its counters. A backend survives connection failures; the
+// next send re-dials.
+type backend struct {
+	addr string
+	tel  *telemetry.RouteStats
+	node *telemetry.NodeStats
+
+	mu  sync.Mutex
+	cur *backendConn
+}
+
+// errConnClosed is reported for fwds stranded by a write-side teardown.
+var errConnClosed = errors.New("connection closed")
+
+// errorReply shapes a backend failure as the error reply the frontend
+// protocol can carry.
+func errorReply(addr string, err error) proto.Reply {
+	if err == nil {
+		err = errConnClosed
+	}
+	return proto.Reply{Kind: proto.KErrServer, Msg: "cluster node " + addr + ": " + err.Error()}
+}
+
+// countError bumps the failure counters.
+func (b *backend) countError() {
+	if b.node != nil {
+		b.node.Errors.Inc()
+	}
+	if b.tel != nil {
+		b.tel.BackendErrors.Inc()
+	}
+}
+
+// get returns the live connection, dialing if needed. Callers hold mu.
+func (b *backend) get() (*backendConn, error) {
+	if b.cur != nil {
+		return b.cur, nil
+	}
+	conn, err := net.DialTimeout("tcp", b.addr, 2*time.Second)
+	if err != nil {
+		b.countError()
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	bc := &backendConn{
+		conn: conn,
+		w:    bufio.NewWriterSize(conn, 64<<10),
+		pend: make(chan *fwd, pendCap),
+		dead: make(chan struct{}),
+	}
+	b.cur = bc
+	if b.tel != nil {
+		b.tel.BackendDials.Inc()
+	}
+	go bc.readLoop(b)
+	return bc, nil
+}
+
+// send writes one batch of forwards to the node: the FIFO entries and
+// the payload bytes enter the connection under one mutex hold, so
+// interleaved frontends cannot split a batch's reply order. On error
+// every fwd in fs (and anything already in flight) is answered with an
+// error reply.
+func (b *backend) send(fs []*fwd, payload []byte) {
+	b.mu.Lock()
+	bc, err := b.get()
+	if err != nil {
+		b.mu.Unlock()
+		for _, f := range fs {
+			if f.ch != nil {
+				f.ch <- errorReply(b.addr, err)
+			}
+		}
+		return
+	}
+	for _, f := range fs {
+		bc.pend <- f
+	}
+	_, werr := bc.w.Write(payload)
+	if werr == nil {
+		werr = bc.w.Flush()
+	}
+	if werr != nil {
+		// Retire the connection; the reader wakes (dead, or the read
+		// failing after Close) and answers everything in flight,
+		// including fs.
+		b.cur = nil
+		close(bc.dead)
+		bc.conn.Close()
+		b.countError()
+	}
+	b.mu.Unlock()
+	if b.node != nil {
+		b.node.Batches.Inc()
+		b.node.Sent.Add(uint64(len(fs)))
+	}
+}
+
+// sendOne is the slow-path single-request send used by redirect
+// retries. It returns the scratch buffer for reuse.
+func (b *backend) sendOne(f *fwd, scratch []byte) []byte {
+	payload := f.appendWire(scratch[:0])
+	b.send([]*fwd{f}, payload)
+	return payload
+}
+
+// readLoop walks the in-flight FIFO, answering each fwd from the
+// connection's reply stream. On failure it retires the connection
+// under the backend mutex first — no new fwds can join — then drains
+// and answers everything stranded.
+func (bc *backendConn) readLoop(b *backend) {
+	r := bufio.NewReaderSize(bc.conn, 64<<10)
+	var rep proto.Reply
+	for {
+		var f *fwd
+		select {
+		case f = <-bc.pend:
+		case <-bc.dead:
+			bc.drainFail(b, errConnClosed)
+			return
+		}
+		// A session-rebind prefix rides the wire ahead of its request
+		// (appendWire emits both); its OK SESSION reply is consumed and
+		// dropped here to keep the FIFO aligned.
+		var err error
+		if f.sess != 0 {
+			err = proto.ReadNativeReply(r, proto.CmdSession, 1, &rep)
+		}
+		if err == nil {
+			err = proto.ReadNativeReply(r, f.cmd, len(f.kv), &rep)
+		}
+		if err != nil {
+			if f.ch != nil {
+				f.ch <- errorReply(b.addr, err)
+			}
+			// Close first so any in-progress write fails, then retire.
+			// A sender blocked enqueueing into a full FIFO holds the
+			// mutex, so drain between TryLock attempts to unblock it.
+			bc.conn.Close()
+			for !b.mu.TryLock() {
+				bc.drainFail(b, err)
+				runtime.Gosched()
+			}
+			if b.cur == bc {
+				b.cur = nil
+				b.countError()
+			}
+			b.mu.Unlock()
+			bc.drainFail(b, err)
+			return
+		}
+		if f.ch != nil {
+			out := rep
+			out.Items = append([]proto.Item(nil), rep.Items...)
+			f.ch <- out
+		}
+	}
+}
+
+// drainFail answers everything still in the FIFO with an error. It
+// runs only after the connection is retired, so the FIFO can no longer
+// grow.
+func (bc *backendConn) drainFail(b *backend, err error) {
+	for {
+		select {
+		case f := <-bc.pend:
+			if f.ch != nil {
+				f.ch <- errorReply(b.addr, err)
+			}
+		default:
+			return
+		}
+	}
+}

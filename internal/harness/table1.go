@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tsp/internal/platform"
+	"tsp/internal/telemetry"
 )
 
 // Table1Row holds the four variant measurements for one platform.
@@ -89,6 +90,17 @@ func (c CampaignResult) OK() bool { return c.Consistent == c.Runs }
 func (c CampaignResult) String() string {
 	return fmt.Sprintf("%-16s rescue=%.2f: %d/%d crashes recovered consistently",
 		c.Variant, c.RescueFraction, c.Consistent, c.Runs)
+}
+
+// Counters exports the campaign's outcome in the telemetry registry's
+// campaign_* vocabulary, so campaign reports merge (Snapshot.Add) and
+// diff (Snapshot.Sub) like any server stats section. Every run injects
+// exactly one crash, so campaign_crashes equals campaign_runs here.
+func (c CampaignResult) Counters() telemetry.Snapshot {
+	var cs telemetry.CampaignStats
+	cs.Record(c.Runs, c.Consistent)
+	cs.Crashes.Add(uint64(c.Runs))
+	return cs.Counters()
 }
 
 // Campaign injects n crashes into the configured variant and reports how

@@ -37,7 +37,9 @@ const (
 	// optimisticAttempts bounds how many void snapshots a reader tolerates
 	// before taking the stripe lock. Small on purpose: a failed snapshot
 	// means a writer is active on the stripe, and under sustained writes
-	// the locked path is the fair queue.
+	// the locked path is the fair queue. Measured across 1/2/4/8 (see
+	// EXPERIMENTS.md): the read benchmarks are flat in this knob, so 4
+	// stays as the bounded-delay middle ground.
 	optimisticAttempts = 4
 
 	// optimisticMaxSteps bounds one speculative chain walk. Chains are

@@ -1,0 +1,218 @@
+package proto
+
+// Cluster-tier wire tests: the grammar the routing tier added
+// (cluster/migrate/acceptslot, multi-key delete), the MOVED redirect
+// in both protocols, and the client-side reply reader the proxy's
+// backend FIFO depends on — including that a redirect leaves the
+// pipelined reply stream aligned.
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestNativeParseClusterCommands(t *testing.T) {
+	var na Native
+	cases := []struct {
+		in   string
+		cmd  Cmd
+		kv   []uint64
+		addr string
+		bad  bool
+	}{
+		{"cluster\r\n", CmdCluster, nil, "", false},
+		{"cluster info\r\n", CmdCluster, nil, "", false},
+		{"migrate 5 127.0.0.1:11223\r\n", CmdMigrate, []uint64{5}, "127.0.0.1:11223", false},
+		{"acceptslot 63\r\n", CmdAcceptSlot, []uint64{63}, "", false},
+		{"delete 1 2 3\r\n", CmdDelete, []uint64{1, 2, 3}, "", false},
+		{"delete 4 5 relaxed\r\n", CmdDelete, []uint64{4, 5}, "", false},
+		{"delete 9 seq=3\r\n", CmdDelete, []uint64{9}, "", false},
+		{"cluster bogus\r\n", CmdBad, nil, "", true},
+		{"migrate\r\n", CmdBad, nil, "", true},
+		{"migrate x addr\r\n", CmdBad, nil, "", true},
+		{"migrate 5\r\n", CmdBad, nil, "", true},
+		{"acceptslot\r\n", CmdBad, nil, "", true},
+		{"acceptslot x\r\n", CmdBad, nil, "", true},
+		{"delete\r\n", CmdBad, nil, "", true},
+		{"delete 1 bogus\r\n", CmdBad, nil, "", true},
+	}
+	for _, tc := range cases {
+		var req Request
+		n, err := na.Parse([]byte(tc.in), &req)
+		if err != nil || n != len(tc.in) {
+			t.Fatalf("Parse(%q) = %d, %v", tc.in, n, err)
+		}
+		if tc.bad {
+			if req.Cmd != CmdBad {
+				t.Errorf("Parse(%q).Cmd = %d, want CmdBad", tc.in, req.Cmd)
+			}
+			continue
+		}
+		if req.Cmd != tc.cmd {
+			t.Errorf("Parse(%q).Cmd = %d, want %d", tc.in, req.Cmd, tc.cmd)
+		}
+		if len(req.KV) != len(tc.kv) {
+			t.Errorf("Parse(%q).KV = %v, want %v", tc.in, req.KV, tc.kv)
+		}
+		if req.Addr != tc.addr {
+			t.Errorf("Parse(%q).Addr = %q, want %q", tc.in, req.Addr, tc.addr)
+		}
+	}
+
+	// A sessioned seq survives the multi-key grammar.
+	var req Request
+	if _, err := na.Parse([]byte("delete 9 seq=3\r\n"), &req); err != nil {
+		t.Fatal(err)
+	}
+	if !req.HasSeq || req.Seq != 3 {
+		t.Errorf("delete seq: %+v", req)
+	}
+}
+
+func TestMovedEncoding(t *testing.T) {
+	rep := Reply{Kind: KMoved, N: 9, Msg: "127.0.0.1:11223"}
+	if got := string(Native{}.Encode(nil, &rep)); got != "MOVED 9 127.0.0.1:11223\r\n" {
+		t.Errorf("native MOVED: %q", got)
+	}
+	if got := string(RESP{}.Encode(nil, &rep)); got != "-MOVED 9 127.0.0.1:11223\r\n" {
+		t.Errorf("RESP MOVED: %q", got)
+	}
+	rep.Msg = "?"
+	if got := string(Native{}.Encode(nil, &rep)); got != "MOVED 9 ?\r\n" {
+		t.Errorf("native MOVED importing: %q", got)
+	}
+}
+
+func TestClusterAppendRequestRoundTrip(t *testing.T) {
+	var na Native
+	for _, req := range []Request{
+		{Cmd: CmdCluster},
+		{Cmd: CmdMigrate, KV: []uint64{7}, Addr: "10.0.0.9:11222"},
+		{Cmd: CmdAcceptSlot, KV: []uint64{61}},
+		{Cmd: CmdDelete, KV: []uint64{1, 2, 3}},
+	} {
+		wire := na.AppendRequest(nil, &req)
+		var got Request
+		n, err := na.Parse(wire, &got)
+		if err != nil || n != len(wire) {
+			t.Fatalf("Parse(%q) = %d, %v", wire, n, err)
+		}
+		if got.Cmd != req.Cmd || got.Addr != req.Addr || len(got.KV) != len(req.KV) {
+			t.Errorf("round trip %q: %+v -> %+v", wire, req, got)
+		}
+	}
+}
+
+// reader wraps wire text for ReadNativeReply.
+func replyReader(s string) *bufio.Reader {
+	return bufio.NewReader(strings.NewReader(s))
+}
+
+func TestReadNativeReplyShapes(t *testing.T) {
+	var rep Reply
+
+	if err := ReadNativeReply(replyReader("VALUE 3 9\r\n"), CmdGet, 1, &rep); err != nil ||
+		rep.Kind != KValue || rep.Key != 3 || rep.Val != 9 {
+		t.Errorf("get: %+v, %v", rep, nil)
+	}
+	if err := ReadNativeReply(replyReader("STORED @4\r\n"), CmdSet, 1, &rep); err != nil ||
+		rep.Kind != KStored || rep.Epoch != 4 {
+		t.Errorf("relaxed set: %+v", rep)
+	}
+	if err := ReadNativeReply(replyReader("DELETED\r\nNOT_FOUND\r\n"), CmdDelete, 2, &rep); err != nil ||
+		rep.Kind != KDelete || len(rep.Items) != 2 || !rep.Items[0].Found || rep.Items[1].Found {
+		t.Errorf("multi delete: %+v", rep)
+	}
+	if err := ReadNativeReply(replyReader("VALUE 1 2\r\nNOT_FOUND 7\r\nEND\r\n"), CmdMGet, 2, &rep); err != nil ||
+		rep.Kind != KMGet || len(rep.Items) != 2 {
+		t.Errorf("mget: %+v", rep)
+	}
+	if err := ReadNativeReply(replyReader("CLUSTER epoch 2\r\nSLOTS 0-63 self\r\nEND\r\n"), CmdCluster, 0, &rep); err != nil ||
+		rep.Kind != KRaw || !strings.Contains(rep.Msg, "SLOTS 0-63 self") {
+		t.Errorf("cluster: %+v", rep)
+	}
+	if err := ReadNativeReply(replyReader("OK MIGRATED 5 x:1 pairs 10 groups 2\r\n"), CmdMigrate, 1, &rep); err != nil ||
+		rep.Kind != KRaw || !strings.HasPrefix(rep.Msg, "OK MIGRATED") {
+		t.Errorf("migrate: %+v", rep)
+	}
+	if err := ReadNativeReply(replyReader("CLIENT_ERROR nope\r\n"), CmdGet, 1, &rep); err != nil ||
+		rep.Kind != KErrClient || rep.Msg != "nope" {
+		t.Errorf("client error: %+v", rep)
+	}
+	// Streams that cannot be any reply to the command are fatal.
+	if err := ReadNativeReply(replyReader("BANANA\r\n"), CmdGet, 1, &rep); err == nil {
+		t.Error("garbage accepted as a get reply")
+	}
+}
+
+// TestReadNativeReplyMovedAlignment: a MOVED redirect can answer ANY
+// command, consumes exactly one line, and leaves the stream aligned —
+// the invariant the proxy's backend FIFO depends on when it re-sends
+// redirected requests while later replies are already buffered.
+func TestReadNativeReplyMovedAlignment(t *testing.T) {
+	r := replyReader("MOVED 12 10.0.0.2:11222\r\nVALUE 8 80\r\nMOVED 3 ?\r\nSTORED 2\r\n")
+	var rep Reply
+
+	// A redirect where an mget's multi-line block was expected: one
+	// line only, no END swallowing.
+	if err := ReadNativeReply(r, CmdMGet, 4, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != KMoved || rep.N != 12 || rep.Msg != "10.0.0.2:11222" {
+		t.Fatalf("moved: %+v", rep)
+	}
+	// The next reply in the pipeline parses cleanly.
+	if err := ReadNativeReply(r, CmdGet, 1, &rep); err != nil || rep.Kind != KValue || rep.Val != 80 {
+		t.Fatalf("reply after redirect: %+v, %v", rep, nil)
+	}
+	// An importing-owner redirect ("?") where a multi-key delete was
+	// expected.
+	if err := ReadNativeReply(r, CmdDelete, 3, &rep); err != nil || rep.Kind != KMoved || rep.Msg != "?" {
+		t.Fatalf("importing moved: %+v", rep)
+	}
+	if err := ReadNativeReply(r, CmdMSet, 4, &rep); err != nil || rep.Kind != KStoredN || rep.N != 2 {
+		t.Fatalf("reply after importing redirect: %+v", rep)
+	}
+}
+
+// TestRESPParseClusterCommands: the RESP adapter accepts the cluster
+// verbs redis clients spell (CLUSTER's subcommand is drained, MIGRATE
+// carries the target address).
+func TestRESPParseClusterCommands(t *testing.T) {
+	var ra RESP
+	parse := func(args ...string) Request {
+		var b strings.Builder
+		b.WriteString("*")
+		b.WriteString(strings.TrimSpace(string(rune('0' + len(args)))))
+		b.WriteString("\r\n")
+		for _, a := range args {
+			b.WriteString("$")
+			b.WriteString(itoa(len(a)))
+			b.WriteString("\r\n")
+			b.WriteString(a)
+			b.WriteString("\r\n")
+		}
+		var req Request
+		n, err := ra.Parse([]byte(b.String()), &req)
+		if err != nil || n != b.Len() {
+			t.Fatalf("Parse(%v) = %d, %v", args, n, err)
+		}
+		return req
+	}
+	if req := parse("CLUSTER", "INFO"); req.Cmd != CmdCluster {
+		t.Errorf("CLUSTER INFO: %+v", req)
+	}
+	if req := parse("MIGRATE", "5", "10.0.0.2:11222"); req.Cmd != CmdMigrate ||
+		len(req.KV) != 1 || req.KV[0] != 5 || req.Addr != "10.0.0.2:11222" {
+		t.Errorf("MIGRATE: %+v", req)
+	}
+	if req := parse("DEL", "1", "2", "3"); req.Cmd != CmdDelete || len(req.KV) != 3 {
+		t.Errorf("multi DEL: %+v", req)
+	}
+}
+
+// itoa is strconv.Itoa without the import churn.
+func itoa(n int) string {
+	return string(appendUint(nil, uint64(n)))
+}

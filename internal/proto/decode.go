@@ -66,6 +66,14 @@ func (d *Decoder) Use(a Adapter) { d.a = a }
 // Adapter returns the adapter currently decoding the stream.
 func (d *Decoder) Adapter() Adapter { return d.a }
 
+// Leftover returns the bytes buffered but not yet consumed by the
+// decoder. It is the hand-off a caller needs when a command switches
+// the connection from the request protocol to a framed stream (the
+// cluster tier's acceptslot does this): resume reading from Leftover
+// first, then the underlying stream. The slice aliases the decoder's
+// buffer and is valid only until the next Next/Peek call.
+func (d *Decoder) Leftover() []byte { return d.buf[d.start:d.end] }
+
 // Peek returns the first unconsumed byte, reading if none is buffered.
 func (d *Decoder) Peek() (byte, error) {
 	for d.end == d.start {

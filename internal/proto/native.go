@@ -52,6 +52,7 @@ func (r *Request) reset() {
 	r.WaitRepl = false
 	r.Seq = 0
 	r.HasSeq = false
+	r.Addr = ""
 }
 
 // bad marks the request malformed with the error reply to answer.
@@ -233,21 +234,23 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 		req.KV = append(req.KV, kn, dn)
 
 	case eqFold(cmd, "delete"):
-		k := f.next()
-		if k == nil {
-			req.bad(KErrClient, "usage: delete <key>")
-			return
+		for t := f.next(); t != nil; t = f.next() {
+			v, ok := parseUint64(t)
+			if !ok {
+				// Non-numeric tokens end the keys: they are the trailing
+				// options (tier and/or seq=<n>), as in mset.
+				if !parseOptsFrom(t, f, req) {
+					return
+				}
+				break
+			}
+			req.KV = append(req.KV, v)
 		}
-		if !parseTrailingOpts(f, req) {
-			return
-		}
-		v, ok := parseUint64(k)
-		if !ok {
-			req.bad(KErrClient, "bad key")
+		if len(req.KV) == 0 {
+			req.bad(KErrClient, "usage: delete <key> ...")
 			return
 		}
 		req.Cmd = CmdDelete
-		req.KV = append(req.KV, v)
 
 	case eqFold(cmd, "mget"):
 		for t := f.next(); t != nil; t = f.next() {
@@ -469,6 +472,43 @@ func parseNativeCommand(cmd []byte, f *fields, req *Request) {
 	case eqFold(cmd, "promote"):
 		req.Cmd = CmdPromote
 
+	case eqFold(cmd, "cluster"):
+		arg := f.next()
+		if arg != nil && (!eqFold(arg, "info") || f.next() != nil) {
+			req.bad(KErrClient, "usage: cluster [info]")
+			return
+		}
+		req.Cmd = CmdCluster
+
+	case eqFold(cmd, "migrate"):
+		slot, addr := f.next(), f.next()
+		if slot == nil || addr == nil || f.next() != nil {
+			req.bad(KErrClient, "usage: migrate <slot> <addr>")
+			return
+		}
+		sn, ok := parseUint64(slot)
+		if !ok {
+			req.bad(KErrClient, "bad slot")
+			return
+		}
+		req.Cmd = CmdMigrate
+		req.KV = append(req.KV, sn)
+		req.Addr = string(addr)
+
+	case eqFold(cmd, "acceptslot"):
+		slot := f.next()
+		if slot == nil || f.next() != nil {
+			req.bad(KErrClient, "usage: acceptslot <slot>")
+			return
+		}
+		sn, ok := parseUint64(slot)
+		if !ok {
+			req.bad(KErrClient, "bad slot")
+			return
+		}
+		req.Cmd = CmdAcceptSlot
+		req.KV = append(req.KV, sn)
+
 	case eqFold(cmd, "ping"):
 		req.Cmd = CmdPing
 
@@ -569,6 +609,12 @@ func (Native) Encode(dst []byte, rep *Reply) []byte {
 		return append(dst, "PONG\r\n"...)
 	case KEmpty:
 		return append(dst, "END\r\n"...)
+	case KMoved:
+		dst = append(dst, "MOVED "...)
+		dst = appendUint(dst, uint64(rep.N))
+		dst = append(dst, ' ')
+		dst = append(dst, rep.Msg...)
+		return append(dst, '\r', '\n')
 	case KErrClient:
 		dst = append(dst, "CLIENT_ERROR "...)
 		dst = append(dst, rep.Msg...)
@@ -659,6 +705,18 @@ func (Native) AppendRequest(dst []byte, req *Request) []byte {
 		name = "crash"
 	case CmdPromote:
 		name = "promote"
+	case CmdCluster:
+		name = "cluster"
+	case CmdMigrate:
+		dst = append(dst, "migrate "...)
+		if len(req.KV) > 0 {
+			dst = appendUint(dst, req.KV[0])
+		}
+		dst = append(dst, ' ')
+		dst = append(dst, req.Addr...)
+		return append(dst, '\r', '\n')
+	case CmdAcceptSlot:
+		name = "acceptslot"
 	case CmdPing:
 		name = "ping"
 	case CmdQuit:

@@ -90,6 +90,19 @@ const (
 	CmdCommand
 	// CmdQuit closes the connection after any staged replies flush.
 	CmdQuit
+	// CmdCluster asks for the cluster view: a node reports the slots it
+	// owns and its ring epoch, a proxy reports the full slot → owner
+	// table.
+	CmdCluster
+	// CmdMigrate hands slot KV[0] to the node at Request.Addr: the owner
+	// streams the slot's snapshot + suffix there, flips ownership, and
+	// answers misrouted commands with KMoved from then on.
+	CmdMigrate
+	// CmdAcceptSlot is the receiving side of a migration: the sender
+	// issues it first on a fresh connection, and after the OK reply the
+	// connection carries a replication-framed migration stream instead
+	// of further commands.
+	CmdAcceptSlot
 	// CmdBad is a recognized-but-malformed request; Bad/BadMsg carry
 	// the error reply the server must answer with.
 	CmdBad
@@ -182,6 +195,10 @@ type Request struct {
 	// session window.
 	HasSeq bool
 
+	// Addr is the target address a CmdMigrate names. It is the one
+	// argument that stays textual: addresses are routed, not stored.
+	Addr string
+
 	// Bad is the error class to answer with when Cmd == CmdBad
 	// (KErrClient, KErrServer or KErrProto).
 	Bad Kind
@@ -224,6 +241,10 @@ const (
 	KEmpty
 	// KQuit acknowledges a quit; native stays silent, RESP says +OK.
 	KQuit
+	// KMoved is a redirect: the slot in Reply.N lives at the node in
+	// Reply.Msg ("?" when the new owner is still importing it and the
+	// client should simply retry). The request was NOT executed.
+	KMoved
 	// KErrClient is a malformed-request error (Reply.Msg).
 	KErrClient
 	// KErrServer is an execution error (Reply.Msg).

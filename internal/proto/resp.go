@@ -672,6 +672,40 @@ func parseRESPCommand(cmd []byte, st *respArgs, req *Request) error {
 		}
 		req.Cmd = CmdPromote
 
+	case eqFold(cmd, "cluster"):
+		// CLUSTER [INFO] — any other subcommand is drained and answered
+		// with the same view; the slot table is the only thing to say.
+		if err := st.drain(); err != nil {
+			return err
+		}
+		req.Cmd = CmdCluster
+
+	case eqFold(cmd, "migrate"):
+		slot, err := st.next()
+		if err != nil {
+			return err
+		}
+		addr, err := st.next()
+		if err != nil {
+			return err
+		}
+		if slot == nil || addr == nil {
+			return wrongArgs(st, req, "migrate")
+		}
+		if extra, err := st.next(); err != nil {
+			return err
+		} else if extra != nil {
+			return wrongArgs(st, req, "migrate")
+		}
+		sn, ok := parseUint64(slot)
+		if !ok {
+			req.bad(KErrClient, "value is not an integer or out of range")
+			return nil
+		}
+		req.Cmd = CmdMigrate
+		req.KV = append(req.KV, sn)
+		req.Addr = string(addr)
+
 	default:
 		if err := st.drain(); err != nil {
 			return err
@@ -755,6 +789,14 @@ func (RESP) Encode(dst []byte, rep *Reply) []byte {
 		return append(dst, "+PONG\r\n"...)
 	case KEmpty:
 		return append(dst, "*0\r\n"...)
+	case KMoved:
+		// Redis cluster's redirect shape: an error line clients can
+		// pattern-match without a new frame type.
+		dst = append(dst, "-MOVED "...)
+		dst = appendUint(dst, uint64(rep.N))
+		dst = append(dst, ' ')
+		dst = append(dst, rep.Msg...)
+		return append(dst, '\r', '\n')
 	default: // error kinds
 		dst = append(dst, "-ERR "...)
 		dst = append(dst, rep.Msg...)

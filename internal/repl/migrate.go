@@ -1,0 +1,138 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Slot-migration streaming: the cluster tier moves one hash slot from
+// node to node as "filtered snapshot + filtered log suffix" — exactly
+// the state transfer a catching-up follower receives, restricted to the
+// keys of one slot. This file exports the frame machinery for that
+// reuse: the frames, their encodings, and the length-prefixed transport
+// are the follower protocol's, byte for byte, so the migration path
+// inherits its bounds checking and its convergence argument (absolute
+// resolved effects; replaying any suffix over a snapshot converges).
+// Only the session layer differs — who dials whom and how the stream is
+// spliced onto a client connection — and that lives in the cache
+// server's cluster code.
+
+// MigrateMsg is one decoded frame of a migration stream, tagged by
+// Frame. Exactly the fields for that frame type are populated:
+// FrameSnapshotBegin fills Gen/Seq, FrameSnapshotChunk fills Pairs,
+// FrameSessChunk fills Recs/Floor, FrameGroup fills Group, and
+// FrameSnapshotEnd fills nothing (it is the commit point).
+type MigrateMsg struct {
+	// Frame is the frame type (FrameSnapshotBegin, FrameSnapshotChunk,
+	// FrameSessChunk, FrameGroup, or FrameSnapshotEnd).
+	Frame byte
+	// Gen and Seq carry a FrameSnapshotBegin's log position.
+	Gen, Seq uint64
+	// Pairs carries a FrameSnapshotChunk's key/value pairs.
+	Pairs []Pair
+	// Recs and Floor carry a FrameSessChunk's session dedup records and
+	// eviction floor.
+	Recs  []SessRec
+	Floor uint64
+	// Group carries a FrameGroup's committed operation group.
+	Group Group
+}
+
+// MigrateWriter emits a migration stream onto w: Begin, then any mix
+// of Sessions/Pairs/Group frames, then End (which flushes). The writer
+// buffers; callers that need bytes on the wire mid-stream call Flush.
+type MigrateWriter struct {
+	w *bufio.Writer
+}
+
+// NewMigrateWriter wraps w for migration-stream output.
+func NewMigrateWriter(w io.Writer) *MigrateWriter {
+	return &MigrateWriter{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Begin announces the transfer and the log position the snapshot about
+// to stream is consistent through.
+func (m *MigrateWriter) Begin(gen, seq uint64) error {
+	return writeFrame(m.w, encodeSnapshotBegin(gen, seq))
+}
+
+// Sessions emits one session-window chunk (records plus the sending
+// shard's eviction floor).
+func (m *MigrateWriter) Sessions(recs []SessRec, floor uint64) error {
+	return writeFrame(m.w, encodeSessChunk(recs, floor))
+}
+
+// Pairs emits one snapshot chunk.
+func (m *MigrateWriter) Pairs(pairs []Pair) error {
+	return writeFrame(m.w, encodeSnapshotChunk(pairs))
+}
+
+// Group emits one committed operation group.
+func (m *MigrateWriter) Group(g Group) error {
+	return writeFrame(m.w, encodeGroup(g))
+}
+
+// End closes the transfer and flushes everything to the wire. The
+// receiver commits ownership when it reads this frame.
+func (m *MigrateWriter) End() error {
+	if err := writeFrame(m.w, []byte{FrameSnapshotEnd}); err != nil {
+		return err
+	}
+	return m.w.Flush()
+}
+
+// Flush pushes buffered frames to the wire without ending the stream.
+func (m *MigrateWriter) Flush() error { return m.w.Flush() }
+
+// MigrateReader decodes a migration stream from r.
+type MigrateReader struct {
+	r *bufio.Reader
+}
+
+// NewMigrateReader wraps r for migration-stream input.
+func NewMigrateReader(r io.Reader) *MigrateReader {
+	return &MigrateReader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next reads and decodes one frame. io.EOF surfaces unwrapped when the
+// stream ends cleanly between frames.
+func (m *MigrateReader) Next() (MigrateMsg, error) {
+	payload, err := readFrame(m.r)
+	if err != nil {
+		return MigrateMsg{}, err
+	}
+	msg := MigrateMsg{Frame: payload[0]}
+	switch payload[0] {
+	case FrameSnapshotBegin:
+		msg.Gen, msg.Seq, err = decodeSnapshotBegin(payload)
+	case FrameSnapshotChunk:
+		msg.Pairs, err = decodeSnapshotChunk(payload)
+	case FrameSessChunk:
+		msg.Recs, msg.Floor, err = decodeSessChunk(payload)
+	case FrameGroup:
+		msg.Group, err = decodeGroup(payload)
+	case FrameSnapshotEnd:
+	default:
+		err = fmt.Errorf("repl: unexpected frame %d in migration stream", payload[0])
+	}
+	return msg, err
+}
+
+// WriteAck sends the receiver's final acknowledgement of a completed
+// migration transfer (unbuffered — one small frame).
+func WriteAck(w io.Writer, gen, seq uint64) error {
+	return writeFrame(w, encodeAck(gen, seq))
+}
+
+// ReadAck reads the final acknowledgement frame.
+func ReadAck(r io.Reader) (gen, seq uint64, err error) {
+	payload, err := readFrame(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	if payload[0] != FrameAck {
+		return 0, 0, fmt.Errorf("repl: expected ack frame, got %d", payload[0])
+	}
+	return decodeAck(payload)
+}

@@ -1,0 +1,58 @@
+package telemetry
+
+// CampaignStats is a fault-injection campaign's counter section: what
+// the harness and cmd/faultinject drove and how much of it recovered
+// consistently. It follows the registry sections' vocabulary rules —
+// nil-safe counters, a Walk with canonical campaign_* names, a Snapshot
+// usable with the shared Snapshot arithmetic — so campaign reports and
+// server stats speak one schema (the ROADMAP's "campaigns and servers
+// share one stats schema" item). It lives outside Registry because a
+// campaign aggregates over many stacks, not one.
+type CampaignStats struct {
+	// Runs counts campaign runs/cycles executed.
+	Runs Counter
+	// Consistent counts runs that recovered consistently (every
+	// invariant and crash contract held).
+	Consistent Counter
+	// Failures counts runs that broke their contract.
+	Failures Counter
+	// Crashes counts crashes injected across all runs.
+	Crashes Counter
+	// Migrations counts slot migrations driven by the cluster campaign.
+	Migrations Counter
+}
+
+// Record tallies one campaign's outcome: runs cycles, of which
+// consistent recovered cleanly.
+func (t *CampaignStats) Record(runs, consistent int) {
+	if t == nil {
+		return
+	}
+	t.Runs.Add(uint64(runs))
+	t.Consistent.Add(uint64(consistent))
+	t.Failures.Add(uint64(runs - consistent))
+}
+
+// Walk calls fn for every campaign counter with its canonical
+// campaign_* name, in a fixed order.
+func (t *CampaignStats) Walk(fn func(name string, value uint64)) {
+	if t == nil {
+		return
+	}
+	fn("campaign_runs", t.Runs.Load())
+	fn("campaign_consistent", t.Consistent.Load())
+	fn("campaign_failures", t.Failures.Load())
+	fn("campaign_crashes", t.Crashes.Load())
+	fn("campaign_migrations", t.Migrations.Load())
+}
+
+// Counters snapshots the campaign counters under their canonical names
+// (nil-safe, like Registry.Counters).
+func (t *CampaignStats) Counters() Snapshot {
+	if t == nil {
+		return nil
+	}
+	s := make(Snapshot, 8)
+	t.Walk(func(name string, v uint64) { s[name] = v })
+	return s
+}

@@ -24,19 +24,19 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race (server + proto + repl + harness + stack + hashmap)"
-go test -race ./internal/cacheserver ./internal/proto ./internal/repl ./internal/harness ./internal/stack ./internal/hashmap
+echo "== go test -race (server + proto + repl + cluster + harness + stack + hashmap)"
+go test -race ./internal/cacheserver ./internal/proto ./internal/repl ./internal/cluster ./internal/harness ./internal/stack ./internal/hashmap
 
 echo "== go test ./... (everything else, no race)"
 go test ./...
 
-# The replication and wire-codec packages are the repo's protocol
-# surfaces and the ones other repos would import first: every exported
-# identifier must carry a doc comment. go vet checks comment FORM; this
-# catches absence, which vet does not. Test files are exempt — the gate
-# is about the importable API surface.
-echo "== exported doc comments (internal/repl + internal/proto)"
-undocumented=$(ls internal/repl/*.go internal/proto/*.go | grep -v '_test\.go$' | xargs awk '
+# The replication, wire-codec, and routing packages are the repo's
+# protocol surfaces and the ones other repos would import first: every
+# exported identifier must carry a doc comment. go vet checks comment
+# FORM; this catches absence, which vet does not. Test files are exempt
+# — the gate is about the importable API surface.
+echo "== exported doc comments (internal/repl + internal/proto + internal/cluster)"
+undocumented=$(ls internal/repl/*.go internal/proto/*.go internal/cluster/*.go | grep -v '_test\.go$' | xargs awk '
 	FNR == 1 { prev = "" }
 	/^func [A-Z]/ || /^func \([^)]*\) [A-Z]/ || /^type [A-Z]/ || /^const [A-Z]/ || /^var [A-Z]/ {
 		if (prev !~ /^\/\//) print FILENAME ":" FNR ": " $0
@@ -59,6 +59,18 @@ go test -covermode=atomic -cover ./internal/telemetry
 # coverage visible the same way.
 echo "== proto coverage"
 go test -cover ./internal/proto
+
+# The routing tier decides which node's durability contract a key
+# falls under; keep its coverage visible next to the server's. Floor
+# below the current figure, high enough that dropping the proxy or
+# migration suites would trip it.
+echo "== cluster coverage (floor 75%)"
+ccover=$(go test -cover ./internal/cluster | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*')
+echo "coverage: ${ccover}%"
+if awk "BEGIN{exit !($ccover < 75)}"; then
+	echo "cluster coverage ${ccover}% below 75% floor" >&2
+	exit 1
+fi
 
 # The durability-tier surface (epoch clock, overlay, wait barrier) is
 # the newest crash-contract machinery: keep the cacheserver package's
@@ -88,6 +100,16 @@ done
 echo "== exactly-once retry campaign (3x, -race)"
 for s in 1 2 3; do
 	go run -race ./cmd/faultinject -exactly-once -exactly-once-cycles 2 -seed "$s"
+done
+
+# The cluster campaign, three seeds under the race detector: three
+# nodes behind the proxy under the duplicate-send storm, one node
+# crashed mid-storm, then all of its slots migrated away while traffic
+# continues; zero acked-write loss, exactly-once replay on the new
+# owners, MOVED correctness on the old one, Eq 1 & 2 on every node.
+echo "== cluster crash + rebalance campaign (3x, -race)"
+for s in 1 2 3; do
+	go run -race ./cmd/faultinject -cluster -cluster-cycles 2 -seed "$s"
 done
 
 # The doc-drift gate: docs/PROTOCOL.md (the canonical wire reference)
